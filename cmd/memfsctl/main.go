@@ -1,0 +1,267 @@
+// Command memfsctl is the MemFSS client CLI: it mounts the file system
+// (in the library sense) against a set of running memfsd stores and
+// performs namespace and file operations.
+//
+// Node sets are given as comma-separated host:port lists; node IDs are
+// assigned positionally (own-0, own-1, ..., victim-0, ...), so pass the
+// lists in the same order on every invocation.
+//
+// Usage:
+//
+//	memfsctl -own 127.0.0.1:7700,127.0.0.1:7701 \
+//	         -victims 127.0.0.1:7800,127.0.0.1:7801 \
+//	         -alpha 0.25 -password secret <command> [args]
+//
+// Commands:
+//
+//	put <memfss-path> <local-file>   upload a file ("-" reads stdin)
+//	get <memfss-path> <local-file>   download a file ("-" writes stdout)
+//	ls <dir>                         list a directory
+//	stat <path>                      show entry metadata
+//	mkdir <dir>                      create a directory (with parents)
+//	rm <path>                        remove a file or empty directory
+//	rmr <path>                       remove recursively
+//	mv <old> <new>                   rename
+//	df                               per-store usage
+//	verify <path>                    re-read every stripe of a file
+//	fsck                             verify every file and find orphans
+//	evacuate <node-id>               drain a victim store and drop it
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"memfss/internal/container"
+	"memfss/internal/core"
+	"memfss/internal/hrw"
+)
+
+func main() {
+	log.SetFlags(0)
+	ownList := flag.String("own", "", "comma-separated own-node store addresses (required)")
+	victimList := flag.String("victims", "", "comma-separated victim-node store addresses")
+	alpha := flag.Float64("alpha", 0.25, "fraction of data kept on own nodes")
+	password := flag.String("password", "", "store password")
+	stripeSize := flag.Int64("stripe", 0, "stripe size in bytes (default 1 MiB)")
+	replicas := flag.Int("replicas", 0, "replication factor (0/1 = none)")
+	victimCap := flag.Int64("victim-mem", 10<<30, "per-victim scavenged memory cap in bytes")
+	flag.Parse()
+
+	if *ownList == "" || flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	fs, err := connect(*ownList, *victimList, *alpha, *password, *stripeSize, *replicas, *victimCap)
+	if err != nil {
+		log.Fatalf("memfsctl: %v", err)
+	}
+	defer fs.Close()
+
+	if err := run(fs, flag.Args()); err != nil {
+		log.Fatalf("memfsctl: %v", err)
+	}
+}
+
+func nodes(prefix, list string) []core.NodeSpec {
+	if list == "" {
+		return nil
+	}
+	var out []core.NodeSpec
+	for i, addr := range strings.Split(list, ",") {
+		out = append(out, core.NodeSpec{ID: fmt.Sprintf("%s-%d", prefix, i), Addr: strings.TrimSpace(addr)})
+	}
+	return out
+}
+
+func connect(ownList, victimList string, alpha float64, password string,
+	stripeSize int64, replicas int, victimCap int64) (*core.FileSystem, error) {
+	own := nodes("own", ownList)
+	victims := nodes("victim", victimList)
+	classes := []core.ClassSpec{{Name: "own", Nodes: own}}
+	if len(victims) > 0 {
+		d, err := hrw.DeltaForOwnFraction(alpha)
+		if err != nil {
+			return nil, err
+		}
+		if d >= 0 {
+			classes[0].Weight = d
+		}
+		vc := core.ClassSpec{
+			Name: "victim", Nodes: victims, Victim: true,
+			Limits: container.Limits{MemoryBytes: victimCap},
+		}
+		if d < 0 {
+			vc.Weight = -d
+		}
+		classes = append(classes, vc)
+	}
+	cfg := core.Config{
+		Classes:    classes,
+		StripeSize: stripeSize,
+		Password:   password,
+	}
+	if replicas > 1 {
+		cfg.Redundancy = core.Redundancy{Mode: core.RedundancyReplicate, Replicas: replicas}
+	}
+	return core.New(cfg)
+}
+
+func run(fs *core.FileSystem, args []string) error {
+	cmd, rest := args[0], args[1:]
+	need := func(n int) error {
+		if len(rest) != n {
+			return fmt.Errorf("%s needs %d argument(s)", cmd, n)
+		}
+		return nil
+	}
+	switch cmd {
+	case "put":
+		if err := need(2); err != nil {
+			return err
+		}
+		var data []byte
+		var err error
+		if rest[1] == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(rest[1])
+		}
+		if err != nil {
+			return err
+		}
+		return fs.WriteFile(rest[0], data)
+	case "get":
+		if err := need(2); err != nil {
+			return err
+		}
+		data, err := fs.ReadFile(rest[0])
+		if err != nil {
+			return err
+		}
+		if rest[1] == "-" {
+			_, err = os.Stdout.Write(data)
+			return err
+		}
+		return os.WriteFile(rest[1], data, 0o644)
+	case "ls":
+		if err := need(1); err != nil {
+			return err
+		}
+		entries, err := fs.ReadDir(rest[0])
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			kind := "f"
+			if e.IsDir {
+				kind = "d"
+			}
+			fmt.Printf("%s %12d  %s\n", kind, e.Size, e.Name)
+		}
+		return nil
+	case "stat":
+		if err := need(1); err != nil {
+			return err
+		}
+		e, err := fs.Stat(rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("path: %s\ndir: %v\nsize: %d\n", e.Path, e.IsDir, e.Size)
+		return nil
+	case "mkdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		return fs.MkdirAll(rest[0])
+	case "rm":
+		if err := need(1); err != nil {
+			return err
+		}
+		return fs.Remove(rest[0])
+	case "rmr":
+		if err := need(1); err != nil {
+			return err
+		}
+		return fs.RemoveAll(rest[0])
+	case "mv":
+		if err := need(2); err != nil {
+			return err
+		}
+		return fs.Rename(rest[0], rest[1])
+	case "df":
+		stats := fs.StoreStats()
+		idList := make([]string, 0, len(stats))
+		for id := range stats {
+			idList = append(idList, id)
+		}
+		sort.Strings(idList)
+		fmt.Printf("%-12s %-8s %14s %14s %8s %s\n", "node", "class", "used", "cap", "keys", "pressure")
+		for _, id := range idList {
+			s := stats[id]
+			pressure := ""
+			if s.Pressure {
+				pressure = "PRESSURE"
+			}
+			fmt.Printf("%-12s %-8s %14d %14d %8d %s\n", id, s.Class, s.BytesUsed, s.MaxMemory, s.NumKeys, pressure)
+		}
+		return nil
+	case "verify":
+		if err := need(1); err != nil {
+			return err
+		}
+		if err := fs.VerifyFile(rest[0]); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+		return nil
+	case "fsck":
+		if err := need(0); err != nil {
+			return err
+		}
+		rep, err := fs.Fsck()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("files: %d\ndirs: %d\nbytes verified: %d\norphan stripes: %d\n",
+			rep.Files, rep.Dirs, rep.Bytes, rep.OrphanStripes)
+		for _, p := range rep.Damaged {
+			fmt.Printf("DAMAGED: %s\n", p)
+		}
+		if len(rep.Damaged) > 0 {
+			return fmt.Errorf("%d damaged file(s)", len(rep.Damaged))
+		}
+		fmt.Println("ok")
+		return nil
+	case "scrub":
+		if err := need(0); err != nil {
+			return err
+		}
+		rep, err := fs.Scrub()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("files: %d\nstripes checked: %d\nrestored: %d\n",
+			rep.Files, rep.StripesChecked, rep.Restored)
+		for _, u := range rep.Unrepairable {
+			fmt.Printf("UNREPAIRABLE: %s\n", u)
+		}
+		if len(rep.Unrepairable) > 0 {
+			return fmt.Errorf("%d unrepairable stripe(s)", len(rep.Unrepairable))
+		}
+		return nil
+	case "evacuate":
+		if err := need(1); err != nil {
+			return err
+		}
+		return fs.EvacuateNode(rest[0])
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,42 @@
+// Command memfsd runs one MemFSS store daemon — the per-node in-memory
+// data store (the role Redis plays in the paper). Start one per own node
+// and one per victim node, then point memfsctl or the core library at
+// them.
+//
+// Usage:
+//
+//	memfsd -addr :7700 -password secret -maxmem 10737418240
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"memfss/internal/kvstore"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7700", "listen address")
+	password := flag.String("password", "", "require AUTH with this password")
+	maxMem := flag.Int64("maxmem", 0, "memory cap in bytes (0 = unlimited); on victim nodes this is the scavenged-memory budget")
+	flag.Parse()
+
+	srv := kvstore.NewServer(kvstore.NewStore(*maxMem), *password)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("memfsd: %v", err)
+	}
+	fmt.Printf("memfsd: serving on %s (maxmem=%d, auth=%v)\n", bound, *maxMem, *password != "")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("memfsd: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatalf("memfsd: close: %v", err)
+	}
+}

@@ -1,0 +1,131 @@
+// Command memfss-bench runs a real-mode (actual TCP stores) dd-style
+// micro-benchmark against an in-process MemFSS deployment: it launches
+// own and victim stores on loopback, mounts the file system, and drives a
+// bag of write tasks followed by a full read-back, reporting throughput —
+// a laptop-scale analogue of the paper's Figure 2 workload.
+//
+// Usage:
+//
+//	memfss-bench -own 2 -victims 6 -alpha 0.25 -tasks 64 -size 8388608
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"memfss/internal/container"
+	"memfss/internal/core"
+	"memfss/internal/hrw"
+)
+
+func main() {
+	log.SetFlags(0)
+	ownN := flag.Int("own", 2, "number of own-node stores to launch")
+	victimN := flag.Int("victims", 6, "number of victim-node stores to launch")
+	alpha := flag.Float64("alpha", 0.25, "fraction of data kept on own nodes")
+	tasks := flag.Int("tasks", 64, "number of dd tasks")
+	size := flag.Int64("size", 8<<20, "bytes written per task")
+	workers := flag.Int("workers", 8, "concurrent writer tasks")
+	flag.Parse()
+
+	const password = "bench-secret"
+	own, err := core.StartLocalStores(*ownN, "own", password, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer own.Close()
+	classes := []core.ClassSpec{{Name: "own", Nodes: own.Nodes}}
+	var victims *core.LocalStores
+	if *victimN > 0 {
+		victims, err = core.StartLocalStores(*victimN, "victim", password, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer victims.Close()
+		d, err := hrw.DeltaForOwnFraction(*alpha)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d >= 0 {
+			classes[0].Weight = d
+		}
+		vc := core.ClassSpec{
+			Name: "victim", Nodes: victims.Nodes, Victim: true,
+			Limits: container.Limits{MemoryBytes: 1 << 34},
+		}
+		if d < 0 {
+			vc.Weight = -d
+		}
+		classes = append(classes, vc)
+	}
+	fs, err := core.New(core.Config{Classes: classes, Password: password})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fs.Close()
+
+	payload := make([]byte, *size)
+	rand.New(rand.NewSource(42)).Read(payload)
+
+	fmt.Printf("memfss-bench: %d tasks x %d B over %d own + %d victim stores (alpha=%.2f)\n",
+		*tasks, *size, *ownN, *victimN, *alpha)
+
+	if err := fs.MkdirAll("/bench"); err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, *tasks)
+	sem := make(chan struct{}, *workers)
+	for i := 0; i < *tasks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errCh <- fs.WriteFile(fmt.Sprintf("/bench/task-%d", i), payload)
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	writeDur := time.Since(start)
+	total := float64(*tasks) * float64(*size)
+	fmt.Printf("write: %.1f MB in %v (%.0f MB/s)\n", total/1e6, writeDur.Round(time.Millisecond), total/1e6/writeDur.Seconds())
+
+	start = time.Now()
+	for i := 0; i < *tasks; i++ {
+		data, err := fs.ReadFile(fmt.Sprintf("/bench/task-%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if int64(len(data)) != *size {
+			log.Fatalf("task %d: read %d bytes, want %d", i, len(data), *size)
+		}
+	}
+	readDur := time.Since(start)
+	fmt.Printf("read:  %.1f MB in %v (%.0f MB/s)\n", total/1e6, readDur.Round(time.Millisecond), total/1e6/readDur.Seconds())
+
+	var ownBytes, victimBytes int64
+	for id, st := range fs.StoreStats() {
+		if st.Class == "own" {
+			ownBytes += st.BytesUsed
+		} else {
+			victimBytes += st.BytesUsed
+		}
+		_ = id
+	}
+	if ownBytes+victimBytes > 0 {
+		fmt.Printf("placement: %.1f%% own / %.1f%% victim (target alpha %.0f%%)\n",
+			100*float64(ownBytes)/float64(ownBytes+victimBytes),
+			100*float64(victimBytes)/float64(ownBytes+victimBytes), 100**alpha)
+	}
+}

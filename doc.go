@@ -1,0 +1,22 @@
+// Package memfss is the root of the MemFSS reproduction: an in-memory
+// distributed file system that extends its storage space by scavenging
+// unused memory from cluster nodes reserved by other tenants, after
+// "Towards Resource Disaggregation — Memory Scavenging for Scientific
+// Workloads" (Uta, Oprescu, Kielmann; IEEE CLUSTER 2016).
+//
+// The implementation lives under internal/:
+//
+//   - internal/core — the MemFSS file system (placement, striping,
+//     metadata, redundancy, scavenging) over real TCP stores;
+//   - internal/hrw, internal/stripe, internal/fsmeta, internal/kvstore,
+//     internal/container, internal/erasure — its substrates;
+//   - internal/sim, internal/simnet, internal/simres, internal/cluster,
+//     internal/simstore, internal/workflow, internal/tenant,
+//     internal/eval — the discrete-event cluster simulation that
+//     regenerates every table and figure of the paper's evaluation.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for paper-versus-measured results.
+// The root package holds only the repository-level benchmarks
+// (bench_test.go), one per table and figure.
+package memfss

@@ -1,0 +1,88 @@
+// Tenant-slowdown example: measure what memory scavenging costs a tenant
+// application — run one HPCC benchmark on the simulated victim nodes,
+// first alone and then while MemFSS scavenges their memory under a dd
+// write storm, and report the slowdown (one bar of the paper's Figure 3).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memfss/internal/cluster"
+	"memfss/internal/sim"
+	"memfss/internal/simstore"
+	"memfss/internal/tenant"
+	"memfss/internal/workflow"
+)
+
+// run executes benchmark b on 8 victim nodes; if scavenge is true, a dd
+// bag loops on 2 own nodes, spreading 75% of its data over the victims.
+func run(b tenant.Benchmark, scavenge bool) float64 {
+	eng := &sim.Engine{}
+	cls := cluster.New(eng)
+	own := cls.AddNodes("own", 2, cluster.DAS5)
+	victims := cls.AddNodes("victim", 8, cluster.DAS5)
+
+	alpha := 1.0
+	if scavenge {
+		alpha = 0.25
+	}
+	fs, err := simstore.New(cls, own, victims, simstore.Config{
+		OwnFraction:  alpha,
+		VictimMemCap: 10 << 30,
+	})
+	check(err)
+
+	stop := false
+	if scavenge {
+		var launch func()
+		launch = func() {
+			ex, err := workflow.NewExecutor(eng, own, fs)
+			check(err)
+			dag := workflow.DDBag(128, 128<<20)
+			ex.OnDone = func() {
+				fs.Release(dag.TotalWriteBytes())
+				if !stop {
+					eng.After(0.001, func() {
+						if !stop {
+							launch()
+						}
+					})
+				}
+			}
+			check(ex.Start(dag))
+		}
+		launch()
+		eng.RunUntil(2) // let the write storm reach steady state
+	}
+
+	r, err := tenant.NewRunner(eng, cls, victims, b, tenant.Options{
+		ForeignBytes: func(id string) int64 { return fs.StoredBytes(id) },
+	})
+	check(err)
+	check(r.Start())
+	for !r.Done() {
+		eng.RunUntil(eng.Now() + 5)
+	}
+	stop = true
+	return r.Runtime()
+}
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("Tenant slowdown under memory scavenging (dd write storm, α=25%)")
+	fmt.Println()
+	fmt.Printf("%-16s %12s %14s %10s\n", "benchmark", "alone (s)", "scavenged (s)", "slowdown")
+	for _, b := range tenant.HPCC() {
+		alone := run(b, false)
+		scavenged := run(b, true)
+		fmt.Printf("%-16s %12.1f %14.1f %9.1f%%\n",
+			b.Name, alone, scavenged, 100*(scavenged/alone-1))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

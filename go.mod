@@ -1,0 +1,3 @@
+module memfss
+
+go 1.22

@@ -1,0 +1,151 @@
+package chash
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func nodeSet(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%02d", i)
+	}
+	return out
+}
+
+func keySet(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("f-%d#%d", i%97, i)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 10); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewWeighted(map[string]int{"a": 0}); err == nil {
+		t.Error("zero vnodes accepted")
+	}
+	if _, err := NewWeighted(map[string]int{"": 3}); err == nil {
+		t.Error("empty node name accepted")
+	}
+	r, err := New([]string{"a", "b"}, 16)
+	if err != nil || r.Points() != 32 {
+		t.Fatalf("ring: %v points=%d", err, r.Points())
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	r, _ := New(nodeSet(8), 64)
+	for _, k := range keySet(100) {
+		if r.Place(k) != r.Place(k) {
+			t.Fatal("Place not deterministic")
+		}
+	}
+}
+
+func TestBalanceImprovesWithVnodes(t *testing.T) {
+	keys := keySet(40000)
+	spread := func(vnodes int) float64 {
+		r, err := New(nodeSet(10), vnodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[r.Place(k)]++
+		}
+		want := float64(len(keys)) / 10
+		worst := 0.0
+		for _, c := range counts {
+			if dev := math.Abs(float64(c)-want) / want; dev > worst {
+				worst = dev
+			}
+		}
+		return worst
+	}
+	few, many := spread(4), spread(256)
+	if many >= few {
+		t.Fatalf("more vnodes did not improve balance: %0.3f -> %0.3f", few, many)
+	}
+	if many > 0.25 {
+		t.Fatalf("256 vnodes still badly unbalanced: %0.3f", many)
+	}
+}
+
+func TestMinimalDisruption(t *testing.T) {
+	keys := keySet(20000)
+	nodes := nodeSet(10)
+	r1, _ := New(nodes, 128)
+	r2, _ := New(nodes[:9], 128) // remove node-09
+	moved := 0
+	for _, k := range keys {
+		a, b := r1.Place(k), r2.Place(k)
+		if a != b {
+			if a != "node-09" {
+				t.Fatalf("key %q moved between surviving nodes (%s -> %s)", k, a, b)
+			}
+			moved++
+		}
+	}
+	want := float64(len(keys)) / 10
+	if dev := math.Abs(float64(moved)-want) / want; dev > 0.35 {
+		t.Errorf("removed node owned %d keys, want ~%.0f", moved, want)
+	}
+}
+
+func TestWeightedRingShares(t *testing.T) {
+	r, err := NewWeighted(map[string]int{"big": 300, "small": 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, k := range keySet(40000) {
+		counts[r.Place(k)]++
+	}
+	frac := float64(counts["big"]) / 40000
+	if math.Abs(frac-0.75) > 0.06 {
+		t.Fatalf("big node got %.2f of keys, want ~0.75", frac)
+	}
+}
+
+func TestPlaceKDistinct(t *testing.T) {
+	r, _ := New(nodeSet(6), 64)
+	for _, k := range keySet(300) {
+		reps := r.PlaceK(k, 3)
+		if len(reps) != 3 {
+			t.Fatalf("PlaceK returned %d", len(reps))
+		}
+		if reps[0] != r.Place(k) {
+			t.Fatal("first replica != Place")
+		}
+		seen := map[string]bool{}
+		for _, n := range reps {
+			if seen[n] {
+				t.Fatalf("duplicate replica %s", n)
+			}
+			seen[n] = true
+		}
+	}
+	if got := r.PlaceK("k", 0); got != nil {
+		t.Fatal("PlaceK(0) not nil")
+	}
+	if got := r.PlaceK("k", 100); len(got) != 6 {
+		t.Fatalf("PlaceK over-size = %d", len(got))
+	}
+}
+
+func BenchmarkRingPlace40Nodes(b *testing.B) {
+	r, err := New(nodeSet(40), 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := keySet(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Place(keys[i%len(keys)])
+	}
+}

@@ -1,0 +1,158 @@
+// Package container models the lightweight isolation MemFSS wraps around
+// the store processes it runs on victim nodes (paper §III-F: Linux
+// containers specifying, with fine granularity, the CPU, memory and network
+// a scavenging store may use).
+//
+// Two mechanisms matter for the experiments and are implemented here:
+//
+//   - a memory ceiling, enforced by the store's own cap (resize-able at
+//     runtime when the tenant needs memory back), and
+//   - a network-bandwidth throttle, a token bucket the MemFSS client pulls
+//     from before moving bytes to or from a victim store, so scavenging
+//     traffic never exceeds its budget regardless of application load.
+package container
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Limits is the resource budget granted to a scavenging store on a victim
+// node. Zero values mean "unlimited" for that resource.
+type Limits struct {
+	// MemoryBytes caps the store's accounted memory.
+	MemoryBytes int64
+	// NetworkBytesPerSec caps scavenging traffic to/from the node.
+	NetworkBytesPerSec int64
+	// CPUShare is the fraction of one core the store may consume; it is
+	// advisory in real mode (Go offers no portable stdlib CPU jailing) and
+	// enforced by the cluster simulator in simulated mode.
+	CPUShare float64
+}
+
+// Validate reports whether the limits are well-formed.
+func (l Limits) Validate() error {
+	if l.MemoryBytes < 0 || l.NetworkBytesPerSec < 0 {
+		return fmt.Errorf("container: negative limit %+v", l)
+	}
+	if l.CPUShare < 0 || l.CPUShare > 1 {
+		return fmt.Errorf("container: CPU share %v outside [0,1]", l.CPUShare)
+	}
+	return nil
+}
+
+// ErrThrottleClosed is returned by Take after Close.
+var ErrThrottleClosed = errors.New("container: throttle closed")
+
+// Throttle is a token bucket metering bytes per second. The zero value is
+// unusable; construct with NewThrottle. A nil *Throttle is a valid
+// unlimited throttle (Take returns immediately).
+type Throttle struct {
+	mu     sync.Mutex
+	rate   float64 // tokens (bytes) per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	closed bool
+	now    func() time.Time
+	sleep  func(time.Duration)
+}
+
+// NewThrottle returns a throttle admitting bytesPerSec bytes per second
+// with a burst of one second's worth (minimum 64 KiB so single requests
+// are never deadlocked). bytesPerSec must be positive.
+func NewThrottle(bytesPerSec int64) (*Throttle, error) {
+	if bytesPerSec <= 0 {
+		return nil, fmt.Errorf("container: rate %d must be positive", bytesPerSec)
+	}
+	burst := float64(bytesPerSec)
+	if burst < 64<<10 {
+		burst = 64 << 10
+	}
+	return &Throttle{
+		rate:   float64(bytesPerSec),
+		burst:  burst,
+		tokens: burst,
+		last:   time.Now(),
+		now:    time.Now,
+		sleep:  time.Sleep,
+	}, nil
+}
+
+// Take blocks until n bytes of budget are available, then consumes them.
+// Requests larger than the burst are admitted in burst-size installments.
+// A nil throttle admits immediately.
+func (t *Throttle) Take(n int64) error {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	remaining := float64(n)
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > t.burst {
+			chunk = t.burst
+		}
+		if err := t.takeChunk(chunk); err != nil {
+			return err
+		}
+		remaining -= chunk
+	}
+	return nil
+}
+
+func (t *Throttle) takeChunk(n float64) error {
+	for {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return ErrThrottleClosed
+		}
+		now := t.now()
+		elapsed := now.Sub(t.last).Seconds()
+		if elapsed > 0 {
+			t.tokens += elapsed * t.rate
+			if t.tokens > t.burst {
+				t.tokens = t.burst
+			}
+			t.last = now
+		}
+		if t.tokens >= n {
+			t.tokens -= n
+			t.mu.Unlock()
+			return nil
+		}
+		deficit := n - t.tokens
+		wait := time.Duration(deficit / t.rate * float64(time.Second))
+		t.mu.Unlock()
+		// Clamp the sleep so long waits poll the closed flag and Close can
+		// unblock waiters promptly.
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		if wait > 100*time.Millisecond {
+			wait = 100 * time.Millisecond
+		}
+		t.sleep(wait)
+	}
+}
+
+// Close unblocks all waiters with ErrThrottleClosed and makes further Take
+// calls fail. It is idempotent.
+func (t *Throttle) Close() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+}
+
+// Rate returns the configured bytes-per-second rate (0 for nil).
+func (t *Throttle) Rate() int64 {
+	if t == nil {
+		return 0
+	}
+	return int64(t.rate)
+}

@@ -1,0 +1,176 @@
+// Package core implements MemFSS itself: an in-memory distributed file
+// system whose storage space is extended by scavenging memory from victim
+// nodes reserved by other tenants (paper §III).
+//
+// The package glues the substrates together: files are striped
+// (internal/stripe), stripes are placed by the two-layer weighted HRW
+// protocol (internal/hrw), data and metadata live in per-node in-memory
+// stores (internal/kvstore), victim-side stores are capped and throttled
+// (internal/container), and redundancy is provided by HRW-rank replication
+// or Reed–Solomon coding (internal/erasure).
+//
+// Only own nodes mount the file system (run FileSystem clients); victim
+// nodes only run capped stores (paper §III-C).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"memfss/internal/container"
+	"memfss/internal/hrw"
+	"memfss/internal/stripe"
+)
+
+// NodeSpec identifies one store process: a stable node ID (used in HRW
+// hashing, so placement survives address changes) and its TCP address.
+type NodeSpec struct {
+	ID   string
+	Addr string
+}
+
+// ClassSpec describes one placement class: the own class or a victim class.
+type ClassSpec struct {
+	// Name is the class identity fed to the class-level hash.
+	Name string
+	// Weight is the HRW class weight; larger attracts fewer keys. Use
+	// hrw.DeltaForOwnFraction / hrw.CalibrateWeights to derive weights
+	// from a desired data split.
+	Weight float64
+	// Nodes are the class members.
+	Nodes []NodeSpec
+	// Victim marks a scavenged class: its traffic passes through the
+	// per-node throttle in Limits and its stores may be evacuated.
+	Victim bool
+	// Limits is the container budget applied to each node of a victim
+	// class (ignored for the own class).
+	Limits container.Limits
+}
+
+// RedundancyMode selects how stripes survive node loss.
+type RedundancyMode int
+
+const (
+	// RedundancyNone stores one copy of each stripe.
+	RedundancyNone RedundancyMode = iota
+	// RedundancyReplicate stores Replicas copies on the stripe's top HRW
+	// ranks within its class (paper §III-E).
+	RedundancyReplicate
+	// RedundancyErasure splits each stripe into DataShards+ParityShards
+	// Reed–Solomon shards across the class (the paper's in-progress
+	// erasure extension).
+	RedundancyErasure
+)
+
+// Redundancy configures the redundancy mode.
+type Redundancy struct {
+	Mode RedundancyMode
+	// Replicas is the copy count for RedundancyReplicate (>= 2).
+	Replicas int
+	// DataShards/ParityShards configure RedundancyErasure.
+	DataShards   int
+	ParityShards int
+}
+
+// Config assembles a MemFSS deployment.
+type Config struct {
+	// Classes lists the placement classes. Exactly one class must be the
+	// own (non-victim) class, and it must come first; additional victim
+	// classes may follow (and may be added later via AddVictimClass).
+	Classes []ClassSpec
+	// StripeSize is the striping granularity (default stripe.DefaultSize).
+	StripeSize int64
+	// Password authenticates to every store (paper §III-F). All stores in
+	// a deployment share one password.
+	Password string
+	// Redundancy selects the redundancy mode (default RedundancyNone).
+	Redundancy Redundancy
+	// DialTimeout bounds store round trips (default 10s).
+	DialTimeout time.Duration
+	// PoolSize bounds connections per store (default 4).
+	PoolSize int
+	// IOParallelism bounds concurrent stripe transfers within one file
+	// operation (default 8; 1 = strictly sequential). Parallel stripe
+	// I/O is how MemFS-family systems saturate premium networks (paper
+	// §II-C).
+	IOParallelism int
+}
+
+// validate checks the configuration and returns the own class.
+func (c *Config) validate() error {
+	if len(c.Classes) == 0 {
+		return errors.New("core: config needs at least the own class")
+	}
+	if c.Classes[0].Victim {
+		return errors.New("core: first class must be the own class")
+	}
+	for i, cls := range c.Classes {
+		if i > 0 && !cls.Victim {
+			return fmt.Errorf("core: class %q: only the first class may be the own class", cls.Name)
+		}
+		if len(cls.Nodes) == 0 {
+			return fmt.Errorf("core: class %q has no nodes", cls.Name)
+		}
+		if cls.Victim {
+			if err := cls.Limits.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	if c.StripeSize < 0 {
+		return fmt.Errorf("core: negative stripe size %d", c.StripeSize)
+	}
+	if c.IOParallelism < 0 {
+		return fmt.Errorf("core: negative I/O parallelism %d", c.IOParallelism)
+	}
+	switch c.Redundancy.Mode {
+	case RedundancyNone:
+	case RedundancyReplicate:
+		if c.Redundancy.Replicas < 2 {
+			return fmt.Errorf("core: replication needs >= 2 replicas, got %d", c.Redundancy.Replicas)
+		}
+		for _, cls := range c.Classes {
+			if len(cls.Nodes) < c.Redundancy.Replicas {
+				return fmt.Errorf("core: class %q has %d nodes < %d replicas",
+					cls.Name, len(cls.Nodes), c.Redundancy.Replicas)
+			}
+		}
+	case RedundancyErasure:
+		k, m := c.Redundancy.DataShards, c.Redundancy.ParityShards
+		if k < 1 || m < 1 {
+			return fmt.Errorf("core: erasure needs k>=1 and m>=1, got k=%d m=%d", k, m)
+		}
+		for _, cls := range c.Classes {
+			if len(cls.Nodes) < k+m {
+				return fmt.Errorf("core: class %q has %d nodes < k+m=%d",
+					cls.Name, len(cls.Nodes), k+m)
+			}
+		}
+	default:
+		return fmt.Errorf("core: unknown redundancy mode %d", c.Redundancy.Mode)
+	}
+	return nil
+}
+
+// placerClasses converts the class specs into hrw classes.
+func placerClasses(specs []ClassSpec) []hrw.Class {
+	out := make([]hrw.Class, len(specs))
+	for i, cs := range specs {
+		ids := make([]string, len(cs.Nodes))
+		for j, n := range cs.Nodes {
+			ids[j] = n.ID
+		}
+		out[i] = hrw.Class{Name: cs.Name, Weight: cs.Weight, Nodes: ids}
+	}
+	return out
+}
+
+// layoutFor resolves the configured stripe size.
+func (c *Config) layoutFor() (stripe.Layout, error) {
+	size := c.StripeSize
+	if size == 0 {
+		size = stripe.DefaultSize
+	}
+	return stripe.NewLayout(size)
+}

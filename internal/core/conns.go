@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"memfss/internal/container"
+	"memfss/internal/kvstore"
+)
+
+// connPool tracks the store client and (for victim nodes) the bandwidth
+// throttle of every node in the deployment.
+type connPool struct {
+	mu        sync.RWMutex
+	clients   map[string]*kvstore.Client     // node ID -> client
+	throttles map[string]*container.Throttle // node ID -> throttle (victims only)
+	password  string
+	timeout   time.Duration
+	poolSize  int
+}
+
+func newConnPool(password string, timeout time.Duration, poolSize int) *connPool {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	if poolSize <= 0 {
+		poolSize = 4
+	}
+	return &connPool{
+		clients:   make(map[string]*kvstore.Client),
+		throttles: make(map[string]*container.Throttle),
+		password:  password,
+		timeout:   timeout,
+		poolSize:  poolSize,
+	}
+}
+
+// add registers the nodes of a class, creating clients and, for victim
+// nodes with a bandwidth limit, throttles.
+func (p *connPool) add(spec ClassSpec) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, n := range spec.Nodes {
+		if _, dup := p.clients[n.ID]; dup {
+			return fmt.Errorf("core: node %q registered twice", n.ID)
+		}
+		p.clients[n.ID] = kvstore.Dial(n.Addr, kvstore.DialOptions{
+			Password: p.password,
+			PoolSize: p.poolSize,
+			Timeout:  p.timeout,
+		})
+		if spec.Victim && spec.Limits.NetworkBytesPerSec > 0 {
+			th, err := container.NewThrottle(spec.Limits.NetworkBytesPerSec)
+			if err != nil {
+				return err
+			}
+			p.throttles[n.ID] = th
+		}
+	}
+	return nil
+}
+
+// client returns the store client for a node ID.
+func (p *connPool) client(nodeID string) (*kvstore.Client, error) {
+	p.mu.RLock()
+	c := p.clients[nodeID]
+	p.mu.RUnlock()
+	if c == nil {
+		return nil, fmt.Errorf("core: unknown node %q", nodeID)
+	}
+	return c, nil
+}
+
+// throttle returns the node's throttle, or nil (unlimited) for own nodes.
+func (p *connPool) throttle(nodeID string) *container.Throttle {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.throttles[nodeID]
+}
+
+// remove drops a node (after evacuation), closing its client and throttle.
+func (p *connPool) remove(nodeID string) {
+	p.mu.Lock()
+	c := p.clients[nodeID]
+	th := p.throttles[nodeID]
+	delete(p.clients, nodeID)
+	delete(p.throttles, nodeID)
+	p.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+	th.Close()
+}
+
+// closeAll tears down every client and throttle.
+func (p *connPool) closeAll() {
+	p.mu.Lock()
+	clients := p.clients
+	throttles := p.throttles
+	p.clients = make(map[string]*kvstore.Client)
+	p.throttles = make(map[string]*container.Throttle)
+	p.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+	for _, th := range throttles {
+		th.Close()
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+
+	"memfss/internal/kvstore"
+)
+
+// LocalStores is a set of in-process store servers, standing in for the
+// per-node store daemons of a real deployment. Examples, tests and the
+// micro-benchmarks use it to bring up a many-"node" MemFSS on one machine.
+type LocalStores struct {
+	Nodes   []NodeSpec
+	servers []*kvstore.Server
+}
+
+// StartLocalStores launches n store servers on loopback ports. idPrefix
+// names the nodes ("own" -> own-0, own-1, ...); password guards them;
+// maxMem caps each store (0 = unlimited).
+func StartLocalStores(n int, idPrefix, password string, maxMem int64) (*LocalStores, error) {
+	ls := &LocalStores{}
+	for i := 0; i < n; i++ {
+		srv := kvstore.NewServer(kvstore.NewStore(maxMem), password)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			ls.Close()
+			return nil, err
+		}
+		ls.servers = append(ls.servers, srv)
+		ls.Nodes = append(ls.Nodes, NodeSpec{
+			ID:   fmt.Sprintf("%s-%d", idPrefix, i),
+			Addr: addr,
+		})
+	}
+	return ls, nil
+}
+
+// Server returns the i-th underlying server (for fault injection: call
+// Close on it to simulate a node crash).
+func (ls *LocalStores) Server(i int) *kvstore.Server { return ls.servers[i] }
+
+// Close stops every server.
+func (ls *LocalStores) Close() {
+	for _, s := range ls.servers {
+		s.Close()
+	}
+}

@@ -1,0 +1,23 @@
+package core
+
+import "errors"
+
+// Namespace errors, mirroring the POSIX errno family the FUSE layer would
+// translate to.
+var (
+	// ErrNotExist reports a missing path.
+	ErrNotExist = errors.New("memfss: no such file or directory")
+	// ErrExist reports a path that already exists.
+	ErrExist = errors.New("memfss: file exists")
+	// ErrNotDir reports a non-directory used as a directory.
+	ErrNotDir = errors.New("memfss: not a directory")
+	// ErrIsDir reports a directory used as a file.
+	ErrIsDir = errors.New("memfss: is a directory")
+	// ErrNotEmpty reports removal of a non-empty directory.
+	ErrNotEmpty = errors.New("memfss: directory not empty")
+	// ErrClosed reports use of a closed file system or file handle.
+	ErrClosed = errors.New("memfss: closed")
+	// ErrDataLoss reports a stripe that could not be found or
+	// reconstructed on any probe target.
+	ErrDataLoss = errors.New("memfss: stripe unrecoverable")
+)

@@ -1,0 +1,507 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"memfss/internal/erasure"
+	"memfss/internal/fsmeta"
+	"memfss/internal/hrw"
+	"memfss/internal/stripe"
+)
+
+// dataKey is the store key holding a stripe's bytes. The "data:" prefix
+// separates stripe payloads from metadata so victim stores (which hold
+// data only) can be drained by prefix.
+func dataKey(stripeKey string) string { return "data:" + stripeKey }
+
+// shardKey is the store key of one erasure shard of a stripe.
+func shardKey(base string, i int) string { return base + "/s" + strconv.Itoa(i) }
+
+// File is a handle on one MemFSS file. Handles are not safe for concurrent
+// use; open one handle per goroutine (the workflow tasks of the paper each
+// open their own files through the FUSE layer).
+type File struct {
+	fs       *FileSystem
+	path     string
+	rec      *fsmeta.FileRecord
+	placer   *hrw.Placer
+	layout   stripe.Layout
+	coder    *erasure.Coder
+	pos      int64
+	size     int64
+	writable bool
+	dirty    bool
+	closed   bool
+}
+
+// Path returns the file's cleaned path.
+func (f *File) Path() string { return f.path }
+
+// Size returns the file length in bytes, including unflushed writes.
+func (f *File) Size() int64 { return f.size }
+
+// Write appends len(p) bytes at the current offset.
+func (f *File) Write(p []byte) (int, error) {
+	n, err := f.WriteAt(p, f.pos)
+	f.pos += int64(n)
+	return n, err
+}
+
+// Read reads from the current offset, returning io.EOF at end of file.
+func (f *File) Read(p []byte) (int, error) {
+	n, err := f.ReadAt(p, f.pos)
+	f.pos += int64(n)
+	return n, err
+}
+
+// Seek sets the offset for the next Read or Write, interpreted per
+// io.Seeker.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.pos
+	case io.SeekEnd:
+		base = f.size
+	default:
+		return 0, fmt.Errorf("memfss: bad seek whence %d", whence)
+	}
+	if base+offset < 0 {
+		return 0, fmt.Errorf("memfss: negative seek position")
+	}
+	f.pos = base + offset
+	return f.pos, nil
+}
+
+// WriteAt writes len(p) bytes at offset off, extending the file as needed.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if !f.writable {
+		return 0, fmt.Errorf("memfss: %s opened read-only", f.path)
+	}
+	if err := f.fs.check(); err != nil {
+		return 0, err
+	}
+	spans, err := f.layout.Spans(off, int64(len(p)))
+	if err != nil {
+		return 0, err
+	}
+	starts := spanStarts(spans)
+	okSpans, err := f.runSpans(spans, func(i int, span stripe.Span) error {
+		return f.writeSpan(span, p[starts[i]:starts[i]+int(span.Length)])
+	})
+	written := 0
+	if okSpans > 0 {
+		written = starts[okSpans-1] + int(spans[okSpans-1].Length)
+	}
+	if err != nil {
+		return written, err
+	}
+	f.fs.stats.bytesWritten.Add(int64(len(p)))
+	if end := off + int64(len(p)); end > f.size {
+		f.size = end
+		f.dirty = true
+	}
+	if len(p) > 0 {
+		f.dirty = true
+	}
+	return written, nil
+}
+
+// spanStarts returns each span's byte offset within the operation buffer.
+func spanStarts(spans []stripe.Span) []int {
+	starts := make([]int, len(spans))
+	pos := 0
+	for i, s := range spans {
+		starts[i] = pos
+		pos += int(s.Length)
+	}
+	return starts
+}
+
+// runSpans executes fn for every span, in parallel up to the file
+// system's I/O parallelism (spans are distinct stripes, so the operations
+// are independent). It returns how many *leading* spans succeeded — the
+// contiguous prefix a short read/write count can honestly report — and
+// the first error in span order.
+func (f *File) runSpans(spans []stripe.Span, fn func(i int, s stripe.Span) error) (int, error) {
+	par := f.fs.ioPar
+	if len(spans) <= 1 || par <= 1 {
+		for i, s := range spans {
+			if err := fn(i, s); err != nil {
+				return i, err
+			}
+		}
+		return len(spans), nil
+	}
+	errs := make([]error, len(spans))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, s := range spans {
+		wg.Add(1)
+		go func(i int, s stripe.Span) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = fn(i, s)
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return i, err
+		}
+	}
+	return len(spans), nil
+}
+
+// ReadAt reads len(p) bytes at offset off. Reads beyond the end of the
+// file return io.EOF with a short count. Holes read as zeros.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if err := f.fs.check(); err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("memfss: negative read offset")
+	}
+	want := int64(len(p))
+	if want == 0 {
+		return 0, nil
+	}
+	var eof bool
+	if off >= f.size {
+		return 0, io.EOF
+	}
+	if off+want > f.size {
+		want = f.size - off
+		eof = true
+	}
+	spans, err := f.layout.Spans(off, want)
+	if err != nil {
+		return 0, err
+	}
+	starts := spanStarts(spans)
+	okSpans, err := f.runSpans(spans, func(i int, span stripe.Span) error {
+		data, rerr := f.readSpan(span)
+		if rerr != nil {
+			return rerr
+		}
+		copy(p[starts[i]:starts[i]+int(span.Length)], data)
+		return nil
+	})
+	read := 0
+	if okSpans > 0 {
+		read = starts[okSpans-1] + int(spans[okSpans-1].Length)
+	}
+	if err != nil {
+		return read, err
+	}
+	f.fs.stats.bytesRead.Add(want)
+	if eof {
+		return read, io.EOF
+	}
+	return read, nil
+}
+
+// Sync persists the file's size and record to metadata.
+func (f *File) Sync() error {
+	if f.closed {
+		return ErrClosed
+	}
+	if !f.dirty {
+		return nil
+	}
+	f.rec.Size = f.size
+	if err := f.fs.meta.updateRecord(f.path, &fsmeta.Record{File: f.rec}); err != nil {
+		return err
+	}
+	f.dirty = false
+	return nil
+}
+
+// Close syncs (for writable handles) and invalidates the handle.
+func (f *File) Close() error {
+	if f.closed {
+		return ErrClosed
+	}
+	var err error
+	if f.writable {
+		err = f.Sync()
+	}
+	f.closed = true
+	return err
+}
+
+// --- stripe engine ---------------------------------------------------------
+
+// targets returns the store nodes for a stripe key under this file's
+// snapshot placer: R replicas for replication, k+m rank nodes for erasure,
+// or the single primary.
+func (f *File) targets(key string) []string {
+	switch {
+	case f.coder != nil:
+		return f.placer.PlaceK(key, f.coder.K()+f.coder.M())
+	case f.rec.Replicas > 1:
+		return f.placer.PlaceK(key, f.rec.Replicas)
+	default:
+		return []string{f.placer.Place(key)}
+	}
+}
+
+// put writes value to a node, throttled if the node is a scavenged victim.
+func (f *File) put(nodeID, key string, value []byte) error {
+	if err := f.fs.conns.throttle(nodeID).Take(int64(len(value))); err != nil {
+		return err
+	}
+	cli, err := f.fs.conns.client(nodeID)
+	if err != nil {
+		return err
+	}
+	return cli.Set(key, value)
+}
+
+// putRange writes value at offset within a node's key, throttled.
+func (f *File) putRange(nodeID, key string, off int64, value []byte) error {
+	if err := f.fs.conns.throttle(nodeID).Take(int64(len(value))); err != nil {
+		return err
+	}
+	cli, err := f.fs.conns.client(nodeID)
+	if err != nil {
+		return err
+	}
+	return cli.SetRange(key, off, value)
+}
+
+// writeSpan stores one span of one stripe on all targets. Placement is
+// always computed from the raw stripe key; the store key carries the
+// "data:" prefix.
+func (f *File) writeSpan(span stripe.Span, data []byte) error {
+	f.fs.stats.stripeWrites.Add(1)
+	sk := stripe.Key(f.rec.ID, span.Index)
+	key := dataKey(sk)
+	if f.coder != nil {
+		return f.writeSpanErasure(sk, span, data)
+	}
+	full := span.Offset == 0 && span.Length == f.layout.Size()
+	for _, node := range f.targets(sk) {
+		var err error
+		if full {
+			err = f.put(node, key, data)
+		} else {
+			err = f.putRange(node, key, span.Offset, data)
+		}
+		if err != nil {
+			return fmt.Errorf("memfss: write stripe %s to %s: %w", key, node, err)
+		}
+	}
+	return nil
+}
+
+// writeSpanErasure read-modify-writes the whole stripe: partial-stripe
+// updates under erasure coding are inherently RMW because every shard
+// depends on every data byte. sk is the raw stripe key.
+func (f *File) writeSpanErasure(sk string, span stripe.Span, data []byte) error {
+	curLen := f.layout.StripeLen(f.size, span.Index)
+	newLen := span.Offset + span.Length
+	if curLen > newLen {
+		newLen = curLen
+	}
+	buf := make([]byte, newLen)
+	if curLen > 0 {
+		existing, err := f.readStripeErasure(sk, curLen)
+		if err != nil && !errors.Is(err, ErrDataLoss) {
+			return err
+		}
+		copy(buf, existing)
+	}
+	copy(buf[span.Offset:], data)
+	shards := f.coder.Split(buf)
+	parity, err := f.coder.Encode(shards)
+	if err != nil {
+		return err
+	}
+	all := append(shards, parity...)
+	nodes := f.targets(sk)
+	for i, node := range nodes {
+		if err := f.put(node, shardKey(dataKey(sk), i), all[i]); err != nil {
+			return fmt.Errorf("memfss: write shard %d of %s to %s: %w", i, sk, node, err)
+		}
+	}
+	return nil
+}
+
+// get reads length bytes at offset from a node's key, throttled. ok is
+// false when the key is absent; err reports transport failures.
+func (f *File) get(nodeID, key string, off, length int64) ([]byte, bool, error) {
+	if err := f.fs.conns.throttle(nodeID).Take(length); err != nil {
+		return nil, false, err
+	}
+	cli, err := f.fs.conns.client(nodeID)
+	if err != nil {
+		return nil, false, err
+	}
+	return cli.GetRange(key, off, length)
+}
+
+// readSpan fetches one span of one stripe, probing down the HRW order and
+// lazily repairing out-of-place stripes (paper §V-C).
+func (f *File) readSpan(span stripe.Span) ([]byte, error) {
+	f.fs.stats.stripeReads.Add(1)
+	sk := stripe.Key(f.rec.ID, span.Index)
+	key := dataKey(sk)
+	if f.coder != nil {
+		stripeLen := f.layout.StripeLen(f.size, span.Index)
+		buf, err := f.readStripeErasure(sk, stripeLen)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, span.Length)
+		if span.Offset < int64(len(buf)) {
+			copy(out, buf[span.Offset:])
+		}
+		return out, nil
+	}
+
+	primaries := f.targets(sk)
+	probe := primaries
+	// Extend the probe list past the replica set with the full HRW order:
+	// after membership changes (scavenging, evacuation) a stripe may
+	// legitimately live further down the list.
+	for _, node := range f.placer.ProbeOrder(sk) {
+		if !containsString(primaries, node) {
+			probe = append(probe, node)
+		}
+	}
+	sawReachable := false
+	for rank, node := range probe {
+		data, ok, err := f.get(node, key, span.Offset, span.Length)
+		if err != nil {
+			continue // unreachable or failed node: probe the next one
+		}
+		sawReachable = true
+		if !ok {
+			continue
+		}
+		if rank >= len(primaries) {
+			f.fs.stats.deepProbes.Add(1)
+			f.repairStripe(key, node, primaries)
+		}
+		return padTo(data, span.Length), nil
+	}
+	if !sawReachable {
+		return nil, fmt.Errorf("%w: %s (no reachable replica)", ErrDataLoss, key)
+	}
+	// Every reachable node reports the stripe absent: it is a hole
+	// (written sparsely or never written); holes read as zeros.
+	return make([]byte, span.Length), nil
+}
+
+// repairStripe lazily moves a stripe found off its HRW placement back to
+// the primary target(s), then removes the stray copy — the "lazy movement"
+// that lets MemFSS change membership without stopping the computation.
+// Best effort: reads already succeeded, repair failures are ignored.
+func (f *File) repairStripe(key, from string, primaries []string) {
+	cli, err := f.fs.conns.client(from)
+	if err != nil {
+		return
+	}
+	full, ok, err := cli.Get(key)
+	if err != nil || !ok {
+		return
+	}
+	for _, node := range primaries {
+		if f.put(node, key, full) != nil {
+			return // leave the stray copy in place if repair fails
+		}
+	}
+	cli.Del(key)
+	f.fs.stats.repairs.Add(1)
+}
+
+// readStripeErasure gathers any k shards of a stripe and reconstructs its
+// bytes. A stripe with no shards anywhere reads as zeros (hole); fewer
+// than k reachable shards is data loss. sk is the raw stripe key.
+func (f *File) readStripeErasure(sk string, stripeLen int64) ([]byte, error) {
+	k, m := f.coder.K(), f.coder.M()
+	nodes := f.targets(sk)
+	shards := make([][]byte, k+m)
+	found, reachable := 0, 0
+	for i, node := range nodes {
+		data, ok, err := f.getFull(node, shardKey(dataKey(sk), i))
+		if err != nil {
+			continue
+		}
+		reachable++
+		if !ok {
+			continue
+		}
+		shards[i] = data
+		found++
+		if found == k {
+			break
+		}
+	}
+	if found == 0 {
+		if reachable == 0 {
+			return nil, fmt.Errorf("%w: %s (no reachable shard)", ErrDataLoss, sk)
+		}
+		return make([]byte, stripeLen), nil // hole
+	}
+	if found < k {
+		return nil, fmt.Errorf("%w: %s (%d of %d shards)", ErrDataLoss, sk, found, k)
+	}
+	dataShards, err := f.coder.Reconstruct(shards)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := f.coder.Join(dataShards, int(stripeLen))
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// getFull reads a whole key from a node, throttled by the value size.
+func (f *File) getFull(nodeID, key string) ([]byte, bool, error) {
+	cli, err := f.fs.conns.client(nodeID)
+	if err != nil {
+		return nil, false, err
+	}
+	data, ok, err := cli.Get(key)
+	if err != nil || !ok {
+		return data, ok, err
+	}
+	if terr := f.fs.conns.throttle(nodeID).Take(int64(len(data))); terr != nil {
+		return nil, false, terr
+	}
+	return data, ok, nil
+}
+
+func padTo(b []byte, n int64) []byte {
+	if int64(len(b)) >= n {
+		return b[:n]
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+func containsString(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

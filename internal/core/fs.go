@@ -1,0 +1,514 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"memfss/internal/erasure"
+	"memfss/internal/fsmeta"
+	"memfss/internal/hrw"
+	"memfss/internal/stripe"
+)
+
+// FileSystem is a MemFSS client, the library equivalent of the FUSE mount
+// on an own node (paper §III-C). It is safe for concurrent use; individual
+// File handles are not.
+type FileSystem struct {
+	mu      sync.RWMutex
+	classes []ClassSpec
+	placer  *hrw.Placer
+
+	cfg    Config
+	layout stripe.Layout
+	conns  *connPool
+	meta   *metaService
+	ioPar  int
+	stats  fsStats
+	closed bool
+}
+
+// New connects to the stores described by cfg and returns a FileSystem.
+// The stores must already be running; New verifies reachability of the own
+// class (metadata cannot work without it) but tolerates unreachable
+// victims.
+func New(cfg Config) (*FileSystem, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	layout, err := cfg.layoutFor()
+	if err != nil {
+		return nil, err
+	}
+	placer, err := hrw.NewPlacer(placerClasses(cfg.Classes)...)
+	if err != nil {
+		return nil, err
+	}
+	conns := newConnPool(cfg.Password, cfg.DialTimeout, cfg.PoolSize)
+	classes := make([]ClassSpec, len(cfg.Classes))
+	copy(classes, cfg.Classes)
+	for _, cls := range classes {
+		if err := conns.add(cls); err != nil {
+			conns.closeAll()
+			return nil, err
+		}
+	}
+	ownIDs := make([]string, len(classes[0].Nodes))
+	for i, n := range classes[0].Nodes {
+		ownIDs[i] = n.ID
+	}
+	ioPar := cfg.IOParallelism
+	if ioPar == 0 {
+		ioPar = 8
+	}
+	fs := &FileSystem{
+		classes: classes,
+		placer:  placer,
+		cfg:     cfg,
+		layout:  layout,
+		conns:   conns,
+		meta:    newMetaService(ownIDs, conns),
+		ioPar:   ioPar,
+	}
+	for _, id := range ownIDs {
+		cli, err := conns.client(id)
+		if err != nil {
+			fs.Close()
+			return nil, err
+		}
+		if err := cli.Ping(); err != nil {
+			fs.Close()
+			return nil, fmt.Errorf("core: own node %s unreachable: %w", id, err)
+		}
+	}
+	return fs, nil
+}
+
+// Close releases every store connection. Open File handles become
+// unusable.
+func (fs *FileSystem) Close() error {
+	fs.mu.Lock()
+	if fs.closed {
+		fs.mu.Unlock()
+		return nil
+	}
+	fs.closed = true
+	fs.mu.Unlock()
+	fs.conns.closeAll()
+	return nil
+}
+
+func (fs *FileSystem) check() error {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// snapshot returns the current classes as a metadata snapshot, recorded
+// into each new file so its placement stays resolvable after scavenging
+// changes the live classes (paper §III-D).
+func (fs *FileSystem) snapshot() []fsmeta.ClassSnapshot {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]fsmeta.ClassSnapshot, len(fs.classes))
+	for i, cs := range fs.classes {
+		nodes := make([]string, len(cs.Nodes))
+		for j, n := range cs.Nodes {
+			nodes[j] = n.ID
+		}
+		out[i] = fsmeta.ClassSnapshot{Name: cs.Name, Weight: cs.Weight, Nodes: nodes}
+	}
+	return out
+}
+
+// placerFromSnapshot rebuilds the two-layer placer a file was written
+// under.
+func placerFromSnapshot(snap []fsmeta.ClassSnapshot) (*hrw.Placer, error) {
+	classes := make([]hrw.Class, len(snap))
+	for i, s := range snap {
+		classes[i] = hrw.Class{Name: s.Name, Weight: s.Weight, Nodes: s.Nodes}
+	}
+	return hrw.NewPlacer(classes...)
+}
+
+// --- namespace operations -------------------------------------------------
+
+// Mkdir creates a directory; the parent must exist.
+func (fs *FileSystem) Mkdir(path string) error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	p, err := fsmeta.Clean(path)
+	if err != nil {
+		return err
+	}
+	return fs.meta.createEntry(p, &fsmeta.Record{Directory: &fsmeta.DirRecord{Dir: true}})
+}
+
+// MkdirAll creates a directory and any missing parents; existing
+// directories are not an error.
+func (fs *FileSystem) MkdirAll(path string) error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	p, err := fsmeta.Clean(path)
+	if err != nil {
+		return err
+	}
+	return fs.mkdirAll(p)
+}
+
+func (fs *FileSystem) mkdirAll(p string) error {
+	if p == "/" {
+		return nil
+	}
+	rec, err := fs.meta.statRecord(p)
+	if err == nil {
+		if rec.IsDir() {
+			return nil
+		}
+		return fmt.Errorf("%w: %s", ErrNotDir, p)
+	}
+	if err := fs.mkdirAll(fsmeta.Parent(p)); err != nil {
+		return err
+	}
+	err = fs.meta.createEntry(p, &fsmeta.Record{Directory: &fsmeta.DirRecord{Dir: true}})
+	if err != nil && isExist(err) {
+		return nil // lost a benign race with a concurrent MkdirAll
+	}
+	return err
+}
+
+// Stat describes the entry at path.
+func (fs *FileSystem) Stat(path string) (EntryInfo, error) {
+	if err := fs.check(); err != nil {
+		return EntryInfo{}, err
+	}
+	p, err := fsmeta.Clean(path)
+	if err != nil {
+		return EntryInfo{}, err
+	}
+	rec, err := fs.meta.statRecord(p)
+	if err != nil {
+		return EntryInfo{}, err
+	}
+	e := EntryInfo{Name: fsmeta.Base(p), Path: p, IsDir: rec.IsDir()}
+	if rec.File != nil {
+		e.Size = rec.File.Size
+	}
+	return e, nil
+}
+
+// ReadDir lists the directory at path, sorted by name.
+func (fs *FileSystem) ReadDir(path string) ([]EntryInfo, error) {
+	if err := fs.check(); err != nil {
+		return nil, err
+	}
+	p, err := fsmeta.Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.meta.readDir(p)
+}
+
+// Remove deletes a file (and its stripes) or an empty directory.
+func (fs *FileSystem) Remove(path string) error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	p, err := fsmeta.Clean(path)
+	if err != nil {
+		return err
+	}
+	rec, err := fs.meta.removeEntry(p)
+	if err != nil {
+		return err
+	}
+	if rec.File != nil {
+		return fs.deleteFileData(rec.File)
+	}
+	return nil
+}
+
+// RemoveAll deletes path and, for directories, everything beneath it.
+// A missing path is not an error.
+func (fs *FileSystem) RemoveAll(path string) error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	p, err := fsmeta.Clean(path)
+	if err != nil {
+		return err
+	}
+	return fs.removeAll(p)
+}
+
+func (fs *FileSystem) removeAll(p string) error {
+	rec, err := fs.meta.statRecord(p)
+	if err != nil {
+		if isNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	if rec.IsDir() {
+		children, err := fs.meta.readDir(p)
+		if err != nil {
+			return err
+		}
+		for _, c := range children {
+			if err := fs.removeAll(c.Path); err != nil {
+				return err
+			}
+		}
+		if p == "/" {
+			return nil
+		}
+	}
+	rec, err = fs.meta.removeEntry(p)
+	if err != nil {
+		return err
+	}
+	if rec.File != nil {
+		return fs.deleteFileData(rec.File)
+	}
+	return nil
+}
+
+// Rename moves a file or directory subtree. Data never moves (stripe keys
+// derive from the immutable file ID).
+func (fs *FileSystem) Rename(oldPath, newPath string) error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	op, err := fsmeta.Clean(oldPath)
+	if err != nil {
+		return err
+	}
+	np, err := fsmeta.Clean(newPath)
+	if err != nil {
+		return err
+	}
+	return fs.meta.rename(op, np)
+}
+
+// --- file operations -------------------------------------------------------
+
+// Create creates (or truncates) the file at path and returns a writable
+// handle positioned at offset 0.
+func (fs *FileSystem) Create(path string) (*File, error) {
+	if err := fs.check(); err != nil {
+		return nil, err
+	}
+	p, err := fsmeta.Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	if old, err := fs.meta.statRecord(p); err == nil {
+		if old.IsDir() {
+			return nil, fmt.Errorf("%w: %s", ErrIsDir, p)
+		}
+		if err := fs.Remove(p); err != nil {
+			return nil, err
+		}
+	} else if !isNotExist(err) {
+		return nil, err
+	}
+	id, err := fs.meta.allocFileID()
+	if err != nil {
+		return nil, err
+	}
+	rec := &fsmeta.FileRecord{
+		ID:         id,
+		StripeSize: fs.layout.Size(),
+		Classes:    fs.snapshot(),
+	}
+	switch fs.cfg.Redundancy.Mode {
+	case RedundancyReplicate:
+		rec.Replicas = fs.cfg.Redundancy.Replicas
+	case RedundancyErasure:
+		rec.DataShards = fs.cfg.Redundancy.DataShards
+		rec.ParityShards = fs.cfg.Redundancy.ParityShards
+	default:
+		rec.Replicas = 1
+	}
+	if err := fs.meta.createEntry(p, &fsmeta.Record{File: rec}); err != nil {
+		return nil, err
+	}
+	if err := fs.meta.indexFileID(id, p); err != nil {
+		return nil, err
+	}
+	return fs.newFile(p, rec, true)
+}
+
+// Open returns a read-only handle on an existing file.
+func (fs *FileSystem) Open(path string) (*File, error) {
+	if err := fs.check(); err != nil {
+		return nil, err
+	}
+	p, err := fsmeta.Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := fs.meta.statRecord(p)
+	if err != nil {
+		return nil, err
+	}
+	if rec.IsDir() {
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, p)
+	}
+	return fs.newFile(p, rec.File, false)
+}
+
+func (fs *FileSystem) newFile(path string, rec *fsmeta.FileRecord, writable bool) (*File, error) {
+	pl, err := placerFromSnapshot(rec.Classes)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := stripe.NewLayout(rec.StripeSize)
+	if err != nil {
+		return nil, err
+	}
+	var coder *erasure.Coder
+	if rec.DataShards > 0 {
+		coder, err = erasure.NewCoder(rec.DataShards, rec.ParityShards)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &File{
+		fs:       fs,
+		path:     path,
+		rec:      rec,
+		placer:   pl,
+		layout:   layout,
+		coder:    coder,
+		size:     rec.Size,
+		writable: writable,
+	}, nil
+}
+
+// WriteFile creates path (truncating any previous file) with the given
+// contents.
+func (fs *FileSystem) WriteFile(path string, data []byte) error {
+	f, err := fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile returns the full contents of the file at path.
+func (fs *FileSystem) ReadFile(path string) ([]byte, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, f.Size())
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// deleteFileData removes every stripe (or shard) of a file from all nodes
+// of its placement snapshot, batched into one DEL per node.
+func (fs *FileSystem) deleteFileData(rec *fsmeta.FileRecord) error {
+	layout, err := stripe.NewLayout(rec.StripeSize)
+	if err != nil {
+		return err
+	}
+	count := layout.Count(rec.Size)
+	if count == 0 {
+		return nil
+	}
+	keys := make([]string, 0, count)
+	for idx := int64(0); idx < count; idx++ {
+		base := dataKey(stripe.Key(rec.ID, idx))
+		if rec.DataShards > 0 {
+			for s := 0; s < rec.DataShards+rec.ParityShards; s++ {
+				keys = append(keys, shardKey(base, s))
+			}
+		} else {
+			keys = append(keys, base)
+		}
+	}
+	var firstErr error
+	for _, snap := range rec.Classes {
+		for _, nodeID := range snap.Nodes {
+			cli, err := fs.conns.client(nodeID)
+			if err != nil {
+				// Node already evacuated/removed: nothing to delete there.
+				continue
+			}
+			for start := 0; start < len(keys); start += 512 {
+				end := start + 512
+				if end > len(keys) {
+					end = len(keys)
+				}
+				if _, err := cli.Del(keys[start:end]...); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+	}
+	return firstErr
+}
+
+// StoreStats polls every node's store and returns stats keyed by node ID.
+// Unreachable nodes are omitted.
+func (fs *FileSystem) StoreStats() map[string]StoreStat {
+	fs.mu.RLock()
+	classes := fs.classes
+	fs.mu.RUnlock()
+	out := make(map[string]StoreStat)
+	for _, cls := range classes {
+		for _, n := range cls.Nodes {
+			cli, err := fs.conns.client(n.ID)
+			if err != nil {
+				continue
+			}
+			st, err := cli.Info()
+			if err != nil {
+				continue
+			}
+			out[n.ID] = StoreStat{
+				Class:     cls.Name,
+				BytesUsed: st.BytesUsed,
+				MaxMemory: st.MaxMemory,
+				NumKeys:   st.NumKeys + st.NumSets,
+				Pressure:  st.Pressure,
+			}
+		}
+	}
+	return out
+}
+
+// StoreStat summarizes one node's store.
+type StoreStat struct {
+	Class     string
+	BytesUsed int64
+	MaxMemory int64
+	NumKeys   int
+	Pressure  bool
+}
+
+// Classes returns the current class specs (a copy).
+func (fs *FileSystem) Classes() []ClassSpec {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]ClassSpec, len(fs.classes))
+	copy(out, fs.classes)
+	return out
+}
+
+func isNotExist(err error) bool { return errors.Is(err, ErrNotExist) }
+func isExist(err error) bool    { return errors.Is(err, ErrExist) }

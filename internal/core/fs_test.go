@@ -1,0 +1,612 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"memfss/internal/container"
+	"memfss/internal/hrw"
+)
+
+// testDeploy is a full in-process MemFSS: own + victim stores and a client.
+type testDeploy struct {
+	fs      *FileSystem
+	own     *LocalStores
+	victims *LocalStores
+}
+
+type deployOpt func(*Config)
+
+func withRedundancy(r Redundancy) deployOpt {
+	return func(c *Config) { c.Redundancy = r }
+}
+
+func withStripeSize(n int64) deployOpt {
+	return func(c *Config) { c.StripeSize = n }
+}
+
+// newTestFS brings up ownN own stores and victimN victim stores with an
+// alpha=0.25 own-data fraction and 4 KiB stripes.
+func newTestFS(t *testing.T, ownN, victimN int, opts ...deployOpt) *testDeploy {
+	t.Helper()
+	const password = "test-secret"
+	own, err := StartLocalStores(ownN, "own", password, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(own.Close)
+	classes := []ClassSpec{{Name: "own", Nodes: own.Nodes}}
+	var victims *LocalStores
+	if victimN > 0 {
+		victims, err = StartLocalStores(victimN, "victim", password, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(victims.Close)
+		d, err := hrw.DeltaForOwnFraction(0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		classes[0].Weight = d
+		classes = append(classes, ClassSpec{
+			Name:   "victim",
+			Nodes:  victims.Nodes,
+			Victim: true,
+			Limits: container.Limits{MemoryBytes: 1 << 30},
+		})
+	}
+	cfg := Config{
+		Classes:     classes,
+		StripeSize:  4 << 10,
+		Password:    password,
+		DialTimeout: 5 * time.Second,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	fs, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return &testDeploy{fs: fs, own: own, victims: victims}
+}
+
+func randomBytes(seed int64, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{}, // no classes
+		{Classes: []ClassSpec{{Name: "v", Victim: true, Nodes: []NodeSpec{{ID: "a", Addr: "x"}}}}},
+		{Classes: []ClassSpec{{Name: "own"}}}, // no nodes
+		{Classes: []ClassSpec{
+			{Name: "own", Nodes: []NodeSpec{{ID: "a", Addr: "x"}}},
+			{Name: "own2", Nodes: []NodeSpec{{ID: "b", Addr: "y"}}}, // second non-victim
+		}},
+		{Classes: []ClassSpec{{Name: "own", Nodes: []NodeSpec{{ID: "a", Addr: "x"}}}},
+			Redundancy: Redundancy{Mode: RedundancyReplicate, Replicas: 1}},
+		{Classes: []ClassSpec{{Name: "own", Nodes: []NodeSpec{{ID: "a", Addr: "x"}}}},
+			Redundancy: Redundancy{Mode: RedundancyReplicate, Replicas: 2}}, // 1 node < 2 replicas
+		{Classes: []ClassSpec{{Name: "own", Nodes: []NodeSpec{{ID: "a", Addr: "x"}}}},
+			Redundancy: Redundancy{Mode: RedundancyErasure, DataShards: 2, ParityShards: 1}},
+		{Classes: []ClassSpec{{Name: "own", Nodes: []NodeSpec{{ID: "a", Addr: "x"}}}},
+			StripeSize: -4},
+	}
+	for i, cfg := range bad {
+		if err := cfg.validate(); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := newTestFS(t, 2, 4)
+	for _, n := range []int{0, 1, 100, 4096, 4097, 40_000, 123_457} {
+		path := fmt.Sprintf("/f%d", n)
+		data := randomBytes(int64(n), n)
+		if err := d.fs.WriteFile(path, data); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+		got, err := d.fs.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s: %d bytes corrupted", path, n)
+		}
+		st, err := d.fs.Stat(path)
+		if err != nil || st.Size != int64(n) || st.IsDir {
+			t.Fatalf("stat %s: %+v %v", path, st, err)
+		}
+	}
+}
+
+func TestNamespaceOperations(t *testing.T) {
+	d := newTestFS(t, 2, 0)
+	fs := d.fs
+	if err := fs.Mkdir("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/a"); !errors.Is(err, ErrExist) {
+		t.Fatalf("double mkdir: %v", err)
+	}
+	if err := fs.Mkdir("/missing/child"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("mkdir without parent: %v", err)
+	}
+	if err := fs.MkdirAll("/a/b/c/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/a/b/c/d"); err != nil {
+		t.Fatalf("MkdirAll idempotence: %v", err)
+	}
+	if err := fs.WriteFile("/a/b/file.txt", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/a/b/file.txt/x"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("MkdirAll through file: %v", err)
+	}
+	entries, err := fs.ReadDir("/a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Name != "c" || entries[1].Name != "file.txt" {
+		t.Fatalf("ReadDir = %+v", entries)
+	}
+	if !entries[0].IsDir || entries[1].IsDir || entries[1].Size != 5 {
+		t.Fatalf("ReadDir attrs wrong: %+v", entries)
+	}
+	if _, err := fs.ReadDir("/a/b/file.txt"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("ReadDir on file: %v", err)
+	}
+	if err := fs.Remove("/a/b"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("remove non-empty dir: %v", err)
+	}
+	if err := fs.Remove("/a/b/c/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/a/b/c/d"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("removed dir still present: %v", err)
+	}
+	if err := fs.Remove("/nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("remove missing: %v", err)
+	}
+}
+
+func TestCreateTruncates(t *testing.T) {
+	d := newTestFS(t, 2, 2)
+	if err := d.fs.WriteFile("/f", randomBytes(1, 50_000)); err != nil {
+		t.Fatal(err)
+	}
+	short := []byte("short")
+	if err := d.fs.WriteFile("/f", short); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.fs.ReadFile("/f")
+	if err != nil || !bytes.Equal(got, short) {
+		t.Fatalf("truncate lost: %q %v", got, err)
+	}
+}
+
+func TestCreateOnDirFails(t *testing.T) {
+	d := newTestFS(t, 1, 0)
+	d.fs.Mkdir("/d")
+	if _, err := d.fs.Create("/d"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("create over dir: %v", err)
+	}
+	if _, err := d.fs.Open("/d"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("open dir as file: %v", err)
+	}
+}
+
+func TestFileHandleSemantics(t *testing.T) {
+	d := newTestFS(t, 2, 2)
+	f, err := d.fs.Create("/h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 11 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close: %v", err)
+	}
+
+	r, err := d.fs.Open("/h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Write([]byte("x")); err == nil {
+		t.Fatal("write on read-only handle accepted")
+	}
+	buf := make([]byte, 5)
+	if _, err := r.ReadAt(buf, 6); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "world" {
+		t.Fatalf("ReadAt = %q", buf)
+	}
+	if _, err := r.Seek(6, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	all, err := io.ReadAll(r)
+	if err != nil || string(all) != "world" {
+		t.Fatalf("ReadAll after seek: %q %v", all, err)
+	}
+	if _, err := r.ReadAt(buf, 100); err != io.EOF {
+		t.Fatalf("read past EOF: %v", err)
+	}
+	if _, err := r.Seek(-1, io.SeekStart); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+	if _, err := r.Seek(0, 42); err == nil {
+		t.Fatal("bad whence accepted")
+	}
+}
+
+func TestSparseFileReadsZeros(t *testing.T) {
+	d := newTestFS(t, 2, 2)
+	f, err := d.fs.Create("/sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write 100 bytes at a 20 KiB offset: stripes 0-4 are holes.
+	payload := randomBytes(7, 100)
+	if _, err := f.WriteAt(payload, 20<<10); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.fs.ReadFile("/sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(got)) != 20<<10+100 {
+		t.Fatalf("size = %d", len(got))
+	}
+	for i, b := range got[:20<<10] {
+		if b != 0 {
+			t.Fatalf("hole byte %d = %d, want 0", i, b)
+		}
+	}
+	if !bytes.Equal(got[20<<10:], payload) {
+		t.Fatal("payload corrupted after hole")
+	}
+}
+
+func TestRenameFileKeepsData(t *testing.T) {
+	d := newTestFS(t, 2, 4)
+	data := randomBytes(3, 30_000)
+	if err := d.fs.WriteFile("/old", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.fs.Rename("/old", "/new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.fs.Stat("/old"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("old path lingers: %v", err)
+	}
+	got, err := d.fs.ReadFile("/new")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("data lost on rename: %v", err)
+	}
+}
+
+func TestRenameDirSubtree(t *testing.T) {
+	d := newTestFS(t, 2, 0)
+	fs := d.fs
+	fs.MkdirAll("/src/sub")
+	fs.WriteFile("/src/a", []byte("A"))
+	fs.WriteFile("/src/sub/b", []byte("B"))
+	if err := fs.Rename("/src", "/dst"); err != nil {
+		t.Fatal(err)
+	}
+	for path, want := range map[string]string{"/dst/a": "A", "/dst/sub/b": "B"} {
+		got, err := fs.ReadFile(path)
+		if err != nil || string(got) != want {
+			t.Fatalf("%s after rename: %q %v", path, got, err)
+		}
+	}
+	if _, err := fs.Stat("/src"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("source dir lingers: %v", err)
+	}
+	if err := fs.Rename("/dst", "/dst2/deep"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("rename into missing parent: %v", err)
+	}
+}
+
+func TestRemoveAllDeletesData(t *testing.T) {
+	d := newTestFS(t, 2, 4)
+	fs := d.fs
+	fs.MkdirAll("/tree/a/b")
+	for i := 0; i < 5; i++ {
+		fs.WriteFile(fmt.Sprintf("/tree/a/b/f%d", i), randomBytes(int64(i), 10_000))
+	}
+	if err := fs.RemoveAll("/tree"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/tree"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("tree lingers: %v", err)
+	}
+	if err := fs.RemoveAll("/tree"); err != nil {
+		t.Fatalf("RemoveAll on missing: %v", err)
+	}
+	// All stripes must be gone from every store.
+	for id, st := range fs.StoreStats() {
+		if st.NumKeys > 2 { // nextid counter + root dir set may remain
+			t.Errorf("node %s still holds %d keys", id, st.NumKeys)
+		}
+	}
+}
+
+func TestPlacementSplitAcrossClasses(t *testing.T) {
+	d := newTestFS(t, 2, 6) // alpha = 0.25
+	total := 2 << 20
+	if err := d.fs.WriteFile("/big", randomBytes(11, total)); err != nil {
+		t.Fatal(err)
+	}
+	var ownBytes, victimBytes int64
+	for _, st := range d.fs.StoreStats() {
+		switch st.Class {
+		case "own":
+			ownBytes += st.BytesUsed
+		case "victim":
+			victimBytes += st.BytesUsed
+		}
+	}
+	frac := float64(ownBytes) / float64(ownBytes+victimBytes)
+	// Metadata lives on own nodes, so allow generous slack around 0.25.
+	if frac < 0.10 || frac > 0.45 {
+		t.Fatalf("own fraction = %.2f, want ~0.25", frac)
+	}
+	if victimBytes == 0 {
+		t.Fatal("victims hold no data")
+	}
+}
+
+func TestVictimsHoldNoMetadata(t *testing.T) {
+	d := newTestFS(t, 2, 4)
+	d.fs.MkdirAll("/x/y")
+	d.fs.WriteFile("/x/y/f", randomBytes(5, 100_000))
+	for i := range d.victims.Nodes {
+		store := d.victims.Server(i).Store()
+		for _, k := range store.Keys("") {
+			if !strings.HasPrefix(k, "data:") {
+				t.Errorf("victim %d holds non-data key %q", i, k)
+			}
+		}
+	}
+}
+
+func TestReplicationSurvivesNodeLoss(t *testing.T) {
+	d := newTestFS(t, 3, 4, withRedundancy(Redundancy{Mode: RedundancyReplicate, Replicas: 2}))
+	data := randomBytes(21, 200_000)
+	if err := d.fs.WriteFile("/r", data); err != nil {
+		t.Fatal(err)
+	}
+	// Kill one victim store: every stripe it held has a second replica.
+	d.victims.Server(1).Close()
+	got, err := d.fs.ReadFile("/r")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read after node loss: %v", err)
+	}
+	if err := d.fs.VerifyFile("/r"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErasureSurvivesTwoNodeLosses(t *testing.T) {
+	d := newTestFS(t, 6, 8, withRedundancy(Redundancy{Mode: RedundancyErasure, DataShards: 3, ParityShards: 2}))
+	data := randomBytes(31, 150_000)
+	if err := d.fs.WriteFile("/e", data); err != nil {
+		t.Fatal(err)
+	}
+	d.victims.Server(0).Close()
+	d.victims.Server(3).Close()
+	got, err := d.fs.ReadFile("/e")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read after two losses: %v", err)
+	}
+}
+
+func TestErasurePartialOverwrite(t *testing.T) {
+	d := newTestFS(t, 5, 0, withRedundancy(Redundancy{Mode: RedundancyErasure, DataShards: 3, ParityShards: 2}))
+	base := randomBytes(41, 10_000)
+	if err := d.fs.WriteFile("/rmw", base); err != nil {
+		t.Fatal(err)
+	}
+	f, err := d.fs.Create("/rmw2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(base)
+	// Overwrite a span crossing a stripe boundary.
+	patch := randomBytes(42, 3000)
+	if _, err := f.WriteAt(patch, 3000); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte{}, base...)
+	copy(want[3000:], patch)
+	got, err := d.fs.ReadFile("/rmw2")
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("erasure RMW corrupted data: %v", err)
+	}
+}
+
+func TestLazyRepairOnRead(t *testing.T) {
+	d := newTestFS(t, 2, 2)
+	data := randomBytes(51, 4096) // exactly one stripe
+	if err := d.fs.WriteFile("/lazy", data); err != nil {
+		t.Fatal(err)
+	}
+	f, err := d.fs.Open("/lazy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := dataKey("f-1#0")
+	primary := f.placer.Place("f-1#0")
+	f.Close()
+
+	// Displace the stripe: copy it to some other node and delete the
+	// primary copy, as if membership had changed under lazy movement.
+	findStore := func(nodeID string) interface {
+		Set(string, []byte) error
+		Get(string) ([]byte, bool, error)
+		Del(...string) int
+	} {
+		all := append(append([]NodeSpec{}, d.own.Nodes...), d.victims.Nodes...)
+		for i, n := range all {
+			if n.ID == nodeID {
+				if i < len(d.own.Nodes) {
+					return d.own.Server(i).Store()
+				}
+				return d.victims.Server(i - len(d.own.Nodes)).Store()
+			}
+		}
+		t.Fatalf("node %s not found", nodeID)
+		return nil
+	}
+	primStore := findStore(primary)
+	val, ok, err := primStore.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("stripe not at primary %s: %v %v", primary, ok, err)
+	}
+	var other string
+	for _, n := range append(append([]NodeSpec{}, d.own.Nodes...), d.victims.Nodes...) {
+		if n.ID != primary {
+			other = n.ID
+			break
+		}
+	}
+	if err := findStore(other).Set(key, val); err != nil {
+		t.Fatal(err)
+	}
+	primStore.Del(key)
+
+	// Read must find the stray copy and repair it back to the primary.
+	got, err := d.fs.ReadFile("/lazy")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read of displaced stripe: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok, _ := primStore.Get(key); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stripe not repaired back to primary")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, ok, _ := findStore(other).Get(key); ok {
+		t.Fatal("stray copy not deleted after repair")
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	d := newTestFS(t, 2, 4)
+	const workers = 8
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			path := fmt.Sprintf("/w%d", w)
+			data := randomBytes(int64(w), 20_000+w*1000)
+			if err := d.fs.WriteFile(path, data); err != nil {
+				errCh <- err
+				return
+			}
+			got, err := d.fs.ReadFile(path)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if !bytes.Equal(got, data) {
+				errCh <- fmt.Errorf("worker %d corrupted", w)
+				return
+			}
+			errCh <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := d.fs.ReadDir("/")
+	if err != nil || len(entries) != workers {
+		t.Fatalf("ReadDir after concurrent writes: %d entries, %v", len(entries), err)
+	}
+}
+
+// Property: random (size, offset) write/read patterns round trip.
+func TestRandomAccessProperty(t *testing.T) {
+	d := newTestFS(t, 2, 2)
+	ctr := 0
+	f := func(seed int64, rawSize uint16, ops []uint16) bool {
+		ctr++
+		path := fmt.Sprintf("/prop%d", ctr)
+		size := int(rawSize%30000) + 1
+		want := make([]byte, size)
+		fh, err := d.fs.Create(path)
+		if err != nil {
+			return false
+		}
+		if _, err := fh.WriteAt(make([]byte, size), 0); err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for range ops {
+			off := rng.Intn(size)
+			n := rng.Intn(size-off) + 1
+			patch := make([]byte, n)
+			rng.Read(patch)
+			copy(want[off:], patch)
+			if _, err := fh.WriteAt(patch, int64(off)); err != nil {
+				return false
+			}
+		}
+		if err := fh.Close(); err != nil {
+			return false
+		}
+		got, err := d.fs.ReadFile(path)
+		return err == nil && bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedFileSystem(t *testing.T) {
+	d := newTestFS(t, 1, 0)
+	d.fs.Close()
+	if err := d.fs.Mkdir("/x"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("mkdir after close: %v", err)
+	}
+	if _, err := d.fs.Open("/x"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("open after close: %v", err)
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"memfss/internal/fsmeta"
+	"memfss/internal/stripe"
+)
+
+// Flag controls OpenFile, mirroring the os.O_* subset the FUSE layer
+// would translate.
+type Flag int
+
+// OpenFile flags. O_RDONLY is the zero value.
+const (
+	O_RDONLY Flag = 0
+	O_WRONLY Flag = 1 << iota
+	O_RDWR
+	O_CREATE
+	O_TRUNC
+	O_APPEND
+)
+
+func (f Flag) writable() bool { return f&(O_WRONLY|O_RDWR) != 0 }
+
+// OpenFile opens path with POSIX-style semantics:
+//
+//   - O_RDONLY: the file must exist; the handle rejects writes.
+//   - O_WRONLY / O_RDWR: writable handle on an existing file.
+//   - O_CREATE: create the file if missing (implies writability).
+//   - O_TRUNC: discard existing contents.
+//   - O_APPEND: position the cursor at end of file.
+func (fs *FileSystem) OpenFile(path string, flag Flag) (*File, error) {
+	if err := fs.check(); err != nil {
+		return nil, err
+	}
+	p, err := fsmeta.Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	if flag&O_TRUNC != 0 && !flag.writable() && flag&O_CREATE == 0 {
+		return nil, fmt.Errorf("memfss: O_TRUNC requires a writable open of %s", p)
+	}
+
+	rec, statErr := fs.meta.statRecord(p)
+	switch {
+	case statErr == nil && rec.IsDir():
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, p)
+	case statErr == nil && flag&O_TRUNC != 0:
+		f, err := fs.Create(p) // truncate = fresh file
+		if err != nil {
+			return nil, err
+		}
+		return f, nil
+	case statErr == nil:
+		f, err := fs.newFile(p, rec.File, flag.writable())
+		if err != nil {
+			return nil, err
+		}
+		if flag&O_APPEND != 0 {
+			if _, err := f.Seek(0, io.SeekEnd); err != nil {
+				return nil, err
+			}
+		}
+		return f, nil
+	case isNotExist(statErr) && flag&O_CREATE != 0:
+		return fs.Create(p)
+	default:
+		return nil, statErr
+	}
+}
+
+// WalkFunc visits one namespace entry; returning an error aborts the walk
+// with that error.
+type WalkFunc func(entry EntryInfo) error
+
+// Walk visits every entry under root in depth-first, lexical order,
+// starting with root itself.
+func (fs *FileSystem) Walk(root string, fn WalkFunc) error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	p, err := fsmeta.Clean(root)
+	if err != nil {
+		return err
+	}
+	e, err := fs.Stat(p)
+	if err != nil {
+		return err
+	}
+	return fs.walk(e, fn)
+}
+
+func (fs *FileSystem) walk(e EntryInfo, fn WalkFunc) error {
+	if err := fn(e); err != nil {
+		return err
+	}
+	if !e.IsDir {
+		return nil
+	}
+	children, err := fs.meta.readDir(e.Path)
+	if err != nil {
+		return err
+	}
+	for _, c := range children {
+		if err := fs.walk(c, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FsckReport summarizes a consistency scan.
+type FsckReport struct {
+	// Files and Dirs count namespace entries visited.
+	Files int
+	Dirs  int
+	// Bytes is the total file bytes verified readable.
+	Bytes int64
+	// Damaged lists files whose stripes could not all be read.
+	Damaged []string
+	// OrphanStripes counts data keys found on stores that no live file's
+	// stripe set explains (left by crashes mid-remove).
+	OrphanStripes int
+}
+
+// Fsck walks the whole namespace, re-reads every file end to end, and
+// scans every store for orphaned stripe keys. It is read-only.
+func (fs *FileSystem) Fsck() (*FsckReport, error) {
+	rep := &FsckReport{}
+	// Collect the set of live file IDs while verifying readability.
+	liveIDs := make(map[string]bool)
+	err := fs.Walk("/", func(e EntryInfo) error {
+		if e.IsDir {
+			rep.Dirs++
+			return nil
+		}
+		rep.Files++
+		rec, err := fs.meta.statRecord(e.Path)
+		if err != nil || rec.File == nil {
+			rep.Damaged = append(rep.Damaged, e.Path)
+			return nil
+		}
+		liveIDs[rec.File.ID] = true
+		if err := fs.VerifyFile(e.Path); err != nil {
+			rep.Damaged = append(rep.Damaged, e.Path)
+			return nil
+		}
+		rep.Bytes += e.Size
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Scan stores for stripe keys whose file ID is not alive.
+	fs.mu.RLock()
+	classes := fs.classes
+	fs.mu.RUnlock()
+	for _, cls := range classes {
+		for _, n := range cls.Nodes {
+			cli, err := fs.conns.client(n.ID)
+			if err != nil {
+				continue
+			}
+			keys, err := cli.Keys("data:")
+			if err != nil {
+				continue
+			}
+			for _, k := range keys {
+				id, _, ok := parseDataKey(k)
+				if !ok || !liveIDs[id] {
+					rep.OrphanStripes++
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Truncate changes the file at path to exactly size bytes: shrinking
+// drops stripes past the new end; growing produces a hole that reads as
+// zeros.
+func (fs *FileSystem) Truncate(path string, size int64) error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	if size < 0 {
+		return fmt.Errorf("memfss: negative truncate size %d", size)
+	}
+	p, err := fsmeta.Clean(path)
+	if err != nil {
+		return err
+	}
+	rec, err := fs.meta.statRecord(p)
+	if err != nil {
+		return err
+	}
+	if rec.File == nil {
+		return fmt.Errorf("%w: %s", ErrIsDir, p)
+	}
+	if size < rec.File.Size {
+		if err := fs.dropStripesBeyond(rec.File, size); err != nil {
+			return err
+		}
+	}
+	rec.File.Size = size
+	return fs.meta.updateRecord(p, rec)
+}
+
+// dropStripesBeyond deletes whole stripes past newSize and trims the
+// stripe containing the new end.
+func (fs *FileSystem) dropStripesBeyond(rec *fsmeta.FileRecord, newSize int64) error {
+	layout, err := stripe.NewLayout(rec.StripeSize)
+	if err != nil {
+		return err
+	}
+	pl, err := placerFromSnapshot(rec.Classes)
+	if err != nil {
+		return err
+	}
+	oldCount := layout.Count(rec.Size)
+	newCount := layout.Count(newSize)
+	// Delete fully-dropped stripes from every snapshot node (batched).
+	var keys []string
+	for idx := newCount; idx < oldCount; idx++ {
+		base := dataKey(stripe.Key(rec.ID, idx))
+		if rec.DataShards > 0 {
+			for s := 0; s < rec.DataShards+rec.ParityShards; s++ {
+				keys = append(keys, shardKey(base, s))
+			}
+		} else {
+			keys = append(keys, base)
+		}
+	}
+	if len(keys) > 0 {
+		for _, snap := range rec.Classes {
+			for _, nodeID := range snap.Nodes {
+				cli, err := fs.conns.client(nodeID)
+				if err != nil {
+					continue
+				}
+				for start := 0; start < len(keys); start += 512 {
+					end := start + 512
+					if end > len(keys) {
+						end = len(keys)
+					}
+					if _, err := cli.Del(keys[start:end]...); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	// Trim the boundary stripe (replicated/plain layout only; an
+	// erasure-coded boundary stripe is rewritten on next write, and
+	// reads clamp to file size anyway).
+	if rec.DataShards == 0 && newCount > 0 && newSize%rec.StripeSize != 0 {
+		idx := newCount - 1
+		sk := stripe.Key(rec.ID, idx)
+		keep := newSize - idx*rec.StripeSize
+		for _, nodeID := range pl.ProbeOrder(sk) {
+			cli, err := fs.conns.client(nodeID)
+			if err != nil {
+				continue
+			}
+			v, ok, err := cli.Get(dataKey(sk))
+			if err != nil || !ok {
+				continue
+			}
+			if int64(len(v)) > keep {
+				if err := cli.Set(dataKey(sk), v[:keep]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

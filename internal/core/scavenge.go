@@ -1,0 +1,332 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"strings"
+	"sync"
+	"time"
+
+	"memfss/internal/hrw"
+)
+
+// AddVictimClass extends the storage space at runtime with a new scavenged
+// class (paper §III-A/§III-D): newly created files place data across the
+// enlarged class set; existing files keep their recorded snapshot and are
+// untouched.
+func (fs *FileSystem) AddVictimClass(spec ClassSpec) error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	if !spec.Victim {
+		return fmt.Errorf("core: class %q must be a victim class", spec.Name)
+	}
+	if len(spec.Nodes) == 0 {
+		return fmt.Errorf("core: class %q has no nodes", spec.Name)
+	}
+	if err := spec.Limits.Validate(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	next := make([]ClassSpec, len(fs.classes), len(fs.classes)+1)
+	copy(next, fs.classes)
+	next = append(next, spec)
+	placer, err := hrw.NewPlacer(placerClasses(next)...)
+	if err != nil {
+		return err
+	}
+	if err := fs.conns.add(spec); err != nil {
+		return err
+	}
+	fs.classes = next
+	fs.placer = placer
+	return nil
+}
+
+// applyVictimCaps pushes each victim class's memory cap to its stores.
+// Call after the stores are up (New tolerates unreachable victims, so this
+// is separate from New).
+func (fs *FileSystem) ApplyVictimCaps() error {
+	fs.mu.RLock()
+	classes := fs.classes
+	fs.mu.RUnlock()
+	var firstErr error
+	for _, cls := range classes {
+		if !cls.Victim || cls.Limits.MemoryBytes == 0 {
+			continue
+		}
+		for _, n := range cls.Nodes {
+			cli, err := fs.conns.client(n.ID)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if err := cli.SetMemCap(cls.Limits.MemoryBytes); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// EvacuateNode drains every stripe from a victim node's store and removes
+// the node from MemFSS — the response to the monitor's "tenant needs its
+// memory back" signal (paper §III-A). Each stripe is re-homed to the next
+// node in its file's snapshot probe order, so subsequent reads find it by
+// lazy probing without any metadata rewrite.
+func (fs *FileSystem) EvacuateNode(nodeID string) error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	fs.mu.RLock()
+	var cls *ClassSpec
+	for i := range fs.classes {
+		for _, n := range fs.classes[i].Nodes {
+			if n.ID == nodeID {
+				cls = &fs.classes[i]
+			}
+		}
+	}
+	fs.mu.RUnlock()
+	if cls == nil {
+		return fmt.Errorf("core: unknown node %q", nodeID)
+	}
+	if !cls.Victim {
+		return fmt.Errorf("core: node %q is an own node; refusing to evacuate metadata", nodeID)
+	}
+	cli, err := fs.conns.client(nodeID)
+	if err != nil {
+		return err
+	}
+	keys, err := cli.Keys("data:")
+	if err != nil {
+		return fmt.Errorf("core: list keys on %s: %w", nodeID, err)
+	}
+	for _, key := range keys {
+		if err := fs.rehomeKey(nodeID, key); err != nil {
+			return fmt.Errorf("core: evacuate %s from %s: %w", key, nodeID, err)
+		}
+	}
+	if err := cli.FlushAll(); err != nil {
+		return err
+	}
+	// Remove the node from the live classes so new files avoid it.
+	fs.mu.Lock()
+	next := make([]ClassSpec, 0, len(fs.classes))
+	for _, c := range fs.classes {
+		nodes := make([]NodeSpec, 0, len(c.Nodes))
+		for _, n := range c.Nodes {
+			if n.ID != nodeID {
+				nodes = append(nodes, n)
+			}
+		}
+		if len(nodes) > 0 {
+			c.Nodes = nodes
+			next = append(next, c)
+		}
+	}
+	placer, err := hrw.NewPlacer(placerClasses(next)...)
+	if err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	fs.classes = next
+	fs.placer = placer
+	fs.mu.Unlock()
+	fs.conns.remove(nodeID)
+	return nil
+}
+
+// rehomeKey moves one data key off an evacuating node to the next live
+// node in its file's snapshot probe order.
+func (fs *FileSystem) rehomeKey(nodeID, key string) error {
+	fileID, shardIdx, ok := parseDataKey(key)
+	if !ok {
+		return fmt.Errorf("unparseable data key %q", key)
+	}
+	path, err := fs.meta.lookupFileID(fileID)
+	if err != nil {
+		// Orphan stripe (file already removed): just drop it.
+		return nil
+	}
+	rec, err := fs.meta.statRecord(path)
+	if err != nil || rec.File == nil {
+		return nil
+	}
+	pl, err := placerFromSnapshot(rec.File.Classes)
+	if err != nil {
+		return err
+	}
+	// The probe key is the stripe key (without shard suffix).
+	probeKey := strings.TrimSuffix(key, "/s"+shardIdx)
+	order := pl.ProbeOrder(strings.TrimPrefix(probeKey, "data:"))
+	src, err := fs.conns.client(nodeID)
+	if err != nil {
+		return err
+	}
+	value, ok2, err := src.Get(key)
+	if err != nil {
+		return err
+	}
+	if !ok2 {
+		return nil
+	}
+	for _, candidate := range order {
+		if candidate == nodeID {
+			continue
+		}
+		dst, err := fs.conns.client(candidate)
+		if err != nil {
+			continue
+		}
+		if err := fs.conns.throttle(candidate).Take(int64(len(value))); err != nil {
+			continue
+		}
+		if exists, err := dst.Exists(key); err == nil && exists {
+			return nil // a replica already lives there
+		}
+		if err := dst.Set(key, value); err != nil {
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("no live node accepts %s", key)
+}
+
+// parseDataKey splits "data:<fileID>#<idx>[/s<n>]" into the file ID and
+// the shard suffix digits ("" when not erasure-coded).
+func parseDataKey(key string) (fileID, shardIdx string, ok bool) {
+	body, found := strings.CutPrefix(key, "data:")
+	if !found {
+		return "", "", false
+	}
+	if i := strings.LastIndex(body, "/s"); i >= 0 {
+		shardIdx = body[i+2:]
+		body = body[:i]
+	}
+	hash := strings.LastIndexByte(body, '#')
+	if hash <= 0 {
+		return "", "", false
+	}
+	return body[:hash], shardIdx, true
+}
+
+// VerifyFile re-reads every stripe of a file and reports whether all bytes
+// are reachable — a consistency check used by tests and by the CLI's fsck.
+func (fs *FileSystem) VerifyFile(path string) error {
+	f, err := fs.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, f.layout.Size())
+	var off int64
+	for off < f.Size() {
+		n, err := f.ReadAt(buf, off)
+		if err != nil && !errors.Is(err, io.EOF) {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		off += int64(n)
+	}
+	if off < f.Size() {
+		return fmt.Errorf("%w: %s verified %d of %d bytes", ErrDataLoss, path, off, f.Size())
+	}
+	return nil
+}
+
+// Monitor polls victim stores for memory pressure and triggers evacuation,
+// playing the role of the cluster monitoring process of paper §III-A.
+type Monitor struct {
+	fs       *FileSystem
+	interval time.Duration
+	logf     func(format string, args ...any)
+
+	mu      sync.Mutex
+	stopped chan struct{}
+	done    chan struct{}
+}
+
+// NewMonitor creates a monitor polling every interval (default 1s).
+// logf defaults to log.Printf.
+func NewMonitor(fs *FileSystem, interval time.Duration, logf func(string, ...any)) *Monitor {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Monitor{fs: fs, interval: interval, logf: logf}
+}
+
+// Start launches the polling loop. It is an error to start twice without
+// Stop.
+func (m *Monitor) Start() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped != nil {
+		return fmt.Errorf("core: monitor already running")
+	}
+	m.stopped = make(chan struct{})
+	m.done = make(chan struct{})
+	go m.loop(m.stopped, m.done)
+	return nil
+}
+
+// Stop terminates the polling loop and waits for it to exit.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	stopped, done := m.stopped, m.done
+	m.stopped, m.done = nil, nil
+	m.mu.Unlock()
+	if stopped == nil {
+		return
+	}
+	close(stopped)
+	<-done
+}
+
+func (m *Monitor) loop(stopped, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(m.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stopped:
+			return
+		case <-ticker.C:
+			m.sweep()
+		}
+	}
+}
+
+// sweep evacuates every victim store currently reporting pressure.
+func (m *Monitor) sweep() {
+	for _, cls := range m.fs.Classes() {
+		if !cls.Victim {
+			continue
+		}
+		for _, n := range cls.Nodes {
+			cli, err := m.fs.conns.client(n.ID)
+			if err != nil {
+				continue
+			}
+			st, err := cli.Info()
+			if err != nil || !st.Pressure {
+				continue
+			}
+			m.logf("memfss: victim %s under memory pressure (%d/%d bytes), evacuating",
+				n.ID, st.BytesUsed, st.MaxMemory)
+			if err := m.fs.EvacuateNode(n.ID); err != nil {
+				m.logf("memfss: evacuate %s: %v", n.ID, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+
+	"memfss/internal/erasure"
+	"memfss/internal/fsmeta"
+	"memfss/internal/hrw"
+	"memfss/internal/stripe"
+)
+
+// ScrubReport summarizes an anti-entropy pass.
+type ScrubReport struct {
+	// Files is the number of files examined.
+	Files int
+	// StripesChecked counts stripe (or shard-set) inspections.
+	StripesChecked int
+	// Restored counts replicas/shards rewritten to their proper node.
+	Restored int
+	// Unrepairable lists "path#stripe" units with too few surviving
+	// copies/shards to restore.
+	Unrepairable []string
+}
+
+// Scrub walks every file and proactively restores missing redundancy:
+// replicated stripes are re-copied from a surviving replica, erasure-coded
+// stripes have missing shards reconstructed and rewritten. Lazy movement
+// (paper §V-C) repairs what reads happen to touch; Scrub is the
+// anti-entropy complement that repairs everything else — run it after a
+// node loss so the next failure finds full redundancy.
+//
+// Unreachable target nodes are skipped (they may be evacuating); stripes
+// with no surviving source are reported as unrepairable.
+func (fs *FileSystem) Scrub() (*ScrubReport, error) {
+	rep := &ScrubReport{}
+	err := fs.Walk("/", func(e EntryInfo) error {
+		if e.IsDir {
+			return nil
+		}
+		rep.Files++
+		rec, err := fs.meta.statRecord(e.Path)
+		if err != nil || rec.File == nil {
+			rep.Unrepairable = append(rep.Unrepairable, e.Path)
+			return nil
+		}
+		return fs.scrubFile(e.Path, rec.File, rep)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func (fs *FileSystem) scrubFile(path string, rec *fsmeta.FileRecord, rep *ScrubReport) error {
+	layout, err := stripe.NewLayout(rec.StripeSize)
+	if err != nil {
+		return err
+	}
+	pl, err := placerFromSnapshot(rec.Classes)
+	if err != nil {
+		return err
+	}
+	var coder *erasure.Coder
+	if rec.DataShards > 0 {
+		coder, err = erasure.NewCoder(rec.DataShards, rec.ParityShards)
+		if err != nil {
+			return err
+		}
+	}
+	count := layout.Count(rec.Size)
+	for idx := int64(0); idx < count; idx++ {
+		rep.StripesChecked++
+		sk := stripe.Key(rec.ID, idx)
+		switch {
+		case coder != nil:
+			fs.scrubErasureStripe(path, sk, pl, coder, rep)
+		case rec.Replicas > 1:
+			fs.scrubReplicatedStripe(path, sk, rec, pl, rep)
+		default:
+			// No redundancy: nothing to restore; reads lazily repair
+			// placement drift.
+		}
+	}
+	return nil
+}
+
+func (fs *FileSystem) scrubReplicatedStripe(path, sk string, rec *fsmeta.FileRecord, pl *hrw.Placer, rep *ScrubReport) {
+	key := dataKey(sk)
+	targets := pl.PlaceK(sk, rec.Replicas)
+	var present, missing []string
+	for _, node := range targets {
+		cli, err := fs.conns.client(node)
+		if err != nil {
+			continue // node gone: skip (evacuated)
+		}
+		ok, err := cli.Exists(key)
+		if err != nil {
+			continue // unreachable: skip
+		}
+		if ok {
+			present = append(present, node)
+		} else {
+			missing = append(missing, node)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if len(present) == 0 {
+		// Maybe a stray copy survives off-placement (lazy movement).
+		for _, node := range pl.ProbeOrder(sk) {
+			cli, err := fs.conns.client(node)
+			if err != nil {
+				continue
+			}
+			if ok, err := cli.Exists(key); err == nil && ok {
+				present = append(present, node)
+				break
+			}
+		}
+	}
+	if len(present) == 0 {
+		rep.Unrepairable = append(rep.Unrepairable, fmt.Sprintf("%s#%s", path, sk))
+		return
+	}
+	src, err := fs.conns.client(present[0])
+	if err != nil {
+		return
+	}
+	value, ok, err := src.Get(key)
+	if err != nil || !ok {
+		return
+	}
+	for _, node := range missing {
+		cli, err := fs.conns.client(node)
+		if err != nil {
+			continue
+		}
+		if err := fs.conns.throttle(node).Take(int64(len(value))); err != nil {
+			continue
+		}
+		if err := cli.Set(key, value); err == nil {
+			rep.Restored++
+		}
+	}
+}
+
+func (fs *FileSystem) scrubErasureStripe(path, sk string, pl *hrw.Placer, coder *erasure.Coder, rep *ScrubReport) {
+	k, m := coder.K(), coder.M()
+	targets := pl.PlaceK(sk, k+m)
+	shards := make([][]byte, k+m)
+	var missing []int
+	found := 0
+	for i, node := range targets {
+		cli, err := fs.conns.client(node)
+		if err != nil {
+			continue
+		}
+		data, ok, err := cli.Get(shardKey(dataKey(sk), i))
+		if err != nil {
+			continue
+		}
+		if !ok {
+			missing = append(missing, i)
+			continue
+		}
+		shards[i] = data
+		found++
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if found < k {
+		rep.Unrepairable = append(rep.Unrepairable, fmt.Sprintf("%s#%s", path, sk))
+		return
+	}
+	dataShards, err := coder.Reconstruct(shards)
+	if err != nil {
+		rep.Unrepairable = append(rep.Unrepairable, fmt.Sprintf("%s#%s", path, sk))
+		return
+	}
+	parity, err := coder.Encode(dataShards)
+	if err != nil {
+		return
+	}
+	all := append(append([][]byte{}, dataShards...), parity...)
+	for _, i := range missing {
+		node := targets[i]
+		cli, err := fs.conns.client(node)
+		if err != nil {
+			continue
+		}
+		if err := fs.conns.throttle(node).Take(int64(len(all[i]))); err != nil {
+			continue
+		}
+		if err := cli.Set(shardKey(dataKey(sk), i), all[i]); err == nil {
+			rep.Restored++
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+import "sync/atomic"
+
+// fsStats instruments the data path with atomic counters.
+type fsStats struct {
+	bytesWritten atomic.Int64
+	bytesRead    atomic.Int64
+	stripeWrites atomic.Int64
+	stripeReads  atomic.Int64
+	deepProbes   atomic.Int64
+	repairs      atomic.Int64
+}
+
+// Counters is a snapshot of a FileSystem's data-path activity.
+type Counters struct {
+	// BytesWritten / BytesRead count payload bytes through the client.
+	BytesWritten int64
+	BytesRead    int64
+	// StripeWrites / StripeReads count span-level store operations.
+	StripeWrites int64
+	StripeReads  int64
+	// DeepProbes counts reads that had to look beyond the primary
+	// placement (replica failover or lazy probing after membership
+	// changes) — a health signal: it should stay near zero in steady
+	// state and spike only around evacuations.
+	DeepProbes int64
+	// Repairs counts stripes lazily moved back to their primary node.
+	Repairs int64
+}
+
+// Counters returns a snapshot of the file system's activity counters.
+func (fs *FileSystem) Counters() Counters {
+	return Counters{
+		BytesWritten: fs.stats.bytesWritten.Load(),
+		BytesRead:    fs.stats.bytesRead.Load(),
+		StripeWrites: fs.stats.stripeWrites.Load(),
+		StripeReads:  fs.stats.stripeReads.Load(),
+		DeepProbes:   fs.stats.deepProbes.Load(),
+		Repairs:      fs.stats.repairs.Load(),
+	}
+}

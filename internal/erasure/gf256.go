@@ -1,0 +1,110 @@
+// Package erasure implements Reed–Solomon erasure coding over GF(2^8) —
+// the lower-redundancy alternative to replication that the paper names as
+// work in progress (§III-E): with k data shards and m parity shards, any k
+// of the k+m shards reconstruct a stripe, at a storage overhead of m/k
+// instead of replication's (R-1)x.
+package erasure
+
+// GF(2^8) arithmetic with the AES/Rijndael-compatible polynomial 0x11d,
+// using log/exp tables built at init.
+
+var (
+	gfExp [512]byte // doubled so mul can skip the mod-255 reduction
+	gfLog [256]byte
+)
+
+func init() {
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		gfExp[i] = x
+		gfLog[x] = byte(i)
+		// multiply x by the generator 2 modulo the field polynomial
+		carry := x&0x80 != 0
+		x <<= 1
+		if carry {
+			x ^= 0x1d
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides a by b; b must be non-zero.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("erasure: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse of a non-zero element.
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// mulSlice computes dst[i] ^= c * src[i] for all i (accumulating
+// multiply-add, the inner loop of encoding and decoding).
+func mulSliceXor(c byte, src, dst []byte) {
+	if c == 0 {
+		return
+	}
+	logC := int(gfLog[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[logC+int(gfLog[s])]
+		}
+	}
+}
+
+// invertMatrix inverts an n×n matrix over GF(256) in place using
+// Gauss–Jordan elimination, returning false if singular.
+func invertMatrix(m [][]byte) bool {
+	n := len(m)
+	// Augment with identity.
+	aug := make([][]byte, n)
+	for i := range aug {
+		aug[i] = make([]byte, 2*n)
+		copy(aug[i], m[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if aug[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return false
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		inv := gfInv(aug[col][col])
+		for j := 0; j < 2*n; j++ {
+			aug[col][j] = gfMul(aug[col][j], inv)
+		}
+		for r := 0; r < n; r++ {
+			if r == col || aug[r][col] == 0 {
+				continue
+			}
+			f := aug[r][col]
+			for j := 0; j < 2*n; j++ {
+				aug[r][j] ^= gfMul(f, aug[col][j])
+			}
+		}
+	}
+	for i := range m {
+		copy(m[i], aug[i][n:])
+	}
+	return true
+}

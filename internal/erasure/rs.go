@@ -1,0 +1,174 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Coder encodes stripes into k data + m parity shards and reconstructs
+// from any k survivors. It is immutable and safe for concurrent use.
+type Coder struct {
+	k, m   int
+	parity [][]byte // m×k Cauchy coefficient matrix
+}
+
+// ErrTooFewShards is returned when fewer than k shards survive.
+var ErrTooFewShards = errors.New("erasure: too few shards to reconstruct")
+
+// NewCoder returns a Reed–Solomon coder with k data shards and m parity
+// shards. k must be in [1,128] and m in [1,128] with k+m <= 256 so the
+// Cauchy construction below stays valid (x_i and y_j must be 256 distinct
+// field elements).
+func NewCoder(k, m int) (*Coder, error) {
+	if k < 1 || m < 1 || k+m > 256 {
+		return nil, fmt.Errorf("erasure: invalid shard counts k=%d m=%d", k, m)
+	}
+	// Cauchy matrix C[i][j] = 1/(x_i + y_j) with x_i = i+k, y_j = j.
+	// Every square submatrix of a Cauchy matrix is invertible, which is
+	// exactly the property reconstruction needs.
+	parity := make([][]byte, m)
+	for i := 0; i < m; i++ {
+		parity[i] = make([]byte, k)
+		for j := 0; j < k; j++ {
+			parity[i][j] = gfInv(byte(i+k) ^ byte(j))
+		}
+	}
+	return &Coder{k: k, m: m, parity: parity}, nil
+}
+
+// K returns the number of data shards.
+func (c *Coder) K() int { return c.k }
+
+// M returns the number of parity shards.
+func (c *Coder) M() int { return c.m }
+
+// ShardSize returns the shard length for a payload of n bytes: the payload
+// is zero-padded to a multiple of k.
+func (c *Coder) ShardSize(n int) int {
+	return (n + c.k - 1) / c.k
+}
+
+// Split slices data into k equal shards, zero-padding the tail. The shards
+// are fresh allocations; data is not retained.
+func (c *Coder) Split(data []byte) [][]byte {
+	size := c.ShardSize(len(data))
+	shards := make([][]byte, c.k)
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		start := i * size
+		if start < len(data) {
+			copy(shards[i], data[start:])
+		}
+	}
+	return shards
+}
+
+// Join reassembles the original payload of length n from k data shards.
+func (c *Coder) Join(shards [][]byte, n int) ([]byte, error) {
+	if len(shards) != c.k {
+		return nil, fmt.Errorf("erasure: Join needs %d data shards, got %d", c.k, len(shards))
+	}
+	size := c.ShardSize(n)
+	out := make([]byte, 0, n)
+	for _, s := range shards {
+		if len(s) != size {
+			return nil, fmt.Errorf("erasure: shard size %d, want %d", len(s), size)
+		}
+		out = append(out, s...)
+	}
+	return out[:n], nil
+}
+
+// Encode computes the m parity shards for k equal-length data shards.
+func (c *Coder) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("erasure: Encode needs %d data shards, got %d", c.k, len(data))
+	}
+	size := len(data[0])
+	for _, s := range data {
+		if len(s) != size {
+			return nil, errors.New("erasure: data shards differ in length")
+		}
+	}
+	parity := make([][]byte, c.m)
+	for i := 0; i < c.m; i++ {
+		parity[i] = make([]byte, size)
+		for j := 0; j < c.k; j++ {
+			mulSliceXor(c.parity[i][j], data[j], parity[i])
+		}
+	}
+	return parity, nil
+}
+
+// Reconstruct recovers all k data shards from any k survivors. shards must
+// have length k+m with missing entries nil; indices 0..k-1 are data shards
+// and k..k+m-1 parity shards. The returned slice holds the k data shards.
+func (c *Coder) Reconstruct(shards [][]byte) ([][]byte, error) {
+	if len(shards) != c.k+c.m {
+		return nil, fmt.Errorf("erasure: Reconstruct needs %d shard slots, got %d", c.k+c.m, len(shards))
+	}
+	present := make([]int, 0, c.k)
+	size := -1
+	for idx, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return nil, errors.New("erasure: surviving shards differ in length")
+		}
+		present = append(present, idx)
+	}
+	if len(present) < c.k {
+		return nil, fmt.Errorf("%w: have %d of %d needed", ErrTooFewShards, len(present), c.k)
+	}
+	present = present[:c.k]
+
+	// Fast path: all data shards survived.
+	allData := true
+	for _, idx := range present {
+		if idx >= c.k {
+			allData = false
+			break
+		}
+	}
+	if allData {
+		out := make([][]byte, c.k)
+		dataComplete := true
+		for i := 0; i < c.k; i++ {
+			if shards[i] == nil {
+				dataComplete = false
+				break
+			}
+			out[i] = shards[i]
+		}
+		if dataComplete {
+			return out, nil
+		}
+	}
+
+	// Build the k×k matrix mapping data shards to the chosen survivors:
+	// row for data shard i is the identity row e_i; row for parity shard p
+	// is the parity coefficient row.
+	mat := make([][]byte, c.k)
+	for r, idx := range present {
+		mat[r] = make([]byte, c.k)
+		if idx < c.k {
+			mat[r][idx] = 1
+		} else {
+			copy(mat[r], c.parity[idx-c.k])
+		}
+	}
+	if !invertMatrix(mat) {
+		return nil, errors.New("erasure: survivor matrix singular (corrupt coder state)")
+	}
+	out := make([][]byte, c.k)
+	for i := 0; i < c.k; i++ {
+		out[i] = make([]byte, size)
+		for r, idx := range present {
+			mulSliceXor(mat[i][r], shards[idx], out[i])
+		}
+	}
+	return out, nil
+}

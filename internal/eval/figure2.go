@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"memfss/internal/workflow"
+)
+
+// Figure2Row is one α scenario of the scavenging-overhead baseline
+// (Figures 2a–2f): utilization of own and victim nodes plus the runtime
+// of the dd bag while α of the data stays on own nodes.
+type Figure2Row struct {
+	AlphaPct       int
+	OwnCPUPct      float64
+	VictimCPUPct   float64
+	OwnNetMBps     float64
+	VictimNetMBps  float64
+	VictimNetPct   float64 // of NIC capacity
+	RuntimeSeconds float64
+}
+
+// Figure2 reproduces the baseline experiment of §IV-B: a bag of dd tasks
+// (paper: 2048 × 128 MB = 256 GB) on 8 own nodes, with victims running
+// only the data store, for α ∈ {0, 25, 50, 75, 100}%.
+func Figure2(cfg Config) ([]Figure2Row, error) {
+	cfg = cfg.withDefaults()
+	tasks := cfg.scaled(2048)
+	rows := make([]Figure2Row, 0, 5)
+	for _, alphaPct := range []int{0, 25, 50, 75, 100} {
+		w, err := newWorld(cfg, float64(alphaPct)/100, 0)
+		if err != nil {
+			return nil, err
+		}
+		ex, err := workflow.NewExecutor(w.eng, w.own, w.fs)
+		if err != nil {
+			return nil, err
+		}
+		win := w.cls.StartWindow()
+		if err := ex.Start(workflow.DDBag(tasks, 128<<20)); err != nil {
+			return nil, err
+		}
+		w.eng.Run()
+		if !ex.Done() {
+			return nil, fmt.Errorf("eval: figure 2 α=%d%% did not finish", alphaPct)
+		}
+		ownU := win.GroupAverage(ids(w.own))
+		vicU := win.GroupAverage(ids(w.victims))
+		rows = append(rows, Figure2Row{
+			AlphaPct:       alphaPct,
+			OwnCPUPct:      100 * ownU.CPUFrac,
+			VictimCPUPct:   100 * vicU.CPUFrac,
+			OwnNetMBps:     ownU.NetBytesPerSec / 1e6,
+			VictimNetMBps:  vicU.NetBytesPerSec / 1e6,
+			VictimNetPct:   100 * vicU.NetFrac,
+			RuntimeSeconds: ex.Makespan(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatFigure2 renders the rows as the text equivalent of Figures 2a–2f.
+func FormatFigure2(rows []Figure2Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 2 — scavenging overhead baseline (dd bag on own nodes, stores on victims)\n")
+	fmt.Fprintf(&b, "%-8s %-10s %-12s %-12s %-14s %-12s %-10s\n",
+		"alpha", "ownCPU%", "victimCPU%", "ownNet MB/s", "victimNet MB/s", "victimNet%", "runtime s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %-10.1f %-12.2f %-12.0f %-14.0f %-12.1f %-10.1f\n",
+			r.AlphaPct, r.OwnCPUPct, r.VictimCPUPct, r.OwnNetMBps, r.VictimNetMBps,
+			r.VictimNetPct, r.RuntimeSeconds)
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"memfss/internal/workflow"
+)
+
+// RevocationRow is one cell of the revocation-storm extension: workflow
+// runtime when K victims reclaim their memory mid-run.
+type RevocationRow struct {
+	Revoked        int
+	RuntimeSeconds float64
+	OverheadPct    float64
+	DrainedAll     bool
+}
+
+// RevocationSweep is the second extension experiment: the paper's §III-A
+// mechanism under stress. A dd bag runs on 8 own + 32 victims; 30% into
+// the baseline runtime, K victims signal memory pressure in quick
+// succession and are revoked (their data drains over the network). The
+// workflow must finish correctly in every case; the runtime overhead
+// quantifies the cost of the evacuation storm.
+func RevocationSweep(cfg Config) ([]RevocationRow, error) {
+	cfg = cfg.withDefaults()
+	tasks := cfg.scaled(2048)
+
+	run := func(revoke int, baseline float64) (RevocationRow, error) {
+		w, err := newWorld(cfg, 0.25, 0)
+		if err != nil {
+			return RevocationRow{}, err
+		}
+		ex, err := workflow.NewExecutor(w.eng, w.own, w.fs)
+		if err != nil {
+			return RevocationRow{}, err
+		}
+		if err := ex.Start(workflow.DDBag(tasks, 128<<20)); err != nil {
+			return RevocationRow{}, err
+		}
+		drained := 0
+		if revoke > 0 {
+			at := baseline * 0.3
+			for k := 0; k < revoke; k++ {
+				k := k
+				w.eng.At(at+0.5*float64(k), func() {
+					victims := w.fs.Victims()
+					if len(victims) == 0 {
+						return
+					}
+					if err := w.fs.RevokeVictim(victims[0].ID, func() { drained++ }); err != nil {
+						panic(err) // structural bug: victims list is authoritative
+					}
+				})
+			}
+		}
+		w.eng.Run()
+		if !ex.Done() {
+			return RevocationRow{}, fmt.Errorf("eval: revocation run (K=%d) did not finish", revoke)
+		}
+		return RevocationRow{
+			Revoked:        revoke,
+			RuntimeSeconds: ex.Makespan(),
+			DrainedAll:     drained == revoke,
+		}, nil
+	}
+
+	base, err := run(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	base.DrainedAll = true
+	rows := []RevocationRow{base}
+	for _, k := range []int{4, 8, 16} {
+		if k >= cfg.VictimNodes {
+			continue
+		}
+		r, err := run(k, base.RuntimeSeconds)
+		if err != nil {
+			return nil, err
+		}
+		r.OverheadPct = 100 * (r.RuntimeSeconds/base.RuntimeSeconds - 1)
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// FormatRevocationSweep renders the revocation-storm rows.
+func FormatRevocationSweep(rows []RevocationRow) string {
+	var b strings.Builder
+	b.WriteString("Extension — dd bag under a mid-run victim revocation storm (α=25%)\n")
+	fmt.Fprintf(&b, "%-18s %-12s %-12s %-10s\n", "victims revoked", "runtime s", "overhead %", "drained")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18d %-12.1f %-12.1f %-10v\n",
+			r.Revoked, r.RuntimeSeconds, r.OverheadPct, r.DrainedAll)
+	}
+	return b.String()
+}

@@ -1,0 +1,332 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"memfss/internal/cluster"
+	"memfss/internal/metrics"
+	"memfss/internal/sim"
+	"memfss/internal/tenant"
+	"memfss/internal/workflow"
+)
+
+// TableIRow is one survey entry of Table I.
+type TableIRow struct {
+	Study   string
+	CPU     string
+	Memory  string
+	Network string
+}
+
+// TableIReference returns the paper's Table I verbatim: the survey of
+// cluster/datacenter utilization studies motivating memory scavenging.
+func TableIReference() []TableIRow {
+	return []TableIRow{
+		{"Google Traces", "60%", "50%", "N/A"},
+		{"Facebook", "N/A", "19% (median)", "N/A"},
+		{"Taobao", "<=70%", "20%-40%", "10-20MB/s"},
+		{"Mesos", "<=80%", "<=40%", "N/A"},
+		{"Graph Processing Platforms", "<=10%", "<=50% (mean)", "<=128Mbit/s"},
+		{"Commercial Cloud Datacenters", "N/A", "N/A", "<=20% bisection bandwidth used"},
+	}
+}
+
+// MeasuredUtilization is our simulated counterpart to Table I: the average
+// utilization of a cluster running a big-data tenant mix, demonstrating
+// the same memory/network under-utilization the surveys report.
+type MeasuredUtilization struct {
+	CPUPct   float64
+	MemPct   float64
+	NetMBps  float64
+	NetPct   float64
+	Duration float64
+}
+
+// TableIMeasured runs the HiBench-Hadoop mix back-to-back on a cluster of
+// cfg.VictimNodes nodes (no MemFSS anywhere) and reports average CPU,
+// memory and network utilization.
+func TableIMeasured(cfg Config) (MeasuredUtilization, error) {
+	cfg = cfg.withDefaults()
+	eng := &sim.Engine{}
+	cls := cluster.New(eng)
+	nodes := cls.AddNodes("node", cfg.VictimNodes, cluster.DAS5)
+	win := cls.StartWindow()
+
+	memSeries := metrics.NewSeries("memory-util")
+	var sampleMem func()
+	sampling := true
+	sampleMem = func() {
+		var used, capTotal int64
+		for _, n := range nodes {
+			used += n.Mem.Used()
+			capTotal += n.Mem.Capacity()
+		}
+		memSeries.Add(eng.Now(), float64(used)/float64(capTotal))
+		if sampling {
+			eng.After(1, sampleMem)
+		}
+	}
+
+	// A typical production mix, not a stress test: the CPU-bound HiBench
+	// jobs plus one TeraSort, separated by scheduling gaps (job queues,
+	// stage barriers, stragglers) — utilization traces include that idle
+	// time, which is precisely why the surveyed numbers are low.
+	const idleGapFraction = 0.5
+	var suite []tenant.Benchmark
+	for _, b := range tenant.HiBenchHadoop() {
+		switch b.Name {
+		case "KMeans", "PageRank", "WordCount":
+			suite = append(suite, b)
+		}
+	}
+	var runNext func(i int) error
+	var runErr error
+	runNext = func(i int) error {
+		if i >= len(suite) {
+			sampling = false
+			return nil
+		}
+		r, err := tenant.NewRunner(eng, cls, nodes, suite[i], tenant.Options{})
+		if err != nil {
+			return err
+		}
+		if err := r.Start(); err != nil {
+			return err
+		}
+		started := eng.Now()
+		// Poll for completion via a watcher event; schedule the next job
+		// after an idle gap proportional to this one's runtime.
+		var watch func()
+		watch = func() {
+			if r.Done() {
+				gap := idleGapFraction * (eng.Now() - started)
+				eng.After(gap, func() {
+					if err := runNext(i + 1); err != nil {
+						runErr = err
+					}
+				})
+				return
+			}
+			eng.After(1, watch)
+		}
+		eng.After(1, watch)
+		return nil
+	}
+	eng.After(0.5, sampleMem)
+	if err := runNext(0); err != nil {
+		return MeasuredUtilization{}, err
+	}
+	eng.Run()
+	if runErr != nil {
+		return MeasuredUtilization{}, runErr
+	}
+	u := win.GroupAverage(ids(nodes))
+	return MeasuredUtilization{
+		CPUPct:   100 * u.CPUFrac,
+		MemPct:   100 * memSeries.Mean(),
+		NetMBps:  u.NetBytesPerSec / 1e6,
+		NetPct:   100 * u.NetFrac,
+		Duration: eng.Now(),
+	}, nil
+}
+
+// FormatTableI renders the reference survey plus our measured row.
+func FormatTableI(ref []TableIRow, m MeasuredUtilization) string {
+	var b strings.Builder
+	b.WriteString("Table I — CPU, memory and network utilization (survey + our simulation)\n")
+	fmt.Fprintf(&b, "%-32s %-8s %-16s %-32s\n", "study", "CPU", "memory", "network")
+	for _, r := range ref {
+		fmt.Fprintf(&b, "%-32s %-8s %-16s %-32s\n", r.Study, r.CPU, r.Memory, r.Network)
+	}
+	fmt.Fprintf(&b, "%-32s %-8s %-16s %-32s\n",
+		"This work (simulated HiBench mix)",
+		fmt.Sprintf("%.0f%%", m.CPUPct),
+		fmt.Sprintf("%.0f%%", m.MemPct),
+		fmt.Sprintf("%.0fMB/s (%.0f%%)", m.NetMBps, m.NetPct))
+	return b.String()
+}
+
+// TableIIRow is one configuration of the resource-consumption experiment.
+type TableIIRow struct {
+	Label          string
+	OwnNodes       int
+	VictimNodes    int
+	RuntimeSeconds float64
+	NodeHours      float64
+	Feasible       bool
+	Note           string
+}
+
+// tableIIMontage builds the "large Montage instance" of §IV-D (~1 TB of
+// intermediate data at Scale=1).
+func tableIIMontage(cfg Config) *workflow.DAG {
+	return workflow.Montage(workflow.MontageConfig{
+		Tiles:     cfg.scaled(8192),
+		TileBytes: 45 << 20,
+	})
+}
+
+// usableMemPerNode is the memory a node can devote to intermediate data
+// (the rest hosts OS, runtime and task working sets).
+const usableMemPerNode = 52 << 30
+
+// TableII reproduces §IV-D: Montage standalone on 20 nodes versus
+// MemFSS-scavenging runs on n ∈ {4, 8, 16} own nodes + (40−n) victims.
+// Node-hours count only the user's own reservation, as in the paper.
+func TableII(cfg Config) ([]TableIIRow, error) {
+	cfg = cfg.withDefaults()
+	footprint := tableIIMontage(cfg).TotalWriteBytes()
+	minNodes := int((footprint + usableMemPerNode - 1) / usableMemPerNode)
+
+	var rows []TableIIRow
+
+	runMontage := func(own, victims int, alpha float64) (float64, error) {
+		wcfg := cfg
+		wcfg.OwnNodes = own
+		wcfg.VictimNodes = victims
+		// Table II scavenges whatever the victims offer; the 10 GB cap of
+		// the benchmark experiments does not apply here (the data must
+		// fit: victims offer their own unused memory).
+		wcfg.VictimMemCap = usableMemPerNode
+		w, err := newWorld(wcfg, alpha, 16<<20)
+		if err != nil {
+			return 0, err
+		}
+		ex, err := workflow.NewExecutor(w.eng, w.own, w.fs)
+		if err != nil {
+			return 0, err
+		}
+		if err := ex.Start(tableIIMontage(cfg)); err != nil {
+			return 0, err
+		}
+		w.eng.Run()
+		if !ex.Done() {
+			return 0, fmt.Errorf("eval: montage run (%d own) did not finish", own)
+		}
+		return ex.Makespan(), nil
+	}
+
+	// Standalone: the smallest all-own reservation the data fits in.
+	standalone := 20
+	if cfg.Scale < 1 && minNodes < standalone {
+		standalone = minNodes
+		if standalone < 2 {
+			standalone = 2
+		}
+	}
+	rt, err := runMontage(standalone, 0, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, TableIIRow{
+		Label:          "Montage (standalone)",
+		OwnNodes:       standalone,
+		RuntimeSeconds: rt,
+		NodeHours:      float64(standalone) * rt / 3600,
+		Feasible:       true,
+	})
+	rows = append(rows, TableIIRow{
+		Label:    "Montage (standalone)",
+		OwnNodes: standalone - 1,
+		Feasible: false,
+		Note:     fmt.Sprintf("unable to run, data (%.0f GB) does not fit", float64(footprint)/1e9),
+	})
+
+	for _, n := range []int{4, 8, 16} {
+		own := n
+		if cfg.Scale < 1 {
+			own = cfg.scaled(n)
+			if own < 1 {
+				own = 1
+			}
+		}
+		victims := 40 - n
+		if cfg.Scale < 1 {
+			victims = cfg.scaled(victims)
+			if victims < 1 {
+				victims = 1
+			}
+		}
+		// Balance per-node load between classes (the Figure 2f optimum):
+		// α* = n / (n + m).
+		alpha := float64(own) / float64(own+victims)
+		rt, err := runMontage(own, victims, alpha)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TableIIRow{
+			Label:          "Montage (scavenging)",
+			OwnNodes:       own,
+			VictimNodes:    victims,
+			RuntimeSeconds: rt,
+			NodeHours:      float64(own) * rt / 3600,
+			Feasible:       true,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTableII renders Table II.
+func FormatTableII(rows []TableIIRow) string {
+	var b strings.Builder
+	b.WriteString("Table II — resource utilization improvement (Montage, ~1 TB)\n")
+	fmt.Fprintf(&b, "%-24s %-18s %-14s %-10s\n", "application", "nodes", "runtime (s)", "node-hours")
+	for _, r := range rows {
+		nodes := fmt.Sprintf("%d", r.OwnNodes)
+		if r.VictimNodes > 0 {
+			nodes = fmt.Sprintf("%d (+%d scavenged)", r.OwnNodes, r.VictimNodes)
+		}
+		if !r.Feasible {
+			fmt.Fprintf(&b, "%-24s %-18s %-14s %-10s\n", r.Label, "< "+fmt.Sprint(r.OwnNodes+1), r.Note, "N/A")
+			continue
+		}
+		fmt.Fprintf(&b, "%-24s %-18s %-14.0f %-10.2f\n", r.Label, nodes, r.RuntimeSeconds, r.NodeHours)
+	}
+	return b.String()
+}
+
+// Figure7Row is one bar pair of Figure 7: runtime and own-node resource
+// consumption normalized to the standalone run.
+type Figure7Row struct {
+	OwnNodes           int
+	NormalizedRuntime  float64
+	NormalizedNodeHour float64
+}
+
+// Figure7 derives the normalized view of Table II.
+func Figure7(rows []TableIIRow) []Figure7Row {
+	var base *TableIIRow
+	for i := range rows {
+		if rows[i].Feasible && rows[i].VictimNodes == 0 {
+			base = &rows[i]
+			break
+		}
+	}
+	if base == nil {
+		return nil
+	}
+	var out []Figure7Row
+	for _, r := range rows {
+		if !r.Feasible || r.VictimNodes == 0 {
+			continue
+		}
+		out = append(out, Figure7Row{
+			OwnNodes:           r.OwnNodes,
+			NormalizedRuntime:  r.RuntimeSeconds / base.RuntimeSeconds,
+			NormalizedNodeHour: r.NodeHours / base.NodeHours,
+		})
+	}
+	return out
+}
+
+// FormatFigure7 renders Figure 7.
+func FormatFigure7(rows []Figure7Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 7 — normalized runtime and resource consumption vs standalone\n")
+	fmt.Fprintf(&b, "%-12s %-20s %-24s\n", "own nodes", "normalized runtime", "normalized node-hours")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12d %-20.2f %-24.2f\n", r.OwnNodes, r.NormalizedRuntime, r.NormalizedNodeHour)
+	}
+	return b.String()
+}

@@ -1,0 +1,160 @@
+// Package fsmeta defines the metadata records and path conventions of the
+// MemFSS namespace (paper §III-D): directory structure, file sizes, stripe
+// configuration, and the snapshot of HRW class weights that was in force
+// when a file was written. Records are stored on the own-node class only,
+// sharded by a simple modulo hash, so that metadata operations (which are
+// latency-bound) stay on nodes the user controls.
+package fsmeta
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// ClassSnapshot captures one HRW class as it existed when a file was
+// written. Storing the snapshot in metadata lets MemFSS add victim classes
+// later (changing the live weights) while keeping every existing file
+// resolvable (paper §III-D).
+type ClassSnapshot struct {
+	Name   string   `json:"name"`
+	Weight float64  `json:"weight"`
+	Nodes  []string `json:"nodes"`
+}
+
+// FileRecord is the per-file metadata record.
+type FileRecord struct {
+	// ID is the stable file identity used to derive stripe keys. It never
+	// changes across renames, so data does not move when a file moves in
+	// the namespace.
+	ID string `json:"id"`
+	// Size is the file length in bytes.
+	Size int64 `json:"size"`
+	// StripeSize is the stripe granularity the file was written with.
+	StripeSize int64 `json:"stripeSize"`
+	// Replicas is the replication factor (1 = no redundancy).
+	Replicas int `json:"replicas"`
+	// DataShards/ParityShards are non-zero when the file is erasure-coded
+	// instead of replicated; they record the RS(k, m) geometry the file
+	// was written with.
+	DataShards   int `json:"dataShards,omitempty"`
+	ParityShards int `json:"parityShards,omitempty"`
+	// Classes is the placement snapshot: the classes, weights and node
+	// lists the two-layer HRW protocol used for this file's stripes.
+	Classes []ClassSnapshot `json:"classes"`
+}
+
+// DirRecord marks a path as a directory. Children are tracked separately
+// in a store-side set so concurrent creates do not race.
+type DirRecord struct {
+	// Dir is always true; it distinguishes an encoded DirRecord from an
+	// encoded FileRecord when sniffing a metadata value.
+	Dir bool `json:"dir"`
+}
+
+// Record is the union stored under a metadata key: exactly one of File and
+// Directory is set.
+type Record struct {
+	File      *FileRecord `json:"file,omitempty"`
+	Directory *DirRecord  `json:"directory,omitempty"`
+}
+
+// IsDir reports whether the record describes a directory.
+func (r *Record) IsDir() bool { return r.Directory != nil }
+
+// Encode serializes the record for storage.
+func (r *Record) Encode() ([]byte, error) {
+	if (r.File == nil) == (r.Directory == nil) {
+		return nil, fmt.Errorf("fsmeta: record must have exactly one of file/directory set")
+	}
+	return json.Marshal(r)
+}
+
+// Decode parses a record previously produced by Encode.
+func Decode(data []byte) (*Record, error) {
+	var r Record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("fsmeta: corrupt record: %w", err)
+	}
+	if (r.File == nil) == (r.Directory == nil) {
+		return nil, fmt.Errorf("fsmeta: record has neither or both of file/directory")
+	}
+	return &r, nil
+}
+
+// Clean canonicalizes an absolute MemFSS path: it must start with '/',
+// contains no empty, "." or ".." segments after cleaning, and has no
+// trailing slash (except the root itself). Clean returns an error for
+// relative paths and for paths escaping the root.
+func Clean(path string) (string, error) {
+	if path == "" || path[0] != '/' {
+		return "", fmt.Errorf("fsmeta: path %q is not absolute", path)
+	}
+	segs := strings.Split(path, "/")
+	out := make([]string, 0, len(segs))
+	for _, s := range segs {
+		switch s {
+		case "", ".":
+			// skip
+		case "..":
+			if len(out) == 0 {
+				return "", fmt.Errorf("fsmeta: path %q escapes root", path)
+			}
+			out = out[:len(out)-1]
+		default:
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return "/", nil
+	}
+	return "/" + strings.Join(out, "/"), nil
+}
+
+// Parent returns the parent directory of a cleaned path. The parent of the
+// root is the root itself.
+func Parent(cleaned string) string {
+	if cleaned == "/" {
+		return "/"
+	}
+	i := strings.LastIndexByte(cleaned, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return cleaned[:i]
+}
+
+// Base returns the final path segment of a cleaned path ("" for the root).
+func Base(cleaned string) string {
+	if cleaned == "/" {
+		return ""
+	}
+	i := strings.LastIndexByte(cleaned, '/')
+	return cleaned[i+1:]
+}
+
+// MetaKey returns the store key holding the Record for a path.
+func MetaKey(cleaned string) string { return "meta:" + cleaned }
+
+// DirKey returns the store key of the set holding a directory's child
+// names.
+func DirKey(cleaned string) string { return "dir:" + cleaned }
+
+// Shard returns the index of the own node responsible for a path's
+// metadata, using the simple modulo scheme of paper §III-D.
+func Shard(cleaned string, numOwnNodes int) int {
+	if numOwnNodes <= 0 {
+		return 0
+	}
+	// FNV-1a over the path; stable across processes.
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(cleaned); i++ {
+		h ^= uint32(cleaned[i])
+		h *= prime
+	}
+	return int(h % uint32(numOwnNodes))
+}

@@ -1,0 +1,178 @@
+package fsmeta
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCleanValid(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"/", "/"},
+		{"//", "/"},
+		{"/a", "/a"},
+		{"/a/", "/a"},
+		{"/a//b", "/a/b"},
+		{"/a/./b", "/a/b"},
+		{"/a/b/../c", "/a/c"},
+		{"/a/b/..", "/a"},
+		{"/a/..", "/"},
+	}
+	for _, c := range cases {
+		got, err := Clean(c.in)
+		if err != nil {
+			t.Errorf("Clean(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Clean(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCleanInvalid(t *testing.T) {
+	for _, in := range []string{"", "a/b", "relative", "/..", "/a/../.."} {
+		if got, err := Clean(in); err == nil {
+			t.Errorf("Clean(%q) = %q, want error", in, got)
+		}
+	}
+}
+
+// Property: Clean is idempotent on its own output.
+func TestCleanIdempotent(t *testing.T) {
+	f := func(segs []uint8) bool {
+		parts := make([]string, 0, len(segs))
+		for _, s := range segs {
+			parts = append(parts, []string{"a", "bb", ".", "..", "", "c-1"}[int(s)%6])
+		}
+		p := "/" + strings.Join(parts, "/")
+		c1, err := Clean(p)
+		if err != nil {
+			return true // escaping root is allowed to fail
+		}
+		c2, err := Clean(c1)
+		return err == nil && c1 == c2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParentBase(t *testing.T) {
+	cases := []struct{ in, parent, base string }{
+		{"/", "/", ""},
+		{"/a", "/", "a"},
+		{"/a/b", "/a", "b"},
+		{"/a/b/c", "/a/b", "c"},
+	}
+	for _, c := range cases {
+		if got := Parent(c.in); got != c.parent {
+			t.Errorf("Parent(%q) = %q, want %q", c.in, got, c.parent)
+		}
+		if got := Base(c.in); got != c.base {
+			t.Errorf("Base(%q) = %q, want %q", c.in, got, c.base)
+		}
+	}
+}
+
+func TestRecordEncodeDecodeFile(t *testing.T) {
+	rec := &Record{File: &FileRecord{
+		ID:         "f-42",
+		Size:       12345,
+		StripeSize: 1 << 20,
+		Replicas:   2,
+		Classes: []ClassSnapshot{
+			{Name: "own", Weight: 0.29, Nodes: []string{"o0", "o1"}},
+			{Name: "victim", Weight: 0, Nodes: []string{"v0"}},
+		},
+	}}
+	data, err := rec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IsDir() {
+		t.Fatal("file record decoded as dir")
+	}
+	if got.File.ID != "f-42" || got.File.Size != 12345 || got.File.Replicas != 2 {
+		t.Fatalf("round trip mismatch: %+v", got.File)
+	}
+	if len(got.File.Classes) != 2 || got.File.Classes[0].Weight != 0.29 {
+		t.Fatalf("class snapshot lost: %+v", got.File.Classes)
+	}
+}
+
+func TestRecordEncodeDecodeDir(t *testing.T) {
+	rec := &Record{Directory: &DirRecord{Dir: true}}
+	data, err := rec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsDir() {
+		t.Fatal("dir record decoded as file")
+	}
+}
+
+func TestRecordEncodeRejectsMalformed(t *testing.T) {
+	if _, err := (&Record{}).Encode(); err == nil {
+		t.Error("empty record encoded")
+	}
+	both := &Record{File: &FileRecord{}, Directory: &DirRecord{}}
+	if _, err := both.Encode(); err == nil {
+		t.Error("record with both variants encoded")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not json")); err == nil {
+		t.Error("garbage decoded")
+	}
+	if _, err := Decode([]byte("{}")); err == nil {
+		t.Error("empty object decoded")
+	}
+}
+
+func TestKeysDistinct(t *testing.T) {
+	if MetaKey("/a") == DirKey("/a") {
+		t.Error("meta and dir keys collide")
+	}
+}
+
+func TestShardStableAndInRange(t *testing.T) {
+	paths := []string{"/", "/a", "/a/b", "/montage/out/tile-17.fits"}
+	for _, p := range paths {
+		s := Shard(p, 8)
+		if s < 0 || s >= 8 {
+			t.Errorf("Shard(%q, 8) = %d out of range", p, s)
+		}
+		if s != Shard(p, 8) {
+			t.Errorf("Shard(%q) not stable", p)
+		}
+	}
+	if Shard("/x", 0) != 0 {
+		t.Error("Shard with zero nodes should return 0")
+	}
+}
+
+func TestShardSpreads(t *testing.T) {
+	counts := make([]int, 8)
+	for i := 0; i < 8000; i++ {
+		counts[Shard("/wf/stage/"+strings.Repeat("x", i%7)+string(rune('a'+i%26)), 8)]++
+	}
+	// Coarse balance check: no shard should be empty or hold the majority.
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("shard %d empty", i)
+		}
+		if c > 4000 {
+			t.Errorf("shard %d holds %d of 8000", i, c)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package hrw
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DeltaForOwnFraction returns the weight that, assigned to the "own" class
+// while the competing class keeps weight 0, routes approximately fraction f
+// of keys to the own class in a two-class placer.
+//
+// With class hashes u_own, u_victim uniform on [0,1) and the own class
+// winning when u_own - w > u_victim, the own fraction is
+//
+//	f = (1-w)^2 / 2          for w in [0, 1]   (f <= 1/2)
+//	f = 1 - (1+w)^2 / 2      for w in [-1, 0]  (f >= 1/2)
+//
+// so w = 1 - sqrt(2f) when f <= 1/2 and w = sqrt(2(1-f)) - 1 otherwise.
+// f must lie in [0, 1].
+func DeltaForOwnFraction(f float64) (float64, error) {
+	if f < 0 || f > 1 || math.IsNaN(f) {
+		return 0, fmt.Errorf("hrw: fraction %v outside [0,1]", f)
+	}
+	if f <= 0.5 {
+		return 1 - math.Sqrt(2*f), nil
+	}
+	return math.Sqrt(2*(1-f)) - 1, nil
+}
+
+// OwnFractionForDelta is the inverse of DeltaForOwnFraction: the expected
+// fraction of keys routed to the own class when its weight exceeds the
+// victim class's weight by d. d is clamped to [-1, 1].
+func OwnFractionForDelta(d float64) float64 {
+	if d > 1 {
+		d = 1
+	}
+	if d < -1 {
+		d = -1
+	}
+	if d >= 0 {
+		return (1 - d) * (1 - d) / 2
+	}
+	return 1 - (1+d)*(1+d)/2
+}
+
+// CalibrateWeights computes per-class weights that route approximately
+// fractions[i] of keys to class i, for any number of classes. Fractions
+// must be positive and sum to 1 (within 1e-9).
+//
+// There is no closed form for three or more classes, so the weights are fit
+// by deterministic stochastic approximation: `samples` synthetic keys are
+// placed per round and each weight is nudged toward its target share. The
+// returned weights are normalized so the smallest is 0.
+func CalibrateWeights(classNames []string, fractions []float64, samples int) ([]float64, error) {
+	n := len(classNames)
+	if n == 0 || n != len(fractions) {
+		return nil, errors.New("hrw: class names and fractions must be non-empty and equal length")
+	}
+	sum := 0.0
+	for _, f := range fractions {
+		if f <= 0 {
+			return nil, fmt.Errorf("hrw: non-positive fraction %v", f)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("hrw: fractions sum to %v, want 1", sum)
+	}
+	if n == 1 {
+		return []float64{0}, nil
+	}
+	if samples <= 0 {
+		samples = 20000
+	}
+
+	weights := make([]float64, n)
+	counts := make([]int, n)
+	const rounds = 60
+	for round := 0; round < rounds; round++ {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for s := 0; s < samples; s++ {
+			key := fmt.Sprintf("hrw-calib-%d-%d", round, s)
+			best, bestScore := -1, 0.0
+			for i, name := range classNames {
+				sc := Unit(name, key) - weights[i]
+				if best < 0 || sc > bestScore {
+					best, bestScore = i, sc
+				}
+			}
+			counts[best]++
+		}
+		lr := 0.5 * math.Pow(0.93, float64(round))
+		for i := range weights {
+			got := float64(counts[i]) / float64(samples)
+			weights[i] += lr * (got - fractions[i])
+		}
+	}
+	minW := weights[0]
+	for _, w := range weights[1:] {
+		if w < minW {
+			minW = w
+		}
+	}
+	for i := range weights {
+		weights[i] -= minW
+	}
+	return weights, nil
+}

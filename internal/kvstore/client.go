@@ -1,0 +1,389 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by client operations after Close.
+var ErrClosed = errors.New("kvstore: client closed")
+
+// Client is a pooled protocol client for one store server. It is safe for
+// concurrent use: up to poolSize requests proceed in parallel, each on its
+// own authenticated connection. Connections are created lazily.
+type Client struct {
+	addr     string
+	password string
+	timeout  time.Duration
+
+	mu     sync.Mutex
+	idle   []*clientConn
+	total  int
+	max    int
+	closed bool
+	waitCh chan struct{}
+}
+
+type clientConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// DialOptions configures a Client.
+type DialOptions struct {
+	// Password authenticates each connection; empty disables AUTH.
+	Password string
+	// PoolSize bounds concurrent connections (default 4).
+	PoolSize int
+	// Timeout bounds dialing and each request round trip (default 10s).
+	Timeout time.Duration
+}
+
+// Dial creates a client for the server at addr. No connection is opened
+// until the first request.
+func Dial(addr string, opts DialOptions) *Client {
+	if opts.PoolSize <= 0 {
+		opts.PoolSize = 4
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	return &Client{
+		addr:     addr,
+		password: opts.Password,
+		timeout:  opts.Timeout,
+		max:      opts.PoolSize,
+		waitCh:   make(chan struct{}, 1),
+	}
+}
+
+// Addr returns the server address the client talks to.
+func (c *Client) Addr() string { return c.addr }
+
+// Close tears down all idle connections; in-flight requests finish and
+// their connections are then discarded.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, cc := range idle {
+		cc.conn.Close()
+	}
+	return nil
+}
+
+func (c *Client) getConn() (*clientConn, error) {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if n := len(c.idle); n > 0 {
+			cc := c.idle[n-1]
+			c.idle = c.idle[:n-1]
+			c.mu.Unlock()
+			return cc, nil
+		}
+		if c.total < c.max {
+			c.total++
+			c.mu.Unlock()
+			cc, err := c.dialConn()
+			if err != nil {
+				c.mu.Lock()
+				c.total--
+				c.mu.Unlock()
+				c.signal()
+				return nil, err
+			}
+			return cc, nil
+		}
+		c.mu.Unlock()
+		select {
+		case <-c.waitCh:
+		case <-time.After(c.timeout):
+			return nil, fmt.Errorf("kvstore: timed out waiting for a pooled connection to %s", c.addr)
+		}
+	}
+}
+
+func (c *Client) signal() {
+	select {
+	case c.waitCh <- struct{}{}:
+	default:
+	}
+}
+
+func (c *Client) putConn(cc *clientConn, broken bool) {
+	c.mu.Lock()
+	if broken || c.closed {
+		c.total--
+		c.mu.Unlock()
+		cc.conn.Close()
+		c.signal()
+		return
+	}
+	c.idle = append(c.idle, cc)
+	c.mu.Unlock()
+	c.signal()
+}
+
+func (c *Client) dialConn() (*clientConn, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: dial %s: %w", c.addr, err)
+	}
+	cc := &clientConn{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}
+	if c.password != "" {
+		reply, err := cc.roundTrip(c.timeout, []byte("AUTH"), []byte(c.password))
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if err := reply.Err(); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("kvstore: auth to %s: %w", c.addr, err)
+		}
+	}
+	return cc, nil
+}
+
+func (cc *clientConn) roundTrip(timeout time.Duration, args ...[]byte) (*Reply, error) {
+	if err := cc.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	if err := WriteCommand(cc.bw, args...); err != nil {
+		return nil, err
+	}
+	return ReadReply(cc.br)
+}
+
+// do sends one command and decodes the reply, retrying once on a broken
+// pooled connection (the server may have closed an idle one).
+func (c *Client) do(args ...[]byte) (*Reply, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		cc, err := c.getConn()
+		if err != nil {
+			return nil, err
+		}
+		reply, err := cc.roundTrip(c.timeout, args...)
+		if err != nil {
+			c.putConn(cc, true)
+			lastErr = err
+			continue
+		}
+		c.putConn(cc, false)
+		return reply, nil
+	}
+	return nil, lastErr
+}
+
+func bs(ss ...string) [][]byte {
+	out := make([][]byte, len(ss))
+	for i, s := range ss {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+func (c *Client) doSimple(args ...[]byte) error {
+	reply, err := c.do(args...)
+	if err != nil {
+		return err
+	}
+	return reply.Err()
+}
+
+func (c *Client) doInt(args ...[]byte) (int64, error) {
+	reply, err := c.do(args...)
+	if err != nil {
+		return 0, err
+	}
+	if err := reply.Err(); err != nil {
+		return 0, err
+	}
+	if reply.Kind != ':' {
+		return 0, fmt.Errorf("kvstore: unexpected reply kind %q", reply.Kind)
+	}
+	return reply.Int, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error { return c.doSimple([]byte("PING")) }
+
+// Set stores value under key.
+func (c *Client) Set(key string, value []byte) error {
+	return c.doSimple([]byte("SET"), []byte(key), value)
+}
+
+// SetNX stores value only if key is absent, reporting whether it stored.
+func (c *Client) SetNX(key string, value []byte) (bool, error) {
+	n, err := c.doInt([]byte("SETNX"), []byte(key), value)
+	return n == 1, err
+}
+
+// Get fetches key's value; ok is false if the key is absent.
+func (c *Client) Get(key string) (value []byte, ok bool, err error) {
+	reply, err := c.do([]byte("GET"), []byte(key))
+	if err != nil {
+		return nil, false, err
+	}
+	if err := reply.Err(); err != nil {
+		return nil, false, err
+	}
+	if reply.Nil {
+		return nil, false, nil
+	}
+	return reply.Bulk, true, nil
+}
+
+// GetRange fetches length bytes at offset of key's value.
+func (c *Client) GetRange(key string, offset, length int64) (value []byte, ok bool, err error) {
+	reply, err := c.do([]byte("GETRANGE"), []byte(key),
+		[]byte(strconv.FormatInt(offset, 10)), []byte(strconv.FormatInt(length, 10)))
+	if err != nil {
+		return nil, false, err
+	}
+	if err := reply.Err(); err != nil {
+		return nil, false, err
+	}
+	if reply.Nil {
+		return nil, false, nil
+	}
+	return reply.Bulk, true, nil
+}
+
+// SetRange writes value at offset within key's value, zero-extending.
+func (c *Client) SetRange(key string, offset int64, value []byte) error {
+	return c.doSimple([]byte("SETRANGE"), []byte(key),
+		[]byte(strconv.FormatInt(offset, 10)), value)
+}
+
+// Del removes keys, returning how many existed.
+func (c *Client) Del(keys ...string) (int64, error) {
+	args := append(bs("DEL"), bs(keys...)...)
+	return c.doInt(args...)
+}
+
+// Exists reports whether key exists.
+func (c *Client) Exists(key string) (bool, error) {
+	n, err := c.doInt([]byte("EXISTS"), []byte(key))
+	return n == 1, err
+}
+
+// SAdd adds members to the set at key.
+func (c *Client) SAdd(key string, members ...string) (int64, error) {
+	args := append(bs("SADD", key), bs(members...)...)
+	return c.doInt(args...)
+}
+
+// SRem removes members from the set at key.
+func (c *Client) SRem(key string, members ...string) (int64, error) {
+	args := append(bs("SREM", key), bs(members...)...)
+	return c.doInt(args...)
+}
+
+// SMembers lists the set at key, sorted.
+func (c *Client) SMembers(key string) ([]string, error) {
+	reply, err := c.do([]byte("SMEMBERS"), []byte(key))
+	if err != nil {
+		return nil, err
+	}
+	if err := reply.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]string, len(reply.Array))
+	for i, b := range reply.Array {
+		out[i] = string(b)
+	}
+	return out, nil
+}
+
+// SCard returns the cardinality of the set at key.
+func (c *Client) SCard(key string) (int64, error) {
+	return c.doInt([]byte("SCARD"), []byte(key))
+}
+
+// Incr increments the counter at key and returns the new value.
+func (c *Client) Incr(key string) (int64, error) {
+	return c.doInt([]byte("INCR"), []byte(key))
+}
+
+// Keys lists all keys with the given prefix, sorted.
+func (c *Client) Keys(prefix string) ([]string, error) {
+	reply, err := c.do([]byte("KEYS"), []byte(prefix))
+	if err != nil {
+		return nil, err
+	}
+	if err := reply.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]string, len(reply.Array))
+	for i, b := range reply.Array {
+		out[i] = string(b)
+	}
+	return out, nil
+}
+
+// FlushAll clears the store.
+func (c *Client) FlushAll() error { return c.doSimple([]byte("FLUSHALL")) }
+
+// SetMemCap sets the server's memory cap in bytes (0 = unlimited).
+func (c *Client) SetMemCap(n int64) error {
+	return c.doSimple([]byte("MEMCAP"), []byte(strconv.FormatInt(n, 10)))
+}
+
+// Info fetches the server's stats snapshot.
+func (c *Client) Info() (Stats, error) {
+	reply, err := c.do([]byte("INFO"))
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := reply.Err(); err != nil {
+		return Stats{}, err
+	}
+	return parseInfo(string(reply.Bulk))
+}
+
+func parseInfo(s string) (Stats, error) {
+	var st Stats
+	for _, line := range strings.Split(strings.TrimSpace(s), "\n") {
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			return Stats{}, fmt.Errorf("kvstore: malformed INFO line %q", line)
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return Stats{}, fmt.Errorf("kvstore: malformed INFO value %q", line)
+		}
+		switch k {
+		case "bytes_used":
+			st.BytesUsed = n
+		case "max_memory":
+			st.MaxMemory = n
+		case "num_keys":
+			st.NumKeys = int(n)
+		case "num_sets":
+			st.NumSets = int(n)
+		case "total_ops":
+			st.TotalOps = n
+		case "pressure":
+			st.Pressure = n == 1
+		}
+	}
+	return st, nil
+}

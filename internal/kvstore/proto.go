@@ -1,0 +1,262 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The wire protocol is a RESP-like framing (the protocol family Redis
+// speaks, re-implemented from scratch):
+//
+//	command:  *<nargs>\r\n then nargs bulk strings
+//	bulk:     $<len>\r\n<len bytes>\r\n   ($-1\r\n is the nil bulk)
+//	replies:  +simple\r\n  -ERR message\r\n  :integer\r\n  bulk  or
+//	          *<n>\r\n followed by n bulk strings
+//
+// Binary-safe bulk strings carry stripe data unmodified.
+
+// maxBulkLen bounds a single bulk string (64 MiB) to keep a malformed or
+// hostile peer from forcing huge allocations.
+const maxBulkLen = 64 << 20
+
+// maxArrayLen bounds command/reply arity.
+const maxArrayLen = 1 << 20
+
+// errProtocol wraps malformed-frame errors.
+var errProtocol = errors.New("kvstore: protocol error")
+
+// Reply is a decoded protocol reply. Exactly one interpretation applies,
+// indicated by Kind.
+type Reply struct {
+	Kind  byte     // '+', '-', ':', '$', '*'
+	Str   string   // simple string or error text
+	Int   int64    // integer reply
+	Bulk  []byte   // bulk payload; nil for the nil bulk
+	Nil   bool     // true for $-1
+	Array [][]byte // array of bulk strings
+}
+
+// Err returns the reply's error, if it is an error reply.
+func (r *Reply) Err() error {
+	if r.Kind == '-' {
+		return errors.New(r.Str)
+	}
+	return nil
+}
+
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, fmt.Errorf("%w: line not CRLF-terminated", errProtocol)
+	}
+	return line[:len(line)-2], nil
+}
+
+func parseInt(b []byte) (int64, error) {
+	n, err := strconv.ParseInt(string(b), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad integer %q", errProtocol, b)
+	}
+	return n, nil
+}
+
+func readBulk(br *bufio.Reader) ([]byte, bool, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(line) == 0 || line[0] != '$' {
+		return nil, false, fmt.Errorf("%w: expected bulk, got %q", errProtocol, line)
+	}
+	n, err := parseInt(line[1:])
+	if err != nil {
+		return nil, false, err
+	}
+	if n == -1 {
+		return nil, true, nil
+	}
+	if n < 0 || n > maxBulkLen {
+		return nil, false, fmt.Errorf("%w: bulk length %d out of range", errProtocol, n)
+	}
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, false, err
+	}
+	if buf[n] != '\r' || buf[n+1] != '\n' {
+		return nil, false, fmt.Errorf("%w: bulk not CRLF-terminated", errProtocol)
+	}
+	return buf[:n], false, nil
+}
+
+// ReadCommand reads one client command: an array of bulk strings. io.EOF is
+// returned unwrapped on a clean connection close before any bytes.
+func ReadCommand(br *bufio.Reader) ([][]byte, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 || line[0] != '*' {
+		return nil, fmt.Errorf("%w: expected array, got %q", errProtocol, line)
+	}
+	n, err := parseInt(line[1:])
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 || n > maxArrayLen {
+		return nil, fmt.Errorf("%w: array length %d out of range", errProtocol, n)
+	}
+	args := make([][]byte, n)
+	for i := range args {
+		b, isNil, err := readBulk(br)
+		if err != nil {
+			return nil, err
+		}
+		if isNil {
+			return nil, fmt.Errorf("%w: nil bulk inside command", errProtocol)
+		}
+		args[i] = b
+	}
+	return args, nil
+}
+
+// WriteCommand writes a command as an array of bulk strings.
+func WriteCommand(bw *bufio.Writer, args ...[]byte) error {
+	if _, err := fmt.Fprintf(bw, "*%d\r\n", len(args)); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if err := writeBulk(bw, a); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeBulk(bw *bufio.Writer, b []byte) error {
+	if _, err := fmt.Fprintf(bw, "$%d\r\n", len(b)); err != nil {
+		return err
+	}
+	if _, err := bw.Write(b); err != nil {
+		return err
+	}
+	_, err := bw.WriteString("\r\n")
+	return err
+}
+
+// WriteSimple writes a "+..." simple-string reply.
+func WriteSimple(bw *bufio.Writer, s string) error {
+	_, err := fmt.Fprintf(bw, "+%s\r\n", s)
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteError writes a "-..." error reply.
+func WriteError(bw *bufio.Writer, msg string) error {
+	_, err := fmt.Fprintf(bw, "-%s\r\n", msg)
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteInt writes a ":n" integer reply.
+func WriteInt(bw *bufio.Writer, n int64) error {
+	_, err := fmt.Fprintf(bw, ":%d\r\n", n)
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteBulkReply writes a bulk reply; nil means the nil bulk ($-1).
+func WriteBulkReply(bw *bufio.Writer, b []byte, isNil bool) error {
+	if isNil {
+		if _, err := bw.WriteString("$-1\r\n"); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	if err := writeBulk(bw, b); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteArrayReply writes an array-of-bulks reply.
+func WriteArrayReply(bw *bufio.Writer, items [][]byte) error {
+	if _, err := fmt.Fprintf(bw, "*%d\r\n", len(items)); err != nil {
+		return err
+	}
+	for _, it := range items {
+		if err := writeBulk(bw, it); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadReply reads one server reply of any kind.
+func ReadReply(br *bufio.Reader) (*Reply, error) {
+	prefix, err := br.Peek(1)
+	if err != nil {
+		return nil, err
+	}
+	switch prefix[0] {
+	case '+', '-':
+		line, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		return &Reply{Kind: line[0], Str: string(line[1:])}, nil
+	case ':':
+		line, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		n, err := parseInt(line[1:])
+		if err != nil {
+			return nil, err
+		}
+		return &Reply{Kind: ':', Int: n}, nil
+	case '$':
+		b, isNil, err := readBulk(br)
+		if err != nil {
+			return nil, err
+		}
+		return &Reply{Kind: '$', Bulk: b, Nil: isNil}, nil
+	case '*':
+		line, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		n, err := parseInt(line[1:])
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 || n > maxArrayLen {
+			return nil, fmt.Errorf("%w: array length %d out of range", errProtocol, n)
+		}
+		items := make([][]byte, n)
+		for i := range items {
+			b, isNil, err := readBulk(br)
+			if err != nil {
+				return nil, err
+			}
+			if isNil {
+				return nil, fmt.Errorf("%w: nil bulk inside array reply", errProtocol)
+			}
+			items[i] = b
+		}
+		return &Reply{Kind: '*', Array: items}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown reply prefix %q", errProtocol, prefix[0])
+	}
+}

@@ -1,0 +1,341 @@
+package kvstore
+
+import (
+	"bufio"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Server serves the kvstore wire protocol over TCP. One Server wraps one
+// Store — exactly one store process per node, as MemFSS runs Redis
+// (paper §V-C argues a single store process per node minimizes overhead).
+type Server struct {
+	store    *Store
+	password string
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	acceptWG sync.WaitGroup
+}
+
+// NewServer wraps store in a protocol server. A non-empty password enables
+// the AUTH requirement of paper §III-F: only clients holding the password
+// (the own-node clients) may issue commands.
+func NewServer(store *Store, password string) *Server {
+	return &Server{store: store, password: password, conns: make(map[net.Conn]struct{})}
+}
+
+// Store returns the underlying store (for in-process introspection).
+func (s *Server) Store() *Store { return s.store }
+
+// Listen binds addr ("host:port"; ":0" picks a free port) and starts
+// serving in background goroutines. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("kvstore: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("kvstore: server already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.acceptWG.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.acceptWG.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops accepting, closes live connections, and waits for the accept
+// loop to exit. The store's contents are untouched.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.acceptWG.Wait()
+	return nil
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.dropConn(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	authed := s.password == ""
+	for {
+		args, err := ReadCommand(br)
+		if err != nil {
+			if err != io.EOF {
+				// Best effort: a malformed frame is unrecoverable, tell
+				// the client why before dropping the connection.
+				_ = WriteError(bw, "ERR protocol: "+err.Error())
+			}
+			return
+		}
+		cmd := strings.ToUpper(string(args[0]))
+		if !authed && cmd != "AUTH" && cmd != "PING" {
+			if err := WriteError(bw, "NOAUTH authentication required"); err != nil {
+				return
+			}
+			continue
+		}
+		var werr error
+		switch cmd {
+		case "AUTH":
+			if len(args) != 2 {
+				werr = WriteError(bw, "ERR wrong number of arguments for AUTH")
+				break
+			}
+			if s.password == "" {
+				werr = WriteError(bw, "ERR no password is set")
+				break
+			}
+			if subtle.ConstantTimeCompare(args[1], []byte(s.password)) == 1 {
+				authed = true
+				werr = WriteSimple(bw, "OK")
+			} else {
+				werr = WriteError(bw, "WRONGPASS invalid password")
+			}
+		case "PING":
+			werr = WriteSimple(bw, "PONG")
+		default:
+			werr = s.dispatch(bw, cmd, args[1:])
+		}
+		if werr != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one authenticated command and writes its reply.
+func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
+	fail := func(format string, a ...any) error {
+		return WriteError(bw, fmt.Sprintf(format, a...))
+	}
+	storeErr := func(err error) error {
+		switch {
+		case errors.Is(err, ErrOOM):
+			return WriteError(bw, "OOM command not allowed when used memory > maxmemory")
+		case errors.Is(err, ErrWrongType):
+			return WriteError(bw, "WRONGTYPE operation against a key holding the wrong kind of value")
+		default:
+			return WriteError(bw, "ERR "+err.Error())
+		}
+	}
+	switch cmd {
+	case "SET":
+		if len(args) != 2 {
+			return fail("ERR wrong number of arguments for SET")
+		}
+		if err := s.store.Set(string(args[0]), args[1]); err != nil {
+			return storeErr(err)
+		}
+		return WriteSimple(bw, "OK")
+	case "SETNX":
+		if len(args) != 2 {
+			return fail("ERR wrong number of arguments for SETNX")
+		}
+		ok, err := s.store.SetNX(string(args[0]), args[1])
+		if err != nil {
+			return storeErr(err)
+		}
+		if ok {
+			return WriteInt(bw, 1)
+		}
+		return WriteInt(bw, 0)
+	case "GET":
+		if len(args) != 1 {
+			return fail("ERR wrong number of arguments for GET")
+		}
+		v, ok, err := s.store.Get(string(args[0]))
+		if err != nil {
+			return storeErr(err)
+		}
+		return WriteBulkReply(bw, v, !ok)
+	case "GETRANGE":
+		if len(args) != 3 {
+			return fail("ERR wrong number of arguments for GETRANGE")
+		}
+		off, err1 := strconv.ParseInt(string(args[1]), 10, 64)
+		length, err2 := strconv.ParseInt(string(args[2]), 10, 64)
+		if err1 != nil || err2 != nil {
+			return fail("ERR value is not an integer")
+		}
+		v, ok, err := s.store.GetRange(string(args[0]), off, length)
+		if err != nil {
+			return storeErr(err)
+		}
+		return WriteBulkReply(bw, v, !ok)
+	case "SETRANGE":
+		if len(args) != 3 {
+			return fail("ERR wrong number of arguments for SETRANGE")
+		}
+		off, err := strconv.ParseInt(string(args[1]), 10, 64)
+		if err != nil {
+			return fail("ERR value is not an integer")
+		}
+		if err := s.store.SetRange(string(args[0]), off, args[2]); err != nil {
+			return storeErr(err)
+		}
+		return WriteSimple(bw, "OK")
+	case "DEL":
+		if len(args) < 1 {
+			return fail("ERR wrong number of arguments for DEL")
+		}
+		keys := make([]string, len(args))
+		for i, a := range args {
+			keys[i] = string(a)
+		}
+		return WriteInt(bw, int64(s.store.Del(keys...)))
+	case "EXISTS":
+		if len(args) != 1 {
+			return fail("ERR wrong number of arguments for EXISTS")
+		}
+		if s.store.Exists(string(args[0])) {
+			return WriteInt(bw, 1)
+		}
+		return WriteInt(bw, 0)
+	case "SADD":
+		if len(args) < 2 {
+			return fail("ERR wrong number of arguments for SADD")
+		}
+		members := make([]string, len(args)-1)
+		for i, a := range args[1:] {
+			members[i] = string(a)
+		}
+		n, err := s.store.SAdd(string(args[0]), members...)
+		if err != nil {
+			return storeErr(err)
+		}
+		return WriteInt(bw, int64(n))
+	case "SREM":
+		if len(args) < 2 {
+			return fail("ERR wrong number of arguments for SREM")
+		}
+		members := make([]string, len(args)-1)
+		for i, a := range args[1:] {
+			members[i] = string(a)
+		}
+		n, err := s.store.SRem(string(args[0]), members...)
+		if err != nil {
+			return storeErr(err)
+		}
+		return WriteInt(bw, int64(n))
+	case "SMEMBERS":
+		if len(args) != 1 {
+			return fail("ERR wrong number of arguments for SMEMBERS")
+		}
+		members, err := s.store.SMembers(string(args[0]))
+		if err != nil {
+			return storeErr(err)
+		}
+		items := make([][]byte, len(members))
+		for i, m := range members {
+			items[i] = []byte(m)
+		}
+		return WriteArrayReply(bw, items)
+	case "SCARD":
+		if len(args) != 1 {
+			return fail("ERR wrong number of arguments for SCARD")
+		}
+		n, err := s.store.SCard(string(args[0]))
+		if err != nil {
+			return storeErr(err)
+		}
+		return WriteInt(bw, int64(n))
+	case "INCR":
+		if len(args) != 1 {
+			return fail("ERR wrong number of arguments for INCR")
+		}
+		n, err := s.store.Incr(string(args[0]))
+		if err != nil {
+			return storeErr(err)
+		}
+		return WriteInt(bw, n)
+	case "KEYS":
+		if len(args) != 1 {
+			return fail("ERR wrong number of arguments for KEYS")
+		}
+		keys := s.store.Keys(string(args[0]))
+		items := make([][]byte, len(keys))
+		for i, k := range keys {
+			items[i] = []byte(k)
+		}
+		return WriteArrayReply(bw, items)
+	case "FLUSHALL":
+		s.store.FlushAll()
+		return WriteSimple(bw, "OK")
+	case "MEMCAP":
+		if len(args) != 1 {
+			return fail("ERR wrong number of arguments for MEMCAP")
+		}
+		n, err := strconv.ParseInt(string(args[0]), 10, 64)
+		if err != nil || n < 0 {
+			return fail("ERR value is not a valid memory cap")
+		}
+		s.store.SetMaxMemory(n)
+		return WriteSimple(bw, "OK")
+	case "INFO":
+		st := s.store.Stats()
+		pressure := 0
+		if st.Pressure {
+			pressure = 1
+		}
+		info := fmt.Sprintf(
+			"bytes_used:%d\nmax_memory:%d\nnum_keys:%d\nnum_sets:%d\ntotal_ops:%d\npressure:%d\n",
+			st.BytesUsed, st.MaxMemory, st.NumKeys, st.NumSets, st.TotalOps, pressure)
+		return WriteBulkReply(bw, []byte(info), false)
+	default:
+		return fail("ERR unknown command '%s'", cmd)
+	}
+}

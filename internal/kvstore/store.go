@@ -1,0 +1,421 @@
+// Package kvstore implements the in-memory data store MemFSS runs on every
+// own and victim node — the role Redis plays in the paper (§III-D). It is a
+// from-scratch, stdlib-only store with a RESP-like TCP wire protocol,
+// authentication (§III-F), per-store memory caps (the container limit of
+// §III-F), and the introspection the scavenging monitor needs (§III-A).
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// entryOverhead approximates the bookkeeping bytes per stored entry
+// (hash-table slot, headers). It keeps memory accounting honest for
+// many-small-key workloads such as MemFSS metadata.
+const entryOverhead = 64
+
+// ErrOOM is returned when a write would push the store past its memory cap.
+var ErrOOM = errors.New("kvstore: out of memory (over configured cap)")
+
+// ErrWrongType is returned when a key holds the other kind of value
+// (string vs. set) than the operation expects.
+var ErrWrongType = errors.New("kvstore: operation against a key holding the wrong kind of value")
+
+// Stats is a point-in-time snapshot of a store's state.
+type Stats struct {
+	BytesUsed int64 // accounted payload + overhead bytes
+	MaxMemory int64 // configured cap; 0 = unlimited
+	NumKeys   int   // string keys
+	NumSets   int   // set keys
+	TotalOps  int64 // commands executed since start
+	Pressure  bool  // BytesUsed exceeds the pressure watermark
+}
+
+// pressureWatermark is the fill fraction above which Stats.Pressure is
+// reported; the cluster memory monitor uses it to decide when to signal
+// MemFSS to evacuate a victim store.
+const pressureWatermark = 0.9
+
+// Store is the in-memory engine: a flat map of string keys to byte values
+// plus a map of set keys to member sets. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	data   map[string][]byte
+	sets   map[string]map[string]struct{}
+	used   int64
+	maxMem int64
+	ops    int64
+}
+
+// NewStore returns an empty store. maxMemory of 0 means unlimited.
+func NewStore(maxMemory int64) *Store {
+	return &Store{
+		data:   make(map[string][]byte),
+		sets:   make(map[string]map[string]struct{}),
+		maxMem: maxMemory,
+	}
+}
+
+func (s *Store) countOp() { s.ops++ }
+
+// SetMaxMemory adjusts the cap at runtime (the container resize of
+// §III-F). Shrinking below current usage does not evict; it only makes the
+// store report pressure and refuse further writes.
+func (s *Store) SetMaxMemory(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxMem = n
+}
+
+// wouldOverflow reports whether adding delta bytes would exceed the cap.
+func (s *Store) wouldOverflow(delta int64) bool {
+	return s.maxMem > 0 && s.used+delta > s.maxMem
+}
+
+// Set stores value under key, replacing any existing string value.
+func (s *Store) Set(key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.countOp()
+	if _, isSet := s.sets[key]; isSet {
+		return ErrWrongType
+	}
+	old, exists := s.data[key]
+	delta := int64(len(value))
+	if exists {
+		delta -= int64(len(old))
+	} else {
+		delta += int64(len(key)) + entryOverhead
+	}
+	if delta > 0 && s.wouldOverflow(delta) {
+		return ErrOOM
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	s.data[key] = v
+	s.used += delta
+	return nil
+}
+
+// SetNX stores value under key only if the key does not exist (in either
+// namespace). It reports whether the value was stored.
+func (s *Store) SetNX(key string, value []byte) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.countOp()
+	if _, isSet := s.sets[key]; isSet {
+		return false, nil
+	}
+	if _, exists := s.data[key]; exists {
+		return false, nil
+	}
+	delta := int64(len(key)) + int64(len(value)) + entryOverhead
+	if s.wouldOverflow(delta) {
+		return false, ErrOOM
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	s.data[key] = v
+	s.used += delta
+	return true, nil
+}
+
+// Get returns a copy of the value stored under key, and whether it exists.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	s.countOp()
+	if _, isSet := s.sets[key]; isSet {
+		s.mu.Unlock()
+		return nil, false, ErrWrongType
+	}
+	v, ok := s.data[key]
+	var out []byte
+	if ok {
+		out = make([]byte, len(v))
+		copy(out, v)
+	}
+	s.mu.Unlock()
+	return out, ok, nil
+}
+
+// GetRange returns length bytes of key's value starting at offset. Reads
+// past the end are truncated; a missing key yields ok=false.
+func (s *Store) GetRange(key string, offset, length int64) ([]byte, bool, error) {
+	if offset < 0 || length < 0 {
+		return nil, false, fmt.Errorf("kvstore: negative range offset=%d length=%d", offset, length)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.countOp()
+	if _, isSet := s.sets[key]; isSet {
+		return nil, false, ErrWrongType
+	}
+	v, ok := s.data[key]
+	if !ok {
+		return nil, false, nil
+	}
+	if offset >= int64(len(v)) {
+		return []byte{}, true, nil
+	}
+	end := offset + length
+	if end > int64(len(v)) {
+		end = int64(len(v))
+	}
+	out := make([]byte, end-offset)
+	copy(out, v[offset:end])
+	return out, true, nil
+}
+
+// SetRange writes value into key's value at offset, zero-extending the
+// value if needed. Creates the key if missing.
+func (s *Store) SetRange(key string, offset int64, value []byte) error {
+	if offset < 0 {
+		return fmt.Errorf("kvstore: negative offset %d", offset)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.countOp()
+	if _, isSet := s.sets[key]; isSet {
+		return ErrWrongType
+	}
+	old, exists := s.data[key]
+	newLen := int64(len(old))
+	if offset+int64(len(value)) > newLen {
+		newLen = offset + int64(len(value))
+	}
+	delta := newLen - int64(len(old))
+	if !exists {
+		delta += int64(len(key)) + entryOverhead
+	}
+	if delta > 0 && s.wouldOverflow(delta) {
+		return ErrOOM
+	}
+	buf := make([]byte, newLen)
+	copy(buf, old)
+	copy(buf[offset:], value)
+	s.data[key] = buf
+	s.used += delta
+	return nil
+}
+
+// Del removes keys (string or set) and returns how many existed.
+func (s *Store) Del(keys ...string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.countOp()
+	n := 0
+	for _, key := range keys {
+		if v, ok := s.data[key]; ok {
+			s.used -= int64(len(v)) + int64(len(key)) + entryOverhead
+			delete(s.data, key)
+			n++
+			continue
+		}
+		if members, ok := s.sets[key]; ok {
+			for m := range members {
+				s.used -= int64(len(m))
+			}
+			s.used -= int64(len(key)) + entryOverhead
+			delete(s.sets, key)
+			n++
+		}
+	}
+	return n
+}
+
+// Exists reports whether key exists in either namespace.
+func (s *Store) Exists(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.countOp()
+	if _, ok := s.data[key]; ok {
+		return true
+	}
+	_, ok := s.sets[key]
+	return ok
+}
+
+// SAdd adds members to the set at key, creating it if needed. Returns the
+// number of members actually added.
+func (s *Store) SAdd(key string, members ...string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.countOp()
+	if _, isStr := s.data[key]; isStr {
+		return 0, ErrWrongType
+	}
+	set, ok := s.sets[key]
+	var delta int64
+	if !ok {
+		delta += int64(len(key)) + entryOverhead
+	}
+	added := 0
+	fresh := make(map[string]struct{}, len(members))
+	for _, m := range members {
+		if set != nil {
+			if _, dup := set[m]; dup {
+				continue
+			}
+		}
+		if _, dup := fresh[m]; dup {
+			continue
+		}
+		fresh[m] = struct{}{}
+		delta += int64(len(m))
+		added++
+	}
+	if delta > 0 && s.wouldOverflow(delta) {
+		return 0, ErrOOM
+	}
+	if !ok {
+		set = make(map[string]struct{})
+		s.sets[key] = set
+	}
+	for m := range fresh {
+		set[m] = struct{}{}
+	}
+	s.used += delta
+	return added, nil
+}
+
+// SRem removes members from the set at key; an empty set is deleted.
+// Returns the number removed.
+func (s *Store) SRem(key string, members ...string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.countOp()
+	if _, isStr := s.data[key]; isStr {
+		return 0, ErrWrongType
+	}
+	set, ok := s.sets[key]
+	if !ok {
+		return 0, nil
+	}
+	removed := 0
+	for _, m := range members {
+		if _, present := set[m]; present {
+			delete(set, m)
+			s.used -= int64(len(m))
+			removed++
+		}
+	}
+	if len(set) == 0 {
+		delete(s.sets, key)
+		s.used -= int64(len(key)) + entryOverhead
+	}
+	return removed, nil
+}
+
+// SMembers returns the members of the set at key, sorted for determinism.
+func (s *Store) SMembers(key string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.countOp()
+	if _, isStr := s.data[key]; isStr {
+		return nil, ErrWrongType
+	}
+	set := s.sets[key]
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// SCard returns the number of members in the set at key.
+func (s *Store) SCard(key string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.countOp()
+	if _, isStr := s.data[key]; isStr {
+		return 0, ErrWrongType
+	}
+	return len(s.sets[key]), nil
+}
+
+// Incr atomically increments the integer stored at key (missing keys count
+// from 0) and returns the new value.
+func (s *Store) Incr(key string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.countOp()
+	if _, isSet := s.sets[key]; isSet {
+		return 0, ErrWrongType
+	}
+	var n int64
+	old, exists := s.data[key]
+	if exists {
+		var err error
+		n, err = strconv.ParseInt(string(old), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("kvstore: value at %q is not an integer", key)
+		}
+	}
+	n++
+	enc := strconv.FormatInt(n, 10)
+	delta := int64(len(enc)) - int64(len(old))
+	if !exists {
+		delta += int64(len(key)) + entryOverhead
+	}
+	if delta > 0 && s.wouldOverflow(delta) {
+		return 0, ErrOOM
+	}
+	s.data[key] = []byte(enc)
+	s.used += delta
+	return n, nil
+}
+
+// Keys returns all keys (string and set) with the given prefix, sorted.
+// The scavenging manager uses this to drain a victim store.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.countOp()
+	var out []string
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	for k := range s.sets {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FlushAll removes every key.
+func (s *Store) FlushAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.countOp()
+	s.data = make(map[string][]byte)
+	s.sets = make(map[string]map[string]struct{})
+	s.used = 0
+}
+
+// Stats returns a snapshot of the store's state.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		BytesUsed: s.used,
+		MaxMemory: s.maxMem,
+		NumKeys:   len(s.data),
+		NumSets:   len(s.sets),
+		TotalOps:  s.ops,
+	}
+	if s.maxMem > 0 && float64(s.used) > pressureWatermark*float64(s.maxMem) {
+		st.Pressure = true
+	}
+	return st
+}

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunsInTimeOrder(t *testing.T) {
+	var e Engine
+	var fired []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatalf("events out of order: %v", fired)
+	}
+	if len(fired) != 5 {
+		t.Fatalf("fired %d of 5", len(fired))
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	var e Engine
+	var times []float64
+	e.After(1, func() {
+		times = append(times, e.Now())
+		e.After(2, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var e Engine
+	fired := false
+	tm := e.At(1, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer not pending before run")
+	}
+	tm.Cancel()
+	if tm.Pending() {
+		t.Fatal("timer pending after cancel")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	tm.Cancel() // idempotent, post-run
+	var nilT *Timer
+	nilT.Cancel() // safe on nil
+	if nilT.Pending() {
+		t.Fatal("nil timer pending")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 10} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(5)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want events at 1,2,3", fired)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", e.Now())
+	}
+	if e.Empty() {
+		t.Fatal("queue should still hold the event at t=10")
+	}
+	e.Run()
+	if len(fired) != 4 || e.Now() != 10 {
+		t.Fatalf("final: fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestPanicsOnBadSchedules(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	var e Engine
+	e.At(5, func() {})
+	e.RunUntil(5)
+	expectPanic("past schedule", func() { e.At(1, func() {}) })
+	expectPanic("nil fn", func() { e.At(10, nil) })
+	expectPanic("NaN", func() { e.At(nan(), func() {}) })
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+// Property: any multiset of schedule times fires in sorted order and the
+// clock ends at the max.
+func TestOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var e Engine
+		var fired []float64
+		var maxT float64
+		for _, r := range raw {
+			at := float64(r) / 100
+			if at > maxT {
+				maxT = at
+			}
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		if !sort.Float64sAreSorted(fired) {
+			return false
+		}
+		return len(raw) == 0 || e.Now() == maxT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		for j := 0; j < 1000; j++ {
+			e.At(float64(j%97), func() {})
+		}
+		e.Run()
+	}
+}

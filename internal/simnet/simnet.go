@@ -1,0 +1,406 @@
+// Package simnet is a flow-level network model with max-min fair bandwidth
+// sharing, the standard abstraction for cluster-scale simulation: each
+// transfer is a fluid flow constrained by its source NIC's egress capacity,
+// its destination NIC's ingress capacity, an optional per-flow rate cap
+// (client pipeline), and optional extra shared constraints (e.g. a store
+// process's ingest thread); concurrent flows split contended capacities
+// max-min fairly. The model reproduces what the paper's experiments
+// measure on the DAS-5 FDR InfiniBand network — who contends with whom,
+// and at what rate — without simulating packets.
+package simnet
+
+import (
+	"fmt"
+	"math"
+
+	"memfss/internal/sim"
+)
+
+const eps = 1e-9
+
+// capState is the shared water-filling bookkeeping embedded in every NIC
+// direction and extra constraint; it is reset on each rate computation.
+type capState struct {
+	capLeft float64
+	count   int
+}
+
+func (s *capState) fair() float64 {
+	if s.count == 0 {
+		return math.Inf(1)
+	}
+	return s.capLeft / float64(s.count)
+}
+
+// NIC is one node's network interface.
+type NIC struct {
+	name       string
+	egressCap  float64
+	ingressCap float64
+
+	egressRate  float64
+	ingressRate float64
+	egressInt   float64
+	ingressInt  float64
+
+	eg, in capState
+}
+
+// EgressRate returns the NIC's current outbound rate (bytes/s).
+func (n *NIC) EgressRate() float64 { return n.egressRate }
+
+// IngressRate returns the NIC's current inbound rate (bytes/s).
+func (n *NIC) IngressRate() float64 { return n.ingressRate }
+
+// EgressCap returns the configured outbound capacity.
+func (n *NIC) EgressCap() float64 { return n.egressCap }
+
+// IngressCap returns the configured inbound capacity.
+func (n *NIC) IngressCap() float64 { return n.ingressCap }
+
+// UsedIntegrals returns ∫egressRate dt and ∫ingressRate dt so samplers can
+// compute average utilization over a window.
+func (n *NIC) UsedIntegrals() (egress, ingress float64) {
+	return n.egressInt, n.ingressInt
+}
+
+// Constraint is a shared capacity that flows can be attached to beyond
+// their NICs — e.g. a single-threaded store process that can only ingest
+// so many bytes per second regardless of link speed. Create with
+// Network.NewConstraint; attach via StartFlowExt.
+type Constraint struct {
+	name     string
+	capacity float64
+
+	rate    float64
+	usedInt float64
+	st      capState
+}
+
+// Rate returns the total rate currently passing through the constraint.
+func (c *Constraint) Rate() float64 { return c.rate }
+
+// Capacity returns the constraint's configured capacity.
+func (c *Constraint) Capacity() float64 { return c.capacity }
+
+// UsedIntegral returns ∫rate dt for utilization averaging.
+func (c *Constraint) UsedIntegral() float64 { return c.usedInt }
+
+// Flow is one in-flight transfer.
+type Flow struct {
+	src, dst  string
+	srcNIC    *NIC
+	dstNIC    *NIC
+	remaining float64
+	rate      float64
+	rateCap   float64 // per-flow cap; 0 = uncapped
+	extra     []*Constraint
+	done      func()
+	net       *Network
+	idx       int // position in Network.active; -1 when finished
+	fixed     bool
+}
+
+// Rate returns the flow's current max-min fair rate.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// fair returns the flow's tightest remaining fair share during
+// water-filling.
+func (f *Flow) fair() float64 {
+	v := math.Inf(1)
+	if f.srcNIC != f.dstNIC {
+		if x := f.srcNIC.eg.fair(); x < v {
+			v = x
+		}
+		if x := f.dstNIC.in.fair(); x < v {
+			v = x
+		}
+	}
+	for _, c := range f.extra {
+		if x := c.st.fair(); x < v {
+			v = x
+		}
+	}
+	if f.rateCap > 0 && f.rateCap < v {
+		v = f.rateCap
+	}
+	return v
+}
+
+// fix assigns share to the flow and releases its constraints.
+func (f *Flow) fix(share float64) {
+	f.rate = share
+	f.fixed = true
+	if f.srcNIC != f.dstNIC {
+		f.srcNIC.eg.capLeft -= share
+		f.srcNIC.eg.count--
+		f.dstNIC.in.capLeft -= share
+		f.dstNIC.in.count--
+	}
+	for _, c := range f.extra {
+		c.st.capLeft -= share
+		c.st.count--
+	}
+}
+
+// Network is the cluster fabric: full bisection bandwidth (as on DAS-5's
+// InfiniBand), with per-NIC ingress/egress, per-flow caps and extra
+// constraints the only bottlenecks.
+type Network struct {
+	eng         *sim.Engine
+	nics        map[string]*NIC
+	constraints []*Constraint
+	active      []*Flow
+	timer       *sim.Timer
+	lastUpdate  float64
+}
+
+// New creates an empty network on the engine.
+func New(eng *sim.Engine) *Network {
+	if eng == nil {
+		panic("simnet: nil engine")
+	}
+	return &Network{
+		eng:  eng,
+		nics: make(map[string]*NIC),
+	}
+}
+
+// AddNode registers a node's NIC with the given capacities (bytes/s).
+func (n *Network) AddNode(name string, egressCap, ingressCap float64) *NIC {
+	if egressCap <= 0 || ingressCap <= 0 {
+		panic(fmt.Sprintf("simnet: node %s capacities must be positive", name))
+	}
+	if _, dup := n.nics[name]; dup {
+		panic(fmt.Sprintf("simnet: node %s registered twice", name))
+	}
+	nic := &NIC{name: name, egressCap: egressCap, ingressCap: ingressCap}
+	n.nics[name] = nic
+	return nic
+}
+
+// NIC returns a node's NIC (nil if unknown).
+func (n *Network) NIC(name string) *NIC { return n.nics[name] }
+
+// NewConstraint registers an extra shared capacity (bytes/s).
+func (n *Network) NewConstraint(name string, capacity float64) *Constraint {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("simnet: constraint %s capacity must be positive", name))
+	}
+	c := &Constraint{name: name, capacity: capacity}
+	n.constraints = append(n.constraints, c)
+	return c
+}
+
+// StartFlow begins transferring bytes from src to dst; done (may be nil)
+// fires at completion. A flow with src == dst is node-local (no NIC is
+// involved) and completes immediately, before StartFlow returns. Zero or
+// negative sizes also complete immediately.
+func (n *Network) StartFlow(src, dst string, bytes float64, done func()) *Flow {
+	return n.StartFlowExt(src, dst, bytes, 0, nil, done)
+}
+
+// StartFlowExt is StartFlow with a per-flow rate cap (0 = uncapped; models
+// a client-side pipeline such as the FUSE layer's per-stream throughput)
+// and extra shared constraints (e.g. the destination store's ingest
+// thread). Local flows (src == dst) still pass through rateCap and the
+// extra constraints — a local store write is limited by the store thread
+// even though no NIC is involved.
+func (n *Network) StartFlowExt(src, dst string, bytes, rateCap float64, extra []*Constraint, done func()) *Flow {
+	srcNIC, ok := n.nics[src]
+	if !ok {
+		panic(fmt.Sprintf("simnet: unknown source node %s", src))
+	}
+	dstNIC, ok := n.nics[dst]
+	if !ok {
+		panic(fmt.Sprintf("simnet: unknown destination node %s", dst))
+	}
+	if rateCap < 0 {
+		panic("simnet: negative rate cap")
+	}
+	if bytes <= eps || (src == dst && rateCap == 0 && len(extra) == 0) {
+		if done != nil {
+			done()
+		}
+		return nil
+	}
+	n.advance()
+	f := &Flow{
+		src: src, dst: dst, srcNIC: srcNIC, dstNIC: dstNIC,
+		remaining: bytes, rateCap: rateCap, extra: extra, done: done, net: n,
+		idx: len(n.active),
+	}
+	n.active = append(n.active, f)
+	n.reschedule()
+	return f
+}
+
+// removeActive drops a flow from the active slice by swap-remove.
+func (n *Network) removeActive(f *Flow) {
+	last := len(n.active) - 1
+	moved := n.active[last]
+	n.active[f.idx] = moved
+	moved.idx = f.idx
+	n.active[last] = nil
+	n.active = n.active[:last]
+	f.idx = -1
+	f.net = nil
+}
+
+// Cancel aborts a flow; its done callback never fires. Safe on nil and on
+// finished flows.
+func (f *Flow) Cancel() {
+	if f == nil || f.net == nil {
+		return
+	}
+	n := f.net
+	n.advance()
+	n.removeActive(f)
+	n.reschedule()
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *Network) ActiveFlows() int { return len(n.active) }
+
+// advance moves all flows forward at their current rates and integrates
+// NIC and constraint usage.
+func (n *Network) advance() {
+	now := n.eng.Now()
+	dt := now - n.lastUpdate
+	if dt <= 0 {
+		n.lastUpdate = now
+		return
+	}
+	for _, f := range n.active {
+		f.remaining -= f.rate * dt
+	}
+	for _, nic := range n.nics {
+		nic.egressInt += nic.egressRate * dt
+		nic.ingressInt += nic.ingressRate * dt
+	}
+	for _, c := range n.constraints {
+		c.usedInt += c.rate * dt
+	}
+	n.lastUpdate = now
+}
+
+// reschedule recomputes max-min fair rates (progressive water-filling over
+// NIC directions, per-flow caps and extra constraints) and schedules the
+// earliest completion. It allocates nothing: the bookkeeping lives on the
+// NICs, constraints and flows themselves.
+func (n *Network) reschedule() {
+	if n.timer != nil {
+		n.timer.Cancel()
+		n.timer = nil
+	}
+	for _, nic := range n.nics {
+		nic.egressRate, nic.ingressRate = 0, 0
+	}
+	for _, c := range n.constraints {
+		c.rate = 0
+	}
+	if len(n.active) == 0 {
+		return
+	}
+
+	// Reset the water-filling state of every touched capacity.
+	for _, f := range n.active {
+		f.fixed = false
+		f.rate = 0
+		if f.srcNIC != f.dstNIC {
+			f.srcNIC.eg = capState{capLeft: f.srcNIC.egressCap}
+			f.dstNIC.in = capState{capLeft: f.dstNIC.ingressCap}
+		}
+		for _, c := range f.extra {
+			c.st = capState{capLeft: c.capacity}
+		}
+	}
+	for _, f := range n.active {
+		if f.srcNIC != f.dstNIC {
+			f.srcNIC.eg.count++
+			f.dstNIC.in.count++
+		}
+		for _, c := range f.extra {
+			c.st.count++
+		}
+	}
+
+	unfixed := len(n.active)
+	for unfixed > 0 {
+		share := math.Inf(1)
+		for _, f := range n.active {
+			if !f.fixed {
+				if v := f.fair(); v < share {
+					share = v
+				}
+			}
+		}
+		if math.IsInf(share, 1) {
+			break // defensively: no constraint binds anything
+		}
+		progressed := false
+		for _, f := range n.active {
+			if !f.fixed && f.fair() <= share+eps {
+				f.fix(share)
+				unfixed--
+				progressed = true
+			}
+		}
+		if !progressed {
+			for _, f := range n.active {
+				if !f.fixed {
+					f.fix(share)
+					unfixed--
+				}
+			}
+		}
+	}
+
+	next := math.Inf(1)
+	for _, f := range n.active {
+		if f.srcNIC != f.dstNIC {
+			f.srcNIC.egressRate += f.rate
+			f.dstNIC.ingressRate += f.rate
+		}
+		for _, c := range f.extra {
+			c.rate += f.rate
+		}
+		if f.rate > 0 {
+			if t := f.remaining / f.rate; t < next {
+				next = t
+			}
+		}
+	}
+	if math.IsInf(next, 1) {
+		return // no flow can progress (should not happen with positive caps)
+	}
+	if next < 0 {
+		next = 0
+	}
+	n.timer = n.eng.After(next, n.complete)
+}
+
+// complete retires finished flows and reallocates bandwidth. Callbacks run
+// after state is consistent so they may start new flows. A flow counts as
+// finished when its remaining transfer time drops below a nanosecond: an
+// absolute byte epsilon would be smaller than float64 rounding error at
+// gigabyte scales and the clock would stop advancing.
+func (n *Network) complete() {
+	n.timer = nil
+	n.advance()
+	var finished []*Flow
+	for _, f := range n.active {
+		if f.remaining <= eps || (f.rate > 0 && f.remaining/f.rate <= 1e-9) {
+			finished = append(finished, f)
+		}
+	}
+	for _, f := range finished {
+		n.removeActive(f)
+	}
+	n.reschedule()
+	for _, f := range finished {
+		if f.done != nil {
+			f.done()
+		}
+	}
+}

@@ -1,0 +1,388 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"memfss/internal/sim"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6*math.Max(1, math.Abs(b)) }
+
+func twoNodeNet(eg, in float64) (*sim.Engine, *Network) {
+	var e sim.Engine
+	n := New(&e)
+	n.AddNode("a", eg, in)
+	n.AddNode("b", eg, in)
+	return &e, n
+}
+
+func TestSingleFlowSaturatesLink(t *testing.T) {
+	e, n := twoNodeNet(100, 100)
+	var doneAt float64
+	n.StartFlow("a", "b", 1000, func() { doneAt = e.Now() })
+	e.Run()
+	if !almost(doneAt, 10) {
+		t.Fatalf("1000 B at 100 B/s finished at %v, want 10", doneAt)
+	}
+}
+
+func TestTwoFlowsShareEgress(t *testing.T) {
+	var e sim.Engine
+	n := New(&e)
+	n.AddNode("src", 100, 100)
+	n.AddNode("d1", 1000, 1000)
+	n.AddNode("d2", 1000, 1000)
+	var t1, t2 float64
+	n.StartFlow("src", "d1", 500, func() { t1 = e.Now() })
+	n.StartFlow("src", "d2", 500, func() { t2 = e.Now() })
+	e.Run()
+	// Both limited by src egress: 50 B/s each -> 10s.
+	if !almost(t1, 10) || !almost(t2, 10) {
+		t.Fatalf("flows finished at %v, %v, want 10", t1, t2)
+	}
+}
+
+func TestIngressBottleneck(t *testing.T) {
+	var e sim.Engine
+	n := New(&e)
+	n.AddNode("s1", 1000, 1000)
+	n.AddNode("s2", 1000, 1000)
+	n.AddNode("sink", 1000, 100)
+	var t1, t2 float64
+	n.StartFlow("s1", "sink", 500, func() { t1 = e.Now() })
+	n.StartFlow("s2", "sink", 500, func() { t2 = e.Now() })
+	e.Run()
+	if !almost(t1, 10) || !almost(t2, 10) {
+		t.Fatalf("ingress-limited flows at %v, %v, want 10", t1, t2)
+	}
+}
+
+// Max-min property: a flow through an uncontended path gets leftover
+// bandwidth after the bottlenecked flows take their fair share.
+func TestMaxMinFairness(t *testing.T) {
+	var e sim.Engine
+	n := New(&e)
+	n.AddNode("s1", 100, 100)
+	n.AddNode("s2", 100, 100)
+	n.AddNode("x", 150, 150) // shared sink
+	n.StartFlow("s1", "x", 1e9, nil)
+	n.StartFlow("s2", "x", 1e9, nil)
+	e.RunUntil(0.001)
+	// Sink ingress 150 split two ways: 75 each (below src egress 100).
+	if !almost(n.NIC("x").IngressRate(), 150) {
+		t.Fatalf("sink ingress %v, want 150", n.NIC("x").IngressRate())
+	}
+	got1 := n.NIC("s1").EgressRate()
+	got2 := n.NIC("s2").EgressRate()
+	if !almost(got1, 75) || !almost(got2, 75) {
+		t.Fatalf("sources at %v, %v, want 75 each", got1, got2)
+	}
+}
+
+func TestUnevenMaxMin(t *testing.T) {
+	// s1 sends to both x (contended) and y (uncontended). s1 egress 100.
+	// Flow s1->x shares x's ingress 60 with s2->x: 30 each. Flow s1->y
+	// then gets s1's leftover egress 70.
+	var e sim.Engine
+	n := New(&e)
+	n.AddNode("s1", 100, 100)
+	n.AddNode("s2", 100, 100)
+	n.AddNode("x", 1000, 60)
+	n.AddNode("y", 1000, 1000)
+	fx := n.StartFlow("s1", "x", 1e9, nil)
+	n.StartFlow("s2", "x", 1e9, nil)
+	fy := n.StartFlow("s1", "y", 1e9, nil)
+	e.RunUntil(0.001)
+	if !almost(fx.Rate(), 30) {
+		t.Fatalf("contended flow rate %v, want 30", fx.Rate())
+	}
+	if !almost(fy.Rate(), 70) {
+		t.Fatalf("leftover flow rate %v, want 70", fy.Rate())
+	}
+}
+
+func TestBandwidthReallocatedOnCompletion(t *testing.T) {
+	e, n := twoNodeNet(100, 100)
+	var shortAt, longAt float64
+	n.StartFlow("a", "b", 100, func() { shortAt = e.Now() })
+	n.StartFlow("a", "b", 300, func() { longAt = e.Now() })
+	e.Run()
+	// Share 50/50: short done at t=2 (100B). Long has 200 left, now at
+	// 100 B/s -> t=4.
+	if !almost(shortAt, 2) {
+		t.Fatalf("short flow at %v, want 2", shortAt)
+	}
+	if !almost(longAt, 4) {
+		t.Fatalf("long flow at %v, want 4", longAt)
+	}
+}
+
+func TestLocalFlowCompletesImmediately(t *testing.T) {
+	_, n := twoNodeNet(100, 100)
+	fired := false
+	if f := n.StartFlow("a", "a", 1e12, func() { fired = true }); f != nil {
+		t.Fatal("local flow returned a handle")
+	}
+	if !fired {
+		t.Fatal("local flow callback not fired")
+	}
+}
+
+func TestZeroByteFlow(t *testing.T) {
+	_, n := twoNodeNet(100, 100)
+	fired := false
+	n.StartFlow("a", "b", 0, func() { fired = true })
+	if !fired {
+		t.Fatal("zero-byte flow not completed immediately")
+	}
+}
+
+func TestCancelFlow(t *testing.T) {
+	e, n := twoNodeNet(100, 100)
+	fired := false
+	f := n.StartFlow("a", "b", 1000, func() { fired = true })
+	var otherAt float64
+	n.StartFlow("a", "b", 100, func() { otherAt = e.Now() })
+	e.After(1, func() { f.Cancel() })
+	e.Run()
+	if fired {
+		t.Fatal("cancelled flow fired")
+	}
+	// Other: 50 B/s for 1s (50 B), then 100 B/s for 50 B -> t=1.5.
+	if !almost(otherAt, 1.5) {
+		t.Fatalf("other flow at %v, want 1.5", otherAt)
+	}
+	f.Cancel() // idempotent
+	var nilF *Flow
+	nilF.Cancel()
+}
+
+func TestUsageIntegrals(t *testing.T) {
+	e, n := twoNodeNet(100, 100)
+	n.StartFlow("a", "b", 500, nil)
+	e.Run()
+	egA, inA := n.NIC("a").UsedIntegrals()
+	egB, inB := n.NIC("b").UsedIntegrals()
+	if !almost(egA, 500) || !almost(inB, 500) {
+		t.Fatalf("integrals: a.eg=%v b.in=%v, want 500", egA, inB)
+	}
+	if inA != 0 || egB != 0 {
+		t.Fatalf("reverse-direction integrals non-zero: %v %v", inA, egB)
+	}
+	// Utilization over the 5s window: 500 / (100*5) = 1.0 on both ends.
+	util := egA / (n.NIC("a").EgressCap() * e.Now())
+	if !almost(util, 1) {
+		t.Fatalf("egress utilization %v, want 1", util)
+	}
+}
+
+func TestChainedFlowsFromCallback(t *testing.T) {
+	e, n := twoNodeNet(100, 100)
+	var lastAt float64
+	n.StartFlow("a", "b", 100, func() {
+		n.StartFlow("b", "a", 100, func() { lastAt = e.Now() })
+	})
+	e.Run()
+	if !almost(lastAt, 2) {
+		t.Fatalf("chained flows finished at %v, want 2", lastAt)
+	}
+}
+
+func TestPanicsOnUnknownNode(t *testing.T) {
+	_, n := twoNodeNet(100, 100)
+	for _, pair := range [][2]string{{"ghost", "a"}, {"a", "ghost"}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("flow %v accepted", pair)
+				}
+			}()
+			n.StartFlow(pair[0], pair[1], 10, nil)
+		}()
+	}
+}
+
+func TestPanicsOnBadNode(t *testing.T) {
+	var e sim.Engine
+	n := New(&e)
+	n.AddNode("a", 1, 1)
+	for _, fn := range []func(){
+		func() { n.AddNode("a", 1, 1) },
+		func() { n.AddNode("b", 0, 1) },
+		func() { n.AddNode("c", 1, -1) },
+		func() { New(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad node config did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Conservation property: with many concurrent random flows, no NIC ever
+// exceeds its capacity and total bytes delivered equal total bytes sent.
+func TestConservationUnderChurn(t *testing.T) {
+	var e sim.Engine
+	n := New(&e)
+	const nodes = 10
+	for i := 0; i < nodes; i++ {
+		n.AddNode(fmt.Sprintf("n%d", i), 100, 100)
+	}
+	var sent, delivered float64
+	for i := 0; i < 200; i++ {
+		src := fmt.Sprintf("n%d", i%nodes)
+		dst := fmt.Sprintf("n%d", (i*7+3)%nodes)
+		if src == dst {
+			continue
+		}
+		bytes := float64(50 + i%500)
+		sent += bytes
+		b := bytes
+		start := float64(i) * 0.01
+		e.At(start, func() {
+			n.StartFlow(src, dst, b, func() { delivered += b })
+		})
+	}
+	// Sample rates during the run to check capacity bounds.
+	for s := 0; s < 50; s++ {
+		at := float64(s) * 0.05
+		e.At(at, func() {
+			for i := 0; i < nodes; i++ {
+				nic := n.NIC(fmt.Sprintf("n%d", i))
+				if nic.EgressRate() > nic.EgressCap()+1e-6 {
+					t.Errorf("egress rate %v exceeds cap at t=%v", nic.EgressRate(), at)
+				}
+				if nic.IngressRate() > nic.IngressCap()+1e-6 {
+					t.Errorf("ingress rate %v exceeds cap at t=%v", nic.IngressRate(), at)
+				}
+			}
+		})
+	}
+	e.Run()
+	if !almost(delivered, sent) {
+		t.Fatalf("delivered %v of %v bytes", delivered, sent)
+	}
+	if n.ActiveFlows() != 0 {
+		t.Fatalf("%d flows still active", n.ActiveFlows())
+	}
+}
+
+func BenchmarkFlowChurn40Nodes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var e sim.Engine
+		n := New(&e)
+		for j := 0; j < 40; j++ {
+			n.AddNode(fmt.Sprintf("n%d", j), 3e9, 3e9)
+		}
+		for j := 0; j < 512; j++ {
+			src := fmt.Sprintf("n%d", j%8)
+			dst := fmt.Sprintf("n%d", 8+(j%32))
+			e.At(float64(j)*1e-4, func() { n.StartFlow(src, dst, 1e6, nil) })
+		}
+		e.Run()
+	}
+}
+
+func TestPerFlowRateCap(t *testing.T) {
+	e, n := twoNodeNet(1000, 1000)
+	var doneAt float64
+	n.StartFlowExt("a", "b", 500, 50, nil, func() { doneAt = e.Now() })
+	e.Run()
+	// 500 B at a 50 B/s client cap on a 1000 B/s link -> 10 s.
+	if !almost(doneAt, 10) {
+		t.Fatalf("capped flow finished at %v, want 10", doneAt)
+	}
+}
+
+func TestCapLeavesBandwidthForOthers(t *testing.T) {
+	e, n := twoNodeNet(100, 100)
+	var cappedAt, freeAt float64
+	n.StartFlowExt("a", "b", 100, 10, nil, func() { cappedAt = e.Now() })
+	n.StartFlow("a", "b", 450, func() { freeAt = e.Now() })
+	e.Run()
+	// Capped flow: 10 B/s -> 10 s. Free flow gets the leftover 90 B/s
+	// -> 5 s.
+	if !almost(cappedAt, 10) {
+		t.Fatalf("capped flow at %v, want 10", cappedAt)
+	}
+	if !almost(freeAt, 5) {
+		t.Fatalf("uncapped flow at %v, want 5", freeAt)
+	}
+}
+
+func TestExtraConstraintShared(t *testing.T) {
+	var e sim.Engine
+	n := New(&e)
+	n.AddNode("s1", 1000, 1000)
+	n.AddNode("s2", 1000, 1000)
+	n.AddNode("dst", 1000, 1000)
+	store := n.NewConstraint("dst/store", 100) // single-threaded store
+	var t1, t2 float64
+	n.StartFlowExt("s1", "dst", 500, 0, []*Constraint{store}, func() { t1 = e.Now() })
+	n.StartFlowExt("s2", "dst", 500, 0, []*Constraint{store}, func() { t2 = e.Now() })
+	e.RunUntil(0.001)
+	if !almost(store.Rate(), 100) {
+		t.Fatalf("store constraint rate %v, want 100", store.Rate())
+	}
+	e.Run()
+	// 1000 B total through a 100 B/s store -> both done at 10 s.
+	if !almost(t1, 10) || !almost(t2, 10) {
+		t.Fatalf("store-bound flows at %v, %v, want 10", t1, t2)
+	}
+	eg, _ := store.Capacity(), store.UsedIntegral()
+	if eg != 100 {
+		t.Fatalf("capacity %v", eg)
+	}
+	if got := store.UsedIntegral(); !almost(got, 1000) {
+		t.Fatalf("constraint integral %v, want 1000", got)
+	}
+}
+
+func TestLocalFlowThroughConstraint(t *testing.T) {
+	var e sim.Engine
+	n := New(&e)
+	n.AddNode("a", 1e9, 1e9)
+	store := n.NewConstraint("a/store", 100)
+	var doneAt float64
+	// src == dst but the store thread still bounds the transfer.
+	f := n.StartFlowExt("a", "a", 1000, 0, []*Constraint{store}, func() { doneAt = e.Now() })
+	if f == nil {
+		t.Fatal("constrained local flow completed synchronously")
+	}
+	e.Run()
+	if !almost(doneAt, 10) {
+		t.Fatalf("local store-bound flow at %v, want 10", doneAt)
+	}
+	// NIC rates must not be touched by a local flow.
+	if n.NIC("a").EgressRate() != 0 {
+		t.Fatal("local flow charged the NIC")
+	}
+}
+
+func TestConstraintValidation(t *testing.T) {
+	var e sim.Engine
+	n := New(&e)
+	n.AddNode("a", 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-capacity constraint accepted")
+		}
+	}()
+	n.NewConstraint("bad", 0)
+}
+
+func TestNegativeRateCapPanics(t *testing.T) {
+	_, n := twoNodeNet(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative rate cap accepted")
+		}
+	}()
+	n.StartFlowExt("a", "b", 1, -1, nil, nil)
+}

@@ -1,0 +1,291 @@
+// Package simres models shared node resources for the cluster simulator:
+// a processor-sharing resource (CPU cores, memory bandwidth) and a memory
+// capacity ledger. Contention between MemFSS store traffic and tenant
+// applications on victim nodes — the quantity every figure of the paper's
+// evaluation measures — emerges from jobs sharing these resources.
+package simres
+
+import (
+	"fmt"
+	"math"
+
+	"memfss/internal/sim"
+)
+
+// eps absorbs floating-point residue when deciding a job is finished.
+const eps = 1e-9
+
+// PS is a processor-sharing resource: capacity units/second divided
+// equally among active jobs, each job individually capped at perJobCap
+// (e.g. a task cannot use more than one core). With a uniform per-job cap
+// this equal split is exactly max-min fair.
+type PS struct {
+	eng        *sim.Engine
+	name       string
+	capacity   float64
+	perJobCap  float64
+	active     []*Job
+	timer      *sim.Timer
+	lastUpdate float64
+	usedInt    float64 // integral of the served rate over time
+}
+
+// Job is one unit of submitted work.
+type Job struct {
+	remaining float64
+	rate      float64
+	cap       float64 // per-job rate cap; 0 = resource default
+	done      func()
+	res       *PS
+	idx       int // position in PS.active; -1 when finished
+	fixed     bool
+}
+
+// NewPS creates a processor-sharing resource. capacity must be positive;
+// perJobCap of 0 means jobs are limited only by their fair share.
+func NewPS(eng *sim.Engine, name string, capacity, perJobCap float64) *PS {
+	if eng == nil {
+		panic("simres: nil engine")
+	}
+	if capacity <= 0 || math.IsNaN(capacity) {
+		panic(fmt.Sprintf("simres: %s capacity %v must be positive", name, capacity))
+	}
+	if perJobCap < 0 {
+		panic(fmt.Sprintf("simres: %s per-job cap %v negative", name, perJobCap))
+	}
+	return &PS{
+		eng:       eng,
+		name:      name,
+		capacity:  capacity,
+		perJobCap: perJobCap,
+	}
+}
+
+// Name returns the resource's label.
+func (r *PS) Name() string { return r.name }
+
+// Capacity returns the total service rate.
+func (r *PS) Capacity() float64 { return r.capacity }
+
+// Submit enqueues work units to be served; done (may be nil) fires when
+// the job completes. Zero or negative work completes immediately (before
+// Submit returns).
+func (r *PS) Submit(work float64, done func()) *Job {
+	return r.SubmitCapped(work, 0, done)
+}
+
+// SubmitCapped is Submit with an explicit per-job rate cap, overriding the
+// resource's default cap. Use it for demands that are physically
+// rate-limited elsewhere — e.g. a store's memory-bandwidth consumption
+// cannot exceed a multiple of its network ingest rate. A cap of 0 applies
+// the resource default.
+func (r *PS) SubmitCapped(work, rateCap float64, done func()) *Job {
+	if work <= eps {
+		if done != nil {
+			done()
+		}
+		return nil
+	}
+	if rateCap < 0 {
+		panic("simres: negative rate cap")
+	}
+	r.advance()
+	j := &Job{remaining: work, cap: rateCap, done: done, res: r, idx: len(r.active)}
+	r.active = append(r.active, j)
+	r.reschedule()
+	return j
+}
+
+// removeActive drops a job from the active slice by swap-remove.
+func (r *PS) removeActive(j *Job) {
+	last := len(r.active) - 1
+	moved := r.active[last]
+	r.active[j.idx] = moved
+	moved.idx = j.idx
+	r.active[last] = nil
+	r.active = r.active[:last]
+	j.idx = -1
+	j.res = nil
+}
+
+// Cancel removes a job before completion; its done callback never fires.
+// Safe on nil and on already-finished jobs.
+func (j *Job) Cancel() {
+	if j == nil || j.res == nil {
+		return
+	}
+	r := j.res
+	r.advance()
+	r.removeActive(j)
+	r.reschedule()
+}
+
+// Active returns the number of jobs currently being served.
+func (r *PS) Active() int { return len(r.active) }
+
+// CurrentRate returns the total service rate being delivered now.
+func (r *PS) CurrentRate() float64 {
+	total := 0.0
+	for _, j := range r.active {
+		total += j.rate
+	}
+	return total
+}
+
+// UsedIntegral returns ∫ servedRate dt up to the current virtual time —
+// divide a window's delta by (capacity × window) for average utilization.
+func (r *PS) UsedIntegral() float64 {
+	r.advance()
+	return r.usedInt
+}
+
+// advance consumes work at the current rates for the time elapsed since
+// the last update.
+func (r *PS) advance() {
+	now := r.eng.Now()
+	dt := now - r.lastUpdate
+	if dt <= 0 {
+		r.lastUpdate = now
+		return
+	}
+	for _, j := range r.active {
+		j.remaining -= j.rate * dt
+		r.usedInt += j.rate * dt
+	}
+	r.lastUpdate = now
+}
+
+// reschedule recomputes max-min fair rates under per-job caps
+// (progressive water-filling) and schedules the next completion. It
+// allocates nothing.
+func (r *PS) reschedule() {
+	if r.timer != nil {
+		r.timer.Cancel()
+		r.timer = nil
+	}
+	if len(r.active) == 0 {
+		return
+	}
+	capOf := func(j *Job) float64 {
+		if j.cap > 0 {
+			return j.cap
+		}
+		return r.perJobCap // 0 means uncapped
+	}
+	remaining := r.capacity
+	unfixed := len(r.active)
+	for _, j := range r.active {
+		j.fixed = false
+	}
+	for unfixed > 0 {
+		fair := remaining / float64(unfixed)
+		progressed := false
+		for _, j := range r.active {
+			if j.fixed {
+				continue
+			}
+			if c := capOf(j); c > 0 && c <= fair+1e-15 {
+				j.rate = c
+				j.fixed = true
+				remaining -= c
+				unfixed--
+				progressed = true
+			}
+		}
+		if !progressed {
+			for _, j := range r.active {
+				if !j.fixed {
+					j.rate = fair
+					j.fixed = true
+					unfixed--
+				}
+			}
+		}
+	}
+	next := math.Inf(1)
+	for _, j := range r.active {
+		if j.rate > 0 {
+			if t := j.remaining / j.rate; t < next {
+				next = t
+			}
+		}
+	}
+	if math.IsInf(next, 1) {
+		return // every job stalled at rate 0 (capacity exhausted by caps)
+	}
+	if next < 0 {
+		next = 0
+	}
+	r.timer = r.eng.After(next, r.complete)
+}
+
+// complete retires every job whose work is exhausted, then reschedules.
+// Callbacks run after the resource state is consistent, so they may submit
+// new jobs. A job counts as exhausted when its remaining service time
+// drops below a nanosecond — an absolute epsilon would be smaller than
+// float64 rounding error at byte-scale work sizes and the simulation
+// would spin without advancing the clock.
+func (r *PS) complete() {
+	r.timer = nil
+	r.advance()
+	var finished []*Job
+	for _, j := range r.active {
+		if j.remaining <= eps || (j.rate > 0 && j.remaining/j.rate <= 1e-9) {
+			finished = append(finished, j)
+		}
+	}
+	for _, j := range finished {
+		r.removeActive(j)
+	}
+	r.reschedule()
+	for _, j := range finished {
+		if j.done != nil {
+			j.done()
+		}
+	}
+}
+
+// Memory is a per-node memory-capacity ledger.
+type Memory struct {
+	capacity int64
+	used     int64
+}
+
+// NewMemory creates a ledger with the given capacity in bytes.
+func NewMemory(capacity int64) *Memory {
+	if capacity < 0 {
+		panic("simres: negative memory capacity")
+	}
+	return &Memory{capacity: capacity}
+}
+
+// Alloc reserves n bytes, reporting false (and reserving nothing) if the
+// capacity would be exceeded.
+func (m *Memory) Alloc(n int64) bool {
+	if n < 0 {
+		panic("simres: negative allocation")
+	}
+	if m.used+n > m.capacity {
+		return false
+	}
+	m.used += n
+	return true
+}
+
+// Free releases n bytes. Releasing more than is allocated panics — it
+// indicates broken accounting in the caller.
+func (m *Memory) Free(n int64) {
+	if n < 0 || n > m.used {
+		panic(fmt.Sprintf("simres: freeing %d of %d used bytes", n, m.used))
+	}
+	m.used -= n
+}
+
+// Used returns the allocated byte count.
+func (m *Memory) Used() int64 { return m.used }
+
+// Capacity returns the total byte capacity.
+func (m *Memory) Capacity() int64 { return m.capacity }
+
+// Available returns the unallocated byte count.
+func (m *Memory) Available() int64 { return m.capacity - m.used }

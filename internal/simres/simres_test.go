@@ -1,0 +1,285 @@
+package simres
+
+import (
+	"math"
+	"testing"
+
+	"memfss/internal/sim"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSingleJobRunsAtCap(t *testing.T) {
+	var e sim.Engine
+	cpu := NewPS(&e, "cpu", 16, 1) // 16 cores, 1 core per task
+	var doneAt float64
+	cpu.Submit(10, func() { doneAt = e.Now() }) // 10 core-seconds
+	e.Run()
+	if !almost(doneAt, 10) {
+		t.Fatalf("1 task with 1-core cap finished at %v, want 10", doneAt)
+	}
+}
+
+func TestUncappedJobUsesWholeResource(t *testing.T) {
+	var e sim.Engine
+	bw := NewPS(&e, "membw", 40, 0) // 40 GB/s, no per-job cap
+	var doneAt float64
+	bw.Submit(80, func() { doneAt = e.Now() })
+	e.Run()
+	if !almost(doneAt, 2) {
+		t.Fatalf("80 GB at 40 GB/s finished at %v, want 2", doneAt)
+	}
+}
+
+func TestFairSharing(t *testing.T) {
+	var e sim.Engine
+	r := NewPS(&e, "r", 10, 0)
+	var first, second float64
+	r.Submit(10, func() { first = e.Now() })
+	r.Submit(10, func() { second = e.Now() })
+	e.Run()
+	// Both share 10 units/s equally: each runs at 5, finishing at t=2.
+	if !almost(first, 2) || !almost(second, 2) {
+		t.Fatalf("equal jobs finished at %v and %v, want 2", first, second)
+	}
+}
+
+func TestRateReallocatesOnCompletion(t *testing.T) {
+	var e sim.Engine
+	r := NewPS(&e, "r", 10, 0)
+	var shortDone, longDone float64
+	r.Submit(5, func() { shortDone = e.Now() }) // shares 5/s -> done at 1
+	r.Submit(15, func() { longDone = e.Now() }) // 5/s until t=1, then 10/s
+	e.Run()
+	if !almost(shortDone, 1) {
+		t.Fatalf("short job at %v, want 1", shortDone)
+	}
+	// Long job: 5 units by t=1, remaining 10 at 10/s -> t=2.
+	if !almost(longDone, 2) {
+		t.Fatalf("long job at %v, want 2", longDone)
+	}
+}
+
+func TestPerJobCapLimitsUnderSubscription(t *testing.T) {
+	var e sim.Engine
+	cpu := NewPS(&e, "cpu", 16, 1)
+	var times []float64
+	for i := 0; i < 4; i++ {
+		cpu.Submit(10, func() { times = append(times, e.Now()) })
+	}
+	e.Run()
+	// 4 tasks on 16 cores: each runs at exactly 1 core.
+	for _, at := range times {
+		if !almost(at, 10) {
+			t.Fatalf("task finished at %v, want 10", at)
+		}
+	}
+}
+
+func TestOversubscriptionSharesFairly(t *testing.T) {
+	var e sim.Engine
+	cpu := NewPS(&e, "cpu", 2, 1)
+	var times []float64
+	for i := 0; i < 4; i++ {
+		cpu.Submit(10, func() { times = append(times, e.Now()) })
+	}
+	e.Run()
+	// 4 tasks on 2 cores: each at 0.5 core -> 20s.
+	for _, at := range times {
+		if !almost(at, 20) {
+			t.Fatalf("task finished at %v, want 20", at)
+		}
+	}
+}
+
+func TestLateArrivalInterferes(t *testing.T) {
+	var e sim.Engine
+	r := NewPS(&e, "r", 10, 0)
+	var aDone float64
+	r.Submit(15, func() { aDone = e.Now() })
+	e.After(1, func() {
+		r.Submit(100, nil)
+	})
+	e.Run()
+	// A runs alone at 10/s for 1s (10 done), then shares at 5/s for the
+	// remaining 5 -> done at t=2.
+	if !almost(aDone, 2) {
+		t.Fatalf("job finished at %v, want 2", aDone)
+	}
+}
+
+func TestZeroWorkCompletesImmediately(t *testing.T) {
+	var e sim.Engine
+	r := NewPS(&e, "r", 1, 0)
+	fired := false
+	if j := r.Submit(0, func() { fired = true }); j != nil {
+		t.Fatal("zero-work job returned a handle")
+	}
+	if !fired {
+		t.Fatal("zero-work callback not fired")
+	}
+	r.Submit(-5, nil) // must not panic or hang
+	e.Run()
+}
+
+func TestCancelJob(t *testing.T) {
+	var e sim.Engine
+	r := NewPS(&e, "r", 10, 0)
+	fired := false
+	j := r.Submit(100, func() { fired = true })
+	var otherDone float64
+	r.Submit(10, func() { otherDone = e.Now() })
+	e.After(1, func() { j.Cancel() })
+	e.Run()
+	if fired {
+		t.Fatal("cancelled job fired its callback")
+	}
+	// Other job: 5/s for 1s (5 done), then 10/s for remaining 5 -> 1.5s.
+	if !almost(otherDone, 1.5) {
+		t.Fatalf("other job at %v, want 1.5", otherDone)
+	}
+	j.Cancel() // idempotent
+	var nilJob *Job
+	nilJob.Cancel()
+}
+
+func TestUsedIntegralTracksUtilization(t *testing.T) {
+	var e sim.Engine
+	cpu := NewPS(&e, "cpu", 16, 1)
+	cpu.Submit(10, nil) // one core busy for 10s
+	e.Run()
+	used := cpu.UsedIntegral()
+	if !almost(used, 10) {
+		t.Fatalf("used integral %v, want 10 core-seconds", used)
+	}
+	// Average utilization over the 10s window: 1/16.
+	util := used / (cpu.Capacity() * e.Now())
+	if !almost(util, 1.0/16) {
+		t.Fatalf("utilization %v, want %v", util, 1.0/16)
+	}
+}
+
+func TestCurrentRateAndActive(t *testing.T) {
+	var e sim.Engine
+	r := NewPS(&e, "r", 10, 4)
+	r.Submit(100, nil)
+	r.Submit(100, nil)
+	e.RunUntil(0.001)
+	if r.Active() != 2 {
+		t.Fatalf("Active = %d", r.Active())
+	}
+	// Two jobs, fair share 5 each but capped at 4 -> total 8.
+	if !almost(r.CurrentRate(), 8) {
+		t.Fatalf("CurrentRate = %v, want 8", r.CurrentRate())
+	}
+}
+
+func TestCallbackMaySubmit(t *testing.T) {
+	var e sim.Engine
+	r := NewPS(&e, "r", 1, 0)
+	var chainDone float64
+	r.Submit(1, func() {
+		r.Submit(1, func() { chainDone = e.Now() })
+	})
+	e.Run()
+	if !almost(chainDone, 2) {
+		t.Fatalf("chained jobs finished at %v, want 2", chainDone)
+	}
+}
+
+func TestPSPanicsOnBadConfig(t *testing.T) {
+	var e sim.Engine
+	for _, fn := range []func(){
+		func() { NewPS(nil, "x", 1, 0) },
+		func() { NewPS(&e, "x", 0, 0) },
+		func() { NewPS(&e, "x", -1, 0) },
+		func() { NewPS(&e, "x", 1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad PS config did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMemoryLedger(t *testing.T) {
+	m := NewMemory(100)
+	if !m.Alloc(60) {
+		t.Fatal("alloc within capacity failed")
+	}
+	if m.Alloc(50) {
+		t.Fatal("over-capacity alloc succeeded")
+	}
+	if m.Used() != 60 || m.Available() != 40 || m.Capacity() != 100 {
+		t.Fatalf("ledger state: used=%d avail=%d", m.Used(), m.Available())
+	}
+	m.Free(60)
+	if m.Used() != 0 {
+		t.Fatalf("used = %d after free", m.Used())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("over-free did not panic")
+			}
+		}()
+		m.Free(1)
+	}()
+}
+
+func BenchmarkPSChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var e sim.Engine
+		r := NewPS(&e, "r", 16, 1)
+		for j := 0; j < 256; j++ {
+			r.Submit(float64(j%13)+1, nil)
+		}
+		e.Run()
+	}
+}
+
+func TestSubmitCappedLimitsJob(t *testing.T) {
+	var e sim.Engine
+	r := NewPS(&e, "membw", 40, 0)
+	var cappedDone, streamDone float64
+	// A store-side job capped at 2 units/s must not steal half the
+	// resource from an uncapped STREAM-like job.
+	r.SubmitCapped(20, 2, func() { cappedDone = e.Now() })
+	r.Submit(380, func() { streamDone = e.Now() })
+	e.Run()
+	if !almost(cappedDone, 10) {
+		t.Fatalf("capped job at %v, want 10 (20 units at 2/s)", cappedDone)
+	}
+	// STREAM: 38/s while the capped job runs (0..10s -> 380 units). Done
+	// at exactly t=10.
+	if !almost(streamDone, 10) {
+		t.Fatalf("uncapped job at %v, want 10", streamDone)
+	}
+}
+
+func TestSubmitCappedWaterFilling(t *testing.T) {
+	var e sim.Engine
+	r := NewPS(&e, "r", 12, 0)
+	a := r.SubmitCapped(1000, 2, nil) // capped low
+	b := r.SubmitCapped(1000, 5, nil) // capped middle
+	c := r.Submit(1000, nil)          // uncapped takes the rest
+	e.RunUntil(0.0001)
+	if !almost(a.rate, 2) || !almost(b.rate, 5) || !almost(c.rate, 5) {
+		t.Fatalf("rates %v %v %v, want 2 5 5", a.rate, b.rate, c.rate)
+	}
+}
+
+func TestSubmitCappedNegativePanics(t *testing.T) {
+	var e sim.Engine
+	r := NewPS(&e, "r", 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative cap did not panic")
+		}
+	}()
+	r.SubmitCapped(1, -1, nil)
+}

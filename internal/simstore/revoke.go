@@ -1,0 +1,161 @@
+package simstore
+
+import (
+	"fmt"
+
+	"memfss/internal/cluster"
+	"memfss/internal/hrw"
+	"memfss/internal/simnet"
+)
+
+// RevokeVictim withdraws a victim node from the deployment — the
+// simulated counterpart of the monitor's "tenant needs its memory back"
+// signal (paper §III-A): new data immediately avoids the node, and its
+// resident bytes drain over the network to the remaining nodes as
+// evacuation flows, consuming real bandwidth and store capacity. done
+// (may be nil) fires when the drain completes.
+func (fs *FS) RevokeVictim(nodeID string, done func()) error {
+	var victim *cluster.Node
+	rest := make([]*cluster.Node, 0, len(fs.victims))
+	for _, v := range fs.victims {
+		if v.ID == nodeID {
+			victim = v
+			continue
+		}
+		rest = append(rest, v)
+	}
+	if victim == nil {
+		return fmt.Errorf("simstore: %q is not a victim node", nodeID)
+	}
+
+	// Rebuild the placer without the node so new stripes avoid it.
+	ownIDs := make([]string, len(fs.own))
+	for i, n := range fs.own {
+		ownIDs[i] = n.ID
+	}
+	classes := []hrw.Class{{Name: "own", Nodes: ownIDs}}
+	if len(rest) > 0 && fs.ownFraction < 1 {
+		d, err := hrw.DeltaForOwnFraction(fs.ownFraction)
+		if err != nil {
+			return err
+		}
+		vIDs := make([]string, len(rest))
+		for i, n := range rest {
+			vIDs[i] = n.ID
+		}
+		if d >= 0 {
+			classes[0].Weight = d
+		}
+		vc := hrw.Class{Name: "victim", Nodes: vIDs}
+		if d < 0 {
+			vc.Weight = -d
+		}
+		classes = append(classes, vc)
+	}
+	placer, err := hrw.NewPlacer(classes...)
+	if err != nil {
+		return err
+	}
+	fs.placer = placer
+	fs.victims = rest
+
+	// Drain the resident bytes: evacuation flows to the remaining nodes,
+	// victims first (respecting their caps), spilling to own nodes.
+	drain := fs.stored[nodeID]
+	fs.stored[nodeID] = 0
+	if drain == 0 {
+		if done != nil {
+			done()
+		}
+		return nil
+	}
+	targets := fs.drainTargets(drain, rest)
+	remaining := len(targets)
+	if remaining == 0 {
+		if done != nil {
+			done()
+		}
+		return nil
+	}
+	for _, t := range targets {
+		t := t
+		store := t.node
+		bytes := float64(t.bytes)
+		cpuWork := bytes * fs.costs.CPUSecPerByte
+		memWork := bytes * fs.costs.MemBWBytesPerByte
+		var extra []*simnet.Constraint
+		if th := fs.storeThread[store.ID]; th != nil {
+			extra = append(extra, th)
+		}
+		flowDone := func() {
+			fs.stored[store.ID] += t.bytes
+			remaining--
+			if remaining == 0 && done != nil {
+				done()
+			}
+		}
+		f := fs.cls.Net.StartFlowExt(nodeID, store.ID, bytes, fs.costs.streamCap(1<<20), extra, flowDone)
+		if f != nil {
+			rate := f.Rate()
+			store.CPU.SubmitCapped(cpuWork, rate*fs.costs.CPUSecPerByte, nil)
+			store.MemBW.SubmitCapped(memWork, rate*fs.costs.MemBWBytesPerByte, nil)
+		} else {
+			store.CPU.Submit(cpuWork, nil)
+			store.MemBW.Submit(memWork, nil)
+		}
+	}
+	return nil
+}
+
+// drainShare pairs a drain destination with its byte share.
+type drainShare struct {
+	node  *cluster.Node
+	bytes int64
+}
+
+// drainTargets splits drain bytes across the remaining victims (up to
+// their caps) and spills the rest evenly over the own nodes.
+func (fs *FS) drainTargets(drain int64, rest []*cluster.Node) []drainShare {
+	var out []drainShare
+	if len(rest) > 0 {
+		per := drain / int64(len(rest))
+		for _, v := range rest {
+			b := per
+			if fs.victimCap > 0 {
+				room := fs.victimCap - fs.stored[v.ID]
+				if room < 0 {
+					room = 0
+				}
+				if b > room {
+					b = room
+				}
+			}
+			if b > 0 {
+				out = append(out, drainShare{node: v, bytes: b})
+				drain -= b
+			}
+		}
+	}
+	if drain > 0 && len(fs.own) > 0 {
+		per := drain / int64(len(fs.own))
+		leftover := drain - per*int64(len(fs.own))
+		for i, o := range fs.own {
+			b := per
+			if i == 0 {
+				b += leftover
+			}
+			if b > 0 {
+				out = append(out, drainShare{node: o, bytes: b})
+			}
+		}
+	}
+	return out
+}
+
+// Victims returns the current victim node set (shrinks as revocations
+// happen).
+func (fs *FS) Victims() []*cluster.Node {
+	out := make([]*cluster.Node, len(fs.victims))
+	copy(out, fs.victims)
+	return out
+}

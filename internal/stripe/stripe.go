@@ -1,0 +1,104 @@
+// Package stripe implements the file striping used by the MemFSS POSIX
+// layer (paper §III-C): files are split into fixed-size stripes so that load
+// is balanced across the nodes of a class, and the HRW protocol is applied
+// to each stripe independently to decide which node stores it.
+package stripe
+
+import (
+	"fmt"
+)
+
+// DefaultSize is the stripe size MemFSS uses unless configured otherwise.
+// 1 MiB keeps per-stripe overhead negligible for the paper's workloads
+// (Montage 1–4 MB files, BLAST hundreds of MB, dd 128 MB) while producing
+// enough stripes per file to balance nodes within a class.
+const DefaultSize int64 = 1 << 20
+
+// Layout describes how a file's bytes map onto stripes. The zero value is
+// invalid; use NewLayout.
+type Layout struct {
+	size int64
+}
+
+// NewLayout returns a Layout with the given stripe size in bytes.
+func NewLayout(stripeSize int64) (Layout, error) {
+	if stripeSize <= 0 {
+		return Layout{}, fmt.Errorf("stripe: size %d must be positive", stripeSize)
+	}
+	return Layout{size: stripeSize}, nil
+}
+
+// Size returns the stripe size in bytes.
+func (l Layout) Size() int64 { return l.size }
+
+// Count returns the number of stripes needed to hold fileSize bytes.
+// A zero-length file has zero stripes.
+func (l Layout) Count(fileSize int64) int64 {
+	if fileSize <= 0 {
+		return 0
+	}
+	return (fileSize + l.size - 1) / l.size
+}
+
+// Key returns the placement key for stripe idx of the file identified by
+// fileID. The key is what MemFSS feeds to the two-layer HRW protocol, and
+// it doubles as the stripe's key in the data store.
+func Key(fileID string, idx int64) string {
+	return fmt.Sprintf("%s#%d", fileID, idx)
+}
+
+// Span is a contiguous byte range inside one stripe, produced by slicing a
+// file-level [offset, offset+length) range along stripe boundaries.
+type Span struct {
+	Index  int64 // stripe index within the file
+	Offset int64 // byte offset within the stripe
+	Length int64 // bytes covered within the stripe
+}
+
+// Spans slices the file-level range [offset, offset+length) into per-stripe
+// spans, in ascending stripe order. Negative offset or length is an error.
+func (l Layout) Spans(offset, length int64) ([]Span, error) {
+	if offset < 0 {
+		return nil, fmt.Errorf("stripe: negative offset %d", offset)
+	}
+	if length < 0 {
+		return nil, fmt.Errorf("stripe: negative length %d", length)
+	}
+	if length == 0 {
+		return nil, nil
+	}
+	first := offset / l.size
+	last := (offset + length - 1) / l.size
+	spans := make([]Span, 0, last-first+1)
+	for idx := first; idx <= last; idx++ {
+		start := idx * l.size
+		end := start + l.size
+		so := int64(0)
+		if offset > start {
+			so = offset - start
+		}
+		se := l.size
+		if offset+length < end {
+			se = offset + length - start
+		}
+		spans = append(spans, Span{Index: idx, Offset: so, Length: se - so})
+	}
+	return spans, nil
+}
+
+// StripeLen returns the length in bytes of stripe idx for a file of
+// fileSize bytes: full stripes everywhere except a possibly short tail.
+// It returns 0 for stripes beyond the end of the file.
+func (l Layout) StripeLen(fileSize, idx int64) int64 {
+	if idx < 0 || fileSize <= 0 {
+		return 0
+	}
+	start := idx * l.size
+	if start >= fileSize {
+		return 0
+	}
+	if start+l.size > fileSize {
+		return fileSize - start
+	}
+	return l.size
+}

@@ -1,0 +1,161 @@
+package stripe
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustLayout(t *testing.T, size int64) Layout {
+	t.Helper()
+	l, err := NewLayout(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewLayoutRejectsNonPositive(t *testing.T) {
+	for _, s := range []int64{0, -1, -100} {
+		if _, err := NewLayout(s); err == nil {
+			t.Errorf("size %d accepted", s)
+		}
+	}
+	if l := mustLayout(t, 4096); l.Size() != 4096 {
+		t.Errorf("Size() = %d", l.Size())
+	}
+}
+
+func TestCount(t *testing.T) {
+	l := mustLayout(t, 100)
+	cases := []struct{ size, want int64 }{
+		{0, 0}, {-5, 0}, {1, 1}, {99, 1}, {100, 1}, {101, 2}, {1000, 10}, {1001, 11},
+	}
+	for _, c := range cases {
+		if got := l.Count(c.size); got != c.want {
+			t.Errorf("Count(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestKeyDistinct(t *testing.T) {
+	if Key("f", 12) == Key("f", 13) {
+		t.Error("stripe indices collide")
+	}
+	if Key("f1", 2) == Key("f", 12) {
+		t.Error("file/index boundary ambiguous") // "f1"#2 vs "f"#12
+	}
+}
+
+func TestSpansErrors(t *testing.T) {
+	l := mustLayout(t, 100)
+	if _, err := l.Spans(-1, 10); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := l.Spans(0, -1); err == nil {
+		t.Error("negative length accepted")
+	}
+	if s, err := l.Spans(50, 0); err != nil || s != nil {
+		t.Errorf("zero length: spans=%v err=%v", s, err)
+	}
+}
+
+func TestSpansSingleStripe(t *testing.T) {
+	l := mustLayout(t, 100)
+	s, err := l.Spans(30, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 1 || s[0] != (Span{Index: 0, Offset: 30, Length: 40}) {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestSpansCrossBoundary(t *testing.T) {
+	l := mustLayout(t, 100)
+	s, err := l.Spans(250, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Span{
+		{Index: 2, Offset: 50, Length: 50},
+		{Index: 3, Offset: 0, Length: 100},
+		{Index: 4, Offset: 0, Length: 100},
+		{Index: 5, Offset: 0, Length: 50},
+	}
+	if len(s) != len(want) {
+		t.Fatalf("got %d spans, want %d: %+v", len(s), len(want), s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("span %d: got %+v, want %+v", i, s[i], want[i])
+		}
+	}
+}
+
+// Property: spans tile the requested range exactly — contiguous, ordered,
+// inside stripe bounds, and summing to the requested length.
+func TestSpansTileRange(t *testing.T) {
+	f := func(rawSize uint16, rawOff, rawLen uint32) bool {
+		size := int64(rawSize%8192) + 1
+		off := int64(rawOff % 1_000_000)
+		length := int64(rawLen % 1_000_000)
+		l, err := NewLayout(size)
+		if err != nil {
+			return false
+		}
+		spans, err := l.Spans(off, length)
+		if err != nil {
+			return false
+		}
+		pos := off
+		var total int64
+		for _, sp := range spans {
+			if sp.Offset < 0 || sp.Length <= 0 || sp.Offset+sp.Length > size {
+				return false
+			}
+			if sp.Index*size+sp.Offset != pos {
+				return false
+			}
+			pos += sp.Length
+			total += sp.Length
+		}
+		return total == length
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripeLen(t *testing.T) {
+	l := mustLayout(t, 100)
+	cases := []struct{ fileSize, idx, want int64 }{
+		{250, 0, 100}, {250, 1, 100}, {250, 2, 50}, {250, 3, 0},
+		{100, 0, 100}, {100, 1, 0},
+		{0, 0, 0}, {50, -1, 0},
+	}
+	for _, c := range cases {
+		if got := l.StripeLen(c.fileSize, c.idx); got != c.want {
+			t.Errorf("StripeLen(%d,%d) = %d, want %d", c.fileSize, c.idx, got, c.want)
+		}
+	}
+}
+
+// Property: per-stripe lengths sum to the file size.
+func TestStripeLenSumsToFileSize(t *testing.T) {
+	f := func(rawSize uint16, rawFile uint32) bool {
+		size := int64(rawSize%4096) + 1
+		fileSize := int64(rawFile % 5_000_000)
+		l, err := NewLayout(size)
+		if err != nil {
+			return false
+		}
+		var sum int64
+		for i := int64(0); i < l.Count(fileSize); i++ {
+			sum += l.StripeLen(fileSize, i)
+		}
+		return sum == fileSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

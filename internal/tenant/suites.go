@@ -1,0 +1,130 @@
+package tenant
+
+// Benchmark catalogs. Per-node demands are sized for DAS-5-class victim
+// nodes (16 cores, 64 GB, 3 GB/s NIC, 40 GB/s memory bandwidth) with the
+// paper's tuning: benchmarks use all cores and up to 48 GB per node
+// (§IV-A2). Sensitivities encode each benchmark's published bottleneck:
+// STREAM lives on memory bandwidth, the HPCC latency test on small-message
+// latency, TeraSort on shuffle bandwidth and memory, DFSIO-read on the
+// page cache, and everything on Spark additionally on JVM heap headroom.
+
+const gb = 1e9
+
+// HPCC returns the HPC Challenge suite (§IV-A2): the benchmark categories
+// suggested on the HPCC website, as plotted in Figure 3.
+func HPCC() []Benchmark {
+	mk := func(name string, p Phase) Benchmark {
+		p.Name = "run"
+		return Benchmark{Name: name, Suite: "HPCC", Phases: []Phase{p}}
+	}
+	return []Benchmark{
+		mk("G-HPL", Phase{
+			CPUSeconds: 90, MemBWBytes: 600 * gb, NetBytes: 40 * gb,
+			MemBytes: 45 << 30, LatencySensitivity: 0.02,
+		}),
+		mk("G-PTRANS", Phase{
+			CPUSeconds: 15, MemBWBytes: 800 * gb, NetBytes: 150 * gb,
+			MemBytes: 40 << 30, LatencySensitivity: 0.02,
+		}),
+		mk("G-FFT", Phase{
+			CPUSeconds: 30, MemBWBytes: 900 * gb, NetBytes: 80 * gb,
+			MemBytes: 40 << 30, LatencySensitivity: 0.04,
+		}),
+		mk("G-RandomAccess", Phase{
+			CPUSeconds: 25, MemBWBytes: 800 * gb, NetBytes: 50 * gb,
+			MemBytes: 40 << 30, LatencySensitivity: 0.06,
+		}),
+		mk("EP-STREAM", Phase{
+			CPUSeconds: 4, MemBWBytes: 2000 * gb, NetBytes: 0,
+			MemBytes: 45 << 30, LatencySensitivity: 0.02,
+		}),
+		mk("EP-DGEMM", Phase{
+			CPUSeconds: 60, MemBWBytes: 400 * gb, NetBytes: 1 * gb,
+			MemBytes: 40 << 30, LatencySensitivity: 0.01,
+		}),
+		mk("RR-Bandwidth", Phase{
+			CPUSeconds: 3, MemBWBytes: 200 * gb, NetBytes: 250 * gb,
+			MemBytes: 8 << 30, LatencySensitivity: 0.02,
+		}),
+		mk("RR-Latency", Phase{
+			CPUSeconds: 40, MemBWBytes: 50 * gb, NetBytes: 1 * gb,
+			MemBytes: 4 << 30, LatencySensitivity: 0.22,
+		}),
+	}
+}
+
+// hiBenchCore returns the map/shuffle/reduce phase structure of the six
+// HiBench benchmarks Figure 4 plots, for the disk-based Hadoop engine.
+func hiBenchHadoopList() []Benchmark {
+	mk := func(name string, phases ...Phase) Benchmark {
+		return Benchmark{Name: name, Suite: "HiBench-Hadoop", Phases: phases}
+	}
+	return []Benchmark{
+		// KMeans: CPU-intensive iterations with high I/O per pass.
+		mk("KMeans",
+			Phase{Name: "map", CPUSeconds: 50, MemBWBytes: 500 * gb, NetBytes: 10 * gb, MemBytes: 30 << 30, LatencySensitivity: 0.01},
+			Phase{Name: "reduce", CPUSeconds: 15, MemBWBytes: 150 * gb, NetBytes: 15 * gb, MemBytes: 20 << 30, LatencySensitivity: 0.01},
+		),
+		// PageRank: CPU-bound with highly variable utilization.
+		mk("PageRank",
+			Phase{Name: "map", CPUSeconds: 40, MemBWBytes: 300 * gb, NetBytes: 25 * gb, MemBytes: 30 << 30, LatencySensitivity: 0.01},
+			Phase{Name: "shuffle", CPUSeconds: 8, MemBWBytes: 200 * gb, NetBytes: 60 * gb, MemBytes: 30 << 30, LatencySensitivity: 0.01},
+			Phase{Name: "reduce", CPUSeconds: 25, MemBWBytes: 200 * gb, NetBytes: 10 * gb, MemBytes: 25 << 30, LatencySensitivity: 0.01},
+		),
+		// WordCount: CPU-bound with high memory usage.
+		mk("WordCount",
+			Phase{Name: "map", CPUSeconds: 55, MemBWBytes: 600 * gb, NetBytes: 8 * gb, MemBytes: 42 << 30, LatencySensitivity: 0.01},
+			Phase{Name: "reduce", CPUSeconds: 10, MemBWBytes: 100 * gb, NetBytes: 6 * gb, MemBytes: 25 << 30, LatencySensitivity: 0.01},
+		),
+		// TeraSort: CPU-intensive map, then a shuffle with large memory
+		// use and very heavy network traffic (the paper's worst case).
+		mk("TeraSort",
+			Phase{Name: "map", CPUSeconds: 35, MemBWBytes: 500 * gb, NetBytes: 15 * gb, MemBytes: 40 << 30, LatencySensitivity: 0.01},
+			Phase{Name: "shuffle", CPUSeconds: 6, MemBWBytes: 700 * gb, NetBytes: 320 * gb, MemBytes: 46 << 30, LatencySensitivity: 0.2, CacheSensitivity: 0.3},
+			Phase{Name: "reduce", CPUSeconds: 20, MemBWBytes: 400 * gb, NetBytes: 20 * gb, MemBytes: 40 << 30, LatencySensitivity: 0.01},
+		),
+		// DFSIO-read: I/O intensive; HDFS reads come from the page cache,
+		// which shrinks when scavenged stores occupy memory (§IV-C).
+		mk("DFSIO-read",
+			Phase{Name: "read", CPUSeconds: 10, MemBWBytes: 900 * gb, NetBytes: 120 * gb, MemBytes: 46 << 30, LatencySensitivity: 0.06, CacheSensitivity: 0.35},
+		),
+		// DFSIO-write: I/O intensive with large network traffic
+		// (replication pipeline), less cache-dependent.
+		mk("DFSIO-write",
+			Phase{Name: "write", CPUSeconds: 10, MemBWBytes: 700 * gb, NetBytes: 160 * gb, MemBytes: 35 << 30, LatencySensitivity: 0.01, CacheSensitivity: 0.1},
+		),
+	}
+}
+
+// HiBenchHadoop returns the HiBench suite as run on Hadoop (Figure 4).
+func HiBenchHadoop() []Benchmark { return hiBenchHadoopList() }
+
+// HiBenchSpark returns the HiBench suite as run on Spark (Figure 5): the
+// same four benchmarks (DFSIO is not implemented for Spark, §IV-C), but
+// as an in-memory engine every phase holds a large resident set and is
+// sensitive to heap headroom — scavenged memory also slows the JVM
+// garbage collector.
+func HiBenchSpark() []Benchmark {
+	const sparkGC = 1.3 // GC + executor-memory sensitivity
+	base := hiBenchHadoopList()
+	out := make([]Benchmark, 0, 4)
+	for _, b := range base {
+		switch b.Name {
+		case "KMeans", "PageRank", "WordCount", "TeraSort":
+		default:
+			continue
+		}
+		nb := Benchmark{Name: b.Name, Suite: "HiBench-Spark"}
+		for _, p := range b.Phases {
+			// Spark keeps working sets in executor memory: larger
+			// resident sets, more memory-bandwidth pressure, and GC
+			// sensitivity to foreign memory occupancy.
+			p.MemBytes = 46 << 30
+			p.MemBWBytes *= 1.4
+			p.CacheSensitivity += sparkGC
+			nb.Phases = append(nb.Phases, p)
+		}
+		out = append(out, nb)
+	}
+	return out
+}

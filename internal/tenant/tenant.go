@@ -1,0 +1,273 @@
+// Package tenant models the applications running in victim reservations —
+// the HPCC MPI suite and the HiBench big-data suite on Hadoop and Spark
+// (paper §IV-A2). Each benchmark is a sequence of phases with per-node
+// resource demands (CPU, memory bandwidth, network, resident memory) plus
+// two interference sensitivities the resource models cannot express
+// directly:
+//
+//   - latency sensitivity: MPI codes slow down when co-located stores
+//     serve many small requests (BLAST's 8 KiB I/O, §IV-C);
+//   - cache sensitivity: codes relying on the page cache (DFSIO-read) or
+//     on JVM heap headroom (Spark, §IV-C) slow down when scavenged stores
+//     occupy node memory.
+//
+// A benchmark's slowdown is measured exactly as in the paper: run it alone,
+// run it again while MemFSS scavenges, and compare runtimes.
+package tenant
+
+import (
+	"fmt"
+
+	"memfss/internal/cluster"
+	"memfss/internal/sim"
+)
+
+// Phase is one stage of a benchmark, with demands per node. All demands
+// proceed concurrently on every node; the phase ends when the slowest node
+// finishes (an MPI-style barrier).
+type Phase struct {
+	// Name labels the phase ("shuffle").
+	Name string
+	// CPUSeconds is compute work per core.
+	CPUSeconds float64
+	// MemBWBytes is memory traffic per node.
+	MemBWBytes float64
+	// NetBytes is bytes each node sends to its ring neighbour.
+	NetBytes float64
+	// MemBytes is the resident set per node while the phase runs.
+	MemBytes int64
+	// LatencySensitivity scales runtime inflation with the co-located
+	// store's small-request load (saturating in the load).
+	LatencySensitivity float64
+	// CacheSensitivity scales runtime inflation with the fraction of
+	// node memory occupied by scavenged stores.
+	CacheSensitivity float64
+}
+
+// Benchmark is a named sequence of phases.
+type Benchmark struct {
+	Name   string
+	Suite  string
+	Phases []Phase
+}
+
+// Options configures a benchmark run.
+type Options struct {
+	// ForeignBytes reports the scavenged-store bytes resident on a node
+	// (nil means zero everywhere — the "alone" baseline).
+	ForeignBytes func(nodeID string) int64
+	// RefRequestLoad is the request rate (req/s) at which latency
+	// interference reaches half its saturating value (default 1000).
+	RefRequestLoad float64
+	// Quanta is the number of slices each demand is split into so
+	// interference is re-sampled as conditions change (default 16).
+	Quanta int
+}
+
+// Runner executes one benchmark across a set of nodes.
+type Runner struct {
+	eng   *sim.Engine
+	net   flowStarter
+	nodes []*cluster.Node
+	bench Benchmark
+	opts  Options
+
+	phase     int
+	remaining int // outstanding demand streams in the current phase
+	startAt   float64
+	endAt     float64
+	done      bool
+	started   bool
+}
+
+// flowStarter is the piece of simnet the runner needs.
+type flowStarter interface {
+	StartFlow(src, dst string, bytes float64, done func()) flowHandle
+}
+
+type flowHandle interface{ Rate() float64 }
+
+// netAdapter adapts *simnet.Network (whose StartFlow returns a concrete
+// type) to flowStarter.
+type netAdapter struct{ c *cluster.Cluster }
+
+func (a netAdapter) StartFlow(src, dst string, bytes float64, done func()) flowHandle {
+	f := a.c.Net.StartFlow(src, dst, bytes, done)
+	if f == nil {
+		return nil
+	}
+	return f
+}
+
+// NewRunner prepares a benchmark over the nodes of a victim reservation.
+func NewRunner(eng *sim.Engine, cls *cluster.Cluster, nodes []*cluster.Node, b Benchmark, opts Options) (*Runner, error) {
+	if eng == nil || cls == nil || len(nodes) == 0 {
+		return nil, fmt.Errorf("tenant: runner needs an engine, cluster and nodes")
+	}
+	if len(b.Phases) == 0 {
+		return nil, fmt.Errorf("tenant: benchmark %q has no phases", b.Name)
+	}
+	if opts.RefRequestLoad <= 0 {
+		opts.RefRequestLoad = 1000
+	}
+	if opts.Quanta <= 0 {
+		opts.Quanta = 16
+	}
+	return &Runner{
+		eng:   eng,
+		net:   netAdapter{cls},
+		nodes: nodes,
+		bench: b,
+		opts:  opts,
+	}, nil
+}
+
+// Start launches the benchmark; run the engine afterwards.
+func (r *Runner) Start() error {
+	if r.started {
+		return fmt.Errorf("tenant: runner already started")
+	}
+	r.started = true
+	r.startAt = r.eng.Now()
+	r.runPhase(0)
+	return nil
+}
+
+// Done reports completion of all phases.
+func (r *Runner) Done() bool { return r.done }
+
+// Runtime returns the benchmark's total runtime (0 until Done).
+func (r *Runner) Runtime() float64 {
+	if !r.done {
+		return 0
+	}
+	return r.endAt - r.startAt
+}
+
+// cacheInflation computes a node's memory-occupancy interference
+// multiplier (page-cache / JVM-heap competition); it varies slowly, so
+// sampling it at slice start is accurate.
+func (r *Runner) cacheInflation(p *Phase, n *cluster.Node) float64 {
+	f := 1.0
+	if p.CacheSensitivity > 0 && r.opts.ForeignBytes != nil {
+		foreign := float64(r.opts.ForeignBytes(n.ID))
+		f += p.CacheSensitivity * foreign / float64(n.Spec.MemoryBytes)
+	}
+	return f
+}
+
+// latencyPenalty converts the average store-request rate endured during a
+// slice into extra work, saturating in the load (half effect at the
+// reference rate). Integrating over the slice charges bursty I/O by its
+// duration, which point-sampling would systematically miss.
+func (r *Runner) latencyPenalty(p *Phase, avgLoad float64) float64 {
+	if p.LatencySensitivity <= 0 || avgLoad <= 0 {
+		return 0
+	}
+	return p.LatencySensitivity * avgLoad / (avgLoad + r.opts.RefRequestLoad)
+}
+
+func (r *Runner) runPhase(idx int) {
+	if idx >= len(r.bench.Phases) {
+		r.done = true
+		r.endAt = r.eng.Now()
+		return
+	}
+	r.phase = idx
+	p := &r.bench.Phases[idx]
+
+	// Count the demand streams: per node, one per core with CPU work,
+	// one memory-bandwidth stream, one network stream.
+	streams := 0
+	for range r.nodes {
+		if p.CPUSeconds > 0 {
+			streams += r.nodes[0].Spec.Cores
+		}
+		if p.MemBWBytes > 0 {
+			streams++
+		}
+		if p.NetBytes > 0 {
+			streams++
+		}
+	}
+	if streams == 0 {
+		r.runPhase(idx + 1)
+		return
+	}
+	r.remaining = streams
+	barrier := func() {
+		r.remaining--
+		if r.remaining == 0 {
+			for _, n := range r.nodes {
+				if p.MemBytes > 0 {
+					n.Mem.Free(minInt64(p.MemBytes, n.Mem.Used()))
+				}
+			}
+			r.runPhase(idx + 1)
+		}
+	}
+
+	for i, n := range r.nodes {
+		if p.MemBytes > 0 {
+			// Best effort: a full node simply caps at capacity.
+			n.Mem.Alloc(minInt64(p.MemBytes, n.Mem.Available()))
+		}
+		if p.CPUSeconds > 0 {
+			submit := func(n *cluster.Node) func(float64, func()) {
+				return func(work float64, done func()) { n.CPU.Submit(work, done) }
+			}(n)
+			for c := 0; c < n.Spec.Cores; c++ {
+				r.quantized(p, n, submit, p.CPUSeconds, r.opts.Quanta, barrier)
+			}
+		}
+		if p.MemBWBytes > 0 {
+			n := n
+			r.quantized(p, n, func(work float64, done func()) {
+				n.MemBW.Submit(work, done)
+			}, p.MemBWBytes, r.opts.Quanta, barrier)
+		}
+		if p.NetBytes > 0 {
+			src, dst := n, r.nodes[(i+1)%len(r.nodes)]
+			r.quantized(p, src, func(bytes float64, done func()) {
+				r.net.StartFlow(src.ID, dst.ID, bytes, done)
+			}, p.NetBytes, r.opts.Quanta, barrier)
+		}
+	}
+}
+
+// quantized runs work in slices through submit. Each slice is scaled by
+// the (slow-varying) cache inflation up front; after it completes, the
+// average store-request rate endured during the slice is converted into a
+// latency penalty and charged as extra work before the next slice.
+func (r *Runner) quantized(p *Phase, n *cluster.Node, submit func(float64, func()), work float64, quanta int, done func()) {
+	slice := work / float64(quanta)
+	var step func(left int)
+	step = func(left int) {
+		if left == 0 {
+			done()
+			return
+		}
+		t0 := r.eng.Now()
+		i0 := n.RequestIntegral()
+		submit(slice*r.cacheInflation(p, n), func() {
+			dt := r.eng.Now() - t0
+			pen := 0.0
+			if dt > 0 {
+				pen = r.latencyPenalty(p, (n.RequestIntegral()-i0)/dt)
+			}
+			if pen > 0 {
+				submit(slice*pen, func() { step(left - 1) })
+				return
+			}
+			step(left - 1)
+		})
+	}
+	step(quanta)
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

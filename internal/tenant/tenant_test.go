@@ -1,0 +1,272 @@
+package tenant
+
+import (
+	"math"
+	"testing"
+
+	"memfss/internal/cluster"
+	"memfss/internal/sim"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6*math.Max(1, math.Abs(b)) }
+
+func tenantCluster(t *testing.T, n int) (*sim.Engine, *cluster.Cluster, []*cluster.Node) {
+	t.Helper()
+	var e sim.Engine
+	c := cluster.New(&e)
+	return &e, c, c.AddNodes("victim", n, cluster.DAS5)
+}
+
+func runBench(t *testing.T, e *sim.Engine, c *cluster.Cluster, nodes []*cluster.Node, b Benchmark, opts Options) float64 {
+	t.Helper()
+	r, err := NewRunner(e, c, nodes, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if !r.Done() {
+		t.Fatalf("benchmark %s did not finish", b.Name)
+	}
+	return r.Runtime()
+}
+
+func TestRunnerValidation(t *testing.T) {
+	e, c, nodes := tenantCluster(t, 2)
+	if _, err := NewRunner(nil, c, nodes, Benchmark{Phases: []Phase{{}}}, Options{}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := NewRunner(e, c, nil, Benchmark{Phases: []Phase{{}}}, Options{}); err == nil {
+		t.Error("no nodes accepted")
+	}
+	if _, err := NewRunner(e, c, nodes, Benchmark{Name: "empty"}, Options{}); err == nil {
+		t.Error("phaseless benchmark accepted")
+	}
+	r, _ := NewRunner(e, c, nodes, Benchmark{Phases: []Phase{{CPUSeconds: 1}}}, Options{})
+	r.Start()
+	if err := r.Start(); err == nil {
+		t.Error("double start accepted")
+	}
+}
+
+func TestCPUBoundPhaseRuntime(t *testing.T) {
+	e, c, nodes := tenantCluster(t, 2)
+	b := Benchmark{Name: "cpu", Phases: []Phase{{Name: "p", CPUSeconds: 30}}}
+	got := runBench(t, e, c, nodes, b, Options{})
+	// 16 tasks on 16 cores per node: each core does 30s of work.
+	if !almost(got, 30) {
+		t.Fatalf("runtime %v, want 30", got)
+	}
+}
+
+func TestPhasesAreSequential(t *testing.T) {
+	e, c, nodes := tenantCluster(t, 1)
+	b := Benchmark{Name: "twophase", Phases: []Phase{
+		{Name: "a", CPUSeconds: 10},
+		{Name: "b", CPUSeconds: 5},
+	}}
+	if got := runBench(t, e, c, nodes, b, Options{}); !almost(got, 15) {
+		t.Fatalf("runtime %v, want 15", got)
+	}
+}
+
+func TestMemBWBoundPhase(t *testing.T) {
+	e, c, nodes := tenantCluster(t, 1)
+	b := Benchmark{Name: "stream", Phases: []Phase{{Name: "s", MemBWBytes: 400e9}}}
+	// 400 GB at 40 GB/s.
+	if got := runBench(t, e, c, nodes, b, Options{}); !almost(got, 10) {
+		t.Fatalf("runtime %v, want 10", got)
+	}
+}
+
+func TestNetBoundPhase(t *testing.T) {
+	e, c, nodes := tenantCluster(t, 4)
+	b := Benchmark{Name: "beff", Phases: []Phase{{Name: "ring", NetBytes: 30e9}}}
+	// Ring: each node sends 30 GB at 3 GB/s egress (ingress likewise).
+	if got := runBench(t, e, c, nodes, b, Options{}); !almost(got, 10) {
+		t.Fatalf("runtime %v, want 10", got)
+	}
+}
+
+func TestLatencySensitivitySlowsUnderRequestLoad(t *testing.T) {
+	b := Benchmark{Name: "lat", Phases: []Phase{{Name: "p", CPUSeconds: 10, LatencySensitivity: 0.2}}}
+
+	e1, c1, n1 := tenantCluster(t, 1)
+	alone := runBench(t, e1, c1, n1, b, Options{})
+
+	e2, c2, n2 := tenantCluster(t, 1)
+	n2[0].AddRequestLoad(1e9) // saturating load
+	loaded := runBench(t, e2, c2, n2, b, Options{})
+	slow := loaded/alone - 1
+	if slow < 0.18 || slow > 0.22 {
+		t.Fatalf("latency slowdown %.3f, want ~0.20 at saturation", slow)
+	}
+}
+
+func TestCacheSensitivitySlowsWithForeignMemory(t *testing.T) {
+	b := Benchmark{Name: "dfsio", Phases: []Phase{{Name: "read", CPUSeconds: 10, CacheSensitivity: 0.64}}}
+	e1, c1, n1 := tenantCluster(t, 1)
+	alone := runBench(t, e1, c1, n1, b, Options{})
+
+	e2, c2, n2 := tenantCluster(t, 1)
+	foreign := func(string) int64 { return 16 << 30 } // 25% of 64 GB
+	loaded := runBench(t, e2, c2, n2, b, Options{ForeignBytes: foreign})
+	slow := loaded/alone - 1
+	if math.Abs(slow-0.16) > 0.01 { // 0.64 * 0.25
+		t.Fatalf("cache slowdown %.3f, want ~0.16", slow)
+	}
+	if alone != runBenchAgain(t, b) {
+		t.Fatal("baseline not reproducible")
+	}
+}
+
+func runBenchAgain(t *testing.T, b Benchmark) float64 {
+	e, c, n := tenantCluster(t, 1)
+	return runBench(t, e, c, n, b, Options{})
+}
+
+func TestMemoryAccountingFreedBetweenPhases(t *testing.T) {
+	e, c, nodes := tenantCluster(t, 1)
+	b := Benchmark{Name: "mem", Phases: []Phase{
+		{Name: "a", CPUSeconds: 1, MemBytes: 30 << 30},
+		{Name: "b", CPUSeconds: 1, MemBytes: 10 << 30},
+	}}
+	runBench(t, e, c, nodes, b, Options{})
+	if used := nodes[0].Mem.Used(); used != 0 {
+		t.Fatalf("memory leak: %d bytes still allocated", used)
+	}
+}
+
+func TestEmptyPhaseSkipped(t *testing.T) {
+	e, c, nodes := tenantCluster(t, 1)
+	b := Benchmark{Name: "hollow", Phases: []Phase{
+		{Name: "empty"},
+		{Name: "real", CPUSeconds: 2},
+	}}
+	if got := runBench(t, e, c, nodes, b, Options{}); !almost(got, 2) {
+		t.Fatalf("runtime %v, want 2", got)
+	}
+}
+
+func TestHPCCCatalog(t *testing.T) {
+	suite := HPCC()
+	if len(suite) != 8 {
+		t.Fatalf("HPCC has %d benchmarks, want 8", len(suite))
+	}
+	names := map[string]bool{}
+	for _, b := range suite {
+		names[b.Name] = true
+		if b.Suite != "HPCC" || len(b.Phases) == 0 {
+			t.Fatalf("malformed benchmark %+v", b)
+		}
+	}
+	for _, want := range []string{"G-HPL", "EP-STREAM", "RR-Latency", "G-FFT"} {
+		if !names[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+	// STREAM must be memory-bandwidth dominated; Latency must be the most
+	// latency-sensitive.
+	var stream, latency Benchmark
+	for _, b := range suite {
+		if b.Name == "EP-STREAM" {
+			stream = b
+		}
+		if b.Name == "RR-Latency" {
+			latency = b
+		}
+	}
+	if stream.Phases[0].MemBWBytes < 1000e9 {
+		t.Error("STREAM not memory-bandwidth heavy")
+	}
+	for _, b := range suite {
+		if b.Name != "RR-Latency" && b.Phases[0].LatencySensitivity >= latency.Phases[0].LatencySensitivity {
+			t.Errorf("%s more latency-sensitive than RR-Latency", b.Name)
+		}
+	}
+}
+
+func TestHiBenchCatalogs(t *testing.T) {
+	hadoop := HiBenchHadoop()
+	if len(hadoop) != 6 {
+		t.Fatalf("HiBench-Hadoop has %d benchmarks, want 6", len(hadoop))
+	}
+	spark := HiBenchSpark()
+	if len(spark) != 4 {
+		t.Fatalf("HiBench-Spark has %d benchmarks, want 4 (no DFSIO)", len(spark))
+	}
+	for _, b := range spark {
+		if b.Name == "DFSIO-read" || b.Name == "DFSIO-write" {
+			t.Fatal("DFSIO must not appear in the Spark suite")
+		}
+		for _, p := range b.Phases {
+			if p.CacheSensitivity <= 0.5 {
+				t.Errorf("Spark %s/%s lacks GC sensitivity", b.Name, p.Name)
+			}
+		}
+	}
+	// TeraSort shuffle must be the network-heaviest Hadoop phase.
+	var maxNet float64
+	var maxName string
+	for _, b := range hadoop {
+		for _, p := range b.Phases {
+			if p.NetBytes > maxNet {
+				maxNet, maxName = p.NetBytes, b.Name+"/"+p.Name
+			}
+		}
+	}
+	if maxName != "TeraSort/shuffle" {
+		t.Errorf("heaviest network phase is %s, want TeraSort/shuffle", maxName)
+	}
+}
+
+func TestSuiteRunsEndToEnd(t *testing.T) {
+	for _, b := range HPCC() {
+		e, c, nodes := tenantCluster(t, 4)
+		if got := runBench(t, e, c, nodes, b, Options{}); got <= 0 {
+			t.Fatalf("%s runtime %v", b.Name, got)
+		}
+	}
+}
+
+// The latency penalty must integrate over time: a load present for only
+// half the phase costs roughly half the saturated penalty, regardless of
+// where quantum boundaries fall.
+func TestLatencyPenaltyIntegratesBursts(t *testing.T) {
+	b := Benchmark{Name: "lat", Phases: []Phase{{Name: "p", CPUSeconds: 20, LatencySensitivity: 0.2}}}
+
+	e1, c1, n1 := tenantCluster(t, 1)
+	alone := runBench(t, e1, c1, n1, b, Options{})
+
+	e2, c2, n2 := tenantCluster(t, 1)
+	n2[0].AddRequestLoad(1e9)                        // saturating...
+	e2.At(10, func() { n2[0].AddRequestLoad(-1e9) }) // ...for the first half only
+	half := runBench(t, e2, c2, n2, b, Options{})
+
+	slow := half/alone - 1
+	// Full saturation costs ~20%; half-duration bursts should cost ~10%.
+	if slow < 0.06 || slow > 0.14 {
+		t.Fatalf("half-duration load slowdown %.3f, want ~0.10", slow)
+	}
+}
+
+// Cache inflation applies to memory-bandwidth and network streams too,
+// not just CPU.
+func TestCacheInflationAppliesToAllStreams(t *testing.T) {
+	b := Benchmark{Name: "io", Phases: []Phase{{
+		Name: "p", MemBWBytes: 400e9, NetBytes: 30e9, CacheSensitivity: 0.64,
+	}}}
+	e1, c1, n1 := tenantCluster(t, 2)
+	alone := runBench(t, e1, c1, n1, b, Options{})
+
+	e2, c2, n2 := tenantCluster(t, 2)
+	loaded := runBench(t, e2, c2, n2, b, Options{
+		ForeignBytes: func(string) int64 { return 16 << 30 }, // 25% of RAM
+	})
+	slow := loaded/alone - 1
+	if slow < 0.12 || slow > 0.20 { // 0.64 * 0.25 = 16%
+		t.Fatalf("I/O-stream cache slowdown %.3f, want ~0.16", slow)
+	}
+}

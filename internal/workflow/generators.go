@@ -1,0 +1,245 @@
+package workflow
+
+import (
+	"fmt"
+
+	"memfss/internal/simstore"
+)
+
+// Request-size profiles of the paper's workloads (§IV-A1, §IV-C): dd
+// issues large sequential requests; Montage moderate ones; BLAST makes
+// many short I/O requests, which is why it induces the most latency
+// interference on MPI tenants.
+const (
+	ddRequestBytes      = 1 << 20
+	montageRequestBytes = 256 << 10
+	blastRequestBytes   = 8 << 10
+)
+
+// DDBag builds the dd micro-benchmark of §IV-B: a bag of independent
+// tasks, each writing bytesPerTask of fresh data (the paper uses 2048
+// tasks × 128 MB = 256 GB). It is I/O-bound: near-zero compute.
+func DDBag(tasks int, bytesPerTask int64) *DAG {
+	d := NewDAG()
+	for i := 0; i < tasks; i++ {
+		d.Add(&Task{
+			Name:       fmt.Sprintf("dd-%d", i),
+			Stage:      "dd",
+			CPUSeconds: 0.05,
+			Writes:     []simstore.IO{{Bytes: bytesPerTask, RequestBytes: ddRequestBytes}},
+		})
+	}
+	return d
+}
+
+// MontageConfig scales the Montage workflow generator.
+type MontageConfig struct {
+	// Tiles is the number of input images (drives the width of the
+	// parallel stages).
+	Tiles int
+	// TileBytes is the per-image file size; the paper's Montage deals in
+	// 1–4 MB files, and the 1 TB Table II instance simply has many tiles.
+	TileBytes int64
+}
+
+// Montage builds a Montage-shaped DAG (paper §II-A, §IV-A1): wide,
+// short-task parallel stages (mProject, mDiffFit, mBackground)
+// interleaved with long-running sequential aggregation/partitioning
+// stages (mConcatFit, mBgModel, mImgtbl, mAdd) — the structure that
+// limits achievable parallelism and leaves reserved CPUs idle.
+func Montage(cfg MontageConfig) *DAG {
+	n := cfg.Tiles
+	if n < 2 {
+		n = 2
+	}
+	tile := cfg.TileBytes
+	if tile <= 0 {
+		tile = 4 << 20
+	}
+	d := NewDAG()
+	io := func(bytes int64) simstore.IO {
+		return simstore.IO{Bytes: bytes, RequestBytes: montageRequestBytes}
+	}
+
+	// mProject: re-project each input image. Short tasks, seconds each.
+	project := make([]*Task, n)
+	for i := range project {
+		project[i] = d.Add(&Task{
+			Name:       fmt.Sprintf("mProject-%d", i),
+			Stage:      "mProject",
+			CPUSeconds: 8,
+			Reads:      []simstore.IO{io(tile)},
+			Writes:     []simstore.IO{io(tile)},
+		})
+	}
+
+	// mDiffFit: fit overlapping image pairs (~2 neighbours per tile).
+	diffs := make([]*Task, 0, 2*n)
+	for i := 0; i < n; i++ {
+		for _, j := range []int{(i + 1) % n, (i + 2) % n} {
+			t := d.Add(&Task{
+				Name:       fmt.Sprintf("mDiffFit-%d-%d", i, j),
+				Stage:      "mDiffFit",
+				CPUSeconds: 2,
+				Reads:      []simstore.IO{io(tile), io(tile)},
+				Writes:     []simstore.IO{io(tile / 8)},
+			})
+			t.After(project[i], project[j])
+			diffs = append(diffs, t)
+		}
+	}
+
+	// mConcatFit: one long-running aggregation over every fit.
+	concat := d.Add(&Task{
+		Name:       "mConcatFit",
+		Stage:      "mConcatFit",
+		CPUSeconds: 0.08 * float64(len(diffs)),
+		Reads:      []simstore.IO{io(int64(len(diffs)) * (tile / 8))},
+		Writes:     []simstore.IO{io(tile)},
+	})
+	concat.After(diffs...)
+
+	// mBgModel: one long-running model solve.
+	bgModel := d.Add(&Task{
+		Name:       "mBgModel",
+		Stage:      "mBgModel",
+		CPUSeconds: 0.15 * float64(n),
+		Reads:      []simstore.IO{io(tile)},
+		Writes:     []simstore.IO{io(tile)},
+	})
+	bgModel.After(concat)
+
+	// mBackground: apply the background correction to every tile.
+	background := make([]*Task, n)
+	for i := range background {
+		background[i] = d.Add(&Task{
+			Name:       fmt.Sprintf("mBackground-%d", i),
+			Stage:      "mBackground",
+			CPUSeconds: 2,
+			Reads:      []simstore.IO{io(tile), io(tile / 64)},
+			Writes:     []simstore.IO{io(tile)},
+		})
+		background[i].After(bgModel, project[i])
+	}
+
+	// mImgtbl: sequential metadata aggregation.
+	imgtbl := d.Add(&Task{
+		Name:       "mImgtbl",
+		Stage:      "mImgtbl",
+		CPUSeconds: 0.02 * float64(n),
+		Reads:      []simstore.IO{io(int64(n) * (tile / 64))},
+		Writes:     []simstore.IO{io(tile)},
+	})
+	imgtbl.After(background...)
+
+	// mAdd: co-add corrected tiles into mosaic parts; each part is a
+	// long-running partitioning task over a slice of the tiles.
+	parts := n / 64
+	if parts < 1 {
+		parts = 1
+	}
+	perPart := int64(n/parts) * tile
+	adds := make([]*Task, parts)
+	for i := range adds {
+		adds[i] = d.Add(&Task{
+			Name:       fmt.Sprintf("mAdd-%d", i),
+			Stage:      "mAdd",
+			CPUSeconds: 0.4 * float64(n/parts),
+			Reads:      []simstore.IO{io(perPart)},
+			Writes:     []simstore.IO{io(perPart / 2)},
+		})
+		adds[i].After(imgtbl)
+	}
+
+	// mShrink + mJPEG: final sequential shrink and render.
+	shrink := d.Add(&Task{
+		Name:       "mShrink",
+		Stage:      "mShrink",
+		CPUSeconds: 0.05 * float64(n),
+		Reads:      []simstore.IO{io(int64(n) * tile / 2)},
+		Writes:     []simstore.IO{io(int64(n) * tile / 32)},
+	})
+	shrink.After(adds...)
+	jpeg := d.Add(&Task{
+		Name:       "mJPEG",
+		Stage:      "mJPEG",
+		CPUSeconds: 0.02 * float64(n),
+		Reads:      []simstore.IO{io(int64(n) * tile / 32)},
+		Writes:     []simstore.IO{io(int64(n) * tile / 64)},
+	})
+	jpeg.After(shrink)
+	return d
+}
+
+// BLASTConfig scales the BLAST workflow generator.
+type BLASTConfig struct {
+	// Queries is the number of parallel search tasks.
+	Queries int
+	// DBBytes is the reference-database size each search task reads.
+	DBBytes int64
+	// OutBytes is each search task's output size (hundreds of MB in the
+	// paper).
+	OutBytes int64
+}
+
+// BLAST builds a BLAST-shaped DAG (§IV-A1): one partition task, a wide
+// stage of CPU-bound searches (tens of seconds to minutes) that read
+// large database files with many small requests, and a long merge stage.
+func BLAST(cfg BLASTConfig) *DAG {
+	q := cfg.Queries
+	if q < 1 {
+		q = 1
+	}
+	db := cfg.DBBytes
+	if db <= 0 {
+		db = 200 << 20
+	}
+	out := cfg.OutBytes
+	if out <= 0 {
+		out = 128 << 20
+	}
+	d := NewDAG()
+	io := func(bytes int64) simstore.IO {
+		return simstore.IO{Bytes: bytes, RequestBytes: blastRequestBytes}
+	}
+
+	split := d.Add(&Task{
+		Name:       "formatdb",
+		Stage:      "formatdb",
+		CPUSeconds: 10,
+		Writes:     []simstore.IO{io(db)},
+	})
+	searches := make([]*Task, q)
+	for i := range searches {
+		// Search runtimes vary from tens of seconds to minutes (§IV-A1);
+		// the deterministic spread desynchronizes the I/O bursts, as
+		// heterogeneous query complexity does on the real system.
+		cpu := 45 + 0.6*float64((i*37)%100)
+		// The search streams through the database: its reads interleave
+		// with compute across the whole task, sustaining the many small
+		// requests the paper identifies as BLAST's signature (§IV-C).
+		const dbChunks = 8
+		chunks := make([]simstore.IO, dbChunks)
+		for c := range chunks {
+			chunks[c] = io(db / dbChunks)
+		}
+		searches[i] = d.Add(&Task{
+			Name:         fmt.Sprintf("blastall-%d", i),
+			Stage:        "blastall",
+			CPUSeconds:   cpu,
+			Reads:        chunks,
+			Writes:       []simstore.IO{io(out)},
+			InterleaveIO: true,
+		})
+		searches[i].After(split)
+	}
+	merge := d.Add(&Task{
+		Name:       "merge",
+		Stage:      "merge",
+		CPUSeconds: 0.15 * float64(q),
+		Reads:      []simstore.IO{io(int64(q) * out / 8)},
+		Writes:     []simstore.IO{io(int64(q) * out / 32)},
+	})
+	merge.After(searches...)
+	return d
+}

@@ -1,0 +1,197 @@
+package workflow
+
+import (
+	"fmt"
+
+	"memfss/internal/simstore"
+)
+
+// Epigenomics and CyberShake are two more of the real-world workflows the
+// paper cites (§II-A, refs [10], [13]) as having highly variable per-stage
+// parallelism — wide filter/synthesis stages feeding long sequential
+// aggregations — the structure that under-utilizes reserved CPUs and
+// motivates scavenging. The generators follow the published
+// characterizations (Juve et al., "Characterizing and profiling scientific
+// workflows", the paper's ref [7]).
+
+// EpigenomicsConfig scales the Epigenomics generator.
+type EpigenomicsConfig struct {
+	// Lanes is the number of independent sequencing lanes.
+	Lanes int
+	// ChunksPerLane is the per-lane split width.
+	ChunksPerLane int
+	// ChunkBytes is the per-chunk data size.
+	ChunkBytes int64
+}
+
+// Epigenomics builds the genome-methylation pipeline: per lane, a split
+// fans out into parallel chains (filterContams → sol2sanger → fastq2bfq →
+// map), whose results merge per lane and then globally (mapMerge →
+// maqIndex → pileup). The map stage is CPU-heavy; the merges are long and
+// sequential.
+func Epigenomics(cfg EpigenomicsConfig) *DAG {
+	lanes := cfg.Lanes
+	if lanes < 1 {
+		lanes = 1
+	}
+	chunks := cfg.ChunksPerLane
+	if chunks < 1 {
+		chunks = 8
+	}
+	size := cfg.ChunkBytes
+	if size <= 0 {
+		size = 16 << 20
+	}
+	d := NewDAG()
+	io := func(bytes int64) simstore.IO {
+		return simstore.IO{Bytes: bytes, RequestBytes: 256 << 10}
+	}
+
+	laneMerges := make([]*Task, lanes)
+	for l := 0; l < lanes; l++ {
+		split := d.Add(&Task{
+			Name:       fmt.Sprintf("fastqSplit-%d", l),
+			Stage:      "fastqSplit",
+			CPUSeconds: 5,
+			Reads:      []simstore.IO{io(int64(chunks) * size)},
+			Writes:     []simstore.IO{io(int64(chunks) * size)},
+		})
+		maps := make([]*Task, chunks)
+		for c := 0; c < chunks; c++ {
+			filter := d.Add(&Task{
+				Name:       fmt.Sprintf("filterContams-%d-%d", l, c),
+				Stage:      "filterContams",
+				CPUSeconds: 4,
+				Reads:      []simstore.IO{io(size)},
+				Writes:     []simstore.IO{io(size)},
+			})
+			filter.After(split)
+			convert := d.Add(&Task{
+				Name:       fmt.Sprintf("sol2sanger-%d-%d", l, c),
+				Stage:      "sol2sanger",
+				CPUSeconds: 2,
+				Reads:      []simstore.IO{io(size)},
+				Writes:     []simstore.IO{io(size)},
+			})
+			convert.After(filter)
+			bfq := d.Add(&Task{
+				Name:       fmt.Sprintf("fastq2bfq-%d-%d", l, c),
+				Stage:      "fastq2bfq",
+				CPUSeconds: 2,
+				Reads:      []simstore.IO{io(size)},
+				Writes:     []simstore.IO{io(size / 2)},
+			})
+			bfq.After(convert)
+			m := d.Add(&Task{
+				Name:       fmt.Sprintf("map-%d-%d", l, c),
+				Stage:      "map",
+				CPUSeconds: 45, // the dominant CPU stage
+				Reads:      []simstore.IO{io(size / 2), io(size)},
+				Writes:     []simstore.IO{io(size / 2)},
+			})
+			m.After(bfq)
+			maps[c] = m
+		}
+		laneMerges[l] = d.Add(&Task{
+			Name:       fmt.Sprintf("mapMerge-%d", l),
+			Stage:      "mapMerge",
+			CPUSeconds: 3 * float64(chunks),
+			Reads:      []simstore.IO{io(int64(chunks) * size / 2)},
+			Writes:     []simstore.IO{io(int64(chunks) * size / 2)},
+		})
+		laneMerges[l].After(maps...)
+	}
+	global := d.Add(&Task{
+		Name:       "mapMergeGlobal",
+		Stage:      "mapMerge",
+		CPUSeconds: 4 * float64(lanes*chunks),
+		Reads:      []simstore.IO{io(int64(lanes*chunks) * size / 2)},
+		Writes:     []simstore.IO{io(int64(lanes*chunks) * size / 2)},
+	})
+	global.After(laneMerges...)
+	index := d.Add(&Task{
+		Name:       "maqIndex",
+		Stage:      "maqIndex",
+		CPUSeconds: 2 * float64(lanes*chunks),
+		Reads:      []simstore.IO{io(int64(lanes*chunks) * size / 2)},
+		Writes:     []simstore.IO{io(int64(lanes*chunks) * size / 4)},
+	})
+	index.After(global)
+	pileup := d.Add(&Task{
+		Name:       "pileup",
+		Stage:      "pileup",
+		CPUSeconds: 3 * float64(lanes*chunks),
+		Reads:      []simstore.IO{io(int64(lanes*chunks) * size / 4)},
+		Writes:     []simstore.IO{io(int64(lanes*chunks) * size / 8)},
+	})
+	pileup.After(index)
+	return d
+}
+
+// CyberShakeConfig scales the CyberShake generator.
+type CyberShakeConfig struct {
+	// Ruptures is the number of rupture variations (width of the
+	// synthesis stage).
+	Ruptures int
+	// SGTBytes is the strain-Green-tensor extract each synthesis reads.
+	SGTBytes int64
+}
+
+// CyberShake builds the seismic-hazard workflow: a handful of ExtractSGT
+// tasks produce large tensor files, a very wide SeismogramSynthesis stage
+// reads them (thousands of short CPU tasks with large input reads — the
+// workload is I/O-heavy at stage start), and PeakValCalc plus a final Zip
+// aggregate the results.
+func CyberShake(cfg CyberShakeConfig) *DAG {
+	ruptures := cfg.Ruptures
+	if ruptures < 2 {
+		ruptures = 2
+	}
+	sgt := cfg.SGTBytes
+	if sgt <= 0 {
+		sgt = 64 << 20
+	}
+	d := NewDAG()
+	io := func(bytes int64) simstore.IO {
+		return simstore.IO{Bytes: bytes, RequestBytes: 512 << 10}
+	}
+
+	extracts := make([]*Task, 0, ruptures/64+1)
+	for i := 0; i <= ruptures/64; i++ {
+		extracts = append(extracts, d.Add(&Task{
+			Name:       fmt.Sprintf("ExtractSGT-%d", i),
+			Stage:      "ExtractSGT",
+			CPUSeconds: 60,
+			Reads:      []simstore.IO{io(4 * sgt)},
+			Writes:     []simstore.IO{io(sgt)},
+		}))
+	}
+	peaks := make([]*Task, ruptures)
+	for r := 0; r < ruptures; r++ {
+		synth := d.Add(&Task{
+			Name:       fmt.Sprintf("SeismogramSynthesis-%d", r),
+			Stage:      "SeismogramSynthesis",
+			CPUSeconds: 12,
+			Reads:      []simstore.IO{io(sgt)},
+			Writes:     []simstore.IO{io(sgt / 32)},
+		})
+		synth.After(extracts[r%len(extracts)])
+		peaks[r] = d.Add(&Task{
+			Name:       fmt.Sprintf("PeakValCalc-%d", r),
+			Stage:      "PeakValCalc",
+			CPUSeconds: 1,
+			Reads:      []simstore.IO{io(sgt / 32)},
+			Writes:     []simstore.IO{io(sgt / 256)},
+		})
+		peaks[r].After(synth)
+	}
+	zip := d.Add(&Task{
+		Name:       "ZipPSA",
+		Stage:      "ZipPSA",
+		CPUSeconds: 0.05 * float64(ruptures),
+		Reads:      []simstore.IO{io(int64(ruptures) * sgt / 256)},
+		Writes:     []simstore.IO{io(int64(ruptures) * sgt / 512)},
+	})
+	zip.After(peaks...)
+	return d
+}

@@ -1,0 +1,97 @@
+package workflow
+
+import (
+	"testing"
+
+	"memfss/internal/cluster"
+	"memfss/internal/sim"
+	"memfss/internal/simstore"
+)
+
+func TestEpigenomicsShape(t *testing.T) {
+	d := Epigenomics(EpigenomicsConfig{Lanes: 4, ChunksPerLane: 16, ChunkBytes: 8 << 20})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stages := map[string]int{}
+	for _, task := range d.Tasks() {
+		stages[task.Stage]++
+	}
+	if stages["map"] != 64 || stages["filterContams"] != 64 {
+		t.Fatalf("parallel chains wrong: %v", stages)
+	}
+	if stages["mapMerge"] != 5 { // 4 per-lane + 1 global
+		t.Fatalf("merge stages: %v", stages)
+	}
+	if stages["maqIndex"] != 1 || stages["pileup"] != 1 {
+		t.Fatalf("tail stages: %v", stages)
+	}
+	if err := Epigenomics(EpigenomicsConfig{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCyberShakeShape(t *testing.T) {
+	d := CyberShake(CyberShakeConfig{Ruptures: 256, SGTBytes: 32 << 20})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stages := map[string]int{}
+	for _, task := range d.Tasks() {
+		stages[task.Stage]++
+	}
+	if stages["SeismogramSynthesis"] != 256 || stages["PeakValCalc"] != 256 {
+		t.Fatalf("wide stages wrong: %v", stages)
+	}
+	if stages["ExtractSGT"] < 1 || stages["ZipPSA"] != 1 {
+		t.Fatalf("extract/zip stages: %v", stages)
+	}
+	if err := CyberShake(CyberShakeConfig{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Both extra workflows must execute to completion on the simulated
+// cluster with scavenging, and exhibit the limited scalability the paper
+// attributes to their DAG shape.
+func TestExtraWorkflowsRunAndScalePoorly(t *testing.T) {
+	run := func(gen func() *DAG, nodes int) float64 {
+		var e sim.Engine
+		c := cluster.New(&e)
+		own := c.AddNodes("own", nodes, cluster.DAS5)
+		victims := c.AddNodes("victim", 4, cluster.DAS5)
+		fs, err := simstore.New(c, own, victims, simstore.Config{OwnFraction: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := NewExecutor(&e, own, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ex.Start(gen()); err != nil {
+			t.Fatal(err)
+		}
+		e.Run()
+		if !ex.Done() {
+			t.Fatal("workflow did not finish")
+		}
+		return ex.Makespan()
+	}
+	gens := map[string]func() *DAG{
+		"epigenomics": func() *DAG {
+			return Epigenomics(EpigenomicsConfig{Lanes: 4, ChunksPerLane: 32, ChunkBytes: 8 << 20})
+		},
+		"cybershake": func() *DAG {
+			return CyberShake(CyberShakeConfig{Ruptures: 512, SGTBytes: 16 << 20})
+		},
+	}
+	for name, gen := range gens {
+		t2, t8 := run(gen, 2), run(gen, 8)
+		if t8 >= t2 {
+			t.Errorf("%s: more nodes slower (%v -> %v)", name, t2, t8)
+		}
+		if speedup := t2 / t8; speedup > 3.5 {
+			t.Errorf("%s: speedup %.1f with 4x nodes; sequential stages should cap it", name, speedup)
+		}
+	}
+}

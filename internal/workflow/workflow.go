@@ -1,0 +1,294 @@
+// Package workflow models scientific workflows — DAGs of tasks linked by
+// file-based data dependencies (paper §II-A) — and executes them on the
+// simulated cluster's own nodes against a MemFSS storage back end. The
+// package also provides generators for the paper's three MemFSS workloads
+// (§IV-A1): the dd bag-of-tasks micro-benchmark, Montage, and BLAST.
+package workflow
+
+import (
+	"fmt"
+
+	"memfss/internal/cluster"
+	"memfss/internal/simstore"
+)
+
+// Storage is the I/O back end tasks read from and write to. simstore.FS
+// implements it.
+type Storage interface {
+	Write(src *cluster.Node, io simstore.IO, done func())
+	Read(src *cluster.Node, io simstore.IO, done func())
+}
+
+// Task is one node of the workflow DAG.
+type Task struct {
+	// Name identifies the task ("mProject-17").
+	Name string
+	// Stage groups tasks for reporting ("mProject").
+	Stage string
+	// CPUSeconds is the task's compute demand in core-seconds.
+	CPUSeconds float64
+	// Reads and Writes are the task's file I/O, performed before and
+	// after the compute phase respectively (the read-compute-write
+	// structure of workflow tasks).
+	Reads  []simstore.IO
+	Writes []simstore.IO
+	// InterleaveIO alternates reads with equal slices of the compute
+	// work instead of frontloading them — the access pattern of codes
+	// like BLAST that stream through their input for the whole run.
+	InterleaveIO bool
+
+	deps       []*Task
+	dependents []*Task
+}
+
+// After declares data dependencies: t runs only after all preds complete.
+func (t *Task) After(preds ...*Task) {
+	for _, p := range preds {
+		t.deps = append(t.deps, p)
+		p.dependents = append(p.dependents, t)
+	}
+}
+
+// DAG is a workflow graph under construction.
+type DAG struct {
+	tasks []*Task
+}
+
+// NewDAG returns an empty DAG.
+func NewDAG() *DAG { return &DAG{} }
+
+// Add appends a task to the DAG and returns it.
+func (d *DAG) Add(t *Task) *Task {
+	d.tasks = append(d.tasks, t)
+	return t
+}
+
+// Tasks returns the DAG's tasks in insertion order.
+func (d *DAG) Tasks() []*Task { return d.tasks }
+
+// TotalWriteBytes sums every task's output bytes — the volume of
+// intermediate data the workflow generates.
+func (d *DAG) TotalWriteBytes() int64 {
+	var total int64
+	for _, t := range d.tasks {
+		for _, w := range t.Writes {
+			total += w.Bytes
+		}
+	}
+	return total
+}
+
+// Validate checks the DAG is acyclic and every dependency is a member.
+func (d *DAG) Validate() error {
+	index := make(map[*Task]int, len(d.tasks))
+	for i, t := range d.tasks {
+		index[t] = i
+	}
+	indeg := make([]int, len(d.tasks))
+	for _, t := range d.tasks {
+		for _, p := range t.deps {
+			if _, ok := index[p]; !ok {
+				return fmt.Errorf("workflow: task %q depends on a task outside the DAG", t.Name)
+			}
+			indeg[index[t]]++
+		}
+	}
+	queue := make([]*Task, 0, len(d.tasks))
+	for i, t := range d.tasks {
+		if indeg[i] == 0 {
+			queue = append(queue, t)
+		}
+	}
+	visited := 0
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		visited++
+		for _, dep := range t.dependents {
+			if i, ok := index[dep]; ok {
+				indeg[i]--
+				if indeg[i] == 0 {
+					queue = append(queue, dep)
+				}
+			}
+		}
+	}
+	if visited != len(d.tasks) {
+		return fmt.Errorf("workflow: DAG contains a cycle (%d of %d tasks reachable)", visited, len(d.tasks))
+	}
+	return nil
+}
+
+// Executor schedules a DAG onto the own nodes: each node offers one task
+// slot per core; ready tasks go to the node with the most free slots.
+// Tasks run read → compute → write, matching how workflow binaries behave
+// under the FUSE layer.
+type Executor struct {
+	sim     simClock
+	nodes   []*cluster.Node
+	storage Storage
+
+	// OnDone, if set before Start, fires when the last task completes —
+	// used by drivers that loop a workload for interference experiments.
+	OnDone func()
+
+	freeSlots map[*cluster.Node]int
+	ready     []*Task
+	pending   map[*Task]int
+	remaining int
+	started   bool
+	startAt   float64
+	endAt     float64
+}
+
+// simClock is the piece of the sim engine the executor needs.
+type simClock interface {
+	Now() float64
+}
+
+// NewExecutor creates an executor over the given own nodes.
+func NewExecutor(clock simClock, nodes []*cluster.Node, storage Storage) (*Executor, error) {
+	if clock == nil || storage == nil || len(nodes) == 0 {
+		return nil, fmt.Errorf("workflow: executor needs a clock, nodes and storage")
+	}
+	ex := &Executor{
+		sim:       clock,
+		nodes:     nodes,
+		storage:   storage,
+		freeSlots: make(map[*cluster.Node]int, len(nodes)),
+		pending:   make(map[*Task]int),
+	}
+	for _, n := range nodes {
+		ex.freeSlots[n] = n.Spec.Cores
+	}
+	return ex, nil
+}
+
+// Start validates and enqueues the DAG. Run the sim engine afterwards;
+// when it drains, Makespan reports the workflow runtime.
+func (ex *Executor) Start(d *DAG) error {
+	if ex.started {
+		return fmt.Errorf("workflow: executor already started")
+	}
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	ex.started = true
+	ex.startAt = ex.sim.Now()
+	ex.remaining = len(d.tasks)
+	for _, t := range d.tasks {
+		ex.pending[t] = len(t.deps)
+		if len(t.deps) == 0 {
+			ex.ready = append(ex.ready, t)
+		}
+	}
+	if ex.remaining == 0 {
+		ex.endAt = ex.startAt
+		if ex.OnDone != nil {
+			ex.OnDone()
+		}
+		return nil
+	}
+	ex.dispatch()
+	return nil
+}
+
+// Done reports whether every task has completed.
+func (ex *Executor) Done() bool { return ex.started && ex.remaining == 0 }
+
+// Makespan returns the workflow runtime in seconds (0 until Done).
+func (ex *Executor) Makespan() float64 {
+	if !ex.Done() {
+		return 0
+	}
+	return ex.endAt - ex.startAt
+}
+
+// dispatch assigns ready tasks to free slots.
+func (ex *Executor) dispatch() {
+	for len(ex.ready) > 0 {
+		node := ex.pickNode()
+		if node == nil {
+			return // all slots busy; completions re-dispatch
+		}
+		t := ex.ready[0]
+		ex.ready = ex.ready[1:]
+		ex.freeSlots[node]--
+		ex.runTask(t, node)
+	}
+}
+
+// pickNode returns the node with the most free slots (ties by order),
+// or nil when none is free.
+func (ex *Executor) pickNode() *cluster.Node {
+	var best *cluster.Node
+	bestFree := 0
+	for _, n := range ex.nodes {
+		if free := ex.freeSlots[n]; free > bestFree {
+			best, bestFree = n, free
+		}
+	}
+	return best
+}
+
+// runTask drives one task through read → compute → write, or through an
+// interleaved read/compute cycle when the task streams its input.
+func (ex *Executor) runTask(t *Task, node *cluster.Node) {
+	reads := append([]simstore.IO{}, t.Reads...)
+	writes := append([]simstore.IO{}, t.Writes...)
+
+	cpuSlice := t.CPUSeconds
+	if t.InterleaveIO && len(reads) > 0 {
+		cpuSlice = t.CPUSeconds / float64(len(reads))
+	}
+
+	var doReads, doWrites func()
+	doReads = func() {
+		if len(reads) == 0 {
+			if t.InterleaveIO {
+				doWrites() // compute already consumed between reads
+				return
+			}
+			node.CPU.Submit(t.CPUSeconds, doWrites)
+			return
+		}
+		io := reads[0]
+		reads = reads[1:]
+		if t.InterleaveIO {
+			ex.storage.Read(node, io, func() {
+				node.CPU.Submit(cpuSlice, doReads)
+			})
+			return
+		}
+		ex.storage.Read(node, io, doReads)
+	}
+	doWrites = func() {
+		if len(writes) == 0 {
+			ex.finishTask(t, node)
+			return
+		}
+		io := writes[0]
+		writes = writes[1:]
+		ex.storage.Write(node, io, doWrites)
+	}
+	doReads()
+}
+
+func (ex *Executor) finishTask(t *Task, node *cluster.Node) {
+	ex.freeSlots[node]++
+	ex.remaining--
+	for _, dep := range t.dependents {
+		ex.pending[dep]--
+		if ex.pending[dep] == 0 {
+			ex.ready = append(ex.ready, dep)
+		}
+	}
+	if ex.remaining == 0 {
+		ex.endAt = ex.sim.Now()
+		if ex.OnDone != nil {
+			ex.OnDone()
+		}
+		return
+	}
+	ex.dispatch()
+}

@@ -1,0 +1,308 @@
+package workflow
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"memfss/internal/cluster"
+	"memfss/internal/sim"
+	"memfss/internal/simstore"
+)
+
+// nullStorage completes every I/O instantly — it isolates the scheduler
+// from the storage model.
+type nullStorage struct{ reads, writes int }
+
+func (s *nullStorage) Write(_ *cluster.Node, _ simstore.IO, done func()) {
+	s.writes++
+	if done != nil {
+		done()
+	}
+}
+func (s *nullStorage) Read(_ *cluster.Node, _ simstore.IO, done func()) {
+	s.reads++
+	if done != nil {
+		done()
+	}
+}
+
+func testCluster(t *testing.T, n int) (*sim.Engine, []*cluster.Node) {
+	t.Helper()
+	var e sim.Engine
+	c := cluster.New(&e)
+	return &e, c.AddNodes("own", n, cluster.DAS5)
+}
+
+func TestDAGValidate(t *testing.T) {
+	d := NewDAG()
+	a := d.Add(&Task{Name: "a"})
+	b := d.Add(&Task{Name: "b"})
+	b.After(a)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Cycle.
+	a.After(b)
+	if err := d.Validate(); err == nil {
+		t.Fatal("cycle accepted")
+	}
+	// Foreign dependency.
+	d2 := NewDAG()
+	x := d2.Add(&Task{Name: "x"})
+	x.After(&Task{Name: "outsider"})
+	if err := d2.Validate(); err == nil {
+		t.Fatal("foreign dependency accepted")
+	}
+}
+
+func TestExecutorRunsChain(t *testing.T) {
+	e, nodes := testCluster(t, 1)
+	d := NewDAG()
+	a := d.Add(&Task{Name: "a", CPUSeconds: 10})
+	b := d.Add(&Task{Name: "b", CPUSeconds: 5})
+	b.After(a)
+	ex, err := NewExecutor(e, nodes, &nullStorage{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Start(d); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if !ex.Done() {
+		t.Fatal("executor not done")
+	}
+	if m := ex.Makespan(); math.Abs(m-15) > 1e-6 {
+		t.Fatalf("chain makespan %v, want 15", m)
+	}
+}
+
+func TestExecutorParallelism(t *testing.T) {
+	e, nodes := testCluster(t, 2) // 32 cores total
+	d := NewDAG()
+	for i := 0; i < 64; i++ {
+		d.Add(&Task{Name: fmt.Sprintf("t%d", i), CPUSeconds: 10})
+	}
+	ex, _ := NewExecutor(e, nodes, &nullStorage{})
+	if err := ex.Start(d); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	// 64 tasks of 10s on 32 slots: two waves = 20s.
+	if m := ex.Makespan(); math.Abs(m-20) > 1e-6 {
+		t.Fatalf("makespan %v, want 20", m)
+	}
+}
+
+func TestExecutorBalancesNodes(t *testing.T) {
+	e, nodes := testCluster(t, 4)
+	d := NewDAG()
+	for i := 0; i < 4; i++ {
+		d.Add(&Task{Name: fmt.Sprintf("t%d", i), CPUSeconds: 8})
+	}
+	ex, _ := NewExecutor(e, nodes, &nullStorage{})
+	ex.Start(d)
+	// Immediately after start, each node should hold exactly one task.
+	for _, n := range nodes {
+		if free := ex.freeSlots[n]; free != n.Spec.Cores-1 {
+			t.Fatalf("node %s has %d free slots, want %d", n.ID, free, n.Spec.Cores-1)
+		}
+	}
+	e.Run()
+}
+
+func TestExecutorIssuesIO(t *testing.T) {
+	e, nodes := testCluster(t, 1)
+	st := &nullStorage{}
+	d := NewDAG()
+	d.Add(&Task{
+		Name:       "io",
+		CPUSeconds: 1,
+		Reads:      []simstore.IO{{Bytes: 1}, {Bytes: 2}},
+		Writes:     []simstore.IO{{Bytes: 3}},
+	})
+	ex, _ := NewExecutor(e, nodes, st)
+	ex.Start(d)
+	e.Run()
+	if st.reads != 2 || st.writes != 1 {
+		t.Fatalf("reads=%d writes=%d, want 2/1", st.reads, st.writes)
+	}
+}
+
+func TestExecutorEmptyDAG(t *testing.T) {
+	e, nodes := testCluster(t, 1)
+	ex, _ := NewExecutor(e, nodes, &nullStorage{})
+	if err := ex.Start(NewDAG()); err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Done() || ex.Makespan() != 0 {
+		t.Fatal("empty DAG should complete immediately")
+	}
+}
+
+func TestExecutorValidation(t *testing.T) {
+	e, nodes := testCluster(t, 1)
+	if _, err := NewExecutor(nil, nodes, &nullStorage{}); err == nil {
+		t.Error("nil clock accepted")
+	}
+	if _, err := NewExecutor(e, nil, &nullStorage{}); err == nil {
+		t.Error("no nodes accepted")
+	}
+	if _, err := NewExecutor(e, nodes, nil); err == nil {
+		t.Error("nil storage accepted")
+	}
+	ex, _ := NewExecutor(e, nodes, &nullStorage{})
+	ex.Start(NewDAG())
+	if err := ex.Start(NewDAG()); err == nil {
+		t.Error("double start accepted")
+	}
+}
+
+func TestMakespanZeroUntilDone(t *testing.T) {
+	e, nodes := testCluster(t, 1)
+	d := NewDAG()
+	d.Add(&Task{Name: "t", CPUSeconds: 5})
+	ex, _ := NewExecutor(e, nodes, &nullStorage{})
+	ex.Start(d)
+	if ex.Makespan() != 0 || ex.Done() {
+		t.Fatal("makespan reported before completion")
+	}
+	e.Run()
+	if ex.Makespan() != 5 {
+		t.Fatalf("makespan %v", ex.Makespan())
+	}
+}
+
+func TestDDBagShape(t *testing.T) {
+	d := DDBag(2048, 128<<20)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Tasks()) != 2048 {
+		t.Fatalf("%d tasks", len(d.Tasks()))
+	}
+	if got := d.TotalWriteBytes(); got != 2048*128<<20 {
+		t.Fatalf("total write bytes %d, want 256 GiB", got)
+	}
+	for _, task := range d.Tasks()[:3] {
+		if len(task.Reads) != 0 || len(task.Writes) != 1 {
+			t.Fatal("dd tasks must be pure writers")
+		}
+		if task.Writes[0].RequestBytes != 1<<20 {
+			t.Fatal("dd must issue large requests")
+		}
+	}
+}
+
+func TestMontageShape(t *testing.T) {
+	d := Montage(MontageConfig{Tiles: 64, TileBytes: 4 << 20})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stages := map[string]int{}
+	for _, task := range d.Tasks() {
+		stages[task.Stage]++
+	}
+	if stages["mProject"] != 64 || stages["mBackground"] != 64 {
+		t.Fatalf("parallel stages wrong: %v", stages)
+	}
+	if stages["mConcatFit"] != 1 || stages["mBgModel"] != 1 || stages["mImgtbl"] != 1 {
+		t.Fatalf("sequential stages wrong: %v", stages)
+	}
+	if stages["mDiffFit"] < 64 {
+		t.Fatalf("mDiffFit too narrow: %v", stages)
+	}
+	// Defaults for degenerate configs.
+	if err := Montage(MontageConfig{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Montage's sequential stages must bound scalability: doubling nodes far
+// less than halves the runtime (the premise of Table II).
+func TestMontagePoorScalability(t *testing.T) {
+	run := func(nodes int) float64 {
+		var e sim.Engine
+		c := cluster.New(&e)
+		own := c.AddNodes("own", nodes, cluster.DAS5)
+		fs, err := simstore.New(c, own, nil, simstore.Config{OwnFraction: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := NewExecutor(&e, own, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ex.Start(Montage(MontageConfig{Tiles: 256, TileBytes: 4 << 20})); err != nil {
+			t.Fatal(err)
+		}
+		e.Run()
+		return ex.Makespan()
+	}
+	t4, t16 := run(4), run(16)
+	if t16 >= t4 {
+		t.Fatalf("more nodes slower: t4=%v t16=%v", t4, t16)
+	}
+	speedup := t4 / t16
+	if speedup > 3.0 {
+		t.Fatalf("speedup %.2f with 4x nodes: sequential stages should cap it below 3", speedup)
+	}
+}
+
+func TestBLASTShape(t *testing.T) {
+	d := BLAST(BLASTConfig{Queries: 32, DBBytes: 200 << 20, OutBytes: 128 << 20})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stages := map[string]int{}
+	for _, task := range d.Tasks() {
+		stages[task.Stage]++
+		if task.Stage == "blastall" {
+			if task.Reads[0].RequestBytes != 8<<10 {
+				t.Fatal("BLAST must issue small requests")
+			}
+			if task.CPUSeconds < 30 {
+				t.Fatal("BLAST tasks must be CPU-bound (tens of seconds)")
+			}
+		}
+	}
+	if stages["blastall"] != 32 || stages["formatdb"] != 1 || stages["merge"] != 1 {
+		t.Fatalf("stage counts: %v", stages)
+	}
+	if err := BLAST(BLASTConfig{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkflowOnSimStore(t *testing.T) {
+	var e sim.Engine
+	c := cluster.New(&e)
+	own := c.AddNodes("own", 2, cluster.DAS5)
+	victims := c.AddNodes("victim", 4, cluster.DAS5)
+	fs, err := simstore.New(c, own, victims, simstore.Config{OwnFraction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(&e, own, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Start(DDBag(64, 32<<20)); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if !ex.Done() {
+		t.Fatal("workflow did not finish")
+	}
+	if ex.Makespan() <= 0 {
+		t.Fatal("zero makespan")
+	}
+	var victimBytes int64
+	for _, v := range victims {
+		victimBytes += fs.StoredBytes(v.ID)
+	}
+	if victimBytes == 0 {
+		t.Fatal("scavenging moved no data to victims")
+	}
+}
