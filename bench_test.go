@@ -12,6 +12,7 @@ import (
 
 	"memfss/internal/chash"
 	"memfss/internal/cluster"
+	"memfss/internal/container"
 	"memfss/internal/core"
 	"memfss/internal/erasure"
 	"memfss/internal/eval"
@@ -337,6 +338,104 @@ func BenchmarkAblationIOParallelism(b *testing.B) {
 				if _, err := fs.ReadFile("/f"); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// Ablation: pipelined wire protocol + parallel replica fan-out vs one
+// round trip per command. Both run the same R=3 replicated multi-stripe
+// write workload over real TCP stores; the only difference is
+// PipelineDepth (1 = per-command baseline, 0 = default burst depth).
+func benchStripeWrite(b *testing.B, depth int) {
+	stores, err := core.StartLocalStores(4, "node", "", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer stores.Close()
+	fs, err := core.New(core.Config{
+		Classes: []core.ClassSpec{{Name: "own", Nodes: stores.Nodes}},
+		// Small stripes make the workload round-trip-bound — the regime
+		// pipelining exists for (many stripes per operation, RTT >> per-
+		// stripe transfer time).
+		StripeSize:    4 << 10,
+		Redundancy:    core.Redundancy{Mode: core.RedundancyReplicate, Replicas: 3},
+		IOParallelism: 4,
+		PipelineDepth: depth,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fs.Close()
+	payload := make([]byte, 2<<20) // 512 stripes, each stored 3x
+	b.SetBytes(2 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fs.WriteFile("/f", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStripeWritePerCommand(b *testing.B) { benchStripeWrite(b, 1) }
+
+func BenchmarkStripeWritePipelined(b *testing.B) { benchStripeWrite(b, 0) }
+
+func BenchmarkStripeWriteDepth64(b *testing.B)  { benchStripeWrite(b, 64) }
+func BenchmarkStripeWriteDepth128(b *testing.B) { benchStripeWrite(b, 128) }
+
+// Ablation: evacuation drain cost — per-key Get/Exists/Set round trips
+// vs the batched MGET + pipelined SETNX drain. Each iteration rebuilds
+// the deployment (evacuation permanently removes the node), so only the
+// EvacuateNode call itself is timed.
+func BenchmarkEvacuateDrain(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		depth int
+	}{{"per-command", 1}, {"pipelined", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				own, err := core.StartLocalStores(2, "own", "", 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				victims, err := core.StartLocalStores(2, "victim", "", 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d, err := hrw.DeltaForOwnFraction(0.25)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fs, err := core.New(core.Config{
+					Classes: []core.ClassSpec{
+						{Name: "own", Weight: d, Nodes: own.Nodes},
+						{Name: "victim", Nodes: victims.Nodes, Victim: true,
+							Limits: container.Limits{MemoryBytes: 1 << 30}},
+					},
+					StripeSize:    4 << 10,
+					Redundancy:    core.Redundancy{Mode: core.RedundancyReplicate, Replicas: 2},
+					PipelineDepth: mode.depth,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				payload := make([]byte, 64<<10)
+				for j := 0; j < 16; j++ {
+					if err := fs.WriteFile(fmt.Sprintf("/f%d", j), payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+				victim := victims.Nodes[0].ID
+				b.StartTimer()
+				if err := fs.EvacuateNode(victim); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				fs.Close()
+				victims.Close()
+				own.Close()
 			}
 		})
 	}

@@ -4,9 +4,15 @@
 // bag of write tasks followed by a full read-back, reporting throughput —
 // a laptop-scale analogue of the paper's Figure 2 workload.
 //
+// By default the workload runs twice — once in per-command mode (every
+// store command is its own round trip, PipelineDepth=1) and once in
+// pipelined mode — and reports the aggregate MB/s of both side by side.
+//
 // Usage:
 //
 //	memfss-bench -own 2 -victims 6 -alpha 0.25 -tasks 64 -size 8388608
+//	memfss-bench -pipeline=false            # per-command mode only
+//	memfss-bench -depth 64                  # deeper pipeline bursts
 package main
 
 import (
@@ -30,6 +36,9 @@ func main() {
 	tasks := flag.Int("tasks", 64, "number of dd tasks")
 	size := flag.Int64("size", 8<<20, "bytes written per task")
 	workers := flag.Int("workers", 8, "concurrent writer tasks")
+	pipeline := flag.Bool("pipeline", true, "also run the pipelined wire mode and report both modes side by side")
+	depth := flag.Int("depth", 0, "pipeline burst depth for the pipelined mode (0 = default)")
+	stripeSize := flag.Int64("stripe", 0, "stripe size in bytes (0 = default); small stripes make the workload round-trip-bound")
 	flag.Parse()
 
 	const password = "bench-secret"
@@ -62,70 +71,107 @@ func main() {
 		}
 		classes = append(classes, vc)
 	}
-	fs, err := core.New(core.Config{Classes: classes, Password: password})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer fs.Close()
 
 	payload := make([]byte, *size)
 	rand.New(rand.NewSource(42)).Read(payload)
+	total := float64(*tasks) * float64(*size)
 
 	fmt.Printf("memfss-bench: %d tasks x %d B over %d own + %d victim stores (alpha=%.2f)\n",
 		*tasks, *size, *ownN, *victimN, *alpha)
 
-	if err := fs.MkdirAll("/bench"); err != nil {
-		log.Fatal(err)
+	type result struct {
+		label        string
+		wMBs, rMBs   float64
+		wDur, rDur   time.Duration
+		placementFmt string
 	}
-	start := time.Now()
-	var wg sync.WaitGroup
-	errCh := make(chan error, *tasks)
-	sem := make(chan struct{}, *workers)
-	for i := 0; i < *tasks; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			errCh <- fs.WriteFile(fmt.Sprintf("/bench/task-%d", i), payload)
-		}(i)
-	}
-	wg.Wait()
-	close(errCh)
-	for err := range errCh {
+	runMode := func(label string, pipeDepth int, dir string) result {
+		fs, err := core.New(core.Config{
+			Classes: classes, Password: password,
+			StripeSize: *stripeSize, PipelineDepth: pipeDepth,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-	}
-	writeDur := time.Since(start)
-	total := float64(*tasks) * float64(*size)
-	fmt.Printf("write: %.1f MB in %v (%.0f MB/s)\n", total/1e6, writeDur.Round(time.Millisecond), total/1e6/writeDur.Seconds())
-
-	start = time.Now()
-	for i := 0; i < *tasks; i++ {
-		data, err := fs.ReadFile(fmt.Sprintf("/bench/task-%d", i))
-		if err != nil {
+		defer fs.Close()
+		if err := fs.MkdirAll(dir); err != nil {
 			log.Fatal(err)
 		}
-		if int64(len(data)) != *size {
-			log.Fatalf("task %d: read %d bytes, want %d", i, len(data), *size)
+		start := time.Now()
+		var wg sync.WaitGroup
+		errCh := make(chan error, *tasks)
+		sem := make(chan struct{}, *workers)
+		for i := 0; i < *tasks; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				errCh <- fs.WriteFile(fmt.Sprintf("%s/task-%d", dir, i), payload)
+			}(i)
 		}
-	}
-	readDur := time.Since(start)
-	fmt.Printf("read:  %.1f MB in %v (%.0f MB/s)\n", total/1e6, readDur.Round(time.Millisecond), total/1e6/readDur.Seconds())
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		writeDur := time.Since(start)
 
-	var ownBytes, victimBytes int64
-	for id, st := range fs.StoreStats() {
-		if st.Class == "own" {
-			ownBytes += st.BytesUsed
-		} else {
-			victimBytes += st.BytesUsed
+		start = time.Now()
+		for i := 0; i < *tasks; i++ {
+			data, err := fs.ReadFile(fmt.Sprintf("%s/task-%d", dir, i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if int64(len(data)) != *size {
+				log.Fatalf("task %d: read %d bytes, want %d", i, len(data), *size)
+			}
 		}
-		_ = id
+		readDur := time.Since(start)
+
+		var ownBytes, victimBytes int64
+		for _, st := range fs.StoreStats() {
+			if st.Class == "own" {
+				ownBytes += st.BytesUsed
+			} else {
+				victimBytes += st.BytesUsed
+			}
+		}
+		res := result{
+			label: label,
+			wMBs:  total / 1e6 / writeDur.Seconds(),
+			rMBs:  total / 1e6 / readDur.Seconds(),
+			wDur:  writeDur, rDur: readDur,
+		}
+		if ownBytes+victimBytes > 0 {
+			res.placementFmt = fmt.Sprintf("%.1f%% own / %.1f%% victim (target alpha %.0f%%)",
+				100*float64(ownBytes)/float64(ownBytes+victimBytes),
+				100*float64(victimBytes)/float64(ownBytes+victimBytes), 100**alpha)
+		}
+		// Drop this mode's files so the next mode measures the same
+		// cold-write workload against the shared stores.
+		if err := fs.RemoveAll(dir); err != nil {
+			log.Fatal(err)
+		}
+		return res
 	}
-	if ownBytes+victimBytes > 0 {
-		fmt.Printf("placement: %.1f%% own / %.1f%% victim (target alpha %.0f%%)\n",
-			100*float64(ownBytes)/float64(ownBytes+victimBytes),
-			100*float64(victimBytes)/float64(ownBytes+victimBytes), 100**alpha)
+
+	results := []result{runMode("per-command", 1, "/bench-percmd")}
+	if *pipeline {
+		results = append(results, runMode("pipelined", *depth, "/bench-pipelined"))
+	}
+	for _, r := range results {
+		fmt.Printf("%-12s write: %6.1f MB in %8v (%6.0f MB/s)   read: %6.1f MB in %8v (%6.0f MB/s)\n",
+			r.label, total/1e6, r.wDur.Round(time.Millisecond), r.wMBs,
+			total/1e6, r.rDur.Round(time.Millisecond), r.rMBs)
+	}
+	if len(results) == 2 {
+		fmt.Printf("pipelined vs per-command: %.2fx write, %.2fx read\n",
+			results[1].wMBs/results[0].wMBs, results[1].rMBs/results[0].rMBs)
+	}
+	if p := results[len(results)-1].placementFmt; p != "" {
+		fmt.Printf("placement: %s\n", p)
 	}
 }

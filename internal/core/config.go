@@ -95,7 +95,20 @@ type Config struct {
 	// I/O is how MemFS-family systems saturate premium networks (paper
 	// §II-C).
 	IOParallelism int
+	// PipelineDepth bounds how many commands the data paths queue in one
+	// wire pipeline burst to a store (default 32). Depth 1 is the
+	// per-command mode: every store command is its own round trip and
+	// replica writes go out serially — the ablation baseline the
+	// pipelining benchmarks compare against. Depths >= 2 enable batched
+	// multi-stripe bursts and parallel replica fan-out on writes.
+	PipelineDepth int
 }
+
+// defaultPipelineDepth is the burst size used when PipelineDepth is 0.
+// 32 commands of a 64 KiB stripe each keep a burst around 2 MiB — big
+// enough to amortize the round trip, small enough to stay inside the
+// store's per-connection buffers.
+const defaultPipelineDepth = 32
 
 // validate checks the configuration and returns the own class.
 func (c *Config) validate() error {
@@ -123,6 +136,9 @@ func (c *Config) validate() error {
 	}
 	if c.IOParallelism < 0 {
 		return fmt.Errorf("core: negative I/O parallelism %d", c.IOParallelism)
+	}
+	if c.PipelineDepth < 0 {
+		return fmt.Errorf("core: negative pipeline depth %d", c.PipelineDepth)
 	}
 	switch c.Redundancy.Mode {
 	case RedundancyNone:

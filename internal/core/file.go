@@ -95,9 +95,14 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		return 0, err
 	}
 	starts := spanStarts(spans)
-	okSpans, err := f.runSpans(spans, func(i int, span stripe.Span) error {
-		return f.writeSpan(span, p[starts[i]:starts[i]+int(span.Length)])
-	})
+	var okSpans int
+	if f.coder == nil && f.fs.pipeDepth > 1 && len(spans) > 1 {
+		okSpans, err = f.writeSpansPipelined(spans, starts, p)
+	} else {
+		okSpans, err = f.runSpans(spans, func(i int, span stripe.Span) error {
+			return f.writeSpan(span, p[starts[i]:starts[i]+int(span.Length)])
+		})
+	}
 	written := 0
 	if okSpans > 0 {
 		written = starts[okSpans-1] + int(spans[okSpans-1].Length)
@@ -163,6 +168,42 @@ func (f *File) runSpans(spans []stripe.Span, fn func(i int, s stripe.Span) error
 	return len(spans), nil
 }
 
+// fanoutN runs fn for each of n items concurrently, bounded by par,
+// waits for all of them, and returns the first error in item order.
+func fanoutN(par, n int, fn func(i int) error) error {
+	if n == 1 {
+		return fn(0)
+	}
+	if par < 1 {
+		par = 1
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fanout is fanoutN over a node list: fn runs once per node, concurrently
+// up to par, and the first error in node order wins.
+func fanout(par int, nodes []string, fn func(node string) error) error {
+	return fanoutN(par, len(nodes), func(i int) error { return fn(nodes[i]) })
+}
+
 // ReadAt reads len(p) bytes at offset off. Reads beyond the end of the
 // file return io.EOF with a short count. Holes read as zeros.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
@@ -192,14 +233,19 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		return 0, err
 	}
 	starts := spanStarts(spans)
-	okSpans, err := f.runSpans(spans, func(i int, span stripe.Span) error {
-		data, rerr := f.readSpan(span)
-		if rerr != nil {
-			return rerr
-		}
-		copy(p[starts[i]:starts[i]+int(span.Length)], data)
-		return nil
-	})
+	var okSpans int
+	if f.coder == nil && f.fs.pipeDepth > 1 && len(spans) > 1 {
+		okSpans, err = f.readSpansPipelined(spans, starts, p)
+	} else {
+		okSpans, err = f.runSpans(spans, func(i int, span stripe.Span) error {
+			data, rerr := f.readSpan(span)
+			if rerr != nil {
+				return rerr
+			}
+			copy(p[starts[i]:starts[i]+int(span.Length)], data)
+			return nil
+		})
+	}
 	read := 0
 	if okSpans > 0 {
 		read = starts[okSpans-1] + int(spans[okSpans-1].Length)
@@ -294,7 +340,7 @@ func (f *File) writeSpan(span stripe.Span, data []byte) error {
 		return f.writeSpanErasure(sk, span, data)
 	}
 	full := span.Offset == 0 && span.Length == f.layout.Size()
-	for _, node := range f.targets(sk) {
+	write := func(node string) error {
 		var err error
 		if full {
 			err = f.put(node, key, data)
@@ -304,8 +350,22 @@ func (f *File) writeSpan(span stripe.Span, data []byte) error {
 		if err != nil {
 			return fmt.Errorf("memfss: write stripe %s to %s: %w", key, node, err)
 		}
+		return nil
 	}
-	return nil
+	nodes := f.targets(sk)
+	if f.fs.pipeDepth <= 1 {
+		// Per-command mode: replicas go out one round trip at a time —
+		// the ablation baseline the pipelining benchmarks compare against.
+		for _, node := range nodes {
+			if err := write(node); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// All replicas in flight concurrently; first error in HRW rank order
+	// wins, same as the serial loop reports.
+	return fanout(f.fs.ioPar, nodes, write)
 }
 
 // writeSpanErasure read-modify-writes the whole stripe: partial-stripe
@@ -333,12 +393,21 @@ func (f *File) writeSpanErasure(sk string, span stripe.Span, data []byte) error 
 	}
 	all := append(shards, parity...)
 	nodes := f.targets(sk)
-	for i, node := range nodes {
-		if err := f.put(node, shardKey(dataKey(sk), i), all[i]); err != nil {
-			return fmt.Errorf("memfss: write shard %d of %s to %s: %w", i, sk, node, err)
+	writeShard := func(i int) error {
+		if err := f.put(nodes[i], shardKey(dataKey(sk), i), all[i]); err != nil {
+			return fmt.Errorf("memfss: write shard %d of %s to %s: %w", i, sk, nodes[i], err)
 		}
+		return nil
 	}
-	return nil
+	if f.fs.pipeDepth <= 1 {
+		for i := range nodes {
+			if err := writeShard(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fanoutN(f.fs.ioPar, len(nodes), writeShard)
 }
 
 // get reads length bytes at offset from a node's key, throttled. ok is

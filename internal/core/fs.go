@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"memfss/internal/erasure"
@@ -19,13 +20,14 @@ type FileSystem struct {
 	classes []ClassSpec
 	placer  *hrw.Placer
 
-	cfg    Config
-	layout stripe.Layout
-	conns  *connPool
-	meta   *metaService
-	ioPar  int
-	stats  fsStats
-	closed bool
+	cfg       Config
+	layout    stripe.Layout
+	conns     *connPool
+	meta      *metaService
+	ioPar     int
+	pipeDepth int
+	stats     fsStats
+	closed    bool
 }
 
 // New connects to the stores described by cfg and returns a FileSystem.
@@ -61,14 +63,19 @@ func New(cfg Config) (*FileSystem, error) {
 	if ioPar == 0 {
 		ioPar = 8
 	}
+	pipeDepth := cfg.PipelineDepth
+	if pipeDepth == 0 {
+		pipeDepth = defaultPipelineDepth
+	}
 	fs := &FileSystem{
-		classes: classes,
-		placer:  placer,
-		cfg:     cfg,
-		layout:  layout,
-		conns:   conns,
-		meta:    newMetaService(ownIDs, conns),
-		ioPar:   ioPar,
+		classes:   classes,
+		placer:    placer,
+		cfg:       cfg,
+		layout:    layout,
+		conns:     conns,
+		meta:      newMetaService(ownIDs, conns),
+		ioPar:     ioPar,
+		pipeDepth: pipeDepth,
 	}
 	for _, id := range ownIDs {
 		cli, err := conns.client(id)
@@ -420,47 +427,34 @@ func (fs *FileSystem) ReadFile(path string) ([]byte, error) {
 }
 
 // deleteFileData removes every stripe (or shard) of a file from all nodes
-// of its placement snapshot, batched into one DEL per node.
+// of its placement snapshot. Stripe keys share the "data:<fileID>#"
+// prefix, so the whole file is dropped with one DELPREFIX per node, all
+// nodes in flight concurrently (bounded by IOParallelism).
 func (fs *FileSystem) deleteFileData(rec *fsmeta.FileRecord) error {
 	layout, err := stripe.NewLayout(rec.StripeSize)
 	if err != nil {
 		return err
 	}
-	count := layout.Count(rec.Size)
-	if count == 0 {
+	if layout.Count(rec.Size) == 0 {
 		return nil
 	}
-	keys := make([]string, 0, count)
-	for idx := int64(0); idx < count; idx++ {
-		base := dataKey(stripe.Key(rec.ID, idx))
-		if rec.DataShards > 0 {
-			for s := 0; s < rec.DataShards+rec.ParityShards; s++ {
-				keys = append(keys, shardKey(base, s))
-			}
-		} else {
-			keys = append(keys, base)
-		}
+	prefix := dataKey(stripe.Key(rec.ID, 0))
+	if i := strings.LastIndexByte(prefix, '#'); i >= 0 {
+		prefix = prefix[:i+1]
 	}
-	var firstErr error
+	var nodes []string
 	for _, snap := range rec.Classes {
-		for _, nodeID := range snap.Nodes {
-			cli, err := fs.conns.client(nodeID)
-			if err != nil {
-				// Node already evacuated/removed: nothing to delete there.
-				continue
-			}
-			for start := 0; start < len(keys); start += 512 {
-				end := start + 512
-				if end > len(keys) {
-					end = len(keys)
-				}
-				if _, err := cli.Del(keys[start:end]...); err != nil && firstErr == nil {
-					firstErr = err
-				}
-			}
-		}
+		nodes = append(nodes, snap.Nodes...)
 	}
-	return firstErr
+	return fanout(fs.ioPar, nodes, func(nodeID string) error {
+		cli, err := fs.conns.client(nodeID)
+		if err != nil {
+			// Node already evacuated/removed: nothing to delete there.
+			return nil
+		}
+		_, err = cli.DelPrefix(prefix)
+		return err
+	})
 }
 
 // StoreStats polls every node's store and returns stats keyed by node ID.

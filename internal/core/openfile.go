@@ -209,6 +209,52 @@ func (fs *FileSystem) Truncate(path string, size int64) error {
 	return fs.meta.updateRecord(p, rec)
 }
 
+// delBatch is how many keys one DEL command carries in delKeyBatches.
+const delBatch = 512
+
+// delKeyBatches deletes keys from one node in multi-key DEL commands,
+// pipelined PipelineDepth commands per burst (depth <= 1 degrades to one
+// round trip per DEL). An unreachable node is skipped: Truncate/Remove
+// must succeed even after evacuations shrank the snapshot.
+func (fs *FileSystem) delKeyBatches(nodeID string, keys []string) error {
+	cli, err := fs.conns.client(nodeID)
+	if err != nil {
+		return nil
+	}
+	pl := cli.Pipeline()
+	flush := func() error {
+		replies, err := pl.Run()
+		if err != nil {
+			return err
+		}
+		for _, r := range replies {
+			if err := r.Err(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for start := 0; start < len(keys); start += delBatch {
+		end := start + delBatch
+		if end > len(keys) {
+			end = len(keys)
+		}
+		if fs.pipeDepth <= 1 {
+			if _, err := cli.Del(keys[start:end]...); err != nil {
+				return err
+			}
+			continue
+		}
+		pl.Del(keys[start:end]...)
+		if pl.Len() >= fs.pipeDepth {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
 // dropStripesBeyond deletes whole stripes past newSize and trims the
 // stripe containing the new end.
 func (fs *FileSystem) dropStripesBeyond(rec *fsmeta.FileRecord, newSize int64) error {
@@ -235,22 +281,14 @@ func (fs *FileSystem) dropStripesBeyond(rec *fsmeta.FileRecord, newSize int64) e
 		}
 	}
 	if len(keys) > 0 {
+		var nodes []string
 		for _, snap := range rec.Classes {
-			for _, nodeID := range snap.Nodes {
-				cli, err := fs.conns.client(nodeID)
-				if err != nil {
-					continue
-				}
-				for start := 0; start < len(keys); start += 512 {
-					end := start + 512
-					if end > len(keys) {
-						end = len(keys)
-					}
-					if _, err := cli.Del(keys[start:end]...); err != nil {
-						return err
-					}
-				}
-			}
+			nodes = append(nodes, snap.Nodes...)
+		}
+		if err := fanout(fs.ioPar, nodes, func(nodeID string) error {
+			return fs.delKeyBatches(nodeID, keys)
+		}); err != nil {
+			return err
 		}
 	}
 	// Trim the boundary stripe (replicated/plain layout only; an

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"memfss/internal/kvstore"
+	"memfss/internal/stripe"
+)
+
+// This file holds the batched data paths used when Config.PipelineDepth
+// is >= 2: multi-stripe writes and reads are grouped per target node,
+// split into PipelineDepth-sized bursts, and the bursts shipped as wire
+// pipelines — IOParallelism bursts in flight at once, each on its own
+// pooled connection. The per-command engines in file.go remain both the
+// depth-1 ablation baseline and the fallback for everything the fast
+// path cannot serve (erasure coding, probe reads, lazy repair).
+
+// spanCmd pairs one queued store command with the span it serves.
+type spanCmd struct {
+	span int      // index into the operation's span slice
+	args [][]byte // wire command
+	n    int64    // payload bytes, for victim throttling
+}
+
+// nodeBurst is one pipeline's worth of commands bound for one node.
+type nodeBurst struct {
+	node string
+	cmds []spanCmd
+}
+
+// splitBursts chops each node's queue into depth-sized bursts. Bursts
+// carry commands for distinct keys, so they may run concurrently — even
+// two bursts to the same node, on separate pooled connections.
+func splitBursts(perNode map[string][]spanCmd, nodeOrder []string, depth int) []nodeBurst {
+	var bursts []nodeBurst
+	for _, node := range nodeOrder {
+		cmds := perNode[node]
+		for start := 0; start < len(cmds); start += depth {
+			end := start + depth
+			if end > len(cmds) {
+				end = len(cmds)
+			}
+			bursts = append(bursts, nodeBurst{node: node, cmds: cmds[start:end]})
+		}
+	}
+	return bursts
+}
+
+// runBurst throttles and ships one burst, handing each command's reply
+// (or the burst-level transport error) to done.
+func (f *File) runBurst(nb nodeBurst, done func(c spanCmd, r *kvstore.Reply, err error)) {
+	cli, err := f.fs.conns.client(nb.node)
+	if err == nil {
+		var total int64
+		for _, c := range nb.cmds {
+			total += c.n
+		}
+		err = f.fs.conns.throttle(nb.node).Take(total)
+	}
+	if err != nil {
+		for _, c := range nb.cmds {
+			done(c, nil, err)
+		}
+		return
+	}
+	pl := cli.Pipeline()
+	for _, c := range nb.cmds {
+		pl.Do(c.args...)
+	}
+	replies, err := pl.Run()
+	if err != nil {
+		for _, c := range nb.cmds {
+			done(c, nil, err)
+		}
+		return
+	}
+	for j, r := range replies {
+		done(nb.cmds[j], r, nil)
+	}
+}
+
+// writeSpansPipelined stores every span on all of its targets using
+// pipelined bursts. Mirroring runSpans, it returns how many leading
+// spans fully succeeded (on every replica) and the first error in span
+// order.
+func (f *File) writeSpansPipelined(spans []stripe.Span, starts []int, p []byte) (int, error) {
+	perNode := make(map[string][]spanCmd)
+	var nodeOrder []string
+	for i, span := range spans {
+		f.fs.stats.stripeWrites.Add(1)
+		sk := stripe.Key(f.rec.ID, span.Index)
+		key := dataKey(sk)
+		data := p[starts[i] : starts[i]+int(span.Length)]
+		var args [][]byte
+		if span.Offset == 0 && span.Length == f.layout.Size() {
+			args = [][]byte{[]byte("SET"), []byte(key), data}
+		} else {
+			args = [][]byte{[]byte("SETRANGE"), []byte(key),
+				[]byte(strconv.FormatInt(span.Offset, 10)), data}
+		}
+		for _, node := range f.targets(sk) {
+			if _, ok := perNode[node]; !ok {
+				nodeOrder = append(nodeOrder, node)
+			}
+			perNode[node] = append(perNode[node], spanCmd{span: i, args: args, n: int64(len(data))})
+		}
+	}
+	bursts := splitBursts(perNode, nodeOrder, f.fs.pipeDepth)
+
+	// A span's replicas land in different bursts, so failures funnel
+	// through one mutex; the first error per span wins.
+	errs := make([]error, len(spans))
+	var mu sync.Mutex
+	fail := func(span int, err error) {
+		mu.Lock()
+		if errs[span] == nil {
+			errs[span] = err
+		}
+		mu.Unlock()
+	}
+	_ = fanoutN(f.fs.ioPar, len(bursts), func(k int) error {
+		nb := bursts[k]
+		f.runBurst(nb, func(c spanCmd, r *kvstore.Reply, err error) {
+			if err != nil {
+				fail(c.span, fmt.Errorf("memfss: pipeline to %s: %w", nb.node, err))
+				return
+			}
+			if rerr := r.Err(); rerr != nil {
+				fail(c.span, fmt.Errorf("memfss: %s %s on %s: %w",
+					string(c.args[0]), string(c.args[1]), nb.node, rerr))
+			}
+		})
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			return i, err
+		}
+	}
+	return len(spans), nil
+}
+
+// readSpansPipelined fetches every span from its primary target in
+// pipelined GETRANGE bursts, then falls back to the per-span probe path
+// (readSpan) for anything the fast path misses: absent keys (strays or
+// holes), error replies, or an unreachable primary. The probe fallback
+// keeps the lazy-repair semantics of paper §V-C intact. Returns the
+// leading-success count and the first error in span order, like
+// runSpans.
+func (f *File) readSpansPipelined(spans []stripe.Span, starts []int, p []byte) (int, error) {
+	perNode := make(map[string][]spanCmd)
+	var nodeOrder []string
+	for i, span := range spans {
+		sk := stripe.Key(f.rec.ID, span.Index)
+		args := [][]byte{[]byte("GETRANGE"), []byte(dataKey(sk)),
+			[]byte(strconv.FormatInt(span.Offset, 10)),
+			[]byte(strconv.FormatInt(span.Length, 10))}
+		node := f.targets(sk)[0]
+		if _, ok := perNode[node]; !ok {
+			nodeOrder = append(nodeOrder, node)
+		}
+		perNode[node] = append(perNode[node], spanCmd{span: i, args: args, n: span.Length})
+	}
+	bursts := splitBursts(perNode, nodeOrder, f.fs.pipeDepth)
+
+	// Each span appears in exactly one burst, so the burst goroutines
+	// write disjoint done entries and disjoint regions of p.
+	done := make([]bool, len(spans))
+	_ = fanoutN(f.fs.ioPar, len(bursts), func(k int) error {
+		f.runBurst(bursts[k], func(c spanCmd, r *kvstore.Reply, err error) {
+			if err != nil || r.Err() != nil || r.Nil {
+				return // stray, hole, or store trouble: the probe decides
+			}
+			i := c.span
+			copy(p[starts[i]:starts[i]+int(spans[i].Length)], padTo(r.Bulk, spans[i].Length))
+			done[i] = true
+		})
+		return nil
+	})
+
+	var fallback []int
+	for i := range spans {
+		if done[i] {
+			f.fs.stats.stripeReads.Add(1)
+		} else {
+			fallback = append(fallback, i)
+		}
+	}
+	errs := make([]error, len(spans))
+	if len(fallback) > 0 {
+		_ = fanoutN(f.fs.ioPar, len(fallback), func(k int) error {
+			i := fallback[k]
+			data, err := f.readSpan(spans[i])
+			if err != nil {
+				errs[i] = err
+				return nil
+			}
+			copy(p[starts[i]:starts[i]+int(spans[i].Length)], data)
+			return nil
+		})
+	}
+	for i, err := range errs {
+		if err != nil {
+			return i, err
+		}
+	}
+	return len(spans), nil
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"memfss/internal/hrw"
+	"memfss/internal/kvstore"
 )
 
 // AddVictimClass extends the storage space at runtime with a new scavenged
@@ -107,10 +108,8 @@ func (fs *FileSystem) EvacuateNode(nodeID string) error {
 	if err != nil {
 		return fmt.Errorf("core: list keys on %s: %w", nodeID, err)
 	}
-	for _, key := range keys {
-		if err := fs.rehomeKey(nodeID, key); err != nil {
-			return fmt.Errorf("core: evacuate %s from %s: %w", key, nodeID, err)
-		}
+	if err := fs.rehomeKeys(nodeID, keys); err != nil {
+		return err
 	}
 	if err := cli.FlushAll(); err != nil {
 		return err
@@ -142,44 +141,180 @@ func (fs *FileSystem) EvacuateNode(nodeID string) error {
 	return nil
 }
 
-// rehomeKey moves one data key off an evacuating node to the next live
-// node in its file's snapshot probe order.
-func (fs *FileSystem) rehomeKey(nodeID, key string) error {
-	fileID, shardIdx, ok := parseDataKey(key)
-	if !ok {
-		return fmt.Errorf("unparseable data key %q", key)
-	}
-	path, err := fs.meta.lookupFileID(fileID)
-	if err != nil {
-		// Orphan stripe (file already removed): just drop it.
+// rehomeKeys drains an evacuating node's data keys. With PipelineDepth
+// >= 2 each batch costs a handful of bursts instead of three round trips
+// per key: one MGET on the source, then pipelined SETNX runs per
+// destination (SETNX collapses the old Exists-then-Set pair — it
+// declines exactly when a replica already lives there). Any key the fast
+// path cannot place falls back to the per-key probe walk of rehomeKey.
+func (fs *FileSystem) rehomeKeys(nodeID string, keys []string) error {
+	rehomeSerial := func(keys []string) error {
+		for _, key := range keys {
+			if err := fs.rehomeKey(nodeID, key); err != nil {
+				return fmt.Errorf("core: evacuate %s from %s: %w", key, nodeID, err)
+			}
+		}
 		return nil
 	}
-	rec, err := fs.meta.statRecord(path)
-	if err != nil || rec.File == nil {
-		return nil
+	if fs.pipeDepth <= 1 {
+		return rehomeSerial(keys)
 	}
-	pl, err := placerFromSnapshot(rec.File.Classes)
-	if err != nil {
-		return err
-	}
-	// The probe key is the stripe key (without shard suffix).
-	probeKey := strings.TrimSuffix(key, "/s"+shardIdx)
-	order := pl.ProbeOrder(strings.TrimPrefix(probeKey, "data:"))
 	src, err := fs.conns.client(nodeID)
 	if err != nil {
 		return err
 	}
-	value, ok2, err := src.Get(key)
+	for start := 0; start < len(keys); start += fs.pipeDepth {
+		end := start + fs.pipeDepth
+		if end > len(keys) {
+			end = len(keys)
+		}
+		leftover := fs.rehomeBatch(src, nodeID, keys[start:end])
+		if err := rehomeSerial(leftover); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rehomeBatch attempts the pipelined drain of one key batch, returning
+// the keys that still need the serial per-key fallback.
+func (fs *FileSystem) rehomeBatch(src *kvstore.Client, nodeID string, keys []string) []string {
+	vals, err := src.MGet(keys...)
+	if err != nil {
+		return keys // let the serial path retry (and report) per key
+	}
+	type pending struct {
+		key string
+		val []byte
+	}
+	perDest := make(map[string][]pending)
+	var destOrder []string
+	var fallback []string
+	for i, key := range keys {
+		if vals[i] == nil {
+			continue // already drained
+		}
+		order, err := fs.rehomeOrder(nodeID, key)
+		if err != nil {
+			fallback = append(fallback, key) // serial path reproduces the error
+			continue
+		}
+		if order == nil {
+			continue // orphan: dropped by the post-drain flush
+		}
+		dest := ""
+		for _, cand := range order {
+			if _, err := fs.conns.client(cand); err == nil {
+				dest = cand
+				break
+			}
+		}
+		if dest == "" {
+			fallback = append(fallback, key) // rehomeKey reports "no live node"
+			continue
+		}
+		if _, ok := perDest[dest]; !ok {
+			destOrder = append(destOrder, dest)
+		}
+		perDest[dest] = append(perDest[dest], pending{key: key, val: vals[i]})
+	}
+	for _, dest := range destOrder {
+		batch := perDest[dest]
+		dst, err := fs.conns.client(dest)
+		if err != nil {
+			for _, p := range batch {
+				fallback = append(fallback, p.key)
+			}
+			continue
+		}
+		var total int64
+		for _, p := range batch {
+			total += int64(len(p.val))
+		}
+		if err := fs.conns.throttle(dest).Take(total); err != nil {
+			for _, p := range batch {
+				fallback = append(fallback, p.key)
+			}
+			continue
+		}
+		pl := dst.Pipeline()
+		for _, p := range batch {
+			pl.SetNX(p.key, p.val)
+		}
+		replies, err := pl.Run()
+		if err != nil {
+			for _, p := range batch {
+				fallback = append(fallback, p.key)
+			}
+			continue
+		}
+		for j, r := range replies {
+			// A :0 reply means a replica already lives there — done,
+			// matching the old Exists short-circuit.
+			if r.Err() != nil {
+				fallback = append(fallback, batch[j].key)
+			}
+		}
+	}
+	return fallback
+}
+
+// rehomeOrder computes the candidate destinations for one evacuating
+// data key: its file's snapshot probe order minus the evacuating node.
+// An orphan key (file already removed) yields a nil slice — the caller
+// just drops it with the store flush.
+func (fs *FileSystem) rehomeOrder(nodeID, key string) ([]string, error) {
+	fileID, shardIdx, ok := parseDataKey(key)
+	if !ok {
+		return nil, fmt.Errorf("unparseable data key %q", key)
+	}
+	path, err := fs.meta.lookupFileID(fileID)
+	if err != nil {
+		// Orphan stripe (file already removed): just drop it.
+		return nil, nil
+	}
+	rec, err := fs.meta.statRecord(path)
+	if err != nil || rec.File == nil {
+		return nil, nil
+	}
+	pl, err := placerFromSnapshot(rec.File.Classes)
+	if err != nil {
+		return nil, err
+	}
+	// The probe key is the stripe key (without shard suffix).
+	probeKey := strings.TrimSuffix(key, "/s"+shardIdx)
+	order := pl.ProbeOrder(strings.TrimPrefix(probeKey, "data:"))
+	out := make([]string, 0, len(order))
+	for _, c := range order {
+		if c != nodeID {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// rehomeKey moves one data key off an evacuating node to the next live
+// node in its file's snapshot probe order.
+func (fs *FileSystem) rehomeKey(nodeID, key string) error {
+	order, err := fs.rehomeOrder(nodeID, key)
 	if err != nil {
 		return err
 	}
-	if !ok2 {
+	if order == nil {
+		return nil
+	}
+	src, err := fs.conns.client(nodeID)
+	if err != nil {
+		return err
+	}
+	value, ok, err := src.Get(key)
+	if err != nil {
+		return err
+	}
+	if !ok {
 		return nil
 	}
 	for _, candidate := range order {
-		if candidate == nodeID {
-			continue
-		}
 		dst, err := fs.conns.client(candidate)
 		if err != nil {
 			continue

@@ -171,11 +171,19 @@ func (cc *clientConn) roundTrip(timeout time.Duration, args ...[]byte) (*Reply, 
 	return ReadReply(cc.br)
 }
 
-// do sends one command and decodes the reply, retrying once on a broken
-// pooled connection (the server may have closed an idle one).
+// maxAttempts caps how many connections a request (single command or
+// pipeline burst) may burn before giving up: the first attempt plus one
+// retry, because a pooled connection the server idled out looks exactly
+// like a dead store on the first try but not the second.
+const maxAttempts = 2
+
+// do sends one command and decodes the reply, retrying up to maxAttempts
+// on a broken pooled connection (the server may have closed an idle one).
+// A store that stays unreachable yields an error naming the command, the
+// address, and the attempt count, so the failure is diagnosable upstream.
 func (c *Client) do(args ...[]byte) (*Reply, error) {
 	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
+	for attempt := 0; attempt < maxAttempts; attempt++ {
 		cc, err := c.getConn()
 		if err != nil {
 			return nil, err
@@ -189,7 +197,8 @@ func (c *Client) do(args ...[]byte) (*Reply, error) {
 		c.putConn(cc, false)
 		return reply, nil
 	}
-	return nil, lastErr
+	return nil, fmt.Errorf("kvstore: %s to %s failed after %d attempts: %w",
+		strings.ToUpper(string(args[0])), c.addr, maxAttempts, lastErr)
 }
 
 func bs(ss ...string) [][]byte {

@@ -1,0 +1,150 @@
+package kvstore
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Pipeline queues commands and sends them as one burst over a single
+// pooled connection: one write, one flush, N in-order replies — the
+// Redis-style pipelining that collapses N round trips into one.
+//
+// A Pipeline is not safe for concurrent use (build and Run it from one
+// goroutine), but independent pipelines on the same Client are: each Run
+// checks out its own pooled connection. Like Client.do, Run retries the
+// whole burst on a broken connection, so queue only idempotent commands
+// (SET/GET/DEL/EXISTS/SETNX and friends — not INCR or SADD) unless the
+// caller tolerates re-execution.
+type Pipeline struct {
+	c    *Client
+	cmds [][][]byte
+}
+
+// Pipeline starts an empty command pipeline on the client.
+func (c *Client) Pipeline() *Pipeline { return &Pipeline{c: c} }
+
+// Len reports how many commands are queued.
+func (p *Pipeline) Len() int { return len(p.cmds) }
+
+// Do queues one raw command.
+func (p *Pipeline) Do(args ...[]byte) { p.cmds = append(p.cmds, args) }
+
+// Set queues a SET.
+func (p *Pipeline) Set(key string, value []byte) {
+	p.Do([]byte("SET"), []byte(key), value)
+}
+
+// SetNX queues a SETNX.
+func (p *Pipeline) SetNX(key string, value []byte) {
+	p.Do([]byte("SETNX"), []byte(key), value)
+}
+
+// Get queues a GET.
+func (p *Pipeline) Get(key string) { p.Do([]byte("GET"), []byte(key)) }
+
+// GetRange queues a GETRANGE.
+func (p *Pipeline) GetRange(key string, offset, length int64) {
+	p.Do([]byte("GETRANGE"), []byte(key),
+		[]byte(strconv.FormatInt(offset, 10)), []byte(strconv.FormatInt(length, 10)))
+}
+
+// SetRange queues a SETRANGE.
+func (p *Pipeline) SetRange(key string, offset int64, value []byte) {
+	p.Do([]byte("SETRANGE"), []byte(key), []byte(strconv.FormatInt(offset, 10)), value)
+}
+
+// Del queues a DEL of one batch of keys (a single multi-key command).
+func (p *Pipeline) Del(keys ...string) {
+	p.Do(append(bs("DEL"), bs(keys...)...)...)
+}
+
+// Exists queues an EXISTS.
+func (p *Pipeline) Exists(key string) { p.Do([]byte("EXISTS"), []byte(key)) }
+
+// Run flushes the queued commands in one burst and reads their replies,
+// aligned with queue order. Error *replies* (e.g. OOM on one SET) do not
+// fail the burst — inspect each Reply.Err(); Run itself fails only on
+// transport or protocol errors. The queue is cleared on success so the
+// pipeline can be reused.
+func (p *Pipeline) Run() ([]*Reply, error) {
+	if len(p.cmds) == 0 {
+		return nil, nil
+	}
+	c := p.c
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		cc, err := c.getConn()
+		if err != nil {
+			return nil, err
+		}
+		replies, err := cc.pipelineRoundTrip(c.timeout, p.cmds)
+		if err != nil {
+			c.putConn(cc, true)
+			lastErr = err
+			continue
+		}
+		c.putConn(cc, false)
+		p.cmds = nil
+		return replies, nil
+	}
+	return nil, fmt.Errorf("kvstore: pipeline of %d commands to %s failed after %d attempts: %w",
+		len(p.cmds), c.addr, maxAttempts, lastErr)
+}
+
+// pipelineRoundTrip writes every command with a single flush, then reads
+// the same number of replies.
+func (cc *clientConn) pipelineRoundTrip(timeout time.Duration, cmds [][][]byte) ([]*Reply, error) {
+	if err := cc.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	for _, args := range cmds {
+		if err := appendCommand(cc.bw, args...); err != nil {
+			return nil, err
+		}
+	}
+	if err := cc.bw.Flush(); err != nil {
+		return nil, err
+	}
+	replies := make([]*Reply, len(cmds))
+	for i := range replies {
+		r, err := ReadReply(cc.br)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: pipeline reply %d of %d: %w", i+1, len(cmds), err)
+		}
+		replies[i] = r
+	}
+	return replies, nil
+}
+
+// MSet stores every pair atomically in one round trip.
+func (c *Client) MSet(pairs []KV) error {
+	args := make([][]byte, 1, 1+2*len(pairs))
+	args[0] = []byte("MSET")
+	for _, kv := range pairs {
+		args = append(args, []byte(kv.Key), kv.Value)
+	}
+	return c.doSimple(args...)
+}
+
+// MGet fetches every key in one round trip; missing keys yield nil
+// entries, aligned with keys.
+func (c *Client) MGet(keys ...string) ([][]byte, error) {
+	reply, err := c.do(append(bs("MGET"), bs(keys...)...)...)
+	if err != nil {
+		return nil, err
+	}
+	if err := reply.Err(); err != nil {
+		return nil, err
+	}
+	if len(reply.Array) != len(keys) {
+		return nil, fmt.Errorf("kvstore: MGET returned %d values for %d keys", len(reply.Array), len(keys))
+	}
+	return reply.Array, nil
+}
+
+// DelPrefix removes every key with the given prefix in one round trip,
+// returning how many were removed.
+func (c *Client) DelPrefix(prefix string) (int64, error) {
+	return c.doInt([]byte("DELPREFIX"), []byte(prefix))
+}

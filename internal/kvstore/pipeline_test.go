@@ -1,0 +1,335 @@
+package kvstore
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPipelineBasic(t *testing.T) {
+	_, cli := startServer(t, 0, "")
+	pl := cli.Pipeline()
+	pl.Set("a", []byte("1"))
+	pl.Set("b", []byte("2"))
+	pl.Get("a")
+	pl.Get("missing")
+	pl.Del("b")
+	pl.Exists("a")
+	replies, err := pl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 6 {
+		t.Fatalf("%d replies", len(replies))
+	}
+	if replies[0].Str != "OK" || replies[1].Str != "OK" {
+		t.Fatalf("SET replies: %+v %+v", replies[0], replies[1])
+	}
+	if string(replies[2].Bulk) != "1" {
+		t.Fatalf("GET a = %q", replies[2].Bulk)
+	}
+	if !replies[3].Nil {
+		t.Fatalf("GET missing = %+v", replies[3])
+	}
+	if replies[4].Int != 1 || replies[5].Int != 1 {
+		t.Fatalf("DEL/EXISTS = %+v %+v", replies[4], replies[5])
+	}
+	// The queue drains on success; a reused pipeline starts empty.
+	if pl.Len() != 0 {
+		t.Fatalf("queue not cleared: %d", pl.Len())
+	}
+	if replies, err := pl.Run(); err != nil || replies != nil {
+		t.Fatalf("empty Run = %v %v", replies, err)
+	}
+}
+
+func TestPipelineErrorRepliesDoNotAbortBurst(t *testing.T) {
+	_, cli := startServer(t, 0, "")
+	if _, err := cli.SAdd("set-key", "m"); err != nil {
+		t.Fatal(err)
+	}
+	pl := cli.Pipeline()
+	pl.Set("ok-key", []byte("v"))
+	pl.Get("set-key") // WRONGTYPE
+	pl.Get("ok-key")
+	replies, err := pl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replies[0].Err() != nil {
+		t.Fatalf("first command failed: %v", replies[0].Err())
+	}
+	if replies[1].Err() == nil || !strings.Contains(replies[1].Err().Error(), "WRONGTYPE") {
+		t.Fatalf("wrong-type reply = %+v", replies[1])
+	}
+	if string(replies[2].Bulk) != "v" {
+		t.Fatalf("command after error reply lost: %+v", replies[2])
+	}
+}
+
+func TestMSetMGetDelPrefixOverWire(t *testing.T) {
+	srv, cli := startServer(t, 0, "")
+	pairs := []KV{
+		{Key: "data:f#0", Value: []byte("s0")},
+		{Key: "data:f#1", Value: []byte("s1")},
+		{Key: "meta:x", Value: []byte("m")},
+	}
+	if err := cli.MSet(pairs); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := cli.MGet("data:f#0", "ghost", "data:f#1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vals[0]) != "s0" || vals[1] != nil || string(vals[2]) != "s1" {
+		t.Fatalf("MGet = %q", vals)
+	}
+	n, err := cli.DelPrefix("data:f#")
+	if err != nil || n != 2 {
+		t.Fatalf("DelPrefix = %d %v", n, err)
+	}
+	if st := srv.Store().Stats(); st.NumKeys != 1 {
+		t.Fatalf("NumKeys after DelPrefix = %d", st.NumKeys)
+	}
+}
+
+func TestMSetAtomicUnderCap(t *testing.T) {
+	// Batch delta exceeds the cap: nothing may be stored, and the memory
+	// accounting must be untouched.
+	srv, cli := startServer(t, 300, "")
+	before := srv.Store().Stats().BytesUsed
+	err := cli.MSet([]KV{
+		{Key: "a", Value: make([]byte, 50)},
+		{Key: "b", Value: make([]byte, 400)},
+	})
+	if err == nil || !strings.Contains(err.Error(), "OOM") {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+	st := srv.Store().Stats()
+	if st.NumKeys != 0 || st.BytesUsed != before {
+		t.Fatalf("partial MSET applied: %+v", st)
+	}
+}
+
+func TestMSetDuplicateKeysLastWins(t *testing.T) {
+	_, cli := startServer(t, 0, "")
+	if err := cli.MSet([]KV{
+		{Key: "k", Value: []byte("first")},
+		{Key: "k", Value: []byte("second")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := cli.Get("k")
+	if err != nil || !ok || string(v) != "second" {
+		t.Fatalf("Get = %q %v %v", v, ok, err)
+	}
+}
+
+// TestClientConcurrentPipelineStress shares one client between many
+// goroutines mixing single commands and pipelines; run under -race it
+// checks the pool and pipeline bookkeeping for data races.
+func TestClientConcurrentPipelineStress(t *testing.T) {
+	srv, _ := startServer(t, 0, "pw")
+	addr := srv.ln.Addr().String()
+	cli := Dial(addr, DialOptions{Password: "pw", PoolSize: 4, Timeout: 5 * time.Second})
+	defer cli.Close()
+	const goroutines = 16
+	const rounds = 30
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				pl := cli.Pipeline()
+				for j := 0; j < 8; j++ {
+					pl.Set(fmt.Sprintf("g%d-k%d", g, j), []byte{byte(i)})
+				}
+				for j := 0; j < 8; j++ {
+					pl.Get(fmt.Sprintf("g%d-k%d", g, j))
+				}
+				replies, err := pl.Run()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for j := 8; j < 16; j++ {
+					if string(replies[j].Bulk) != string([]byte{byte(i)}) {
+						errCh <- fmt.Errorf("g%d round %d: reply %d = %q", g, i, j, replies[j].Bulk)
+						return
+					}
+				}
+				// Interleave plain commands on the same pool.
+				if err := cli.Set(fmt.Sprintf("g%d-plain", g), []byte("x")); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// flakyServer serves the real dispatch loop but closes each of the first
+// `failConns` connections after `replyLimit` replies — the "server dies
+// mid-pipeline after k of n replies" fault.
+func flakyServer(t *testing.T, replyLimit int, failConns int32) (addr string, store *Store) {
+	t.Helper()
+	srv := NewServer(NewStore(0), "")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var conns int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n := atomic.AddInt32(&conns, 1)
+			go func(conn net.Conn, failing bool) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				bw := bufio.NewWriter(conn)
+				replies := 0
+				for {
+					args, err := ReadCommand(br)
+					if err != nil {
+						return
+					}
+					if failing && replies == replyLimit {
+						return // k replies sent, socket dies mid-burst
+					}
+					if err := srv.dispatch(bw, strings.ToUpper(string(args[0])), args[1:]); err != nil {
+						return
+					}
+					if err := bw.Flush(); err != nil {
+						return
+					}
+					replies++
+				}
+			}(conn, n <= failConns)
+		}
+	}()
+	return ln.Addr().String(), srv.Store()
+}
+
+func TestPipelineMidConnectionDeathRecovers(t *testing.T) {
+	// First connection dies after 3 of 8 replies; the retry lands on a
+	// healthy connection and the whole burst succeeds.
+	addr, store := flakyServer(t, 3, 1)
+	cli := Dial(addr, DialOptions{Timeout: 2 * time.Second})
+	defer cli.Close()
+	pl := cli.Pipeline()
+	for i := 0; i < 8; i++ {
+		pl.Set(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	replies, err := pl.Run()
+	if err != nil {
+		t.Fatalf("pipeline did not recover: %v", err)
+	}
+	if len(replies) != 8 {
+		t.Fatalf("%d replies", len(replies))
+	}
+	for i, r := range replies {
+		if r.Err() != nil {
+			t.Fatalf("reply %d: %v", i, r.Err())
+		}
+	}
+	if st := store.Stats(); st.NumKeys != 8 {
+		t.Fatalf("NumKeys = %d", st.NumKeys)
+	}
+}
+
+func TestPipelineAllConnectionsDying(t *testing.T) {
+	// Every connection dies mid-burst: Run must fail with a diagnosable
+	// error naming the attempt count, not hang or return short replies.
+	addr, _ := flakyServer(t, 1, 1<<30)
+	cli := Dial(addr, DialOptions{Timeout: 2 * time.Second})
+	defer cli.Close()
+	pl := cli.Pipeline()
+	for i := 0; i < 4; i++ {
+		pl.Set(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	_, err := pl.Run()
+	if err == nil {
+		t.Fatal("pipeline against dying server succeeded")
+	}
+	if !strings.Contains(err.Error(), "attempts") || !strings.Contains(err.Error(), "pipeline") {
+		t.Fatalf("undiagnosable error: %v", err)
+	}
+}
+
+func TestDoErrorNamesCommandAndAttempts(t *testing.T) {
+	// A server that accepts and instantly closes every connection makes
+	// each round trip fail; the surfaced error must name the command.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	cli := Dial(ln.Addr().String(), DialOptions{Timeout: 2 * time.Second})
+	defer cli.Close()
+	err = cli.Set("k", []byte("v"))
+	if err == nil {
+		t.Fatal("Set against dead store succeeded")
+	}
+	if !strings.Contains(err.Error(), "SET") || !strings.Contains(err.Error(), "attempts") {
+		t.Fatalf("error does not name command/attempts: %v", err)
+	}
+}
+
+// TestPipelineBurstSingleFlush verifies the server actually batches a
+// pipelined burst: total ops advance by the burst size and the data round
+// trips bit-exactly, including binary payloads.
+func TestPipelineBinaryBurst(t *testing.T) {
+	srv, cli := startServer(t, 0, "")
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	payload = append(payload, []byte("\r\n$-1\r\n*3\r\n")...)
+	pl := cli.Pipeline()
+	const n = 64
+	for i := 0; i < n; i++ {
+		pl.Set(fmt.Sprintf("bin%d", i), payload)
+	}
+	for i := 0; i < n; i++ {
+		pl.Get(fmt.Sprintf("bin%d", i))
+	}
+	replies, err := pl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := n; i < 2*n; i++ {
+		if !bytes.Equal(replies[i].Bulk, payload) {
+			t.Fatalf("binary payload %d corrupted in burst", i-n)
+		}
+	}
+	if st := srv.Store().Stats(); st.NumKeys != n {
+		t.Fatalf("NumKeys = %d", st.NumKeys)
+	}
+}

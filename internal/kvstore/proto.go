@@ -16,7 +16,15 @@ import (
 //	replies:  +simple\r\n  -ERR message\r\n  :integer\r\n  bulk  or
 //	          *<n>\r\n followed by n bulk strings
 //
-// Binary-safe bulk strings carry stripe data unmodified.
+// Binary-safe bulk strings carry stripe data unmodified. Array *replies*
+// may contain nil bulks ($-1) — MGET reports missing keys that way —
+// while nil bulks inside commands remain a protocol error.
+//
+// The protocol is pipelinable: a client may write any number of commands
+// before reading the replies, which arrive in order. The exported Write*
+// helpers flush (one command or reply per write), while the unexported
+// append* variants only buffer, letting the client batch a pipeline into
+// one flush and the server batch a burst of replies into one flush.
 
 // maxBulkLen bounds a single bulk string (64 MiB) to keep a malformed or
 // hostile peer from forcing huge allocations.
@@ -36,7 +44,7 @@ type Reply struct {
 	Int   int64    // integer reply
 	Bulk  []byte   // bulk payload; nil for the nil bulk
 	Nil   bool     // true for $-1
-	Array [][]byte // array of bulk strings
+	Array [][]byte // array of bulk strings; a nil element is a nil bulk
 }
 
 // Err returns the reply's error, if it is an error reply.
@@ -127,6 +135,14 @@ func ReadCommand(br *bufio.Reader) ([][]byte, error) {
 
 // WriteCommand writes a command as an array of bulk strings.
 func WriteCommand(bw *bufio.Writer, args ...[]byte) error {
+	if err := appendCommand(bw, args...); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// appendCommand buffers a command without flushing, for pipelined bursts.
+func appendCommand(bw *bufio.Writer, args ...[]byte) error {
 	if _, err := fmt.Fprintf(bw, "*%d\r\n", len(args)); err != nil {
 		return err
 	}
@@ -135,7 +151,7 @@ func WriteCommand(bw *bufio.Writer, args ...[]byte) error {
 			return err
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
 func writeBulk(bw *bufio.Writer, b []byte) error {
@@ -151,56 +167,84 @@ func writeBulk(bw *bufio.Writer, b []byte) error {
 
 // WriteSimple writes a "+..." simple-string reply.
 func WriteSimple(bw *bufio.Writer, s string) error {
-	_, err := fmt.Fprintf(bw, "+%s\r\n", s)
-	if err != nil {
+	if err := appendSimple(bw, s); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+func appendSimple(bw *bufio.Writer, s string) error {
+	_, err := fmt.Fprintf(bw, "+%s\r\n", s)
+	return err
 }
 
 // WriteError writes a "-..." error reply.
 func WriteError(bw *bufio.Writer, msg string) error {
-	_, err := fmt.Fprintf(bw, "-%s\r\n", msg)
-	if err != nil {
+	if err := appendError(bw, msg); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+func appendError(bw *bufio.Writer, msg string) error {
+	_, err := fmt.Fprintf(bw, "-%s\r\n", msg)
+	return err
 }
 
 // WriteInt writes a ":n" integer reply.
 func WriteInt(bw *bufio.Writer, n int64) error {
-	_, err := fmt.Fprintf(bw, ":%d\r\n", n)
-	if err != nil {
+	if err := appendInt(bw, n); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+func appendInt(bw *bufio.Writer, n int64) error {
+	_, err := fmt.Fprintf(bw, ":%d\r\n", n)
+	return err
 }
 
 // WriteBulkReply writes a bulk reply; nil means the nil bulk ($-1).
 func WriteBulkReply(bw *bufio.Writer, b []byte, isNil bool) error {
-	if isNil {
-		if _, err := bw.WriteString("$-1\r\n"); err != nil {
-			return err
-		}
-		return bw.Flush()
-	}
-	if err := writeBulk(bw, b); err != nil {
+	if err := appendBulkReply(bw, b, isNil); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
-// WriteArrayReply writes an array-of-bulks reply.
+func appendBulkReply(bw *bufio.Writer, b []byte, isNil bool) error {
+	if isNil {
+		_, err := bw.WriteString("$-1\r\n")
+		return err
+	}
+	return writeBulk(bw, b)
+}
+
+// WriteArrayReply writes an array-of-bulks reply. A nil item is encoded
+// as the nil bulk (MGET's "missing key" marker).
 func WriteArrayReply(bw *bufio.Writer, items [][]byte) error {
+	if err := appendArrayReply(bw, items); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func appendArrayReply(bw *bufio.Writer, items [][]byte) error {
 	if _, err := fmt.Fprintf(bw, "*%d\r\n", len(items)); err != nil {
 		return err
 	}
 	for _, it := range items {
+		if it == nil {
+			if _, err := bw.WriteString("$-1\r\n"); err != nil {
+				return err
+			}
+			continue
+		}
 		if err := writeBulk(bw, it); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
 // ReadReply reads one server reply of any kind.
@@ -251,7 +295,8 @@ func ReadReply(br *bufio.Reader) (*Reply, error) {
 				return nil, err
 			}
 			if isNil {
-				return nil, fmt.Errorf("%w: nil bulk inside array reply", errProtocol)
+				items[i] = nil // missing key in an MGET reply
+				continue
 			}
 			items[i] = b
 		}

@@ -127,10 +127,22 @@ func TestReadCommandEOF(t *testing.T) {
 }
 
 func TestReadReplyMalformed(t *testing.T) {
-	for _, c := range []string{"?\r\n", ":abc\r\n", "*2\r\n$-1\r\n$-1\r\n"} {
+	for _, c := range []string{"?\r\n", ":abc\r\n", "*2\r\n$3\r\nab\r\n"} {
 		if _, err := ReadReply(bufio.NewReader(strings.NewReader(c))); err == nil {
 			t.Errorf("reply %q accepted", c)
 		}
+	}
+}
+
+// Nil bulks inside array replies are legal: MGET marks missing keys that
+// way. The elements decode as nil (distinct from a present empty value).
+func TestReadReplyNilInArray(t *testing.T) {
+	r, err := ReadReply(bufio.NewReader(strings.NewReader("*3\r\n$1\r\na\r\n$-1\r\n$0\r\n\r\n")))
+	if err != nil || r.Kind != '*' || len(r.Array) != 3 {
+		t.Fatalf("array with nil bulk: %+v %v", r, err)
+	}
+	if string(r.Array[0]) != "a" || r.Array[1] != nil || r.Array[2] == nil || len(r.Array[2]) != 0 {
+		t.Fatalf("nil/empty distinction lost: %q", r.Array)
 	}
 }
 

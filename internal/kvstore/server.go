@@ -107,6 +107,10 @@ func (s *Server) dropConn(conn net.Conn) {
 	conn.Close()
 }
 
+// serveConn reads commands and writes replies. Replies are buffered, not
+// flushed per command: when a client pipelines a burst of commands in one
+// segment, the burst is answered with one flush once the read buffer
+// drains — the server side of the Pipeline API's single round trip.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.dropConn(conn)
 	br := bufio.NewReaderSize(conn, 64<<10)
@@ -123,36 +127,36 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		cmd := strings.ToUpper(string(args[0]))
-		if !authed && cmd != "AUTH" && cmd != "PING" {
-			if err := WriteError(bw, "NOAUTH authentication required"); err != nil {
-				return
-			}
-			continue
-		}
 		var werr error
-		switch cmd {
-		case "AUTH":
-			if len(args) != 2 {
-				werr = WriteError(bw, "ERR wrong number of arguments for AUTH")
-				break
-			}
-			if s.password == "" {
-				werr = WriteError(bw, "ERR no password is set")
-				break
-			}
-			if subtle.ConstantTimeCompare(args[1], []byte(s.password)) == 1 {
+		switch {
+		case !authed && cmd != "AUTH" && cmd != "PING":
+			werr = appendError(bw, "NOAUTH authentication required")
+		case cmd == "AUTH":
+			switch {
+			case len(args) != 2:
+				werr = appendError(bw, "ERR wrong number of arguments for AUTH")
+			case s.password == "":
+				werr = appendError(bw, "ERR no password is set")
+			case subtle.ConstantTimeCompare(args[1], []byte(s.password)) == 1:
 				authed = true
-				werr = WriteSimple(bw, "OK")
-			} else {
-				werr = WriteError(bw, "WRONGPASS invalid password")
+				werr = appendSimple(bw, "OK")
+			default:
+				werr = appendError(bw, "WRONGPASS invalid password")
 			}
-		case "PING":
-			werr = WriteSimple(bw, "PONG")
+		case cmd == "PING":
+			werr = appendSimple(bw, "PONG")
 		default:
 			werr = s.dispatch(bw, cmd, args[1:])
 		}
 		if werr != nil {
 			return
+		}
+		// Flush only when no further pipelined command is already buffered;
+		// mid-burst the reply stays queued behind its successors.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -160,16 +164,16 @@ func (s *Server) serveConn(conn net.Conn) {
 // dispatch executes one authenticated command and writes its reply.
 func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
 	fail := func(format string, a ...any) error {
-		return WriteError(bw, fmt.Sprintf(format, a...))
+		return appendError(bw, fmt.Sprintf(format, a...))
 	}
 	storeErr := func(err error) error {
 		switch {
 		case errors.Is(err, ErrOOM):
-			return WriteError(bw, "OOM command not allowed when used memory > maxmemory")
+			return appendError(bw, "OOM command not allowed when used memory > maxmemory")
 		case errors.Is(err, ErrWrongType):
-			return WriteError(bw, "WRONGTYPE operation against a key holding the wrong kind of value")
+			return appendError(bw, "WRONGTYPE operation against a key holding the wrong kind of value")
 		default:
-			return WriteError(bw, "ERR "+err.Error())
+			return appendError(bw, "ERR "+err.Error())
 		}
 	}
 	switch cmd {
@@ -180,7 +184,7 @@ func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
 		if err := s.store.Set(string(args[0]), args[1]); err != nil {
 			return storeErr(err)
 		}
-		return WriteSimple(bw, "OK")
+		return appendSimple(bw, "OK")
 	case "SETNX":
 		if len(args) != 2 {
 			return fail("ERR wrong number of arguments for SETNX")
@@ -190,9 +194,9 @@ func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
 			return storeErr(err)
 		}
 		if ok {
-			return WriteInt(bw, 1)
+			return appendInt(bw, 1)
 		}
-		return WriteInt(bw, 0)
+		return appendInt(bw, 0)
 	case "GET":
 		if len(args) != 1 {
 			return fail("ERR wrong number of arguments for GET")
@@ -201,7 +205,7 @@ func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
 		if err != nil {
 			return storeErr(err)
 		}
-		return WriteBulkReply(bw, v, !ok)
+		return appendBulkReply(bw, v, !ok)
 	case "GETRANGE":
 		if len(args) != 3 {
 			return fail("ERR wrong number of arguments for GETRANGE")
@@ -215,7 +219,7 @@ func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
 		if err != nil {
 			return storeErr(err)
 		}
-		return WriteBulkReply(bw, v, !ok)
+		return appendBulkReply(bw, v, !ok)
 	case "SETRANGE":
 		if len(args) != 3 {
 			return fail("ERR wrong number of arguments for SETRANGE")
@@ -227,7 +231,7 @@ func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
 		if err := s.store.SetRange(string(args[0]), off, args[2]); err != nil {
 			return storeErr(err)
 		}
-		return WriteSimple(bw, "OK")
+		return appendSimple(bw, "OK")
 	case "DEL":
 		if len(args) < 1 {
 			return fail("ERR wrong number of arguments for DEL")
@@ -236,15 +240,41 @@ func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
 		for i, a := range args {
 			keys[i] = string(a)
 		}
-		return WriteInt(bw, int64(s.store.Del(keys...)))
+		return appendInt(bw, int64(s.store.Del(keys...)))
+	case "MSET":
+		if len(args) < 2 || len(args)%2 != 0 {
+			return fail("ERR wrong number of arguments for MSET")
+		}
+		pairs := make([]KV, len(args)/2)
+		for i := range pairs {
+			pairs[i] = KV{Key: string(args[2*i]), Value: args[2*i+1]}
+		}
+		if err := s.store.MSet(pairs); err != nil {
+			return storeErr(err)
+		}
+		return appendSimple(bw, "OK")
+	case "MGET":
+		if len(args) < 1 {
+			return fail("ERR wrong number of arguments for MGET")
+		}
+		keys := make([]string, len(args))
+		for i, a := range args {
+			keys[i] = string(a)
+		}
+		return appendArrayReply(bw, s.store.MGet(keys))
+	case "DELPREFIX":
+		if len(args) != 1 {
+			return fail("ERR wrong number of arguments for DELPREFIX")
+		}
+		return appendInt(bw, int64(s.store.DelPrefix(string(args[0]))))
 	case "EXISTS":
 		if len(args) != 1 {
 			return fail("ERR wrong number of arguments for EXISTS")
 		}
 		if s.store.Exists(string(args[0])) {
-			return WriteInt(bw, 1)
+			return appendInt(bw, 1)
 		}
-		return WriteInt(bw, 0)
+		return appendInt(bw, 0)
 	case "SADD":
 		if len(args) < 2 {
 			return fail("ERR wrong number of arguments for SADD")
@@ -257,7 +287,7 @@ func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
 		if err != nil {
 			return storeErr(err)
 		}
-		return WriteInt(bw, int64(n))
+		return appendInt(bw, int64(n))
 	case "SREM":
 		if len(args) < 2 {
 			return fail("ERR wrong number of arguments for SREM")
@@ -270,7 +300,7 @@ func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
 		if err != nil {
 			return storeErr(err)
 		}
-		return WriteInt(bw, int64(n))
+		return appendInt(bw, int64(n))
 	case "SMEMBERS":
 		if len(args) != 1 {
 			return fail("ERR wrong number of arguments for SMEMBERS")
@@ -283,7 +313,7 @@ func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
 		for i, m := range members {
 			items[i] = []byte(m)
 		}
-		return WriteArrayReply(bw, items)
+		return appendArrayReply(bw, items)
 	case "SCARD":
 		if len(args) != 1 {
 			return fail("ERR wrong number of arguments for SCARD")
@@ -292,7 +322,7 @@ func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
 		if err != nil {
 			return storeErr(err)
 		}
-		return WriteInt(bw, int64(n))
+		return appendInt(bw, int64(n))
 	case "INCR":
 		if len(args) != 1 {
 			return fail("ERR wrong number of arguments for INCR")
@@ -301,7 +331,7 @@ func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
 		if err != nil {
 			return storeErr(err)
 		}
-		return WriteInt(bw, n)
+		return appendInt(bw, n)
 	case "KEYS":
 		if len(args) != 1 {
 			return fail("ERR wrong number of arguments for KEYS")
@@ -311,10 +341,10 @@ func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
 		for i, k := range keys {
 			items[i] = []byte(k)
 		}
-		return WriteArrayReply(bw, items)
+		return appendArrayReply(bw, items)
 	case "FLUSHALL":
 		s.store.FlushAll()
-		return WriteSimple(bw, "OK")
+		return appendSimple(bw, "OK")
 	case "MEMCAP":
 		if len(args) != 1 {
 			return fail("ERR wrong number of arguments for MEMCAP")
@@ -324,7 +354,7 @@ func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
 			return fail("ERR value is not a valid memory cap")
 		}
 		s.store.SetMaxMemory(n)
-		return WriteSimple(bw, "OK")
+		return appendSimple(bw, "OK")
 	case "INFO":
 		st := s.store.Stats()
 		pressure := 0
@@ -334,7 +364,7 @@ func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
 		info := fmt.Sprintf(
 			"bytes_used:%d\nmax_memory:%d\nnum_keys:%d\nnum_sets:%d\ntotal_ops:%d\npressure:%d\n",
 			st.BytesUsed, st.MaxMemory, st.NumKeys, st.NumSets, st.TotalOps, pressure)
-		return WriteBulkReply(bw, []byte(info), false)
+		return appendBulkReply(bw, []byte(info), false)
 	default:
 		return fail("ERR unknown command '%s'", cmd)
 	}
