@@ -8,14 +8,23 @@
 // store command is its own round trip, PipelineDepth=1) and once in
 // pipelined mode — and reports the aggregate MB/s of both side by side.
 //
+// With -chaos the victim stores are reached through faultwrap proxies
+// that drop, truncate, and delay connections from a seeded plan, one
+// victim is killed permanently between the write and read phases, and the
+// run reports injected-fault counts, retry volume, degraded writes, and a
+// final fsck verdict instead of raw throughput — a reliability soak
+// rather than a speed run.
+//
 // Usage:
 //
 //	memfss-bench -own 2 -victims 6 -alpha 0.25 -tasks 64 -size 8388608
 //	memfss-bench -pipeline=false            # per-command mode only
 //	memfss-bench -depth 64                  # deeper pipeline bursts
+//	memfss-bench -chaos -tasks 16 -size 1048576
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +34,7 @@ import (
 
 	"memfss/internal/container"
 	"memfss/internal/core"
+	"memfss/internal/faultwrap"
 	"memfss/internal/hrw"
 )
 
@@ -39,7 +49,13 @@ func main() {
 	pipeline := flag.Bool("pipeline", true, "also run the pipelined wire mode and report both modes side by side")
 	depth := flag.Int("depth", 0, "pipeline burst depth for the pipelined mode (0 = default)")
 	stripeSize := flag.Int64("stripe", 0, "stripe size in bytes (0 = default); small stripes make the workload round-trip-bound")
+	chaos := flag.Bool("chaos", false, "run the fault-injection soak: victims behind chaos proxies, one killed mid-run, report fault/retry/degraded counters and fsck")
+	chaosSeed := flag.Int64("chaos-seed", 42, "seed for the chaos proxies' fault plan")
 	flag.Parse()
+
+	if *chaos && (*ownN < 2 || *victimN < 2) {
+		log.Fatal("memfss-bench: -chaos needs -own >= 2 and -victims >= 2 (replication requires 2 nodes per class)")
+	}
 
 	const password = "bench-secret"
 	own, err := core.StartLocalStores(*ownN, "own", password, 0)
@@ -72,12 +88,50 @@ func main() {
 		classes = append(classes, vc)
 	}
 
+	var proxies []*faultwrap.Proxy
+	if *chaos {
+		// Re-point the victim class at chaos proxies; own stores (the
+		// metadata path) stay clean, matching the paper's trust model.
+		plan := faultwrap.Plan{
+			Seed:            *chaosSeed,
+			DropBeforeReply: 0.03,
+			DropMidReply:    0.02,
+			CutRequest:      0.02,
+			DelayProb:       0.05,
+			Delay:           time.Millisecond,
+		}
+		targets := make([]string, len(victims.Nodes))
+		for i, n := range victims.Nodes {
+			targets[i] = n.Addr
+		}
+		var err error
+		proxies, err = faultwrap.WrapAll(targets, plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			for _, p := range proxies {
+				p.Close()
+			}
+		}()
+		proxied := make([]core.NodeSpec, len(victims.Nodes))
+		for i, n := range victims.Nodes {
+			proxied[i] = core.NodeSpec{ID: n.ID, Addr: proxies[i].Addr()}
+		}
+		classes[len(classes)-1].Nodes = proxied
+	}
+
 	payload := make([]byte, *size)
 	rand.New(rand.NewSource(42)).Read(payload)
 	total := float64(*tasks) * float64(*size)
 
 	fmt.Printf("memfss-bench: %d tasks x %d B over %d own + %d victim stores (alpha=%.2f)\n",
 		*tasks, *size, *ownN, *victimN, *alpha)
+
+	if *chaos {
+		runChaos(classes, password, *stripeSize, *depth, *tasks, *workers, payload, proxies, victims)
+		return
+	}
 
 	type result struct {
 		label        string
@@ -174,4 +228,91 @@ func main() {
 	if p := results[len(results)-1].placementFmt; p != "" {
 		fmt.Printf("placement: %s\n", p)
 	}
+}
+
+// runChaos is the -chaos workload: write every task under injected
+// faults, kill one victim permanently, read everything back, and report
+// reliability counters and a fsck verdict instead of throughput.
+func runChaos(classes []core.ClassSpec, password string, stripeSize int64, depth, tasks, workers int,
+	payload []byte, proxies []*faultwrap.Proxy, victims *core.LocalStores) {
+	fs, err := core.New(core.Config{
+		Classes: classes, Password: password,
+		StripeSize: stripeSize, PipelineDepth: depth,
+		Redundancy: core.Redundancy{Mode: core.RedundancyReplicate, Replicas: 2},
+		Retry: core.RetryPolicy{
+			MaxAttempts: 8,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    8 * time.Millisecond,
+			OpTimeout:   10 * time.Second,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fs.Close()
+	if err := fs.MkdirAll("/chaos"); err != nil {
+		log.Fatal(err)
+	}
+	// One victim dies for good halfway through the write phase, so the
+	// later writes exercise the degraded-quorum path, not just the reads.
+	var kill sync.Once
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, tasks)
+	sem := make(chan struct{}, workers)
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if i >= tasks/2 {
+				kill.Do(func() { proxies[1].Kill() })
+			}
+			errCh <- fs.WriteFile(fmt.Sprintf("/chaos/task-%d", i), payload)
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			log.Fatalf("chaos write failed: %v", err)
+		}
+	}
+	writeDur := time.Since(start)
+	kill.Do(func() { proxies[1].Kill() })
+	fmt.Printf("chaos: wrote %d tasks in %v; killed %s permanently at task %d\n",
+		tasks, writeDur.Round(time.Millisecond), victims.Nodes[1].ID, tasks/2)
+
+	start = time.Now()
+	for i := 0; i < tasks; i++ {
+		data, err := fs.ReadFile(fmt.Sprintf("/chaos/task-%d", i))
+		if err != nil {
+			log.Fatalf("chaos read task %d: %v", i, err)
+		}
+		if !bytes.Equal(data, payload) {
+			log.Fatalf("chaos: task %d corrupted", i)
+		}
+	}
+	readDur := time.Since(start)
+
+	rep, err := fs.Fsck()
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := fs.Counters()
+	fmt.Printf("chaos: verified %d tasks in %v; fsck: %d files, %d damaged, %d orphan stripes\n",
+		tasks, readDur.Round(time.Millisecond), rep.Files, len(rep.Damaged), rep.OrphanStripes)
+	fmt.Printf("chaos: injected faults: %v\n", faultwrap.TotalStats(proxies))
+	ops := c.StoreOps
+	if ops == 0 {
+		ops = 1
+	}
+	fmt.Printf("chaos: store ops %d, attempts %d (%.2f per op), degraded writes %d, deep probes %d\n",
+		c.StoreOps, c.StoreAttempts, float64(c.StoreAttempts)/float64(ops),
+		c.DegradedWrites, c.DeepProbes)
+	if len(rep.Damaged) > 0 {
+		log.Fatalf("chaos: DATA LOSS in %v", rep.Damaged)
+	}
+	fmt.Println("chaos: zero data loss")
 }

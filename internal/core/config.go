@@ -71,6 +71,14 @@ type Redundancy struct {
 	// DataShards/ParityShards configure RedundancyErasure.
 	DataShards   int
 	ParityShards int
+	// WriteQuorum is how many replicas of a RedundancyReplicate write must
+	// land for the write to succeed (default 1). When some replicas fail
+	// with *transport* errors but at least WriteQuorum persisted, the
+	// write reports degraded success (Counters.DegradedWrites increments)
+	// instead of failing — scavenged victims vanish without warning, and
+	// one reachable copy keeps the data readable via probe fallback.
+	// Store-level errors (OOM, wrong type) always fail the write.
+	WriteQuorum int
 }
 
 // Config assembles a MemFSS deployment.
@@ -102,6 +110,38 @@ type Config struct {
 	// pipelining benchmarks compare against. Depths >= 2 enable batched
 	// multi-stripe bursts and parallel replica fan-out on writes.
 	PipelineDepth int
+	// Retry is the uniform data-path retry policy applied to every store
+	// operation. Zero fields take defaults.
+	Retry RetryPolicy
+}
+
+// RetryPolicy bounds how the data path handles transport failures against
+// a store: bounded attempts with exponential backoff + jitter, all inside
+// a per-operation deadline. One policy covers single commands and pipeline
+// bursts alike, replacing ad-hoc per-call retries — victim nodes are
+// unreliable by contract (paper §III-A), so every store operation must
+// tolerate a flapping or vanishing node without retrying forever.
+type RetryPolicy struct {
+	// MaxAttempts bounds connections burned per operation (default 3).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// attempt with jitter, capped at MaxDelay (defaults 5ms / 250ms).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// OpTimeout is the whole-operation deadline including retries and
+	// backoff sleeps (default: DialTimeout).
+	OpTimeout time.Duration
+}
+
+// validate rejects negative retry knobs.
+func (r RetryPolicy) validate() error {
+	if r.MaxAttempts < 0 {
+		return fmt.Errorf("core: negative retry attempts %d", r.MaxAttempts)
+	}
+	if r.BaseDelay < 0 || r.MaxDelay < 0 || r.OpTimeout < 0 {
+		return fmt.Errorf("core: negative retry delay in %+v", r)
+	}
+	return nil
 }
 
 // defaultPipelineDepth is the burst size used when PipelineDepth is 0.
@@ -140,11 +180,17 @@ func (c *Config) validate() error {
 	if c.PipelineDepth < 0 {
 		return fmt.Errorf("core: negative pipeline depth %d", c.PipelineDepth)
 	}
+	if err := c.Retry.validate(); err != nil {
+		return err
+	}
 	switch c.Redundancy.Mode {
 	case RedundancyNone:
 	case RedundancyReplicate:
 		if c.Redundancy.Replicas < 2 {
 			return fmt.Errorf("core: replication needs >= 2 replicas, got %d", c.Redundancy.Replicas)
+		}
+		if q := c.Redundancy.WriteQuorum; q < 0 || q > c.Redundancy.Replicas {
+			return fmt.Errorf("core: write quorum %d outside [0, %d replicas]", q, c.Redundancy.Replicas)
 		}
 		for _, cls := range c.Classes {
 			if len(cls.Nodes) < c.Redundancy.Replicas {

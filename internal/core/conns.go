@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -18,9 +19,15 @@ type connPool struct {
 	password  string
 	timeout   time.Duration
 	poolSize  int
+	retry     RetryPolicy
+
+	// removedOps / removedAttempts preserve the op counters of clients
+	// dropped after evacuation, so pool-wide totals stay monotonic.
+	removedOps      int64
+	removedAttempts int64
 }
 
-func newConnPool(password string, timeout time.Duration, poolSize int) *connPool {
+func newConnPool(password string, timeout time.Duration, poolSize int, retry RetryPolicy) *connPool {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
@@ -33,6 +40,7 @@ func newConnPool(password string, timeout time.Duration, poolSize int) *connPool
 		password:  password,
 		timeout:   timeout,
 		poolSize:  poolSize,
+		retry:     retry,
 	}
 }
 
@@ -46,9 +54,13 @@ func (p *connPool) add(spec ClassSpec) error {
 			return fmt.Errorf("core: node %q registered twice", n.ID)
 		}
 		p.clients[n.ID] = kvstore.Dial(n.Addr, kvstore.DialOptions{
-			Password: p.password,
-			PoolSize: p.poolSize,
-			Timeout:  p.timeout,
+			Password:    p.password,
+			PoolSize:    p.poolSize,
+			Timeout:     p.timeout,
+			MaxAttempts: p.retry.MaxAttempts,
+			BaseDelay:   p.retry.BaseDelay,
+			MaxDelay:    p.retry.MaxDelay,
+			OpTimeout:   p.retry.OpTimeout,
 		})
 		if spec.Victim && spec.Limits.NetworkBytesPerSec > 0 {
 			th, err := container.NewThrottle(spec.Limits.NetworkBytesPerSec)
@@ -61,15 +73,34 @@ func (p *connPool) add(spec ClassSpec) error {
 	return nil
 }
 
+// errUnknownNode reports a node ID with no registered client — typically a
+// node already evacuated and removed. It classifies as unavailability: the
+// node is gone, not the data (replicas live elsewhere).
+var errUnknownNode = errors.New("core: unknown node")
+
 // client returns the store client for a node ID.
 func (p *connPool) client(nodeID string) (*kvstore.Client, error) {
 	p.mu.RLock()
 	c := p.clients[nodeID]
 	p.mu.RUnlock()
 	if c == nil {
-		return nil, fmt.Errorf("core: unknown node %q", nodeID)
+		return nil, fmt.Errorf("%w %q", errUnknownNode, nodeID)
 	}
 	return c, nil
+}
+
+// opTotals sums every client's operation and attempt counters (including
+// removed clients), the pool-wide numbers behind Counters.StoreOps /
+// StoreAttempts.
+func (p *connPool) opTotals() (ops, attempts int64) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	ops, attempts = p.removedOps, p.removedAttempts
+	for _, c := range p.clients {
+		ops += c.Ops()
+		attempts += c.Attempts()
+	}
+	return ops, attempts
 }
 
 // throttle returns the node's throttle, or nil (unlimited) for own nodes.
@@ -86,6 +117,10 @@ func (p *connPool) remove(nodeID string) {
 	th := p.throttles[nodeID]
 	delete(p.clients, nodeID)
 	delete(p.throttles, nodeID)
+	if c != nil {
+		p.removedOps += c.Ops()
+		p.removedAttempts += c.Attempts()
+	}
 	p.mu.Unlock()
 	if c != nil {
 		c.Close()

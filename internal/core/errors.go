@@ -1,6 +1,11 @@
 package core
 
-import "errors"
+import (
+	"errors"
+
+	"memfss/internal/container"
+	"memfss/internal/kvstore"
+)
 
 // Namespace errors, mirroring the POSIX errno family the FUSE layer would
 // translate to.
@@ -21,3 +26,16 @@ var (
 	// reconstructed on any probe target.
 	ErrDataLoss = errors.New("memfss: stripe unrecoverable")
 )
+
+// isUnavailable reports whether err is a transport-class failure: the node
+// could not be reached (after client-level retries), was already removed
+// from the deployment, or its throttle was torn down mid-operation. These
+// are the failures redundancy exists to absorb — the same operation against
+// a *different* replica can still succeed. Store-level errors (OOM, wrong
+// type, protocol errors) are not unavailability: they would fail
+// identically on every replica and must surface.
+func isUnavailable(err error) bool {
+	return errors.Is(err, kvstore.ErrUnavailable) ||
+		errors.Is(err, container.ErrThrottleClosed) ||
+		errors.Is(err, errUnknownNode)
+}

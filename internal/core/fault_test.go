@@ -1,0 +1,270 @@
+package core
+
+// Fault-injection soak tests: the dd-style write/read/verify workloads of
+// the paper's reliability argument, run against victim stores that drop,
+// truncate, delay, and permanently abandon connections through the
+// faultwrap chaos proxy. Plans are seeded, so the fault mix replays run
+// after run; the assertions are the hard ones — zero data loss and
+// bounded retry volume — not exact fault counts.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"memfss/internal/container"
+	"memfss/internal/faultwrap"
+	"memfss/internal/hrw"
+)
+
+// newChaosFS brings up ownN clean own stores (the metadata path stays
+// healthy, as in the paper's deployment where own nodes are reliable) and
+// victimN victim stores reached through one faultwrap proxy each.
+func newChaosFS(t *testing.T, ownN, victimN int, plan faultwrap.Plan, opts ...deployOpt) (*testDeploy, []*faultwrap.Proxy) {
+	t.Helper()
+	const password = "test-secret"
+	own, err := StartLocalStores(ownN, "own", password, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(own.Close)
+	victims, err := StartLocalStores(victimN, "victim", password, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(victims.Close)
+	targets := make([]string, victimN)
+	for i, n := range victims.Nodes {
+		targets[i] = n.Addr
+	}
+	proxies, err := faultwrap.WrapAll(targets, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, p := range proxies {
+			p.Close()
+		}
+	})
+	proxied := make([]NodeSpec, victimN)
+	for i, n := range victims.Nodes {
+		proxied[i] = NodeSpec{ID: n.ID, Addr: proxies[i].Addr()}
+	}
+	delta, err := hrw.DeltaForOwnFraction(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Classes: []ClassSpec{
+			{Name: "own", Weight: delta, Nodes: own.Nodes},
+			{Name: "victim", Nodes: proxied, Victim: true,
+				Limits: container.Limits{MemoryBytes: 1 << 30}},
+		},
+		StripeSize:  4 << 10,
+		Password:    password,
+		DialTimeout: 5 * time.Second,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	fs, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return &testDeploy{fs: fs, own: own, victims: victims}, proxies
+}
+
+// soakRetry gives flaky operations room to recover without letting a dead
+// node stall the workload: 8 attempts, millisecond backoff.
+var soakRetry = RetryPolicy{
+	MaxAttempts: 8,
+	BaseDelay:   time.Millisecond,
+	MaxDelay:    8 * time.Millisecond,
+	OpTimeout:   10 * time.Second,
+}
+
+// TestFaultSoak writes, re-reads, and verifies a file set while the chaos
+// proxies drop and delay victim traffic, kills one victim permanently
+// halfway through, and then demands zero data loss and bounded retries.
+func TestFaultSoak(t *testing.T) {
+	cases := []struct {
+		name     string
+		depth    int
+		replicas int
+	}{
+		{"per-command-R2", 1, 2},
+		{"pipelined-R2", 8, 2},
+		{"pipelined-R3", 8, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan := faultwrap.Plan{
+				Seed:            42,
+				DropBeforeReply: 0.03,
+				DropMidReply:    0.02,
+				CutRequest:      0.02,
+				DelayProb:       0.05,
+				Delay:           time.Millisecond,
+			}
+			ownN := 2
+			if tc.replicas > ownN {
+				ownN = tc.replicas
+			}
+			d, proxies := newChaosFS(t, ownN, 4, plan,
+				withRedundancy(Redundancy{Mode: RedundancyReplicate, Replicas: tc.replicas}),
+				withPipelineDepth(tc.depth),
+				withRetry(soakRetry))
+
+			const files = 24
+			payload := func(i int) []byte { return randomBytes(int64(1000+i), 20_000+i*512) }
+			for i := 0; i < files; i++ {
+				if i == files/2 {
+					proxies[1].Kill() // permanent node death mid-workload
+				}
+				path := fmt.Sprintf("/dd%d", i)
+				if err := d.fs.WriteFile(path, payload(i)); err != nil {
+					t.Fatalf("write %s under faults: %v", path, err)
+				}
+				got, err := d.fs.ReadFile(path)
+				if err != nil || !bytes.Equal(got, payload(i)) {
+					t.Fatalf("immediate verify %s: %v", path, err)
+				}
+			}
+			// Full re-read after the dust settles: nothing written may be lost.
+			for i := 0; i < files; i++ {
+				path := fmt.Sprintf("/dd%d", i)
+				got, err := d.fs.ReadFile(path)
+				if err != nil || !bytes.Equal(got, payload(i)) {
+					t.Fatalf("final verify %s: %v", path, err)
+				}
+			}
+			rep, err := d.fs.Fsck()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Damaged) != 0 {
+				t.Fatalf("fsck found damaged files after soak: %v", rep.Damaged)
+			}
+
+			c := d.fs.Counters()
+			if c.StoreOps == 0 {
+				t.Fatal("no store operations counted")
+			}
+			if c.StoreAttempts > int64(soakRetry.MaxAttempts)*c.StoreOps {
+				t.Fatalf("retry storm: %d attempts for %d ops exceeds MaxAttempts=%d bound",
+					c.StoreAttempts, c.StoreOps, soakRetry.MaxAttempts)
+			}
+			if c.StoreAttempts <= c.StoreOps {
+				t.Errorf("no retries recorded (%d attempts / %d ops) despite injected faults",
+					c.StoreAttempts, c.StoreOps)
+			}
+			if c.DegradedWrites == 0 {
+				t.Error("no degraded writes recorded despite a permanently dead replica")
+			}
+			if s := faultwrap.TotalStats(proxies); s.PreDrops+s.MidDrops+s.Cuts == 0 {
+				t.Errorf("plan injected no faults: %v", s)
+			}
+			t.Logf("soak %s: %+v, faults %v", tc.name, c, faultwrap.TotalStats(proxies))
+		})
+	}
+}
+
+// TestDegradedWriteCounter pins the degraded-quorum semantics: killing one
+// store of an R=2 pair lets writes succeed (counter moves), and the data
+// stays fully readable through the surviving replica.
+func TestDegradedWriteCounter(t *testing.T) {
+	d := newTestFS(t, 2, 2,
+		withRedundancy(Redundancy{Mode: RedundancyReplicate, Replicas: 2}),
+		withRetry(fastRetry))
+	if err := d.fs.WriteFile("/healthy", randomBytes(301, 40_000)); err != nil {
+		t.Fatal(err)
+	}
+	if c := d.fs.Counters(); c.DegradedWrites != 0 {
+		t.Fatalf("healthy write counted %d degraded writes", c.DegradedWrites)
+	}
+	d.victims.Server(0).Close()
+	data := randomBytes(302, 60_000)
+	if err := d.fs.WriteFile("/degraded", data); err != nil {
+		t.Fatalf("write with one dead replica of R=2 must degrade, not fail: %v", err)
+	}
+	if c := d.fs.Counters(); c.DegradedWrites == 0 {
+		t.Fatal("degraded write counter did not move")
+	}
+	got, err := d.fs.ReadFile("/degraded")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read through surviving replica: %v", err)
+	}
+	if err := d.fs.VerifyFile("/degraded"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreErrorsFailWrites is the other half of the quorum rule: a
+// store-level error (here OOM from a memory cap) is not a transport
+// failure and must fail the write rather than degrade it.
+func TestStoreErrorsFailWrites(t *testing.T) {
+	d := newTestFS(t, 2, 2,
+		withRedundancy(Redundancy{Mode: RedundancyReplicate, Replicas: 2}),
+		withRetry(fastRetry))
+	for i := range d.victims.Nodes {
+		d.victims.Server(i).Store().SetMaxMemory(1)
+	}
+	if err := d.fs.WriteFile("/oom", randomBytes(303, 40_000)); err == nil {
+		t.Fatal("write against OOM stores must fail")
+	}
+	if c := d.fs.Counters(); c.DegradedWrites != 0 {
+		t.Fatalf("store errors degraded instead of failing (%d degraded writes)", c.DegradedWrites)
+	}
+}
+
+// TestEvacuateUnderMidPipelineFaults drives an evacuation whose source
+// node keeps cutting pipelined replies in half: rehomeBatch must fall
+// back to the serial per-key path and the drain must still complete with
+// every file intact.
+func TestEvacuateUnderMidPipelineFaults(t *testing.T) {
+	plan := faultwrap.Plan{Seed: 7, DropMidReply: 0.25}
+	d, proxies := newChaosFS(t, 2, 2, plan,
+		withRedundancy(Redundancy{Mode: RedundancyReplicate, Replicas: 2}),
+		withPipelineDepth(8),
+		withRetry(soakRetry))
+	files := map[string][]byte{}
+	for i := 0; i < 10; i++ {
+		path := fmt.Sprintf("/ev%d", i)
+		files[path] = randomBytes(int64(400+i), 30_000)
+		if err := d.fs.WriteFile(path, files[path]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victimID := d.victims.Nodes[0].ID
+	var err error
+	for try := 0; try < 8; try++ {
+		if err = d.fs.EvacuateNode(victimID); err == nil {
+			break
+		}
+		t.Logf("evacuation attempt %d: %v", try+1, err)
+	}
+	if err != nil {
+		t.Fatalf("evacuation never completed under mid-pipeline faults: %v", err)
+	}
+	if st := d.victims.Server(0).Store().Stats(); st.BytesUsed != 0 {
+		t.Fatalf("evacuated store still holds %d bytes", st.BytesUsed)
+	}
+	if s := faultwrap.TotalStats(proxies); s.MidDrops == 0 {
+		t.Errorf("plan injected no mid-pipeline faults: %v", s)
+	}
+	for path, want := range files {
+		got, err := d.fs.ReadFile(path)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("%s after faulty evacuation: %v", path, err)
+		}
+	}
+	rep, err := d.fs.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Damaged) != 0 {
+		t.Fatalf("fsck found damage after evacuation: %v", rep.Damaged)
+	}
+}

@@ -108,6 +108,15 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		written = starts[okSpans-1] + int(spans[okSpans-1].Length)
 	}
 	if err != nil {
+		// A short write still wrote its leading spans: metadata must
+		// cover that prefix, or Sync/Close records the stale size and the
+		// successfully-written bytes become unreadable.
+		if written > 0 {
+			if end := off + int64(written); end > f.size {
+				f.size = end
+			}
+			f.dirty = true
+		}
 		return written, err
 	}
 	f.fs.stats.bytesWritten.Add(int64(len(p)))
@@ -352,20 +361,56 @@ func (f *File) writeSpan(span stripe.Span, data []byte) error {
 		}
 		return nil
 	}
+	// Every replica is attempted even after a failure: a down victim must
+	// not block the copies that can still land, and the quorum decision
+	// needs the complete per-replica outcome.
 	nodes := f.targets(sk)
+	errs := make([]error, len(nodes))
 	if f.fs.pipeDepth <= 1 {
 		// Per-command mode: replicas go out one round trip at a time —
 		// the ablation baseline the pipelining benchmarks compare against.
-		for _, node := range nodes {
-			if err := write(node); err != nil {
-				return err
-			}
+		for i, node := range nodes {
+			errs[i] = write(node)
 		}
+	} else {
+		// All replicas in flight concurrently.
+		_ = fanoutN(f.fs.ioPar, len(nodes), func(i int) error {
+			errs[i] = write(nodes[i])
+			return nil
+		})
+	}
+	return f.settleReplicaWrite(errs)
+}
+
+// settleReplicaWrite decides a replicated span write's fate from its
+// per-replica outcomes. All replicas landed: success. Any store-level
+// error: that error (it would fail identically on retry, so it must
+// surface). Transport-only failures: degraded success if at least
+// writeQuorum replicas persisted — the copy that landed keeps the data
+// readable via probe fallback while the vanished victim's replica is
+// under-replicated — otherwise the first error in HRW rank order, matching
+// what the old fail-fast loop reported.
+func (f *File) settleReplicaWrite(errs []error) error {
+	ok := 0
+	var firstErr error
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case !isUnavailable(err):
+			return err
+		case firstErr == nil:
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
 		return nil
 	}
-	// All replicas in flight concurrently; first error in HRW rank order
-	// wins, same as the serial loop reports.
-	return fanout(f.fs.ioPar, nodes, write)
+	if len(errs) > 1 && ok >= f.fs.writeQuorum {
+		f.fs.stats.degradedWrites.Add(1)
+		return nil
+	}
+	return firstErr
 }
 
 // writeSpanErasure read-modify-writes the whole stripe: partial-stripe
@@ -505,9 +550,12 @@ func (f *File) readStripeErasure(sk string, stripeLen int64) ([]byte, error) {
 	k, m := f.coder.K(), f.coder.M()
 	nodes := f.targets(sk)
 	shards := make([][]byte, k+m)
+	// Shards are equal-sized Splits of the stripe; the per-shard estimate
+	// meters the throttle before each transfer.
+	shardEst := (stripeLen + int64(k) - 1) / int64(k)
 	found, reachable := 0, 0
 	for i, node := range nodes {
-		data, ok, err := f.getFull(node, shardKey(dataKey(sk), i))
+		data, ok, err := f.getFull(node, shardKey(dataKey(sk), i), shardEst)
 		if err != nil {
 			continue
 		}
@@ -541,20 +589,20 @@ func (f *File) readStripeErasure(sk string, stripeLen int64) ([]byte, error) {
 	return buf, nil
 }
 
-// getFull reads a whole key from a node, throttled by the value size.
-func (f *File) getFull(nodeID, key string) ([]byte, bool, error) {
+// getFull reads a whole key from a node, throttled by the expected value
+// size *before* the transfer, like every other data path: throttling after
+// the fact would let the bytes cross the wire unmetered, and a throttle
+// failure would turn an already-successful read into a phantom
+// unreachable-node error.
+func (f *File) getFull(nodeID, key string, length int64) ([]byte, bool, error) {
+	if err := f.fs.conns.throttle(nodeID).Take(length); err != nil {
+		return nil, false, err
+	}
 	cli, err := f.fs.conns.client(nodeID)
 	if err != nil {
 		return nil, false, err
 	}
-	data, ok, err := cli.Get(key)
-	if err != nil || !ok {
-		return data, ok, err
-	}
-	if terr := f.fs.conns.throttle(nodeID).Take(int64(len(data))); terr != nil {
-		return nil, false, terr
-	}
-	return data, ok, nil
+	return cli.Get(key)
 }
 
 func padTo(b []byte, n int64) []byte {

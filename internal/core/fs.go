@@ -20,14 +20,15 @@ type FileSystem struct {
 	classes []ClassSpec
 	placer  *hrw.Placer
 
-	cfg       Config
-	layout    stripe.Layout
-	conns     *connPool
-	meta      *metaService
-	ioPar     int
-	pipeDepth int
-	stats     fsStats
-	closed    bool
+	cfg         Config
+	layout      stripe.Layout
+	conns       *connPool
+	meta        *metaService
+	ioPar       int
+	pipeDepth   int
+	writeQuorum int
+	stats       fsStats
+	closed      bool
 }
 
 // New connects to the stores described by cfg and returns a FileSystem.
@@ -46,7 +47,11 @@ func New(cfg Config) (*FileSystem, error) {
 	if err != nil {
 		return nil, err
 	}
-	conns := newConnPool(cfg.Password, cfg.DialTimeout, cfg.PoolSize)
+	retry := cfg.Retry
+	if retry.OpTimeout == 0 {
+		retry.OpTimeout = cfg.DialTimeout
+	}
+	conns := newConnPool(cfg.Password, cfg.DialTimeout, cfg.PoolSize, retry)
 	classes := make([]ClassSpec, len(cfg.Classes))
 	copy(classes, cfg.Classes)
 	for _, cls := range classes {
@@ -67,15 +72,20 @@ func New(cfg Config) (*FileSystem, error) {
 	if pipeDepth == 0 {
 		pipeDepth = defaultPipelineDepth
 	}
+	quorum := cfg.Redundancy.WriteQuorum
+	if quorum == 0 {
+		quorum = 1
+	}
 	fs := &FileSystem{
-		classes:   classes,
-		placer:    placer,
-		cfg:       cfg,
-		layout:    layout,
-		conns:     conns,
-		meta:      newMetaService(ownIDs, conns),
-		ioPar:     ioPar,
-		pipeDepth: pipeDepth,
+		classes:     classes,
+		placer:      placer,
+		cfg:         cfg,
+		layout:      layout,
+		conns:       conns,
+		meta:        newMetaService(ownIDs, conns),
+		ioPar:       ioPar,
+		pipeDepth:   pipeDepth,
+		writeQuorum: quorum,
 	}
 	for _, id := range ownIDs {
 		cli, err := conns.client(id)

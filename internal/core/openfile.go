@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"memfss/internal/fsmeta"
+	"memfss/internal/hrw"
 	"memfss/internal/stripe"
 )
 
@@ -255,8 +256,10 @@ func (fs *FileSystem) delKeyBatches(nodeID string, keys []string) error {
 	return flush()
 }
 
-// dropStripesBeyond deletes whole stripes past newSize and trims the
-// stripe containing the new end.
+// dropStripesBeyond trims the stripe containing the new end, then deletes
+// whole stripes past newSize. The boundary trim runs first: if it cannot
+// complete, Truncate fails before anything is deleted and the file's
+// metadata keeps the old size, so no byte silently changes meaning.
 func (fs *FileSystem) dropStripesBeyond(rec *fsmeta.FileRecord, newSize int64) error {
 	layout, err := stripe.NewLayout(rec.StripeSize)
 	if err != nil {
@@ -268,6 +271,14 @@ func (fs *FileSystem) dropStripesBeyond(rec *fsmeta.FileRecord, newSize int64) e
 	}
 	oldCount := layout.Count(rec.Size)
 	newCount := layout.Count(newSize)
+	// Trim the boundary stripe (replicated/plain layout only; an
+	// erasure-coded boundary stripe is rewritten on next write, and
+	// reads clamp to file size anyway).
+	if rec.DataShards == 0 && newCount > 0 && newSize%rec.StripeSize != 0 {
+		if err := fs.trimBoundaryStripe(rec, pl, newCount-1, newSize); err != nil {
+			return err
+		}
+	}
 	// Delete fully-dropped stripes from every snapshot node (batched).
 	var keys []string
 	for idx := newCount; idx < oldCount; idx++ {
@@ -291,28 +302,40 @@ func (fs *FileSystem) dropStripesBeyond(rec *fsmeta.FileRecord, newSize int64) e
 			return err
 		}
 	}
-	// Trim the boundary stripe (replicated/plain layout only; an
-	// erasure-coded boundary stripe is rewritten on next write, and
-	// reads clamp to file size anyway).
-	if rec.DataShards == 0 && newCount > 0 && newSize%rec.StripeSize != 0 {
-		idx := newCount - 1
-		sk := stripe.Key(rec.ID, idx)
-		keep := newSize - idx*rec.StripeSize
-		for _, nodeID := range pl.ProbeOrder(sk) {
-			cli, err := fs.conns.client(nodeID)
-			if err != nil {
-				continue
+	return nil
+}
+
+// trimBoundaryStripe cuts the stripe containing the new end down to the
+// surviving bytes on every node that holds a copy. A node that is
+// registered but unreachable is an error, not a skip: its stale tail
+// would resurface as garbage where POSIX requires zeros if the file later
+// grows back over the trimmed range. By the time a transport error lands
+// here the client retry policy has already retried it, so surfacing lets
+// the caller re-run Truncate once the node recovers. A node the pool no
+// longer knows (already evacuated) is safe to skip — its store was
+// drained and flushed.
+func (fs *FileSystem) trimBoundaryStripe(rec *fsmeta.FileRecord, pl *hrw.Placer, idx, newSize int64) error {
+	sk := stripe.Key(rec.ID, idx)
+	keep := newSize - idx*rec.StripeSize
+	var firstErr error
+	for _, nodeID := range pl.ProbeOrder(sk) {
+		cli, err := fs.conns.client(nodeID)
+		if err != nil {
+			continue // evacuated node: drained and flushed, no stale tail
+		}
+		v, ok, err := cli.Get(dataKey(sk))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("memfss: trim stripe %s on %s: %w", sk, nodeID, err)
 			}
-			v, ok, err := cli.Get(dataKey(sk))
-			if err != nil || !ok {
-				continue
-			}
-			if int64(len(v)) > keep {
-				if err := cli.Set(dataKey(sk), v[:keep]); err != nil {
-					return err
-				}
-			}
+			continue // still trim the copies we can reach
+		}
+		if !ok || int64(len(v)) <= keep {
+			continue
+		}
+		if err := cli.Set(dataKey(sk), v[:keep]); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("memfss: trim stripe %s on %s: %w", sk, nodeID, err)
 		}
 	}
-	return nil
+	return firstErr
 }

@@ -83,11 +83,15 @@ func (f *File) runBurst(nb nodeBurst, done func(c spanCmd, r *kvstore.Reply, err
 
 // writeSpansPipelined stores every span on all of its targets using
 // pipelined bursts. Mirroring runSpans, it returns how many leading
-// spans fully succeeded (on every replica) and the first error in span
-// order.
+// spans succeeded and the first error in span order. Per-span success is
+// decided by the same degraded-quorum rule as writeSpan: every replica is
+// attempted, store-level errors fail the span, and transport-only
+// failures downgrade to degraded success when writeQuorum replicas
+// landed.
 func (f *File) writeSpansPipelined(spans []stripe.Span, starts []int, p []byte) (int, error) {
 	perNode := make(map[string][]spanCmd)
 	var nodeOrder []string
+	replicas := make([]int, len(spans))
 	for i, span := range spans {
 		f.fs.stats.stripeWrites.Add(1)
 		sk := stripe.Key(f.rec.ID, span.Index)
@@ -105,18 +109,30 @@ func (f *File) writeSpansPipelined(spans []stripe.Span, starts []int, p []byte) 
 				nodeOrder = append(nodeOrder, node)
 			}
 			perNode[node] = append(perNode[node], spanCmd{span: i, args: args, n: int64(len(data))})
+			replicas[i]++
 		}
 	}
 	bursts := splitBursts(perNode, nodeOrder, f.fs.pipeDepth)
 
-	// A span's replicas land in different bursts, so failures funnel
-	// through one mutex; the first error per span wins.
-	errs := make([]error, len(spans))
+	// A span's replicas land in different bursts, so outcomes funnel
+	// through one mutex; storeErr/transErr keep the first error of each
+	// class per span for the quorum decision.
+	outcomes := make([]struct {
+		failed   int
+		storeErr error
+		transErr error
+	}, len(spans))
 	var mu sync.Mutex
 	fail := func(span int, err error) {
 		mu.Lock()
-		if errs[span] == nil {
-			errs[span] = err
+		o := &outcomes[span]
+		o.failed++
+		if isUnavailable(err) {
+			if o.transErr == nil {
+				o.transErr = err
+			}
+		} else if o.storeErr == nil {
+			o.storeErr = err
 		}
 		mu.Unlock()
 	}
@@ -134,7 +150,18 @@ func (f *File) writeSpansPipelined(spans []stripe.Span, starts []int, p []byte) 
 		})
 		return nil
 	})
-	for i, err := range errs {
+	for i := range spans {
+		o := outcomes[i]
+		var err error
+		switch {
+		case o.failed == 0:
+		case o.storeErr != nil:
+			err = o.storeErr
+		case replicas[i] > 1 && replicas[i]-o.failed >= f.fs.writeQuorum:
+			f.fs.stats.degradedWrites.Add(1)
+		default:
+			err = o.transErr
+		}
 		if err != nil {
 			return i, err
 		}

@@ -1,0 +1,318 @@
+package core
+
+// Regression tests for data-path correctness fixes. Each test failed
+// against the code it names before the fix landed:
+//
+//   - TestErasureThrottleMetersBeforeTransfer: File.getFull throttled
+//     *after* the GET, so bytes crossed the wire unmetered and a closed
+//     throttle turned a successful read into a phantom unreachable-node
+//     error.
+//   - TestShortWriteKeepsPrefixReadable: File.WriteAt dropped the
+//     successfully-written prefix from f.size/f.dirty on error, so
+//     Sync/Close recorded the stale size and the prefix became unreadable.
+//   - TestScavengeChurnRace: EvacuateNode kept a pointer into fs.classes
+//     past the read unlock. The race was latent — today nothing mutates
+//     class elements in place, so -race stayed quiet — but any future
+//     in-place update would have made it explode; the test pins the
+//     concurrency contract the copy-under-lock fix establishes.
+//   - TestTruncateBoundaryTrimFailsClosed: the boundary trim silently
+//     skipped unreachable replicas, so shrink-then-grow resurfaced stale
+//     bytes where POSIX requires zeros.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"memfss/internal/container"
+	"memfss/internal/kvstore"
+	"memfss/internal/stripe"
+)
+
+func withRetry(r RetryPolicy) deployOpt {
+	return func(c *Config) { c.Retry = r }
+}
+
+// withVictimNet gives every victim class a bandwidth budget, so the pool
+// creates per-node throttles the tests can close.
+func withVictimNet(bps int64) deployOpt {
+	return func(c *Config) {
+		for i := range c.Classes {
+			if c.Classes[i].Victim {
+				c.Classes[i].Limits.NetworkBytesPerSec = bps
+			}
+		}
+	}
+}
+
+// fastRetry keeps failure-path tests quick: two attempts, millisecond
+// backoff.
+var fastRetry = RetryPolicy{
+	MaxAttempts: 2,
+	BaseDelay:   time.Millisecond,
+	MaxDelay:    2 * time.Millisecond,
+	OpTimeout:   2 * time.Second,
+}
+
+// S1: a closed victim throttle (the tenant reclaimed its network budget)
+// must stop the transfer *before* any command reaches the store.
+func TestErasureThrottleMetersBeforeTransfer(t *testing.T) {
+	d := newTestFS(t, 3, 3,
+		withRedundancy(Redundancy{Mode: RedundancyErasure, DataShards: 2, ParityShards: 1}),
+		withVictimNet(1<<30),
+		withRetry(fastRetry))
+	data := randomBytes(101, 160<<10) // 40 stripes: some land on the victim class
+	if err := d.fs.WriteFile("/e", data); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range d.victims.Nodes {
+		d.fs.conns.throttle(n.ID).Close()
+	}
+	victimOps := func() (total int64) {
+		for i := range d.victims.Nodes {
+			total += d.victims.Server(i).Store().Stats().TotalOps
+		}
+		return total
+	}
+	before := victimOps()
+	if _, err := d.fs.ReadFile("/e"); err == nil {
+		t.Fatal("read with every victim throttle closed must fail")
+	}
+	if got := victimOps() - before; got != 0 {
+		t.Fatalf("%d commands reached victim stores after the throttle closed; "+
+			"the throttle must meter before the transfer", got)
+	}
+}
+
+// S2: a short write's surviving prefix must be recorded in the handle's
+// size so Sync/Close persist it and the bytes stay readable.
+func TestShortWriteKeepsPrefixReadable(t *testing.T) {
+	d := newTestFS(t, 1, 2, withRetry(fastRetry))
+	f, err := d.fs.Create("/short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nStripes = 8
+	stripeN := int(d.fs.layout.Size())
+	primary := func(i int64) string { return f.placer.Place(stripe.Key(f.rec.ID, i)) }
+	// Find the victim node whose first stripe comes latest but not first:
+	// killing it fails that stripe while every earlier stripe still lands.
+	firstIdx := map[string]int64{}
+	for i := int64(nStripes - 1); i >= 0; i-- {
+		firstIdx[primary(i)] = i
+	}
+	var kill string
+	var j int64
+	for node, idx := range firstIdx {
+		if strings.HasPrefix(node, "victim-") && idx > j {
+			kill, j = node, idx
+		}
+	}
+	if kill == "" {
+		t.Fatal("placement put no stripe after index 0 on a victim node")
+	}
+	for i, n := range d.victims.Nodes {
+		if n.ID == kill {
+			d.victims.Server(i).Close()
+		}
+	}
+
+	data := randomBytes(102, nStripes*stripeN)
+	n, err := f.WriteAt(data, 0)
+	if err == nil {
+		t.Fatal("write with a dead node must fail")
+	}
+	want := int(j) * stripeN
+	if n != want {
+		t.Fatalf("short write reported %d bytes, want %d (stripes before %s's first)", n, want, kill)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.fs.Stat("/short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != int64(n) {
+		t.Fatalf("metadata size %d after short write of %d bytes: the written prefix is lost", st.Size, n)
+	}
+	got, err := d.fs.ReadFile("/short")
+	if err != nil {
+		t.Fatalf("read of short-write prefix: %v", err)
+	}
+	if !bytes.Equal(got, data[:n]) {
+		t.Fatal("short-write prefix corrupted")
+	}
+}
+
+// S3: EvacuateNode, AddVictimClass, the pressure monitor and writes all
+// touch fs.classes; run them concurrently under -race.
+func TestScavengeChurnRace(t *testing.T) {
+	d := newTestFS(t, 2, 3,
+		withRedundancy(Redundancy{Mode: RedundancyReplicate, Replicas: 2}),
+		withRetry(fastRetry))
+	mon := NewMonitor(d.fs, 5*time.Millisecond, func(string, ...any) {})
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Stop()
+
+	// Pre-start the extra stores; only the class registration needs to race.
+	const churnClasses = 3
+	extra := make([]*LocalStores, churnClasses)
+	for i := range extra {
+		ls, err := StartLocalStores(2, fmt.Sprintf("churn%d", i), "test-secret", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(ls.Close)
+		extra[i] = ls
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // class churner
+		defer wg.Done()
+		for i, ls := range extra {
+			if err := d.fs.AddVictimClass(ClassSpec{
+				Name:   fmt.Sprintf("churn%d", i),
+				Victim: true,
+				Nodes:  ls.Nodes,
+				Limits: container.Limits{MemoryBytes: 1 << 30},
+			}); err != nil {
+				t.Errorf("add class churn%d: %v", i, err)
+			}
+		}
+	}()
+	go func() { // evacuator
+		defer wg.Done()
+		for _, id := range []string{d.victims.Nodes[0].ID, d.victims.Nodes[1].ID} {
+			if err := d.fs.EvacuateNode(id); err != nil {
+				t.Errorf("evacuate %s: %v", id, err)
+			}
+		}
+	}()
+	const files = 16
+	go func() { // writer
+		defer wg.Done()
+		for i := 0; i < files; i++ {
+			path := fmt.Sprintf("/churn%d", i)
+			data := randomBytes(int64(200+i), 12_000)
+			var err error
+			for try := 0; try < 20; try++ {
+				if err = d.fs.WriteFile(path, data); err == nil {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			if err != nil {
+				t.Errorf("write %s: %v", path, err)
+			}
+		}
+	}()
+	wg.Wait()
+
+	for i := 0; i < files; i++ {
+		path := fmt.Sprintf("/churn%d", i)
+		got, err := d.fs.ReadFile(path)
+		if err != nil || !bytes.Equal(got, randomBytes(int64(200+i), 12_000)) {
+			t.Fatalf("%s after churn: %v", path, err)
+		}
+	}
+}
+
+// S4: shrinking a file with an unreachable replica of the boundary stripe
+// must fail (not silently keep the stale tail), and once the node is back,
+// shrink-then-grow must read zeros over the trimmed range.
+func TestTruncateBoundaryTrimFailsClosed(t *testing.T) {
+	d := newTestFS(t, 2, 3,
+		withRedundancy(Redundancy{Mode: RedundancyReplicate, Replicas: 2}),
+		withRetry(fastRetry))
+	stripeN := d.fs.layout.Size()
+	full := bytes.Repeat([]byte{0xAB}, int(2*stripeN+stripeN/2)) // 2.5 stripes
+
+	// The shrink stays inside the last stripe (index 2), so no whole
+	// stripes are deleted and the boundary trim is the only store traffic
+	// — the exact path that used to skip unreachable replicas silently.
+	// Find a file whose boundary stripe replicates onto victim nodes:
+	// those stores can be taken down and brought back without losing the
+	// metadata the own class holds.
+	var path string
+	var reps []string
+	for i := 0; i < 64; i++ {
+		p := fmt.Sprintf("/trim%d", i)
+		if err := d.fs.WriteFile(p, full); err != nil {
+			t.Fatal(err)
+		}
+		f, err := d.fs.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := f.targets(stripe.Key(f.rec.ID, 2))
+		f.Close()
+		if strings.HasPrefix(nodes[0], "victim-") {
+			path, reps = p, nodes
+			break
+		}
+	}
+	if path == "" {
+		t.Fatal("no candidate file placed its boundary stripe on the victim class")
+	}
+
+	// Take the primary replica's store offline, keeping its data.
+	var down int
+	for i, n := range d.victims.Nodes {
+		if n.ID == reps[0] {
+			down = i
+		}
+	}
+	addr := d.victims.Nodes[down].Addr
+	store := d.victims.Server(down).Store()
+	d.victims.Server(down).Close()
+
+	shrink := 2*stripeN + stripeN/4 // cut the boundary stripe's tail
+	err := d.fs.Truncate(path, shrink)
+	if err == nil {
+		t.Fatal("truncate with an unreachable boundary replica must fail, not skip the stale tail")
+	}
+	if !errors.Is(err, kvstore.ErrUnavailable) {
+		t.Fatalf("truncate error %v does not carry the transport cause", err)
+	}
+	if st, err := d.fs.Stat(path); err != nil || st.Size != int64(len(full)) {
+		t.Fatalf("failed truncate changed metadata: size %d, want %d (%v)", st.Size, len(full), err)
+	}
+
+	// The node comes back with its (stale) data intact.
+	srv := kvstore.NewServer(store, "test-secret")
+	if _, err := srv.Listen(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	if err := d.fs.Truncate(path, shrink); err != nil {
+		t.Fatalf("truncate after the node returned: %v", err)
+	}
+	if err := d.fs.Truncate(path, int64(len(full))); err != nil { // grow back
+		t.Fatal(err)
+	}
+	got, err := d.fs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(got)) != int64(len(full)) {
+		t.Fatalf("size after shrink-regrow = %d, want %d", len(got), len(full))
+	}
+	for i, b := range got {
+		want := byte(0)
+		if int64(i) < shrink {
+			want = 0xAB
+		}
+		if b != want {
+			t.Fatalf("byte %d = %#x after shrink-regrow, want %#x (stale tail resurfaced)", i, b, want)
+		}
+	}
+}

@@ -84,20 +84,24 @@ func (fs *FileSystem) EvacuateNode(nodeID string) error {
 	if err := fs.check(); err != nil {
 		return err
 	}
+	// Copy what we need while holding the lock: a pointer into fs.classes
+	// dereferenced after RUnlock would race with concurrent
+	// AddVictimClass/evacuations swapping the slice out underneath it.
 	fs.mu.RLock()
-	var cls *ClassSpec
+	var found, victim bool
 	for i := range fs.classes {
 		for _, n := range fs.classes[i].Nodes {
 			if n.ID == nodeID {
-				cls = &fs.classes[i]
+				found = true
+				victim = fs.classes[i].Victim
 			}
 		}
 	}
 	fs.mu.RUnlock()
-	if cls == nil {
-		return fmt.Errorf("core: unknown node %q", nodeID)
+	if !found {
+		return fmt.Errorf("%w %q", errUnknownNode, nodeID)
 	}
-	if !cls.Victim {
+	if !victim {
 		return fmt.Errorf("core: node %q is an own node; refusing to evacuate metadata", nodeID)
 	}
 	cli, err := fs.conns.client(nodeID)

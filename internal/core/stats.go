@@ -4,12 +4,13 @@ import "sync/atomic"
 
 // fsStats instruments the data path with atomic counters.
 type fsStats struct {
-	bytesWritten atomic.Int64
-	bytesRead    atomic.Int64
-	stripeWrites atomic.Int64
-	stripeReads  atomic.Int64
-	deepProbes   atomic.Int64
-	repairs      atomic.Int64
+	bytesWritten   atomic.Int64
+	bytesRead      atomic.Int64
+	stripeWrites   atomic.Int64
+	stripeReads    atomic.Int64
+	deepProbes     atomic.Int64
+	repairs        atomic.Int64
+	degradedWrites atomic.Int64
 }
 
 // Counters is a snapshot of a FileSystem's data-path activity.
@@ -27,16 +28,31 @@ type Counters struct {
 	DeepProbes int64
 	// Repairs counts stripes lazily moved back to their primary node.
 	Repairs int64
+	// DegradedWrites counts replicated span writes that succeeded with
+	// fewer than all replicas (at least WriteQuorum landed; the rest
+	// failed with transport errors). Nonzero means some stripes are
+	// under-replicated until a repair or rewrite.
+	DegradedWrites int64
+	// StoreOps / StoreAttempts count store operations (commands and
+	// pipeline bursts) and the connection attempts they consumed, summed
+	// over every node client. StoreAttempts-StoreOps is the retry count;
+	// the retry policy bounds StoreAttempts <= MaxAttempts*StoreOps.
+	StoreOps      int64
+	StoreAttempts int64
 }
 
 // Counters returns a snapshot of the file system's activity counters.
 func (fs *FileSystem) Counters() Counters {
+	ops, attempts := fs.conns.opTotals()
 	return Counters{
-		BytesWritten: fs.stats.bytesWritten.Load(),
-		BytesRead:    fs.stats.bytesRead.Load(),
-		StripeWrites: fs.stats.stripeWrites.Load(),
-		StripeReads:  fs.stats.stripeReads.Load(),
-		DeepProbes:   fs.stats.deepProbes.Load(),
-		Repairs:      fs.stats.repairs.Load(),
+		BytesWritten:   fs.stats.bytesWritten.Load(),
+		BytesRead:      fs.stats.bytesRead.Load(),
+		StripeWrites:   fs.stats.stripeWrites.Load(),
+		StripeReads:    fs.stats.stripeReads.Load(),
+		DeepProbes:     fs.stats.deepProbes.Load(),
+		Repairs:        fs.stats.repairs.Load(),
+		DegradedWrites: fs.stats.degradedWrites.Load(),
+		StoreOps:       ops,
+		StoreAttempts:  attempts,
 	}
 }

@@ -1,0 +1,350 @@
+// Package faultwrap is a chaos proxy for the kvstore wire protocol: a TCP
+// forwarder that sits between a MemFSS client and one store server and
+// injects the failures a scavenged victim node is contractually allowed to
+// produce (paper §III-A): dropped connections (before a reply and in the
+// middle of a pipelined burst), truncated request writes, added latency,
+// temporary unreachability, and permanent node death.
+//
+// Faults are drawn from a Plan whose probabilities are sampled by a seeded
+// PRNG, so a given (plan, workload) pair replays the same fault mix run
+// after run — deterministic enough for CI soak tests, while goroutine
+// scheduling still varies the exact interleaving. Tests point a ClassSpec
+// node address at Proxy.Addr() instead of the real store; memfss-bench does
+// the same under its -chaos flag.
+package faultwrap
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Plan configures which faults a Proxy injects and how often. Probabilities
+// are per forwarded segment (one Read's worth of bytes, typically one
+// command or one pipelined burst), in [0, 1]. The zero Plan injects nothing
+// and the proxy is a transparent forwarder.
+type Plan struct {
+	// Seed drives the PRNG that samples every probability below.
+	Seed int64
+	// DropBeforeReply is the chance a server->client segment is discarded
+	// and both sides of the connection closed before any reply byte
+	// reaches the client — the "store died before answering" case.
+	DropBeforeReply float64
+	// DropMidReply is the chance a server->client segment is cut in half:
+	// the leading bytes are forwarded, then the connection dies — the
+	// mid-pipeline death that leaves a burst partially answered.
+	DropMidReply float64
+	// CutRequest is the chance a client->server segment is truncated
+	// mid-write and the connection closed — a partial write: the server
+	// sees a malformed or incomplete frame and hangs up.
+	CutRequest float64
+	// DelayProb is the chance a server->client segment is held for Delay
+	// before forwarding — scavenging traffic contending with the tenant.
+	DelayProb float64
+	// Delay is the added latency applied with probability DelayProb.
+	Delay time.Duration
+}
+
+// Stats counts the faults a Proxy actually injected.
+type Stats struct {
+	// Conns is how many client connections the proxy accepted.
+	Conns int64
+	// PreDrops / MidDrops / Cuts / Delays count injected faults by kind.
+	PreDrops int64
+	MidDrops int64
+	Cuts     int64
+	Delays   int64
+	// Refused counts connections rejected while paused or killed.
+	Refused int64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("conns=%d pre-drops=%d mid-drops=%d cuts=%d delays=%d refused=%d",
+		s.Conns, s.PreDrops, s.MidDrops, s.Cuts, s.Delays, s.Refused)
+}
+
+// Proxy forwards one listener's connections to a target address, injecting
+// faults per its Plan. It is safe for concurrent use.
+type Proxy struct {
+	target string
+	plan   Plan
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	paused bool
+	killed bool
+	closed bool
+
+	conNs    atomic.Int64
+	preDrops atomic.Int64
+	midDrops atomic.Int64
+	cuts     atomic.Int64
+	delays   atomic.Int64
+	refused  atomic.Int64
+	wg       sync.WaitGroup
+}
+
+// New starts a proxy on a fresh loopback port forwarding to target.
+func New(target string, plan Plan) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultwrap: listen: %w", err)
+	}
+	p := &Proxy{
+		target: target,
+		plan:   plan,
+		rng:    rand.New(rand.NewSource(plan.Seed)),
+		ln:     ln,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop(ln)
+	return p, nil
+}
+
+// Addr returns the proxy's listening address; hand it to clients in place
+// of the real store address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Target returns the wrapped store's real address.
+func (p *Proxy) Target() string { return p.target }
+
+// Stats snapshots the injected-fault counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Conns:    p.conNs.Load(),
+		PreDrops: p.preDrops.Load(),
+		MidDrops: p.midDrops.Load(),
+		Cuts:     p.cuts.Load(),
+		Delays:   p.delays.Load(),
+		Refused:  p.refused.Load(),
+	}
+}
+
+// Pause makes the node temporarily unreachable: existing connections are
+// dropped and new ones are refused until Resume.
+func (p *Proxy) Pause() {
+	p.mu.Lock()
+	p.paused = true
+	p.dropConnsLocked()
+	p.mu.Unlock()
+}
+
+// Resume ends a Pause; new connections forward again.
+func (p *Proxy) Resume() {
+	p.mu.Lock()
+	p.paused = false
+	p.mu.Unlock()
+}
+
+// Kill makes the node permanently dead: every current and future
+// connection is dropped. Unlike Close it keeps the accept loop running so
+// dialers see an immediate reset rather than a vanished listener (both
+// look the same to clients on loopback, but Kill also keeps Stats serving).
+func (p *Proxy) Kill() {
+	p.mu.Lock()
+	p.killed = true
+	p.dropConnsLocked()
+	p.mu.Unlock()
+}
+
+// Killed reports whether Kill was called.
+func (p *Proxy) Killed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.killed
+}
+
+// Close shuts the proxy down and waits for its goroutines.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	ln := p.ln
+	p.dropConnsLocked()
+	p.mu.Unlock()
+	ln.Close()
+	p.wg.Wait()
+	return nil
+}
+
+// dropConnsLocked closes every tracked connection; callers hold p.mu.
+func (p *Proxy) dropConnsLocked() {
+	for c := range p.conns {
+		c.Close()
+		delete(p.conns, c)
+	}
+}
+
+func (p *Proxy) acceptLoop(ln net.Listener) {
+	defer p.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.closed || p.killed || p.paused {
+			p.mu.Unlock()
+			p.refused.Add(1)
+			conn.Close()
+			continue
+		}
+		p.mu.Unlock()
+		p.conNs.Add(1)
+		p.wg.Add(1)
+		go p.serve(conn)
+	}
+}
+
+// roll samples the seeded PRNG; one shared stream keeps the fault sequence
+// a pure function of the plan seed and the order segments arrive.
+func (p *Proxy) roll() float64 {
+	p.rngMu.Lock()
+	defer p.rngMu.Unlock()
+	return p.rng.Float64()
+}
+
+// errInjected marks a connection killed on purpose, distinguishing
+// injected faults from real forwarding errors inside the copy loops.
+var errInjected = errors.New("faultwrap: injected fault")
+
+func (p *Proxy) serve(client net.Conn) {
+	defer p.wg.Done()
+	server, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		client.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed || p.killed || p.paused {
+		p.mu.Unlock()
+		client.Close()
+		server.Close()
+		return
+	}
+	p.conns[client] = struct{}{}
+	p.conns[server] = struct{}{}
+	p.mu.Unlock()
+
+	done := func() {
+		p.mu.Lock()
+		delete(p.conns, client)
+		delete(p.conns, server)
+		p.mu.Unlock()
+		client.Close()
+		server.Close()
+	}
+	var once sync.Once
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		p.copyLoop(server, client, p.injectRequest)
+		once.Do(done)
+	}()
+	go func() {
+		defer wg.Done()
+		p.copyLoop(client, server, p.injectReply)
+		once.Do(done)
+	}()
+	wg.Wait()
+}
+
+// copyLoop forwards segments from src to dst, letting inject mangle (or
+// veto) each one. It exits on the first error in either direction.
+func (p *Proxy) copyLoop(dst, src net.Conn, inject func(dst net.Conn, seg []byte) error) {
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if ierr := inject(dst, buf[:n]); ierr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// injectReply applies the server->client fault schedule to one segment.
+func (p *Proxy) injectReply(dst net.Conn, seg []byte) error {
+	if d := p.plan.Delay; d > 0 && p.plan.DelayProb > 0 && p.roll() < p.plan.DelayProb {
+		p.delays.Add(1)
+		time.Sleep(d)
+	}
+	if p.plan.DropBeforeReply > 0 && p.roll() < p.plan.DropBeforeReply {
+		p.preDrops.Add(1)
+		return errInjected
+	}
+	if p.plan.DropMidReply > 0 && len(seg) > 1 && p.roll() < p.plan.DropMidReply {
+		p.midDrops.Add(1)
+		dst.Write(seg[:len(seg)/2]) // best effort: the point is the cut
+		return errInjected
+	}
+	return writeAll(dst, seg)
+}
+
+// injectRequest applies the client->server fault schedule to one segment.
+func (p *Proxy) injectRequest(dst net.Conn, seg []byte) error {
+	if p.plan.CutRequest > 0 && len(seg) > 1 && p.roll() < p.plan.CutRequest {
+		p.cuts.Add(1)
+		dst.Write(seg[:len(seg)/2])
+		return errInjected
+	}
+	return writeAll(dst, seg)
+}
+
+func writeAll(dst net.Conn, b []byte) error {
+	if _, err := dst.Write(b); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WrapAll starts one proxy per target address with per-proxy seeds derived
+// from plan.Seed (seed+index), returning the proxies in input order. On
+// error every already-started proxy is closed.
+func WrapAll(targets []string, plan Plan) ([]*Proxy, error) {
+	out := make([]*Proxy, 0, len(targets))
+	for i, target := range targets {
+		pl := plan
+		pl.Seed = plan.Seed + int64(i)
+		p, err := New(target, pl)
+		if err != nil {
+			for _, q := range out {
+				q.Close()
+			}
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// TotalStats sums the stats of several proxies.
+func TotalStats(proxies []*Proxy) Stats {
+	var t Stats
+	for _, p := range proxies {
+		s := p.Stats()
+		t.Conns += s.Conns
+		t.PreDrops += s.PreDrops
+		t.MidDrops += s.MidDrops
+		t.Cuts += s.Cuts
+		t.Delays += s.Delays
+		t.Refused += s.Refused
+	}
+	return t
+}

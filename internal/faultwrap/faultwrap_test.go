@@ -1,0 +1,170 @@
+package faultwrap
+
+import (
+	"testing"
+	"time"
+
+	"memfss/internal/kvstore"
+)
+
+// startStore brings up one real kvstore server and returns its address.
+func startStore(t *testing.T) string {
+	t.Helper()
+	srv := kvstore.NewServer(kvstore.NewStore(0), "")
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+func TestTransparentForwarding(t *testing.T) {
+	p, err := New(startStore(t), Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	cli := kvstore.Dial(p.Addr(), kvstore.DialOptions{Timeout: 2 * time.Second})
+	defer cli.Close()
+	if err := cli.Set("k", []byte("v")); err != nil {
+		t.Fatalf("set through zero plan: %v", err)
+	}
+	got, ok, err := cli.Get("k")
+	if err != nil || !ok || string(got) != "v" {
+		t.Fatalf("get through zero plan: %q %v %v", got, ok, err)
+	}
+	if s := p.Stats(); s.Conns == 0 || s.PreDrops+s.MidDrops+s.Cuts != 0 {
+		t.Fatalf("zero plan injected faults: %v", s)
+	}
+}
+
+func TestInjectedDropsAreSurvivable(t *testing.T) {
+	p, err := New(startStore(t), Plan{
+		Seed:            1,
+		DropBeforeReply: 0.3,
+		DropMidReply:    0.2,
+		CutRequest:      0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	cli := kvstore.Dial(p.Addr(), kvstore.DialOptions{
+		Timeout:     2 * time.Second,
+		MaxAttempts: 8,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+	})
+	defer cli.Close()
+	// With 8 attempts per op, a 60% combined per-attempt fault rate still
+	// converges; the retry layer must absorb every injected drop.
+	for i := 0; i < 50; i++ {
+		if err := cli.Set("k", []byte("v")); err != nil {
+			t.Fatalf("set %d under faults: %v", i, err)
+		}
+	}
+	s := p.Stats()
+	if s.PreDrops+s.MidDrops+s.Cuts == 0 {
+		t.Fatalf("plan injected nothing over 50 ops: %v", s)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	// The same seed must sample the same fault decision sequence.
+	a := New0(t, 42)
+	b := New0(t, 42)
+	c := New0(t, 43)
+	same, diff := 0, 0
+	for i := 0; i < 100; i++ {
+		ra, rb, rc := a.roll(), b.roll(), c.roll()
+		if ra == rb {
+			same++
+		}
+		if ra != rc {
+			diff++
+		}
+	}
+	if same != 100 {
+		t.Fatalf("same-seed rolls diverged: %d/100 equal", same)
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical rolls")
+	}
+}
+
+// New0 builds a proxy without a live target, for PRNG-only tests.
+func New0(t *testing.T, seed int64) *Proxy {
+	t.Helper()
+	p, err := New("127.0.0.1:1", Plan{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestPauseResumeAndKill(t *testing.T) {
+	p, err := New(startStore(t), Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	opts := kvstore.DialOptions{Timeout: time.Second, MaxAttempts: 2, BaseDelay: time.Millisecond}
+	cli := kvstore.Dial(p.Addr(), opts)
+	defer cli.Close()
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("ping before pause: %v", err)
+	}
+	p.Pause()
+	if err := cli.Ping(); err == nil {
+		t.Fatal("ping succeeded while paused")
+	}
+	p.Resume()
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("ping after resume: %v", err)
+	}
+	p.Kill()
+	if err := cli.Ping(); err == nil {
+		t.Fatal("ping succeeded after kill")
+	}
+	if !p.Killed() {
+		t.Fatal("Killed() false after Kill")
+	}
+	p.Resume() // resume must not revive a killed node
+	if err := cli.Ping(); err == nil {
+		t.Fatal("resume revived a killed node")
+	}
+	if p.Stats().Refused == 0 {
+		t.Fatal("no refused connections counted")
+	}
+}
+
+func TestWrapAll(t *testing.T) {
+	targets := []string{startStore(t), startStore(t), startStore(t)}
+	proxies, err := WrapAll(targets, Plan{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, p := range proxies {
+			p.Close()
+		}
+	})
+	if len(proxies) != 3 {
+		t.Fatalf("got %d proxies", len(proxies))
+	}
+	for i, p := range proxies {
+		if p.Target() != targets[i] {
+			t.Fatalf("proxy %d target %s, want %s", i, p.Target(), targets[i])
+		}
+		cli := kvstore.Dial(p.Addr(), kvstore.DialOptions{Timeout: time.Second})
+		if err := cli.Ping(); err != nil {
+			t.Fatalf("proxy %d unreachable: %v", i, err)
+		}
+		cli.Close()
+	}
+	if TotalStats(proxies).Conns != 3 {
+		t.Fatalf("total conns = %d, want 3", TotalStats(proxies).Conns)
+	}
+}

@@ -4,23 +4,39 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // ErrClosed is returned by client operations after Close.
 var ErrClosed = errors.New("kvstore: client closed")
 
+// ErrUnavailable marks transport-level failures: the store could not be
+// dialed, timed out, or dropped the connection on every attempt. Callers
+// use errors.Is(err, ErrUnavailable) to distinguish "the node is gone or
+// flaky" (retryable elsewhere, e.g. on another replica) from store-level
+// errors such as OOM or WRONGTYPE, which would fail identically anywhere.
+var ErrUnavailable = errors.New("kvstore: store unavailable")
+
 // Client is a pooled protocol client for one store server. It is safe for
 // concurrent use: up to poolSize requests proceed in parallel, each on its
 // own authenticated connection. Connections are created lazily.
 type Client struct {
-	addr     string
-	password string
-	timeout  time.Duration
+	addr        string
+	password    string
+	timeout     time.Duration
+	maxAttempts int
+	baseDelay   time.Duration
+	maxDelay    time.Duration
+	opTimeout   time.Duration
+
+	ops      atomic.Int64 // operations started (commands + pipeline bursts)
+	attempts atomic.Int64 // connection attempts across all operations
 
 	mu     sync.Mutex
 	idle   []*clientConn
@@ -44,6 +60,21 @@ type DialOptions struct {
 	PoolSize int
 	// Timeout bounds dialing and each request round trip (default 10s).
 	Timeout time.Duration
+	// MaxAttempts bounds how many connections one operation (a command or
+	// a pipeline burst) may burn before giving up (default 3). The first
+	// attempt is free of backoff: a pooled connection the server idled out
+	// looks exactly like a dead store on the first try but not the second.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// attempt with jitter up to MaxDelay (defaults 5ms / 250ms).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// OpTimeout is the deadline for a whole operation including retries
+	// and backoff sleeps: once exceeded, no further attempt is scheduled
+	// (default: Timeout). Individual attempts are still bounded by
+	// Timeout, so an operation never outlives roughly
+	// MaxAttempts*Timeout + backoff.
+	OpTimeout time.Duration
 }
 
 // Dial creates a client for the server at addr. No connection is opened
@@ -55,14 +86,40 @@ func Dial(addr string, opts DialOptions) *Client {
 	if opts.Timeout <= 0 {
 		opts.Timeout = 10 * time.Second
 	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.BaseDelay <= 0 {
+		opts.BaseDelay = 5 * time.Millisecond
+	}
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = 250 * time.Millisecond
+	}
+	if opts.OpTimeout <= 0 {
+		opts.OpTimeout = opts.Timeout
+	}
 	return &Client{
-		addr:     addr,
-		password: opts.Password,
-		timeout:  opts.Timeout,
-		max:      opts.PoolSize,
-		waitCh:   make(chan struct{}, 1),
+		addr:        addr,
+		password:    opts.Password,
+		timeout:     opts.Timeout,
+		maxAttempts: opts.MaxAttempts,
+		baseDelay:   opts.BaseDelay,
+		maxDelay:    opts.MaxDelay,
+		opTimeout:   opts.OpTimeout,
+		max:         opts.PoolSize,
+		waitCh:      make(chan struct{}, 1),
 	}
 }
+
+// Ops returns how many operations (commands and pipeline bursts) the
+// client has started.
+func (c *Client) Ops() int64 { return c.ops.Load() }
+
+// Attempts returns how many connection attempts those operations consumed;
+// Attempts-Ops is the retry count. The retry policy guarantees
+// Attempts <= MaxAttempts * Ops — the bound soak tests assert to rule out
+// retry storms.
+func (c *Client) Attempts() int64 { return c.attempts.Load() }
 
 // Addr returns the server address the client talks to.
 func (c *Client) Addr() string { return c.addr }
@@ -171,34 +228,82 @@ func (cc *clientConn) roundTrip(timeout time.Duration, args ...[]byte) (*Reply, 
 	return ReadReply(cc.br)
 }
 
-// maxAttempts caps how many connections a request (single command or
-// pipeline burst) may burn before giving up: the first attempt plus one
-// retry, because a pooled connection the server idled out looks exactly
-// like a dead store on the first try but not the second.
-const maxAttempts = 2
-
-// do sends one command and decodes the reply, retrying up to maxAttempts
-// on a broken pooled connection (the server may have closed an idle one).
-// A store that stays unreachable yields an error naming the command, the
-// address, and the attempt count, so the failure is diagnosable upstream.
-func (c *Client) do(args ...[]byte) (*Reply, error) {
-	var lastErr error
-	for attempt := 0; attempt < maxAttempts; attempt++ {
-		cc, err := c.getConn()
-		if err != nil {
-			return nil, err
-		}
-		reply, err := cc.roundTrip(c.timeout, args...)
-		if err != nil {
-			c.putConn(cc, true)
-			lastErr = err
-			continue
-		}
-		c.putConn(cc, false)
-		return reply, nil
+// backoffDelay computes the sleep before attempt+1: exponential from
+// BaseDelay, capped at MaxDelay, with uniform jitter over [d/2, d) so a
+// burst of failures against one store does not retry in lockstep.
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	d := c.baseDelay
+	for i := 1; i < attempt && d < c.maxDelay; i++ {
+		d *= 2
 	}
-	return nil, fmt.Errorf("kvstore: %s to %s failed after %d attempts: %w",
-		strings.ToUpper(string(args[0])), c.addr, maxAttempts, lastErr)
+	if d > c.maxDelay {
+		d = c.maxDelay
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// withRetry runs op on a pooled connection, retrying transport failures up
+// to MaxAttempts times with exponential backoff + jitter, all inside the
+// OpTimeout deadline. Only idempotent operations belong here (every data-
+// path command is; INCR/SADD callers tolerate re-execution as documented
+// on Pipeline). Exhausted retries yield an error wrapping ErrUnavailable
+// that names the operation, the address, and the attempt count, so the
+// failure is diagnosable — and classifiable — upstream.
+func (c *Client) withRetry(label string, op func(cc *clientConn) error) error {
+	c.ops.Add(1)
+	deadline := time.Now().Add(c.opTimeout)
+	var lastErr error
+	attempts := 0
+	for attempt := 1; attempt <= c.maxAttempts; attempt++ {
+		attempts++
+		c.attempts.Add(1)
+		cc, err := c.getConn()
+		if err == nil {
+			if err = op(cc); err == nil {
+				c.putConn(cc, false)
+				return nil
+			}
+			c.putConn(cc, true)
+		}
+		if errors.Is(err, ErrClosed) {
+			return err // client torn down on purpose: retrying is pointless
+		}
+		lastErr = err
+		if attempt == c.maxAttempts {
+			break
+		}
+		d := c.backoffDelay(attempt)
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			break // per-op deadline exhausted: no further attempt
+		}
+		if d > remain {
+			d = remain
+		}
+		time.Sleep(d)
+	}
+	return fmt.Errorf("%w: %s to %s failed after %d attempts: %v",
+		ErrUnavailable, label, c.addr, attempts, lastErr)
+}
+
+// do sends one command and decodes the reply, retrying per the client's
+// retry policy on broken connections (the server may have closed an idle
+// pooled one, or the node may be flapping).
+func (c *Client) do(args ...[]byte) (*Reply, error) {
+	var reply *Reply
+	err := c.withRetry(strings.ToUpper(string(args[0])), func(cc *clientConn) error {
+		r, err := cc.roundTrip(c.timeout, args...)
+		if err != nil {
+			return err
+		}
+		reply = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reply, nil
 }
 
 func bs(ss ...string) [][]byte {

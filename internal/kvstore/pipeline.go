@@ -65,31 +65,30 @@ func (p *Pipeline) Exists(key string) { p.Do([]byte("EXISTS"), []byte(key)) }
 // Run flushes the queued commands in one burst and reads their replies,
 // aligned with queue order. Error *replies* (e.g. OOM on one SET) do not
 // fail the burst — inspect each Reply.Err(); Run itself fails only on
-// transport or protocol errors. The queue is cleared on success so the
-// pipeline can be reused.
+// transport or protocol errors, after retrying the whole burst per the
+// client's retry policy (mid-pipeline connection death reruns every
+// command, hence the idempotency requirement above). The queue is cleared
+// on success so the pipeline can be reused.
 func (p *Pipeline) Run() ([]*Reply, error) {
 	if len(p.cmds) == 0 {
 		return nil, nil
 	}
 	c := p.c
-	var lastErr error
-	for attempt := 0; attempt < maxAttempts; attempt++ {
-		cc, err := c.getConn()
+	var replies []*Reply
+	label := fmt.Sprintf("pipeline of %d commands", len(p.cmds))
+	err := c.withRetry(label, func(cc *clientConn) error {
+		rs, err := cc.pipelineRoundTrip(c.timeout, p.cmds)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		replies, err := cc.pipelineRoundTrip(c.timeout, p.cmds)
-		if err != nil {
-			c.putConn(cc, true)
-			lastErr = err
-			continue
-		}
-		c.putConn(cc, false)
-		p.cmds = nil
-		return replies, nil
+		replies = rs
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("kvstore: pipeline of %d commands to %s failed after %d attempts: %w",
-		len(p.cmds), c.addr, maxAttempts, lastErr)
+	p.cmds = nil
+	return replies, nil
 }
 
 // pipelineRoundTrip writes every command with a single flush, then reads

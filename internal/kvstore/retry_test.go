@@ -1,0 +1,136 @@
+package kvstore
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// deadListener accepts and instantly closes every connection, so every
+// round trip fails at the first read.
+func deadListener(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestRetryExhaustionIsUnavailable(t *testing.T) {
+	cli := Dial(deadListener(t), DialOptions{
+		Timeout:     time.Second,
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    4 * time.Millisecond,
+	})
+	defer cli.Close()
+	err := cli.Set("k", []byte("v"))
+	if err == nil {
+		t.Fatal("Set against dead store succeeded")
+	}
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("exhausted retries not classified ErrUnavailable: %v", err)
+	}
+	if got := cli.Attempts(); got != 4 {
+		t.Fatalf("attempts = %d, want exactly MaxAttempts=4", got)
+	}
+	if got := cli.Ops(); got != 1 {
+		t.Fatalf("ops = %d, want 1", got)
+	}
+}
+
+func TestStoreErrorsAreNotUnavailable(t *testing.T) {
+	srv, cli := startServer(t, 0, "")
+	_ = srv
+	if err := cli.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// SADD against a string key yields a WRONGTYPE *reply*: the transport
+	// worked, so the error must not be classified as unavailability.
+	_, err := cli.SAdd("k", "m")
+	if err == nil {
+		t.Fatal("SADD on string key succeeded")
+	}
+	if errors.Is(err, ErrUnavailable) {
+		t.Fatalf("store-level error classified as unavailable: %v", err)
+	}
+	if cli.Attempts() != cli.Ops() {
+		t.Fatalf("store error burned retries: attempts=%d ops=%d", cli.Attempts(), cli.Ops())
+	}
+}
+
+func TestRetryRecoversFlakyConnections(t *testing.T) {
+	// The first 3 connections die before replying; attempt 4 succeeds.
+	addr, store := flakyServer(t, 0, 3)
+	cli := Dial(addr, DialOptions{
+		Timeout:     time.Second,
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    2 * time.Millisecond,
+	})
+	defer cli.Close()
+	if err := cli.Set("k", []byte("v")); err != nil {
+		t.Fatalf("set through flaky connections: %v", err)
+	}
+	if v, ok, _ := store.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("value did not land: %q %v", v, ok)
+	}
+	if a, o := cli.Attempts(), cli.Ops(); a <= o || a > 5*o {
+		t.Fatalf("attempts=%d outside (ops, MaxAttempts*ops] for ops=%d", a, o)
+	}
+}
+
+func TestBackoffDelayBounds(t *testing.T) {
+	c := Dial("x", DialOptions{BaseDelay: 8 * time.Millisecond, MaxDelay: 50 * time.Millisecond})
+	defer c.Close()
+	prevMax := time.Duration(0)
+	for attempt := 1; attempt <= 6; attempt++ {
+		want := 8 * time.Millisecond << (attempt - 1)
+		if want > 50*time.Millisecond {
+			want = 50 * time.Millisecond
+		}
+		for i := 0; i < 20; i++ {
+			d := c.backoffDelay(attempt)
+			if d < want/2 || d > want {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+		if want < prevMax {
+			t.Fatalf("backoff ceiling shrank at attempt %d", attempt)
+		}
+		prevMax = want
+	}
+}
+
+func TestOpTimeoutCutsRetriesShort(t *testing.T) {
+	cli := Dial(deadListener(t), DialOptions{
+		Timeout:     time.Second,
+		MaxAttempts: 100,
+		BaseDelay:   40 * time.Millisecond,
+		MaxDelay:    40 * time.Millisecond,
+		OpTimeout:   100 * time.Millisecond,
+	})
+	defer cli.Close()
+	start := time.Now()
+	if err := cli.Ping(); err == nil {
+		t.Fatal("ping against dead store succeeded")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("op ran %v, deadline did not cut retries", el)
+	}
+	if a := cli.Attempts(); a >= 100 {
+		t.Fatalf("attempts = %d, OpTimeout never fired", a)
+	}
+}
