@@ -25,6 +25,10 @@
 //	df                               per-store usage
 //	verify <path>                    re-read every stripe of a file
 //	fsck                             verify every file and find orphans
+//	scrub                            restore missing redundancy everywhere
+//	health                           probe every node and show detector state
+//	repair [path]                    repair one file's redundancy, or show
+//	                                 the background repair queue's stats
 //	evacuate <node-id>               drain a victim store and drop it
 package main
 
@@ -36,6 +40,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"memfss/internal/container"
 	"memfss/internal/core"
@@ -247,14 +252,52 @@ func run(fs *core.FileSystem, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("files: %d\nstripes checked: %d\nrestored: %d\n",
-			rep.Files, rep.StripesChecked, rep.Restored)
-		for _, u := range rep.Unrepairable {
-			fmt.Printf("UNREPAIRABLE: %s\n", u)
-		}
+		printScrubReport(rep)
 		if len(rep.Unrepairable) > 0 {
 			return fmt.Errorf("%d unrepairable stripe(s)", len(rep.Unrepairable))
 		}
+		return nil
+	case "health":
+		if err := need(0); err != nil {
+			return err
+		}
+		snap := fs.ProbeHealth()
+		if snap == nil {
+			return fmt.Errorf("the failure detector is disabled")
+		}
+		ids := make([]string, 0, len(snap))
+		for id := range snap {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		now := time.Now()
+		fmt.Printf("%-12s %-8s %10s %6s %4s\n", "node", "state", "since", "fails", "oks")
+		for _, id := range ids {
+			h := snap[id]
+			fmt.Printf("%-12s %-8s %10s %6d %4d\n",
+				id, h.State, now.Sub(h.Since).Round(time.Second), h.ConsecFails, h.ConsecOKs)
+		}
+		return nil
+	case "repair":
+		if len(rest) > 1 {
+			return fmt.Errorf("repair takes at most one path")
+		}
+		if len(rest) == 1 {
+			rep, err := fs.RepairFile(rest[0])
+			if err != nil {
+				return err
+			}
+			printScrubReport(rep)
+			if len(rep.Unrepairable) > 0 {
+				return fmt.Errorf("%d unrepairable stripe(s)", len(rep.Unrepairable))
+			}
+			return nil
+		}
+		st := fs.RepairStats()
+		fmt.Printf("enqueued: %d\nrepaired: %d\nrestored: %d\nunrepairable: %d\n",
+			st.Enqueued, st.Repaired, st.Restored, st.Unrepairable)
+		fmt.Printf("queued: %d\nparked: %d\nin flight: %d\n", st.Queued, st.Parked, st.InFlight)
+		fmt.Printf("overflows: %d\nfull scrubs: %d\n", st.Overflows, st.FullScrubs)
 		return nil
 	case "evacuate":
 		if err := need(1); err != nil {
@@ -263,5 +306,16 @@ func run(fs *core.FileSystem, args []string) error {
 		return fs.EvacuateNode(rest[0])
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func printScrubReport(rep *core.ScrubReport) {
+	fmt.Printf("files: %d\nstripes checked: %d\nrestored: %d\n",
+		rep.Files, rep.StripesChecked, rep.Restored)
+	for _, u := range rep.Deferred {
+		fmt.Printf("DEFERRED: %s\n", u)
+	}
+	for _, u := range rep.Unrepairable {
+		fmt.Printf("UNREPAIRABLE: %s\n", u)
 	}
 }

@@ -3,18 +3,27 @@
 // and one per victim node, then point memfsctl or the core library at
 // them.
 //
+// With -health-addr the daemon also serves an HTTP health endpoint:
+// GET /healthz returns liveness plus the store's usage stats as JSON, so
+// orchestrators and operators can watch a node without speaking the store
+// wire protocol (clients additionally probe the wire port directly via
+// PING, which is what the failure detector consumes).
+//
 // Usage:
 //
-//	memfsd -addr :7700 -password secret -maxmem 10737418240
+//	memfsd -addr :7700 -password secret -maxmem 10737418240 -health-addr :7780
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"memfss/internal/kvstore"
 )
@@ -23,14 +32,43 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7700", "listen address")
 	password := flag.String("password", "", "require AUTH with this password")
 	maxMem := flag.Int64("maxmem", 0, "memory cap in bytes (0 = unlimited); on victim nodes this is the scavenged-memory budget")
+	healthAddr := flag.String("health-addr", "", "serve GET /healthz (JSON liveness + store stats) on this address; empty disables")
 	flag.Parse()
 
-	srv := kvstore.NewServer(kvstore.NewStore(*maxMem), *password)
+	store := kvstore.NewStore(*maxMem)
+	srv := kvstore.NewServer(store, *password)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("memfsd: %v", err)
 	}
 	fmt.Printf("memfsd: serving on %s (maxmem=%d, auth=%v)\n", bound, *maxMem, *password != "")
+
+	if *healthAddr != "" {
+		started := time.Now()
+		mux := http.NewServeMux()
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			st := store.Stats()
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"status":         "ok",
+				"addr":           bound,
+				"uptime_seconds": int64(time.Since(started).Seconds()),
+				"bytes_used":     st.BytesUsed,
+				"max_memory":     st.MaxMemory,
+				"num_keys":       st.NumKeys,
+				"total_ops":      st.TotalOps,
+				"pressure":       st.Pressure,
+			})
+		})
+		hsrv := &http.Server{Addr: *healthAddr, Handler: mux}
+		go func() {
+			if err := hsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("memfsd: health endpoint: %v", err)
+			}
+		}()
+		defer hsrv.Close()
+		fmt.Printf("memfsd: health endpoint on http://%s/healthz\n", *healthAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

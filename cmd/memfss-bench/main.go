@@ -11,9 +11,10 @@
 // With -chaos the victim stores are reached through faultwrap proxies
 // that drop, truncate, and delay connections from a seeded plan, one
 // victim is killed permanently between the write and read phases, and the
-// run reports injected-fault counts, retry volume, degraded writes, and a
-// final fsck verdict instead of raw throughput — a reliability soak
-// rather than a speed run.
+// run reports injected-fault counts, retry volume, degraded writes, the
+// failure detector's time to detection, the repair queue's time to
+// restored redundancy, and a final fsck verdict instead of raw
+// throughput — a reliability soak rather than a speed run.
 //
 // Usage:
 //
@@ -35,6 +36,7 @@ import (
 	"memfss/internal/container"
 	"memfss/internal/core"
 	"memfss/internal/faultwrap"
+	"memfss/internal/health"
 	"memfss/internal/hrw"
 )
 
@@ -256,6 +258,7 @@ func runChaos(classes []core.ClassSpec, password string, stripeSize int64, depth
 	// One victim dies for good halfway through the write phase, so the
 	// later writes exercise the degraded-quorum path, not just the reads.
 	var kill sync.Once
+	var killedAt time.Time
 	start := time.Now()
 	var wg sync.WaitGroup
 	errCh := make(chan error, tasks)
@@ -267,7 +270,7 @@ func runChaos(classes []core.ClassSpec, password string, stripeSize int64, depth
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			if i >= tasks/2 {
-				kill.Do(func() { proxies[1].Kill() })
+				kill.Do(func() { proxies[1].Kill(); killedAt = time.Now() })
 			}
 			errCh <- fs.WriteFile(fmt.Sprintf("/chaos/task-%d", i), payload)
 		}(i)
@@ -280,9 +283,27 @@ func runChaos(classes []core.ClassSpec, password string, stripeSize int64, depth
 		}
 	}
 	writeDur := time.Since(start)
-	kill.Do(func() { proxies[1].Kill() })
+	kill.Do(func() { proxies[1].Kill(); killedAt = time.Now() })
+	deadID := victims.Nodes[1].ID
 	fmt.Printf("chaos: wrote %d tasks in %v; killed %s permanently at task %d\n",
-		tasks, writeDur.Round(time.Millisecond), victims.Nodes[1].ID, tasks/2)
+		tasks, writeDur.Round(time.Millisecond), deadID, tasks/2)
+
+	// Time to detection: how long the failure detector took (passive
+	// evidence + active probes) to mark the killed node Down.
+	detected := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if fs.Health()[deadID].State == health.Down {
+			detected = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if detected {
+		fmt.Printf("chaos: detector marked %s Down %v after the kill (time to detection)\n",
+			deadID, time.Since(killedAt).Round(time.Millisecond))
+	} else {
+		fmt.Printf("chaos: detector never marked %s Down within 10s\n", deadID)
+	}
 
 	start = time.Now()
 	for i := 0; i < tasks; i++ {
@@ -296,6 +317,23 @@ func runChaos(classes []core.ClassSpec, password string, stripeSize int64, depth
 	}
 	readDur := time.Since(start)
 
+	// Time to repair: wait for the targeted queue to restore every stripe
+	// it can (units blocked on the dead node stay parked), then let a
+	// scrub confirm there is nothing left that a full scan would find.
+	if !fs.WaitRepairIdle(30 * time.Second) {
+		log.Fatalf("chaos: repair queue never drained: %+v", fs.RepairStats())
+	}
+	mttr := time.Since(killedAt)
+	rs := fs.RepairStats()
+	fmt.Printf("chaos: repair queue idle %v after the kill (time to restored redundancy): enqueued %d, restored %d copies, %d parked on the dead node, %d full scrubs\n",
+		mttr.Round(time.Millisecond), rs.Enqueued, rs.Restored, rs.Parked, rs.FullScrubs)
+	srep, err := fs.Scrub()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chaos: post-repair scrub restored %d (0 = targeted repair missed nothing), %d deferred on the dead node, %d unrepairable\n",
+		srep.Restored, len(srep.Deferred), len(srep.Unrepairable))
+
 	rep, err := fs.Fsck()
 	if err != nil {
 		log.Fatal(err)
@@ -308,11 +346,14 @@ func runChaos(classes []core.ClassSpec, password string, stripeSize int64, depth
 	if ops == 0 {
 		ops = 1
 	}
-	fmt.Printf("chaos: store ops %d, attempts %d (%.2f per op), degraded writes %d, deep probes %d\n",
+	fmt.Printf("chaos: store ops %d, attempts %d (%.2f per op), degraded writes %d, skipped replica writes %d, deep probes %d\n",
 		c.StoreOps, c.StoreAttempts, float64(c.StoreAttempts)/float64(ops),
-		c.DegradedWrites, c.DeepProbes)
+		c.DegradedWrites, c.SkippedReplicaWrites, c.DeepProbes)
 	if len(rep.Damaged) > 0 {
 		log.Fatalf("chaos: DATA LOSS in %v", rep.Damaged)
+	}
+	if len(srep.Unrepairable) > 0 {
+		log.Fatalf("chaos: UNREPAIRABLE stripes: %v", srep.Unrepairable)
 	}
 	fmt.Println("chaos: zero data loss")
 }

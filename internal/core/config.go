@@ -113,6 +113,12 @@ type Config struct {
 	// Retry is the uniform data-path retry policy applied to every store
 	// operation. Zero fields take defaults.
 	Retry RetryPolicy
+	// Health configures the per-node failure detector (internal/health).
+	// Zero fields take defaults; set Disable to run without one.
+	Health HealthPolicy
+	// Repair configures the targeted background repair queue. Zero fields
+	// take defaults; set Disable to fall back to operator-driven Scrub.
+	Repair RepairPolicy
 }
 
 // RetryPolicy bounds how the data path handles transport failures against
@@ -140,6 +146,66 @@ func (r RetryPolicy) validate() error {
 	}
 	if r.BaseDelay < 0 || r.MaxDelay < 0 || r.OpTimeout < 0 {
 		return fmt.Errorf("core: negative retry delay in %+v", r)
+	}
+	return nil
+}
+
+// HealthPolicy configures the failure detector that watches every
+// registered store node. The detector fuses passive evidence (the outcome
+// of every data-path operation) with active probing (periodic
+// single-attempt PINGs) and drives the Up -> Suspect -> Down state machine
+// with hysteresis; writes skip Suspect/Down replicas instead of burning
+// the retry budget against a node that is gone (paper §III-A: victims
+// vanish without warning).
+type HealthPolicy struct {
+	// Disable turns the detector off entirely: no probing, no skipping,
+	// PR 2 behavior. The ablation baseline for the chaos soak.
+	Disable bool
+	// SuspectAfter consecutive failures move Up -> Suspect (default 1).
+	SuspectAfter int
+	// DownAfter further consecutive failures move Suspect -> Down
+	// (default 3) — flap suppression: one timeout never condemns a node.
+	DownAfter int
+	// UpAfter consecutive successes move Suspect/Down -> Up (default 2) —
+	// recovery hysteresis against flapping nodes.
+	UpAfter int
+	// ProbeInterval is the active-probe cadence (default 500ms; negative
+	// disables active probing, leaving passive evidence only).
+	ProbeInterval time.Duration
+}
+
+func (h HealthPolicy) validate() error {
+	if h.SuspectAfter < 0 || h.DownAfter < 0 || h.UpAfter < 0 {
+		return fmt.Errorf("core: negative health threshold in %+v", h)
+	}
+	return nil
+}
+
+// RepairPolicy configures the targeted repair queue: degraded writes and
+// deep-probe misses enqueue path#stripe units, and a background repairer
+// restores their redundancy as soon as the missing placement targets are
+// healthy — re-replicating only what is known damaged instead of scanning
+// the whole namespace (cf. Hydra's targeted re-replication).
+type RepairPolicy struct {
+	// Disable turns the queue off: degraded stripes wait for Scrub.
+	Disable bool
+	// Concurrency bounds parallel stripe repairs (default 2).
+	Concurrency int
+	// QueueCap bounds the pending unit count (default 1024). On overflow
+	// the queue schedules one full Scrub as the catch-all and drops the
+	// overflowing unit — correctness never depends on queue capacity.
+	QueueCap int
+	// Interval is the pacing delay between repairs (default 10ms), keeping
+	// repair traffic from competing with foreground I/O.
+	Interval time.Duration
+}
+
+func (r RepairPolicy) validate() error {
+	if r.Concurrency < 0 || r.QueueCap < 0 {
+		return fmt.Errorf("core: negative repair knob in %+v", r)
+	}
+	if r.Interval < 0 {
+		return fmt.Errorf("core: negative repair interval %v", r.Interval)
 	}
 	return nil
 }
@@ -181,6 +247,12 @@ func (c *Config) validate() error {
 		return fmt.Errorf("core: negative pipeline depth %d", c.PipelineDepth)
 	}
 	if err := c.Retry.validate(); err != nil {
+		return err
+	}
+	if err := c.Health.validate(); err != nil {
+		return err
+	}
+	if err := c.Repair.validate(); err != nil {
 		return err
 	}
 	switch c.Redundancy.Mode {

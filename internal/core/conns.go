@@ -21,6 +21,11 @@ type connPool struct {
 	poolSize  int
 	retry     RetryPolicy
 
+	// report, if set, receives the final outcome of every client operation
+	// (nil on success, the transport error on exhausted retries) keyed by
+	// node ID — the passive-evidence feed into the failure detector.
+	report func(nodeID string, err error)
+
 	// removedOps / removedAttempts preserve the op counters of clients
 	// dropped after evacuation, so pool-wide totals stay monotonic.
 	removedOps      int64
@@ -53,7 +58,7 @@ func (p *connPool) add(spec ClassSpec) error {
 		if _, dup := p.clients[n.ID]; dup {
 			return fmt.Errorf("core: node %q registered twice", n.ID)
 		}
-		p.clients[n.ID] = kvstore.Dial(n.Addr, kvstore.DialOptions{
+		opts := kvstore.DialOptions{
 			Password:    p.password,
 			PoolSize:    p.poolSize,
 			Timeout:     p.timeout,
@@ -61,7 +66,12 @@ func (p *connPool) add(spec ClassSpec) error {
 			BaseDelay:   p.retry.BaseDelay,
 			MaxDelay:    p.retry.MaxDelay,
 			OpTimeout:   p.retry.OpTimeout,
-		})
+		}
+		if p.report != nil {
+			id := n.ID
+			opts.Observer = func(err error) { p.report(id, err) }
+		}
+		p.clients[n.ID] = kvstore.Dial(n.Addr, opts)
 		if spec.Victim && spec.Limits.NetworkBytesPerSec > 0 {
 			th, err := container.NewThrottle(spec.Limits.NetworkBytesPerSec)
 			if err != nil {

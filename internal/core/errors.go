@@ -27,15 +27,24 @@ var (
 	ErrDataLoss = errors.New("memfss: stripe unrecoverable")
 )
 
+// errNodeUnhealthy marks a replica target a write skipped without any
+// network traffic because the failure detector judged it Suspect or Down.
+// It classifies as unavailability: the skip is the detector front-running
+// the transport failure the retry loop would have burned attempts to
+// discover.
+var errNodeUnhealthy = errors.New("core: node marked unhealthy")
+
 // isUnavailable reports whether err is a transport-class failure: the node
 // could not be reached (after client-level retries), was already removed
-// from the deployment, or its throttle was torn down mid-operation. These
-// are the failures redundancy exists to absorb — the same operation against
-// a *different* replica can still succeed. Store-level errors (OOM, wrong
-// type, protocol errors) are not unavailability: they would fail
-// identically on every replica and must surface.
+// from the deployment, was skipped as unhealthy by the failure detector,
+// or its throttle was torn down mid-operation. These are the failures
+// redundancy exists to absorb — the same operation against a *different*
+// replica can still succeed. Store-level errors (OOM, wrong type, protocol
+// errors) are not unavailability: they would fail identically on every
+// replica and must surface.
 func isUnavailable(err error) bool {
 	return errors.Is(err, kvstore.ErrUnavailable) ||
 		errors.Is(err, container.ErrThrottleClosed) ||
-		errors.Is(err, errUnknownNode)
+		errors.Is(err, errUnknownNode) ||
+		errors.Is(err, errNodeUnhealthy)
 }

@@ -9,6 +9,7 @@ import (
 
 	"memfss/internal/erasure"
 	"memfss/internal/fsmeta"
+	"memfss/internal/health"
 	"memfss/internal/hrw"
 	"memfss/internal/stripe"
 )
@@ -363,34 +364,83 @@ func (f *File) writeSpan(span stripe.Span, data []byte) error {
 	}
 	// Every replica is attempted even after a failure: a down victim must
 	// not block the copies that can still land, and the quorum decision
-	// needs the complete per-replica outcome.
+	// needs the complete per-replica outcome. The one exception is a
+	// replica the failure detector marks Suspect/Down while enough healthy
+	// targets remain for the quorum: attempting it would burn the full
+	// retry budget against a node that is almost certainly gone, so it is
+	// skipped outright and the write degrades immediately.
 	nodes := f.targets(sk)
+	skips := f.fs.replicaSkips(nodes)
 	errs := make([]error, len(nodes))
+	attempt := func(i int) {
+		if skips != nil && skips[i] {
+			f.fs.stats.skippedReplicaWrites.Add(1)
+			errs[i] = fmt.Errorf("%w: %s", errNodeUnhealthy, nodes[i])
+			return
+		}
+		errs[i] = write(nodes[i])
+	}
 	if f.fs.pipeDepth <= 1 {
 		// Per-command mode: replicas go out one round trip at a time —
 		// the ablation baseline the pipelining benchmarks compare against.
-		for i, node := range nodes {
-			errs[i] = write(node)
+		for i := range nodes {
+			attempt(i)
 		}
 	} else {
 		// All replicas in flight concurrently.
 		_ = fanoutN(f.fs.ioPar, len(nodes), func(i int) error {
-			errs[i] = write(nodes[i])
+			attempt(i)
 			return nil
 		})
 	}
-	return f.settleReplicaWrite(errs)
+	degraded, err := f.settleReplicaWrite(errs)
+	if degraded {
+		f.fs.enqueueRepair(f.path, sk, span.Index)
+	}
+	return err
+}
+
+// replicaSkips decides, per replica target, whether a write should skip
+// it because the failure detector judges it Suspect or Down. It returns
+// nil (skip nothing) unless enough healthy targets remain to satisfy the
+// write quorum: stale health evidence must never make a write strictly
+// worse than attempting every replica.
+func (fs *FileSystem) replicaSkips(nodes []string) []bool {
+	if fs.detector == nil || len(nodes) <= 1 {
+		return nil
+	}
+	skips := make([]bool, len(nodes))
+	healthy := 0
+	any := false
+	for i, n := range nodes {
+		if fs.nodeState(n) == health.Up {
+			healthy++
+		} else {
+			skips[i] = true
+			any = true
+		}
+	}
+	need := fs.writeQuorum
+	if need < 1 {
+		need = 1
+	}
+	if !any || healthy < need {
+		return nil
+	}
+	return skips
 }
 
 // settleReplicaWrite decides a replicated span write's fate from its
 // per-replica outcomes. All replicas landed: success. Any store-level
 // error: that error (it would fail identically on retry, so it must
-// surface). Transport-only failures: degraded success if at least
-// writeQuorum replicas persisted — the copy that landed keeps the data
-// readable via probe fallback while the vanished victim's replica is
-// under-replicated — otherwise the first error in HRW rank order, matching
-// what the old fail-fast loop reported.
-func (f *File) settleReplicaWrite(errs []error) error {
+// surface). Transport-only failures (including detector-skipped
+// replicas): degraded success if at least writeQuorum replicas persisted
+// — the copy that landed keeps the data readable via probe fallback while
+// the vanished victim's replica is under-replicated — otherwise the first
+// error in HRW rank order, matching what the old fail-fast loop reported.
+// The degraded flag tells the caller to hand the stripe to the repair
+// queue.
+func (f *File) settleReplicaWrite(errs []error) (degraded bool, _ error) {
 	ok := 0
 	var firstErr error
 	for _, err := range errs {
@@ -398,19 +448,19 @@ func (f *File) settleReplicaWrite(errs []error) error {
 		case err == nil:
 			ok++
 		case !isUnavailable(err):
-			return err
+			return false, err
 		case firstErr == nil:
 			firstErr = err
 		}
 	}
 	if firstErr == nil {
-		return nil
+		return false, nil
 	}
 	if len(errs) > 1 && ok >= f.fs.writeQuorum {
 		f.fs.stats.degradedWrites.Add(1)
-		return nil
+		return true, nil
 	}
-	return firstErr
+	return false, firstErr
 }
 
 // writeSpanErasure read-modify-writes the whole stripe: partial-stripe
@@ -497,8 +547,12 @@ func (f *File) readSpan(span stripe.Span) ([]byte, error) {
 			probe = append(probe, node)
 		}
 	}
+	// Healthy replicas first: a probe chain that starts at a Suspect/Down
+	// node burns a full retry budget before reaching the copy that is
+	// actually reachable.
+	probe = f.fs.healthOrder(probe)
 	sawReachable := false
-	for rank, node := range probe {
+	for _, node := range probe {
 		data, ok, err := f.get(node, key, span.Offset, span.Length)
 		if err != nil {
 			continue // unreachable or failed node: probe the next one
@@ -507,9 +561,13 @@ func (f *File) readSpan(span stripe.Span) ([]byte, error) {
 		if !ok {
 			continue
 		}
-		if rank >= len(primaries) {
+		if !containsString(primaries, node) {
 			f.fs.stats.deepProbes.Add(1)
 			f.repairStripe(key, node, primaries)
+			// A deep-probe miss is also repair-queue evidence: the stripe
+			// sits off its placement until the lazy move (above) or the
+			// background repairer restores it.
+			f.fs.enqueueRepair(f.path, sk, span.Index)
 		}
 		return padTo(data, span.Length), nil
 	}
@@ -612,6 +670,28 @@ func padTo(b []byte, n int64) []byte {
 	out := make([]byte, n)
 	copy(out, b)
 	return out
+}
+
+// healthOrder stably reorders a probe list so detector-Up nodes come
+// first; relative HRW order is preserved within each group. With the
+// detector disabled the list is returned unchanged.
+func (fs *FileSystem) healthOrder(nodes []string) []string {
+	if fs.detector == nil || len(nodes) <= 1 {
+		return nodes
+	}
+	healthy := make([]string, 0, len(nodes))
+	var rest []string
+	for _, n := range nodes {
+		if fs.nodeState(n) == health.Up {
+			healthy = append(healthy, n)
+		} else {
+			rest = append(rest, n)
+		}
+	}
+	if len(rest) == 0 {
+		return nodes
+	}
+	return append(healthy, rest...)
 }
 
 func containsString(ss []string, s string) bool {

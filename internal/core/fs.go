@@ -8,6 +8,7 @@ import (
 
 	"memfss/internal/erasure"
 	"memfss/internal/fsmeta"
+	"memfss/internal/health"
 	"memfss/internal/hrw"
 	"memfss/internal/stripe"
 )
@@ -29,6 +30,12 @@ type FileSystem struct {
 	writeQuorum int
 	stats       fsStats
 	closed      bool
+
+	// detector/prober are the node-health subsystem (nil when disabled);
+	// repairs is the targeted repair queue (nil when disabled).
+	detector *health.Detector
+	prober   *health.Prober
+	repairs  *repairQueue
 }
 
 // New connects to the stores described by cfg and returns a FileSystem.
@@ -52,12 +59,35 @@ func New(cfg Config) (*FileSystem, error) {
 		retry.OpTimeout = cfg.DialTimeout
 	}
 	conns := newConnPool(cfg.Password, cfg.DialTimeout, cfg.PoolSize, retry)
+	var detector *health.Detector
+	if !cfg.Health.Disable {
+		detector = health.New(health.Options{
+			SuspectAfter: cfg.Health.SuspectAfter,
+			DownAfter:    cfg.Health.DownAfter,
+			UpAfter:      cfg.Health.UpAfter,
+		})
+		// Passive evidence: every client operation's final outcome flows
+		// here via the kvstore Observer. Only transport-class failures
+		// count against a node — a store-level error proves it is alive.
+		conns.report = func(nodeID string, err error) {
+			if err == nil || !isUnavailable(err) {
+				detector.ReportSuccess(nodeID)
+			} else {
+				detector.ReportFailure(nodeID)
+			}
+		}
+	}
 	classes := make([]ClassSpec, len(cfg.Classes))
 	copy(classes, cfg.Classes)
 	for _, cls := range classes {
 		if err := conns.add(cls); err != nil {
 			conns.closeAll()
 			return nil, err
+		}
+		if detector != nil {
+			for _, n := range cls.Nodes {
+				detector.Register(n.ID)
+			}
 		}
 	}
 	ownIDs := make([]string, len(classes[0].Nodes))
@@ -86,6 +116,7 @@ func New(cfg Config) (*FileSystem, error) {
 		ioPar:       ioPar,
 		pipeDepth:   pipeDepth,
 		writeQuorum: quorum,
+		detector:    detector,
 	}
 	for _, id := range ownIDs {
 		cli, err := conns.client(id)
@@ -98,7 +129,59 @@ func New(cfg Config) (*FileSystem, error) {
 			return nil, fmt.Errorf("core: own node %s unreachable: %w", id, err)
 		}
 	}
+	if detector != nil && cfg.Health.ProbeInterval >= 0 {
+		fs.prober = health.NewProber(detector, fs.probeNode, health.ProberOptions{
+			Interval: cfg.Health.ProbeInterval,
+		})
+		fs.prober.Start()
+	}
+	if !cfg.Repair.Disable {
+		fs.repairs = newRepairQueue(fs, cfg.Repair)
+		fs.repairs.start()
+	}
 	return fs, nil
+}
+
+// probeNode is the active-probe primitive: one PING attempt, no retries,
+// outcome reported to the detector by the prober (PingOnce deliberately
+// bypasses the Observer so probe evidence is not double-counted).
+func (fs *FileSystem) probeNode(nodeID string) error {
+	cli, err := fs.conns.client(nodeID)
+	if err != nil {
+		return err
+	}
+	return cli.PingOnce()
+}
+
+// Health returns the failure detector's per-node snapshot, or nil when
+// the detector is disabled.
+func (fs *FileSystem) Health() map[string]health.NodeHealth {
+	if fs.detector == nil {
+		return nil
+	}
+	return fs.detector.Snapshot()
+}
+
+// ProbeHealth runs one synchronous probe round (every registered node,
+// in parallel) and returns the resulting snapshot. It gives operators and
+// tests a fresh view without waiting for the probe cadence.
+func (fs *FileSystem) ProbeHealth() map[string]health.NodeHealth {
+	if fs.detector == nil {
+		return nil
+	}
+	if fs.prober != nil {
+		fs.prober.ProbeOnce()
+	}
+	return fs.detector.Snapshot()
+}
+
+// nodeState reports a node's detector state; Up when the detector is
+// disabled (absence of evidence must never block traffic).
+func (fs *FileSystem) nodeState(nodeID string) health.State {
+	if fs.detector == nil {
+		return health.Up
+	}
+	return fs.detector.State(nodeID)
 }
 
 // Close releases every store connection. Open File handles become
@@ -111,6 +194,12 @@ func (fs *FileSystem) Close() error {
 	}
 	fs.closed = true
 	fs.mu.Unlock()
+	if fs.prober != nil {
+		fs.prober.Stop()
+	}
+	if fs.repairs != nil {
+		fs.repairs.stop()
+	}
 	fs.conns.closeAll()
 	return nil
 }

@@ -1,0 +1,433 @@
+package core
+
+// Integration tests for the node-health subsystem: the failure detector
+// wired into the data path, health-aware replica placement, and the
+// targeted background repair queue. The chaos soak is the acceptance
+// gate — it replays the same seeded fault schedule with the subsystem
+// disabled (PR 2 behavior) and enabled, and demands the enabled run
+// detect the dead node quickly, burn strictly fewer store attempts, and
+// restore full redundancy without a full-namespace scan.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"memfss/internal/faultwrap"
+	"memfss/internal/health"
+)
+
+func withHealth(h HealthPolicy) deployOpt {
+	return func(c *Config) { c.Health = h }
+}
+
+func withRepair(r RepairPolicy) deployOpt {
+	return func(c *Config) { c.Repair = r }
+}
+
+// forceDown feeds the detector enough failure reports to march a node
+// Up -> Suspect -> Down, without any real outage. Tests that use it
+// disable active probing so a live store cannot vote itself back Up.
+func forceDown(t *testing.T, fs *FileSystem, nodeID string) {
+	t.Helper()
+	pol := fs.cfg.Health
+	suspect, down := pol.SuspectAfter, pol.DownAfter
+	if suspect == 0 {
+		suspect = 1
+	}
+	if down == 0 {
+		down = 3
+	}
+	for i := 0; i < suspect+down; i++ {
+		fs.detector.ReportFailure(nodeID)
+	}
+	if st := fs.detector.State(nodeID); st != health.Down {
+		t.Fatalf("node %s is %v after %d failure reports, want Down", nodeID, st, suspect+down)
+	}
+}
+
+// forceUp reports enough successes to recover a node to Up.
+func forceUp(t *testing.T, fs *FileSystem, nodeID string) {
+	t.Helper()
+	up := fs.cfg.Health.UpAfter
+	if up == 0 {
+		up = 2
+	}
+	for i := 0; i < up; i++ {
+		fs.detector.ReportSuccess(nodeID)
+	}
+	if st := fs.detector.State(nodeID); st != health.Up {
+		t.Fatalf("node %s is %v after %d success reports, want Up", nodeID, st, up)
+	}
+}
+
+// TestRepairQueueRestoresDegradedWrite is the queue's happy path end to
+// end: writes skip a replica the detector calls Down (creating real
+// missing copies), the degraded stripes park because their target is
+// unhealthy, and the moment the node is Up again the queue restores
+// exactly those stripes — verified by a Scrub that finds nothing left to
+// do.
+func TestRepairQueueRestoresDegradedWrite(t *testing.T) {
+	d := newTestFS(t, 2, 3,
+		withRedundancy(Redundancy{Mode: RedundancyReplicate, Replicas: 2}),
+		withRetry(fastRetry),
+		withHealth(HealthPolicy{ProbeInterval: -1})) // detector opinion is test-driven
+	victim := d.victims.Nodes[0].ID
+	forceDown(t, d.fs, victim)
+
+	files := map[string][]byte{}
+	for i := 0; i < 12; i++ {
+		path := fmt.Sprintf("/deg%d", i)
+		files[path] = randomBytes(int64(500+i), 15_000+i*256)
+		if err := d.fs.WriteFile(path, files[path]); err != nil {
+			t.Fatalf("write with one Down replica must degrade, not fail: %v", err)
+		}
+	}
+	c := d.fs.Counters()
+	if c.SkippedReplicaWrites == 0 {
+		t.Fatal("no replica writes skipped despite a Down placement target")
+	}
+	if c.DegradedWrites == 0 {
+		t.Fatal("no degraded writes recorded despite skipped replicas")
+	}
+	if !d.fs.WaitRepairIdle(10 * time.Second) {
+		t.Fatalf("repair queue never idled: %+v", d.fs.RepairStats())
+	}
+	st := d.fs.RepairStats()
+	if st.Enqueued == 0 {
+		t.Fatal("degraded writes enqueued nothing")
+	}
+	if st.Parked == 0 {
+		t.Fatalf("units for the Down node should be parked, got %+v", st)
+	}
+
+	// Recovery: the node comes back, parked units drain, redundancy heals.
+	forceUp(t, d.fs, victim)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st = d.fs.RepairStats()
+		if st.Parked == 0 && d.fs.RepairIdle() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("parked units never drained after recovery: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Restored == 0 {
+		t.Fatalf("queue restored no replicas: %+v", st)
+	}
+	if st.FullScrubs != 0 {
+		t.Fatalf("targeted repair fell back to a full scrub: %+v", st)
+	}
+
+	rep, err := d.fs.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restored != 0 || len(rep.Unrepairable) != 0 || len(rep.Deferred) != 0 {
+		t.Fatalf("scrub found work the repair queue should have done: %+v", rep)
+	}
+	for path, want := range files {
+		got, err := d.fs.ReadFile(path)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("%s after repair: %v", path, err)
+		}
+	}
+}
+
+// TestRepairQueueOverflowFallsBackToScrub pins the catch-all: a queue too
+// small for the degraded backlog trips overflow, owes a full Scrub, and
+// the debt only clears once a Scrub runs with nothing deferred — so the
+// Up transition of the node that caused the damage re-arms it.
+func TestRepairQueueOverflowFallsBackToScrub(t *testing.T) {
+	d := newTestFS(t, 2, 3,
+		withRedundancy(Redundancy{Mode: RedundancyReplicate, Replicas: 2}),
+		withRetry(fastRetry),
+		withHealth(HealthPolicy{ProbeInterval: -1}),
+		withRepair(RepairPolicy{QueueCap: 4}))
+	victim := d.victims.Nodes[0].ID
+	forceDown(t, d.fs, victim)
+
+	files := map[string][]byte{}
+	for i := 0; i < 16; i++ {
+		path := fmt.Sprintf("/ovf%d", i)
+		files[path] = randomBytes(int64(700+i), 20_000)
+		if err := d.fs.WriteFile(path, files[path]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := d.fs.RepairStats(); st.Overflows == 0 {
+		t.Fatalf("QueueCap=4 never overflowed across 16 degraded files: %+v", st)
+	}
+
+	forceUp(t, d.fs, victim)
+	if !d.fs.WaitRepairIdle(15 * time.Second) {
+		t.Fatalf("queue never idled after recovery: %+v", d.fs.RepairStats())
+	}
+	st := d.fs.RepairStats()
+	if st.FullScrubs == 0 {
+		t.Fatalf("overflow owed a full scrub that never ran: %+v", st)
+	}
+	rep, err := d.fs.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restored != 0 || len(rep.Unrepairable) != 0 || len(rep.Deferred) != 0 {
+		t.Fatalf("redundancy not fully restored after overflow scrub: %+v", rep)
+	}
+	for path, want := range files {
+		got, err := d.fs.ReadFile(path)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("%s after overflow recovery: %v", path, err)
+		}
+	}
+}
+
+// TestHealthScrubLiveWritesRace is the anti-entropy/data-path race test:
+// Scrub runs continuously while writers rewrite and shrink-truncate their
+// files. No pass may report a stripe unrepairable — a racing truncate or
+// rewrite must read as "deleted on purpose", never as data loss — and the
+// namespace must verify clean once the dust settles.
+func TestHealthScrubLiveWritesRace(t *testing.T) {
+	d := newTestFS(t, 2, 3,
+		withRedundancy(Redundancy{Mode: RedundancyReplicate, Replicas: 2}))
+
+	const writers = 4
+	const rounds = 15
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	final := make([][]byte, writers)
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			path := fmt.Sprintf("/race%d", w)
+			for r := 0; r < rounds; r++ {
+				data := randomBytes(int64(w*1000+r), 24_000+r*512)
+				if err := d.fs.WriteFile(path, data); err != nil {
+					errCh <- fmt.Errorf("write %s round %d: %w", path, r, err)
+					return
+				}
+				final[w] = data
+				// Shrink mid-stripe: the scrub must see the dropped tail
+				// as intentional, not as lost redundancy.
+				if err := d.fs.Truncate(path, int64(6_000+r*100)); err != nil {
+					errCh <- fmt.Errorf("truncate %s round %d: %w", path, r, err)
+					return
+				}
+				final[w] = data[:6_000+r*100]
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(stop) }()
+
+	passes := 0
+	for {
+		rep, err := d.fs.Scrub()
+		if err != nil {
+			t.Fatalf("scrub pass %d: %v", passes, err)
+		}
+		passes++
+		if len(rep.Unrepairable) != 0 {
+			t.Fatalf("scrub pass %d cried data loss during live writes: %v",
+				passes, rep.Unrepairable)
+		}
+		select {
+		case <-stop:
+		default:
+			continue
+		}
+		break
+	}
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	t.Logf("%d scrub passes raced %d writers cleanly", passes, writers)
+
+	for w := 0; w < writers; w++ {
+		path := fmt.Sprintf("/race%d", w)
+		got, err := d.fs.ReadFile(path)
+		if err != nil || !bytes.Equal(got, final[w]) {
+			t.Fatalf("%s after race: err=%v, len=%d want %d", path, err, len(got), len(final[w]))
+		}
+	}
+	rep, err := d.fs.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Damaged) != 0 {
+		t.Fatalf("fsck found damage after scrub/write race: %v", rep.Damaged)
+	}
+}
+
+// TestHealthChaosSoak is the acceptance soak: the same seeded fault
+// schedule (including a permanent mid-workload node kill) runs once with
+// the health subsystem disabled — the PR 2 baseline — and once enabled.
+// The enabled run must detect the dead node within the threshold, spend
+// strictly fewer store attempts (the whole point of skipping dead
+// replicas), and restore full redundancy through the targeted queue alone:
+// no full-namespace scan, and a post-soak Scrub with nothing left to
+// restore.
+func TestHealthChaosSoak(t *testing.T) {
+	plan := faultwrap.Plan{
+		Seed:            42,
+		DropBeforeReply: 0.03,
+		DropMidReply:    0.02,
+		CutRequest:      0.02,
+		DelayProb:       0.05,
+		Delay:           time.Millisecond,
+	}
+	const files = 24
+	payload := func(i int) []byte { return randomBytes(int64(1000+i), 20_000+i*512) }
+
+	// run drives the identical workload and returns the deploy, the
+	// counters snapshot taken right after the workload, and the kill time.
+	run := func(t *testing.T, opts ...deployOpt) (*testDeploy, []*faultwrap.Proxy, Counters, time.Time) {
+		base := []deployOpt{
+			withRedundancy(Redundancy{Mode: RedundancyReplicate, Replicas: 2}),
+			withPipelineDepth(8),
+			withRetry(soakRetry),
+		}
+		d, proxies := newChaosFS(t, 2, 4, plan, append(base, opts...)...)
+		var killedAt time.Time
+		for i := 0; i < files; i++ {
+			if i == files/2 {
+				proxies[1].Kill()
+				killedAt = time.Now()
+			}
+			path := fmt.Sprintf("/dd%d", i)
+			if err := d.fs.WriteFile(path, payload(i)); err != nil {
+				t.Fatalf("write %s under faults: %v", path, err)
+			}
+			got, err := d.fs.ReadFile(path)
+			if err != nil || !bytes.Equal(got, payload(i)) {
+				t.Fatalf("immediate verify %s: %v", path, err)
+			}
+		}
+		return d, proxies, d.fs.Counters(), killedAt
+	}
+
+	// Baseline: detector and repair queue off — every write to the dead
+	// node burns the full retry budget, exactly as in PR 2.
+	var baseline Counters
+	t.Run("baseline", func(t *testing.T) {
+		_, _, c, _ := run(t, withHealth(HealthPolicy{Disable: true}),
+			withRepair(RepairPolicy{Disable: true}))
+		baseline = c
+	})
+
+	t.Run("enabled", func(t *testing.T) {
+		// QueueCap above the worst-case degraded-stripe count, so full
+		// redundancy must come back without any full-namespace scan.
+		d, _, c, killedAt := run(t, withRepair(RepairPolicy{QueueCap: 4096}))
+		deadID := d.victims.Nodes[1].ID
+
+		// Time to detection: the dead node must be Down within threshold.
+		const ttdLimit = 5 * time.Second
+		var ttd time.Duration
+		for {
+			if d.fs.Health()[deadID].State == health.Down {
+				ttd = time.Since(killedAt)
+				break
+			}
+			if time.Since(killedAt) > ttdLimit {
+				t.Fatalf("detector never marked %s Down within %v: %+v",
+					deadID, ttdLimit, d.fs.Health()[deadID])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+
+		if c.SkippedReplicaWrites == 0 {
+			t.Fatal("no replica writes skipped despite a detected-dead node")
+		}
+		if baseline.StoreAttempts == 0 {
+			t.Fatal("baseline subtest did not run")
+		}
+		if c.StoreAttempts >= baseline.StoreAttempts {
+			t.Fatalf("health-aware run burned %d store attempts, baseline %d — skipping dead replicas must cost strictly less",
+				c.StoreAttempts, baseline.StoreAttempts)
+		}
+
+		// Time to repair: the queue restores everything restorable without
+		// a full scrub; what remains deferred waits only on the dead node.
+		if !d.fs.WaitRepairIdle(30 * time.Second) {
+			t.Fatalf("repair queue never idled: %+v", d.fs.RepairStats())
+		}
+		mttr := time.Since(killedAt)
+		st := d.fs.RepairStats()
+		if st.Enqueued == 0 {
+			t.Fatal("no degraded stripes were enqueued for targeted repair")
+		}
+		if st.FullScrubs != 0 {
+			t.Fatalf("targeted repair resorted to a full-namespace scan: %+v", st)
+		}
+		rep, err := d.fs.Scrub()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Restored != 0 {
+			t.Fatalf("post-soak scrub restored %d copies the repair queue missed", rep.Restored)
+		}
+		if len(rep.Unrepairable) != 0 {
+			t.Fatalf("post-soak scrub found unrepairable stripes: %v", rep.Unrepairable)
+		}
+		if len(rep.Deferred) == 0 {
+			t.Error("no stripes deferred despite a permanently dead replica target")
+		}
+
+		for i := 0; i < files; i++ {
+			path := fmt.Sprintf("/dd%d", i)
+			got, err := d.fs.ReadFile(path)
+			if err != nil || !bytes.Equal(got, payload(i)) {
+				t.Fatalf("final verify %s: %v", path, err)
+			}
+		}
+		fsck, err := d.fs.Fsck()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fsck.Damaged) != 0 {
+			t.Fatalf("fsck found damaged files after soak: %v", fsck.Damaged)
+		}
+		t.Logf("TTD %v, repair idle after %v; counters %+v; repair %+v",
+			ttd, mttr, c, st)
+	})
+}
+
+// TestHealthProbeReadPrefersHealthyPrimary pins the read path: when a
+// stripe's rank-0 replica is Down, reads go straight to the healthy
+// replica without burning the retry budget against the dead one.
+func TestHealthProbeReadPrefersHealthyPrimary(t *testing.T) {
+	d := newTestFS(t, 2, 3,
+		withRedundancy(Redundancy{Mode: RedundancyReplicate, Replicas: 2}),
+		withRetry(fastRetry),
+		withHealth(HealthPolicy{ProbeInterval: -1}))
+	data := randomBytes(900, 30_000)
+	if err := d.fs.WriteFile("/pr", data); err != nil {
+		t.Fatal(err)
+	}
+	before := d.fs.Counters()
+	// Every node in turn: whichever holds rank 0 for some stripe, reads
+	// must keep succeeding with one replica Down and no extra attempts
+	// beyond one per stripe read.
+	for _, n := range d.victims.Nodes {
+		forceDown(t, d.fs, n.ID)
+		got, err := d.fs.ReadFile("/pr")
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("read with %s Down: %v", n.ID, err)
+		}
+		forceUp(t, d.fs, n.ID)
+	}
+	after := d.fs.Counters()
+	ops := after.StoreOps - before.StoreOps
+	attempts := after.StoreAttempts - before.StoreAttempts
+	if attempts != ops {
+		t.Fatalf("reads against live stores retried: %d attempts for %d ops", attempts, ops)
+	}
+}

@@ -201,8 +201,44 @@ func (fs *FileSystem) Truncate(path string, size int64) error {
 	if rec.File == nil {
 		return fmt.Errorf("%w: %s", ErrIsDir, p)
 	}
-	if size < rec.File.Size {
-		if err := fs.dropStripesBeyond(rec.File, size); err != nil {
+	layout, err := stripe.NewLayout(rec.File.StripeSize)
+	if err != nil {
+		return err
+	}
+	oldSize := rec.File.Size
+	if size < oldSize {
+		// Shrink in three ordered steps: (1) trim the boundary stripe
+		// (fail-closed — a stale tail must never resurface as garbage),
+		// (2) shrink the recorded size, (3) delete the dropped stripes.
+		// Metadata shrinks *before* stripes disappear, so a concurrent
+		// Scrub that finds a stripe's keys gone re-stats the file and sees
+		// the stripe is no longer expected — never a false "unrepairable".
+		// A crash between (2) and (3) leaves orphan stripes for Fsck to
+		// count, not data loss.
+		pl, err := placerFromSnapshot(rec.File.Classes)
+		if err != nil {
+			return err
+		}
+		newCount := layout.Count(size)
+		if rec.File.DataShards == 0 && newCount > 0 && size%rec.File.StripeSize != 0 {
+			// Trim the boundary stripe (replicated/plain layout only; an
+			// erasure-coded boundary stripe is rewritten on next write, and
+			// reads clamp to file size anyway).
+			if err := fs.trimBoundaryStripe(rec.File, pl, newCount-1, size); err != nil {
+				return err
+			}
+		}
+		rec.File.Size = size
+		if err := fs.meta.updateRecord(p, rec); err != nil {
+			return err
+		}
+		return fs.deleteStripeRange(rec.File, newCount, layout.Count(oldSize))
+	}
+	if size > oldSize {
+		// Grow: a shrink that crashed between its metadata update and its
+		// stripe deletes can leave stale stripes in the region the file is
+		// growing back over; clear them so the new hole reads as zeros.
+		if err := fs.deleteStripeRange(rec.File, layout.Count(oldSize), layout.Count(size)); err != nil {
 			return err
 		}
 	}
@@ -256,32 +292,11 @@ func (fs *FileSystem) delKeyBatches(nodeID string, keys []string) error {
 	return flush()
 }
 
-// dropStripesBeyond trims the stripe containing the new end, then deletes
-// whole stripes past newSize. The boundary trim runs first: if it cannot
-// complete, Truncate fails before anything is deleted and the file's
-// metadata keeps the old size, so no byte silently changes meaning.
-func (fs *FileSystem) dropStripesBeyond(rec *fsmeta.FileRecord, newSize int64) error {
-	layout, err := stripe.NewLayout(rec.StripeSize)
-	if err != nil {
-		return err
-	}
-	pl, err := placerFromSnapshot(rec.Classes)
-	if err != nil {
-		return err
-	}
-	oldCount := layout.Count(rec.Size)
-	newCount := layout.Count(newSize)
-	// Trim the boundary stripe (replicated/plain layout only; an
-	// erasure-coded boundary stripe is rewritten on next write, and
-	// reads clamp to file size anyway).
-	if rec.DataShards == 0 && newCount > 0 && newSize%rec.StripeSize != 0 {
-		if err := fs.trimBoundaryStripe(rec, pl, newCount-1, newSize); err != nil {
-			return err
-		}
-	}
-	// Delete fully-dropped stripes from every snapshot node (batched).
+// deleteStripeRange deletes whole stripes with index in [lo, hi) from
+// every snapshot node (batched).
+func (fs *FileSystem) deleteStripeRange(rec *fsmeta.FileRecord, lo, hi int64) error {
 	var keys []string
-	for idx := newCount; idx < oldCount; idx++ {
+	for idx := lo; idx < hi; idx++ {
 		base := dataKey(stripe.Key(rec.ID, idx))
 		if rec.DataShards > 0 {
 			for s := 0; s < rec.DataShards+rec.ParityShards; s++ {
@@ -291,18 +306,16 @@ func (fs *FileSystem) dropStripesBeyond(rec *fsmeta.FileRecord, newSize int64) e
 			keys = append(keys, base)
 		}
 	}
-	if len(keys) > 0 {
-		var nodes []string
-		for _, snap := range rec.Classes {
-			nodes = append(nodes, snap.Nodes...)
-		}
-		if err := fanout(fs.ioPar, nodes, func(nodeID string) error {
-			return fs.delKeyBatches(nodeID, keys)
-		}); err != nil {
-			return err
-		}
+	if len(keys) == 0 {
+		return nil
 	}
-	return nil
+	var nodes []string
+	for _, snap := range rec.Classes {
+		nodes = append(nodes, snap.Nodes...)
+	}
+	return fanout(fs.ioPar, nodes, func(nodeID string) error {
+		return fs.delKeyBatches(nodeID, keys)
+	})
 }
 
 // trimBoundaryStripe cuts the stripe containing the new end down to the

@@ -92,9 +92,12 @@ func (f *File) writeSpansPipelined(spans []stripe.Span, starts []int, p []byte) 
 	perNode := make(map[string][]spanCmd)
 	var nodeOrder []string
 	replicas := make([]int, len(spans))
+	sks := make([]string, len(spans))
+	skipped := make([]int, len(spans))
 	for i, span := range spans {
 		f.fs.stats.stripeWrites.Add(1)
 		sk := stripe.Key(f.rec.ID, span.Index)
+		sks[i] = sk
 		key := dataKey(sk)
 		data := p[starts[i] : starts[i]+int(span.Length)]
 		var args [][]byte
@@ -104,12 +107,22 @@ func (f *File) writeSpansPipelined(spans []stripe.Span, starts []int, p []byte) 
 			args = [][]byte{[]byte("SETRANGE"), []byte(key),
 				[]byte(strconv.FormatInt(span.Offset, 10)), data}
 		}
-		for _, node := range f.targets(sk) {
+		// Same skip rule as writeSpan: replicas the detector marks
+		// Suspect/Down are not even queued when enough healthy targets
+		// remain for the quorum — no commands, no retries, no backoff.
+		targets := f.targets(sk)
+		skips := f.fs.replicaSkips(targets)
+		for ti, node := range targets {
+			replicas[i]++
+			if skips != nil && skips[ti] {
+				f.fs.stats.skippedReplicaWrites.Add(1)
+				skipped[i]++
+				continue
+			}
 			if _, ok := perNode[node]; !ok {
 				nodeOrder = append(nodeOrder, node)
 			}
 			perNode[node] = append(perNode[node], spanCmd{span: i, args: args, n: int64(len(data))})
-			replicas[i]++
 		}
 	}
 	bursts := splitBursts(perNode, nodeOrder, f.fs.pipeDepth)
@@ -152,15 +165,25 @@ func (f *File) writeSpansPipelined(spans []stripe.Span, starts []int, p []byte) 
 	})
 	for i := range spans {
 		o := outcomes[i]
+		// Detector-skipped replicas count as transport failures for the
+		// quorum decision, exactly as if the write had been attempted and
+		// the node found unreachable.
+		failed := o.failed + skipped[i]
 		var err error
 		switch {
-		case o.failed == 0:
+		case failed == 0:
 		case o.storeErr != nil:
 			err = o.storeErr
-		case replicas[i] > 1 && replicas[i]-o.failed >= f.fs.writeQuorum:
+		case replicas[i] > 1 && replicas[i]-failed >= f.fs.writeQuorum:
 			f.fs.stats.degradedWrites.Add(1)
+			f.fs.enqueueRepair(f.path, sks[i], spans[i].Index)
 		default:
 			err = o.transErr
+			if err == nil {
+				// Every failure was a detector skip (possible only when the
+				// quorum knob exceeds the healthy count mid-evaluation).
+				err = fmt.Errorf("%w: replica write quorum unmet", errNodeUnhealthy)
+			}
 		}
 		if err != nil {
 			return i, err
@@ -184,7 +207,10 @@ func (f *File) readSpansPipelined(spans []stripe.Span, starts []int, p []byte) (
 		args := [][]byte{[]byte("GETRANGE"), []byte(dataKey(sk)),
 			[]byte(strconv.FormatInt(span.Offset, 10)),
 			[]byte(strconv.FormatInt(span.Length, 10))}
-		node := f.targets(sk)[0]
+		// First *healthy* target, not blindly rank 0: bursting GETRANGEs
+		// at a Down primary would stall every span in the burst behind its
+		// retry budget before falling back.
+		node := f.fs.healthOrder(f.targets(sk))[0]
 		if _, ok := perNode[node]; !ok {
 			nodeOrder = append(nodeOrder, node)
 		}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memfss/internal/health"
+)
+
+// This file implements the targeted repair queue: instead of waiting for
+// an operator-driven full-namespace Scrub, the data path enqueues the
+// exact path#stripe units it *knows* are under-replicated (degraded
+// writes, deep-probe misses), and a background repairer restores their
+// redundancy as soon as the missing placement targets are healthy again —
+// Hydra-style targeted re-replication. The queue is an optimization, not
+// a correctness mechanism: on overflow it schedules one full Scrub as the
+// catch-all, and dropping a unit only delays a repair the next Scrub
+// performs anyway.
+
+// repairUnit names one stripe needing a redundancy check.
+type repairUnit struct {
+	path string
+	sk   string // raw stripe key ("<fileID>#<idx>")
+	idx  int64
+}
+
+func (u repairUnit) key() string { return u.path + "#" + u.sk }
+
+// RepairStats snapshots the repair queue's activity.
+type RepairStats struct {
+	// Enqueued counts units accepted into the queue.
+	Enqueued int64
+	// Repaired counts units whose redundancy is fully restored (or was
+	// already intact when inspected).
+	Repaired int64
+	// Restored counts individual replica copies / shards rewritten.
+	Restored int64
+	// Unrepairable counts units dropped with no surviving source.
+	Unrepairable int64
+	// Overflows counts enqueues rejected by a full queue; FullScrubs
+	// counts the catch-all Scrub passes those triggered.
+	Overflows  int64
+	FullScrubs int64
+	// Queued / Parked / InFlight describe the current backlog: runnable
+	// units, units waiting for a Down/Suspect target to recover, and
+	// repairs executing right now.
+	Queued   int
+	Parked   int
+	InFlight int
+}
+
+// rescanInterval bounds how long a retryable parked unit waits before
+// being retried even without a detector Up event (the event channel is
+// best-effort).
+const rescanInterval = 500 * time.Millisecond
+
+// parkedUnit is a repair blocked on unavailable targets; waitFor names
+// them so the queue retries only once they recover (or leave the cluster)
+// instead of banging on nodes the detector still calls Down.
+type parkedUnit struct {
+	u       repairUnit
+	waitFor []string
+}
+
+type repairQueue struct {
+	fs  *FileSystem
+	pol RepairPolicy
+
+	mu        sync.Mutex
+	seen      map[string]bool // dedup over active+parked units
+	active    []repairUnit
+	parked    []parkedUnit
+	inFlight  int
+	overflow  bool // queue overflowed: full Scrub owed until one runs clean
+	scrubDue  bool // a full Scrub should run at the next idle moment
+	scrubbing bool
+
+	kickCh    chan struct{}
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+	cancelSub func()
+
+	enqueued, repaired, restored, unrepairable atomic.Int64
+	overflows, fullScrubs                      atomic.Int64
+}
+
+func newRepairQueue(fs *FileSystem, pol RepairPolicy) *repairQueue {
+	if pol.Concurrency == 0 {
+		pol.Concurrency = 2
+	}
+	if pol.QueueCap == 0 {
+		pol.QueueCap = 1024
+	}
+	if pol.Interval == 0 {
+		pol.Interval = 10 * time.Millisecond
+	}
+	return &repairQueue{
+		fs:     fs,
+		pol:    pol,
+		seen:   make(map[string]bool),
+		kickCh: make(chan struct{}, 1),
+		stopCh: make(chan struct{}),
+	}
+}
+
+func (q *repairQueue) start() {
+	if q.fs.detector != nil {
+		ch, cancel := q.fs.detector.Subscribe(64)
+		q.cancelSub = cancel
+		q.wg.Add(1)
+		go q.watch(ch)
+	}
+	q.wg.Add(1)
+	go q.loop()
+}
+
+func (q *repairQueue) stop() {
+	close(q.stopCh)
+	if q.cancelSub != nil {
+		q.cancelSub()
+	}
+	q.wg.Wait()
+}
+
+// kick nudges the dispatcher without blocking.
+func (q *repairQueue) kick() {
+	select {
+	case q.kickCh <- struct{}{}:
+	default:
+	}
+}
+
+// enqueue records that path's stripe sk needs a redundancy check.
+// Duplicates of units already queued or parked are dropped; a full queue
+// trips the overflow path (one full Scrub owed) instead of growing.
+func (q *repairQueue) enqueue(path, sk string, idx int64) {
+	u := repairUnit{path: path, sk: sk, idx: idx}
+	q.mu.Lock()
+	if q.seen[u.key()] {
+		q.mu.Unlock()
+		return
+	}
+	if len(q.seen) >= q.pol.QueueCap {
+		q.overflow = true
+		q.scrubDue = true
+		q.overflows.Add(1)
+		q.mu.Unlock()
+		q.kick()
+		return
+	}
+	q.seen[u.key()] = true
+	q.active = append(q.active, u)
+	q.enqueued.Add(1)
+	q.mu.Unlock()
+	q.kick()
+}
+
+// watch reacts to detector transitions: any node coming back Up makes the
+// parked units worth retrying (and re-arms the catch-all Scrub if the
+// queue had overflowed while that node was gone).
+func (q *repairQueue) watch(ch <-chan health.Event) {
+	defer q.wg.Done()
+	for {
+		select {
+		case <-q.stopCh:
+			return
+		case ev := <-ch:
+			if ev.To == health.Up {
+				q.mu.Lock()
+				if q.overflow {
+					q.scrubDue = true
+				}
+				q.mu.Unlock()
+				q.unparkReady()
+			}
+			q.kick()
+		}
+	}
+}
+
+// ready reports whether a parked unit is worth retrying: every target it
+// waits for is Up again, was evacuated (the fix pass skips unregistered
+// nodes), or is the metadata sentinel, which has no health signal and is
+// retried on the rescan timer.
+func (q *repairQueue) ready(p parkedUnit) bool {
+	for _, node := range p.waitFor {
+		if node == "<meta>" {
+			continue
+		}
+		if q.fs.nodeState(node) != health.Up {
+			return false
+		}
+	}
+	return true
+}
+
+// unparkReady moves parked units whose blockers have cleared back to the
+// runnable list; units still waiting on a Down node stay parked.
+func (q *repairQueue) unparkReady() {
+	q.mu.Lock()
+	var still []parkedUnit
+	moved := false
+	for _, p := range q.parked {
+		if q.ready(p) {
+			q.active = append(q.active, p.u)
+			moved = true
+		} else {
+			still = append(still, p)
+		}
+	}
+	q.parked = still
+	q.mu.Unlock()
+	if moved {
+		q.kick()
+	}
+}
+
+func (q *repairQueue) pop() (repairUnit, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.active) == 0 {
+		return repairUnit{}, false
+	}
+	u := q.active[0]
+	q.active = q.active[1:]
+	delete(q.seen, u.key())
+	q.inFlight++
+	return u, true
+}
+
+func (q *repairQueue) doneOne() {
+	q.mu.Lock()
+	q.inFlight--
+	q.mu.Unlock()
+}
+
+// park shelves a unit whose repair is blocked on the waitFor targets; it
+// returns to the runnable list once they recover (Up event or rescan
+// tick).
+func (q *repairQueue) park(u repairUnit, waitFor []string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.seen[u.key()] {
+		return // re-enqueued while in flight: already runnable again
+	}
+	if len(q.seen) >= q.pol.QueueCap {
+		q.overflow = true
+		q.scrubDue = true
+		q.overflows.Add(1)
+		return
+	}
+	q.seen[u.key()] = true
+	q.parked = append(q.parked, parkedUnit{u: u, waitFor: waitFor})
+}
+
+func (q *repairQueue) takeScrubDue() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.scrubDue {
+		return false
+	}
+	q.scrubDue = false
+	q.scrubbing = true
+	return true
+}
+
+// loop is the dispatcher: pop runnable units, repair them on bounded
+// worker goroutines with pacing between dispatches, run the owed full
+// Scrub when the overflow path armed one, and otherwise sleep until a
+// kick or the parked-rescan tick.
+func (q *repairQueue) loop() {
+	defer q.wg.Done()
+	rescan := time.NewTicker(rescanInterval)
+	defer rescan.Stop()
+	sem := make(chan struct{}, q.pol.Concurrency)
+	for {
+		if q.takeScrubDue() {
+			q.runFullScrub()
+			continue
+		}
+		u, ok := q.pop()
+		if !ok {
+			select {
+			case <-q.stopCh:
+				return
+			case <-q.kickCh:
+			case <-rescan.C:
+				q.unparkReady()
+			}
+			continue
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-q.stopCh:
+			q.doneOne()
+			return
+		}
+		q.wg.Add(1)
+		go func(u repairUnit) {
+			defer q.wg.Done()
+			defer func() { <-sem; q.doneOne() }()
+			q.repairOne(u)
+		}(u)
+		if q.pol.Interval > 0 {
+			select {
+			case <-q.stopCh:
+				return
+			case <-time.After(q.pol.Interval):
+			}
+		}
+	}
+}
+
+func (q *repairQueue) repairOne(u repairUnit) {
+	out := q.fs.fixStripe(u)
+	q.restored.Add(int64(out.restored))
+	switch {
+	case out.reason != "":
+		q.unrepairable.Add(1)
+	case len(out.pending) > 0:
+		q.park(u, out.pending)
+	default:
+		q.repaired.Add(1)
+	}
+}
+
+// runFullScrub is the overflow catch-all. The overflow debt clears only
+// when a Scrub runs with nothing deferred — a pass that skipped stripes
+// because their targets were down still owes a follow-up, re-armed by the
+// next Up event.
+func (q *repairQueue) runFullScrub() {
+	q.fullScrubs.Add(1)
+	rep, err := q.fs.Scrub()
+	q.mu.Lock()
+	if err == nil {
+		q.restored.Add(int64(rep.Restored))
+		if len(rep.Deferred) == 0 {
+			q.overflow = false
+		}
+	}
+	q.scrubbing = false
+	q.mu.Unlock()
+}
+
+func (q *repairQueue) stats() RepairStats {
+	q.mu.Lock()
+	queued, parked, inFlight := len(q.active), len(q.parked), q.inFlight
+	q.mu.Unlock()
+	return RepairStats{
+		Enqueued:     q.enqueued.Load(),
+		Repaired:     q.repaired.Load(),
+		Restored:     q.restored.Load(),
+		Unrepairable: q.unrepairable.Load(),
+		Overflows:    q.overflows.Load(),
+		FullScrubs:   q.fullScrubs.Load(),
+		Queued:       queued,
+		Parked:       parked,
+		InFlight:     inFlight,
+	}
+}
+
+// idle reports whether the queue has no runnable work: nothing queued, in
+// flight, or owed a Scrub, and no parked unit whose blockers have cleared.
+// Units parked on a node that is still Down do not count — they cannot
+// make progress until it recovers.
+func (q *repairQueue) idle() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.active) > 0 || q.inFlight > 0 || q.scrubDue || q.scrubbing {
+		return false
+	}
+	for _, p := range q.parked {
+		if q.ready(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- FileSystem surface ----------------------------------------------------
+
+// enqueueRepair hands a known-degraded stripe to the repair queue (no-op
+// when the queue is disabled).
+func (fs *FileSystem) enqueueRepair(path, sk string, idx int64) {
+	if fs.repairs != nil {
+		fs.repairs.enqueue(path, sk, idx)
+	}
+}
+
+// RepairStats snapshots the repair queue (zero value when disabled).
+func (fs *FileSystem) RepairStats() RepairStats {
+	if fs.repairs == nil {
+		return RepairStats{}
+	}
+	return fs.repairs.stats()
+}
+
+// RepairIdle reports whether the repair queue has drained all runnable
+// work (parked units blocked on down nodes excluded). Always true when
+// the queue is disabled.
+func (fs *FileSystem) RepairIdle() bool {
+	return fs.repairs == nil || fs.repairs.idle()
+}
+
+// WaitRepairIdle polls until the repair queue drains or timeout elapses,
+// reporting whether it drained — the test and benchmark hook behind
+// time-to-full-redundancy measurements.
+func (fs *FileSystem) WaitRepairIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if fs.RepairIdle() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -44,6 +44,11 @@ func (fs *FileSystem) AddVictimClass(spec ClassSpec) error {
 	}
 	fs.classes = next
 	fs.placer = placer
+	if fs.detector != nil {
+		for _, n := range spec.Nodes {
+			fs.detector.Register(n.ID)
+		}
+	}
 	return nil
 }
 
@@ -142,6 +147,17 @@ func (fs *FileSystem) EvacuateNode(nodeID string) error {
 	fs.placer = placer
 	fs.mu.Unlock()
 	fs.conns.remove(nodeID)
+	if fs.detector != nil {
+		// No longer a placement target: forget its history so health
+		// snapshots and write-skip decisions stop mentioning it.
+		fs.detector.Unregister(nodeID)
+	}
+	if fs.repairs != nil {
+		// Units parked on the evacuated node can resolve now — the fix
+		// pass skips unregistered targets instead of waiting for them.
+		fs.repairs.unparkReady()
+		fs.repairs.kick()
+	}
 	return nil
 }
 

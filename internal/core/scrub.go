@@ -5,6 +5,7 @@ import (
 
 	"memfss/internal/erasure"
 	"memfss/internal/fsmeta"
+	"memfss/internal/health"
 	"memfss/internal/hrw"
 	"memfss/internal/stripe"
 )
@@ -17,20 +18,44 @@ type ScrubReport struct {
 	StripesChecked int
 	// Restored counts replicas/shards rewritten to their proper node.
 	Restored int
-	// Unrepairable lists "path#stripe" units with too few surviving
-	// copies/shards to restore.
+	// Unrepairable lists "path#stripe: reason" units with too few
+	// surviving copies/shards to restore.
 	Unrepairable []string
+	// Deferred lists "path#stripe" units whose check or restore was
+	// skipped because a placement target is Down, Suspect, or unreachable:
+	// they are not damaged as far as anyone can tell, but redundancy could
+	// not be verified or restored until the node returns. The repair
+	// queue's overflow debt stays armed while a Scrub defers work.
+	Deferred []string
+}
+
+// fixOutcome is the result of inspecting/repairing one stripe, shared by
+// Scrub, RepairFile, and the background repair queue.
+type fixOutcome struct {
+	// restored counts copies/shards rewritten.
+	restored int
+	// pending lists registered targets that could not be checked or
+	// written (detector says Suspect/Down, or the operation failed with a
+	// transport error): retry once they recover.
+	pending []string
+	// reason, when non-empty, explains why the stripe is unrepairable (no
+	// surviving source anywhere reachable).
+	reason string
 }
 
 // Scrub walks every file and proactively restores missing redundancy:
 // replicated stripes are re-copied from a surviving replica, erasure-coded
 // stripes have missing shards reconstructed and rewritten. Lazy movement
-// (paper §V-C) repairs what reads happen to touch; Scrub is the
+// (paper §V-C) repairs what reads happen to touch, and the targeted repair
+// queue handles stripes the data path saw degrade; Scrub is the
 // anti-entropy complement that repairs everything else — run it after a
 // node loss so the next failure finds full redundancy.
 //
-// Unreachable target nodes are skipped (they may be evacuating); stripes
-// with no surviving source are reported as unrepairable.
+// Restores use SETNX so a scrub racing live writers can only fill a hole,
+// never clobber a newer value. Targets the failure detector marks
+// Suspect/Down are skipped without network traffic and reported in
+// Deferred; stripes with no surviving source are reported as unrepairable
+// with the reason.
 func (fs *FileSystem) Scrub() (*ScrubReport, error) {
 	rep := &ScrubReport{}
 	err := fs.Walk("/", func(e EntryInfo) error {
@@ -39,13 +64,44 @@ func (fs *FileSystem) Scrub() (*ScrubReport, error) {
 		}
 		rep.Files++
 		rec, err := fs.meta.statRecord(e.Path)
-		if err != nil || rec.File == nil {
-			rep.Unrepairable = append(rep.Unrepairable, e.Path)
+		if err != nil {
+			if isNotExist(err) {
+				return nil // lost a benign race with a concurrent remove
+			}
+			rep.Unrepairable = append(rep.Unrepairable,
+				fmt.Sprintf("%s#meta: %v", e.Path, err))
 			return nil
+		}
+		if rec.File == nil {
+			return nil // became a directory: nothing to scrub
 		}
 		return fs.scrubFile(e.Path, rec.File, rep)
 	})
 	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// RepairFile runs the scrub pass over a single file — the targeted
+// operator verb behind `memfsctl repair`.
+func (fs *FileSystem) RepairFile(path string) (*ScrubReport, error) {
+	if err := fs.check(); err != nil {
+		return nil, err
+	}
+	p, err := fsmeta.Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := fs.meta.statRecord(p)
+	if err != nil {
+		return nil, err
+	}
+	if rec.File == nil {
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, p)
+	}
+	rep := &ScrubReport{Files: 1}
+	if err := fs.scrubFile(p, rec.File, rep); err != nil {
 		return nil, err
 	}
 	return rep, nil
@@ -71,31 +127,109 @@ func (fs *FileSystem) scrubFile(path string, rec *fsmeta.FileRecord, rep *ScrubR
 	for idx := int64(0); idx < count; idx++ {
 		rep.StripesChecked++
 		sk := stripe.Key(rec.ID, idx)
+		var out fixOutcome
 		switch {
 		case coder != nil:
-			fs.scrubErasureStripe(path, sk, pl, coder, rep)
+			out = fs.fixErasureStripe(path, sk, idx, pl, coder)
 		case rec.Replicas > 1:
-			fs.scrubReplicatedStripe(path, sk, rec, pl, rep)
+			out = fs.fixReplicatedStripe(path, sk, idx, rec.Replicas, pl)
 		default:
 			// No redundancy: nothing to restore; reads lazily repair
 			// placement drift.
+			continue
+		}
+		rep.Restored += out.restored
+		if out.reason != "" {
+			rep.Unrepairable = append(rep.Unrepairable,
+				fmt.Sprintf("%s#%s: %s", path, sk, out.reason))
+		}
+		if len(out.pending) > 0 {
+			rep.Deferred = append(rep.Deferred, fmt.Sprintf("%s#%s", path, sk))
 		}
 	}
 	return nil
 }
 
-func (fs *FileSystem) scrubReplicatedStripe(path, sk string, rec *fsmeta.FileRecord, pl *hrw.Placer, rep *ScrubReport) {
+// fixStripe re-resolves a repair unit against current metadata and fixes
+// the stripe. A unit whose file was removed, truncated away, or recreated
+// under a new file ID resolves to an empty outcome: there is nothing left
+// to repair.
+func (fs *FileSystem) fixStripe(u repairUnit) fixOutcome {
+	rec, err := fs.meta.statRecord(u.path)
+	if err != nil {
+		if isNotExist(err) {
+			return fixOutcome{}
+		}
+		// Metadata unreachable: retry the unit later.
+		return fixOutcome{pending: []string{"<meta>"}}
+	}
+	fr := rec.File
+	if fr == nil || stripe.Key(fr.ID, u.idx) != u.sk {
+		return fixOutcome{}
+	}
+	layout, err := stripe.NewLayout(fr.StripeSize)
+	if err != nil || u.idx >= layout.Count(fr.Size) {
+		return fixOutcome{}
+	}
+	pl, err := placerFromSnapshot(fr.Classes)
+	if err != nil {
+		return fixOutcome{}
+	}
+	if fr.DataShards > 0 {
+		coder, err := erasure.NewCoder(fr.DataShards, fr.ParityShards)
+		if err != nil {
+			return fixOutcome{}
+		}
+		return fs.fixErasureStripe(u.path, u.sk, u.idx, pl, coder)
+	}
+	if fr.Replicas > 1 {
+		return fs.fixReplicatedStripe(u.path, u.sk, u.idx, fr.Replicas, pl)
+	}
+	return fixOutcome{}
+}
+
+// stripeStillExpected re-stats path and reports whether stripe idx (with
+// raw key sk) is still part of the file. It is the double-check before
+// declaring a stripe unrepairable: a scrub racing a truncate or remove
+// sees the stripe's keys vanish, and only the re-stat distinguishes
+// "deleted on purpose" from "lost".
+func (fs *FileSystem) stripeStillExpected(path, sk string, idx int64) bool {
+	rec, err := fs.meta.statRecord(path)
+	if err != nil {
+		return false // gone (or unknowable): do not cry data loss
+	}
+	fr := rec.File
+	if fr == nil || stripe.Key(fr.ID, idx) != sk {
+		return false
+	}
+	layout, err := stripe.NewLayout(fr.StripeSize)
+	if err != nil {
+		return false
+	}
+	return idx < layout.Count(fr.Size)
+}
+
+// fixReplicatedStripe checks one replicated stripe's placement targets
+// and rewrites missing copies from a surviving one.
+func (fs *FileSystem) fixReplicatedStripe(path, sk string, idx int64, replicas int, pl *hrw.Placer) fixOutcome {
 	key := dataKey(sk)
-	targets := pl.PlaceK(sk, rec.Replicas)
+	targets := pl.PlaceK(sk, replicas)
+	var out fixOutcome
 	var present, missing []string
 	for _, node := range targets {
 		cli, err := fs.conns.client(node)
 		if err != nil {
-			continue // node gone: skip (evacuated)
+			continue // node no longer registered (evacuated): skip
+		}
+		if fs.nodeState(node) != health.Up {
+			// Known-unhealthy: no network call, no retry-budget burn.
+			out.pending = append(out.pending, node)
+			continue
 		}
 		ok, err := cli.Exists(key)
 		if err != nil {
-			continue // unreachable: skip
+			out.pending = append(out.pending, node)
+			continue
 		}
 		if ok {
 			present = append(present, node)
@@ -104,11 +238,14 @@ func (fs *FileSystem) scrubReplicatedStripe(path, sk string, rec *fsmeta.FileRec
 		}
 	}
 	if len(missing) == 0 {
-		return
+		return out
 	}
 	if len(present) == 0 {
 		// Maybe a stray copy survives off-placement (lazy movement).
 		for _, node := range pl.ProbeOrder(sk) {
+			if fs.nodeState(node) != health.Up {
+				continue
+			}
 			cli, err := fs.conns.client(node)
 			if err != nil {
 				continue
@@ -120,16 +257,29 @@ func (fs *FileSystem) scrubReplicatedStripe(path, sk string, rec *fsmeta.FileRec
 		}
 	}
 	if len(present) == 0 {
-		rep.Unrepairable = append(rep.Unrepairable, fmt.Sprintf("%s#%s", path, sk))
-		return
+		if len(out.pending) > 0 {
+			// A copy may live on the unavailable target(s): defer, don't
+			// condemn.
+			return out
+		}
+		if !fs.stripeStillExpected(path, sk, idx) {
+			// The stripe was truncated or removed mid-scan: absence is
+			// the correct state, not damage.
+			return fixOutcome{}
+		}
+		out.reason = "no surviving replica on any reachable node"
+		return out
 	}
 	src, err := fs.conns.client(present[0])
 	if err != nil {
-		return
+		return out
 	}
 	value, ok, err := src.Get(key)
 	if err != nil || !ok {
-		return
+		// The source vanished between Exists and Get (concurrent delete or
+		// node loss): retry later rather than guessing.
+		out.pending = append(out.pending, present[0])
+		return out
 	}
 	for _, node := range missing {
 		cli, err := fs.conns.client(node)
@@ -137,27 +287,43 @@ func (fs *FileSystem) scrubReplicatedStripe(path, sk string, rec *fsmeta.FileRec
 			continue
 		}
 		if err := fs.conns.throttle(node).Take(int64(len(value))); err != nil {
+			out.pending = append(out.pending, node)
 			continue
 		}
-		if err := cli.Set(key, value); err == nil {
-			rep.Restored++
+		// SETNX: only fill the hole. A concurrent writer's fresher value
+		// must never be clobbered with the scrub's stale read.
+		stored, err := cli.SetNX(key, value)
+		switch {
+		case err != nil:
+			out.pending = append(out.pending, node)
+		case stored:
+			out.restored++
 		}
 	}
+	return out
 }
 
-func (fs *FileSystem) scrubErasureStripe(path, sk string, pl *hrw.Placer, coder *erasure.Coder, rep *ScrubReport) {
+// fixErasureStripe checks one erasure-coded stripe's shard set and
+// reconstructs + rewrites missing shards when at least k survive.
+func (fs *FileSystem) fixErasureStripe(path, sk string, idx int64, pl *hrw.Placer, coder *erasure.Coder) fixOutcome {
 	k, m := coder.K(), coder.M()
 	targets := pl.PlaceK(sk, k+m)
 	shards := make([][]byte, k+m)
+	var out fixOutcome
 	var missing []int
 	found := 0
 	for i, node := range targets {
 		cli, err := fs.conns.client(node)
 		if err != nil {
+			continue // node no longer registered (evacuated): skip
+		}
+		if fs.nodeState(node) != health.Up {
+			out.pending = append(out.pending, node)
 			continue
 		}
 		data, ok, err := cli.Get(shardKey(dataKey(sk), i))
 		if err != nil {
+			out.pending = append(out.pending, node)
 			continue
 		}
 		if !ok {
@@ -168,20 +334,27 @@ func (fs *FileSystem) scrubErasureStripe(path, sk string, pl *hrw.Placer, coder 
 		found++
 	}
 	if len(missing) == 0 {
-		return
+		return out
 	}
 	if found < k {
-		rep.Unrepairable = append(rep.Unrepairable, fmt.Sprintf("%s#%s", path, sk))
-		return
+		if len(out.pending) > 0 {
+			return out // the unavailable nodes may hold the missing shards
+		}
+		if !fs.stripeStillExpected(path, sk, idx) {
+			return fixOutcome{}
+		}
+		out.reason = fmt.Sprintf("only %d of %d shards survive (need %d)", found, k+m, k)
+		return out
 	}
 	dataShards, err := coder.Reconstruct(shards)
 	if err != nil {
-		rep.Unrepairable = append(rep.Unrepairable, fmt.Sprintf("%s#%s", path, sk))
-		return
+		out.reason = fmt.Sprintf("reconstruct failed: %v", err)
+		return out
 	}
 	parity, err := coder.Encode(dataShards)
 	if err != nil {
-		return
+		out.reason = fmt.Sprintf("re-encode failed: %v", err)
+		return out
 	}
 	all := append(append([][]byte{}, dataShards...), parity...)
 	for _, i := range missing {
@@ -191,10 +364,16 @@ func (fs *FileSystem) scrubErasureStripe(path, sk string, pl *hrw.Placer, coder 
 			continue
 		}
 		if err := fs.conns.throttle(node).Take(int64(len(all[i]))); err != nil {
+			out.pending = append(out.pending, node)
 			continue
 		}
-		if err := cli.Set(shardKey(dataKey(sk), i), all[i]); err == nil {
-			rep.Restored++
+		stored, err := cli.SetNX(shardKey(dataKey(sk), i), all[i])
+		switch {
+		case err != nil:
+			out.pending = append(out.pending, node)
+		case stored:
+			out.restored++
 		}
 	}
+	return out
 }

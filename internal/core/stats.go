@@ -8,9 +8,10 @@ type fsStats struct {
 	bytesRead      atomic.Int64
 	stripeWrites   atomic.Int64
 	stripeReads    atomic.Int64
-	deepProbes     atomic.Int64
-	repairs        atomic.Int64
-	degradedWrites atomic.Int64
+	deepProbes           atomic.Int64
+	repairs              atomic.Int64
+	degradedWrites       atomic.Int64
+	skippedReplicaWrites atomic.Int64
 }
 
 // Counters is a snapshot of a FileSystem's data-path activity.
@@ -33,6 +34,11 @@ type Counters struct {
 	// failed with transport errors). Nonzero means some stripes are
 	// under-replicated until a repair or rewrite.
 	DegradedWrites int64
+	// SkippedReplicaWrites counts replica targets a write skipped outright
+	// because the failure detector judged them Suspect or Down — each skip
+	// is a full retry budget (MaxAttempts connections plus backoff) the
+	// data path did not burn against a dead node.
+	SkippedReplicaWrites int64
 	// StoreOps / StoreAttempts count store operations (commands and
 	// pipeline bursts) and the connection attempts they consumed, summed
 	// over every node client. StoreAttempts-StoreOps is the retry count;
@@ -51,8 +57,9 @@ func (fs *FileSystem) Counters() Counters {
 		StripeReads:    fs.stats.stripeReads.Load(),
 		DeepProbes:     fs.stats.deepProbes.Load(),
 		Repairs:        fs.stats.repairs.Load(),
-		DegradedWrites: fs.stats.degradedWrites.Load(),
-		StoreOps:       ops,
-		StoreAttempts:  attempts,
+		DegradedWrites:       fs.stats.degradedWrites.Load(),
+		SkippedReplicaWrites: fs.stats.skippedReplicaWrites.Load(),
+		StoreOps:             ops,
+		StoreAttempts:        attempts,
 	}
 }

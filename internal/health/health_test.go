@@ -1,0 +1,357 @@
+package health
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable deterministic clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestDetector(clk *fakeClock) *Detector {
+	return New(Options{SuspectAfter: 1, DownAfter: 3, UpAfter: 2, Now: clk.Now})
+}
+
+func TestDetectorTransitions(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk)
+	d.Register("n1")
+
+	if got := d.State("n1"); got != Up {
+		t.Fatalf("fresh node state = %v, want Up", got)
+	}
+
+	// One failure: Up -> Suspect (SuspectAfter=1).
+	d.ReportFailure("n1")
+	if got := d.State("n1"); got != Suspect {
+		t.Fatalf("after 1 failure state = %v, want Suspect", got)
+	}
+
+	// Three further failures: Suspect -> Down (DownAfter=3).
+	d.ReportFailure("n1")
+	d.ReportFailure("n1")
+	if got := d.State("n1"); got != Suspect {
+		t.Fatalf("after 2 further failures state = %v, want still Suspect", got)
+	}
+	d.ReportFailure("n1")
+	if got := d.State("n1"); got != Down {
+		t.Fatalf("after 3 further failures state = %v, want Down", got)
+	}
+
+	// Two successes: Down -> Up (UpAfter=2).
+	d.ReportSuccess("n1")
+	if got := d.State("n1"); got != Down {
+		t.Fatalf("after 1 success state = %v, want still Down", got)
+	}
+	d.ReportSuccess("n1")
+	if got := d.State("n1"); got != Up {
+		t.Fatalf("after 2 successes state = %v, want Up", got)
+	}
+}
+
+// Flap suppression: a single timeout marks the node Suspect but must not
+// reach Down, and a success resets the failure streak so intermittent
+// single failures never accumulate to Down.
+func TestDetectorFlapSuppression(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk)
+	d.Register("n1")
+
+	for i := 0; i < 10; i++ {
+		d.ReportFailure("n1")
+		if got := d.State("n1"); got == Down {
+			t.Fatalf("round %d: single timeout reached Down", i)
+		}
+		d.ReportSuccess("n1")
+		d.ReportSuccess("n1")
+		if got := d.State("n1"); got != Up {
+			t.Fatalf("round %d: state after recovery = %v, want Up", i, got)
+		}
+	}
+}
+
+// Recovery hysteresis: one lucky success against a Down node must not
+// restore Up, and an interleaved failure resets the success streak.
+func TestDetectorRecoveryHysteresis(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk)
+	d.Register("n1")
+
+	for i := 0; i < 4; i++ {
+		d.ReportFailure("n1")
+	}
+	if got := d.State("n1"); got != Down {
+		t.Fatalf("setup: state = %v, want Down", got)
+	}
+
+	// success, failure, success, failure ... never reaches Up.
+	for i := 0; i < 5; i++ {
+		d.ReportSuccess("n1")
+		if got := d.State("n1"); got != Down {
+			t.Fatalf("round %d: single success restored %v, want still Down", i, got)
+		}
+		d.ReportFailure("n1")
+	}
+	d.ReportSuccess("n1")
+	d.ReportSuccess("n1")
+	if got := d.State("n1"); got != Up {
+		t.Fatalf("after sustained recovery state = %v, want Up", got)
+	}
+}
+
+// The injected clock makes Since deterministic: transition timestamps are
+// exactly the clock values at the evidence that caused them.
+func TestDetectorDeterministicClock(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk)
+	d.Register("n1")
+	t0 := clk.Now()
+
+	clk.Advance(time.Second)
+	d.ReportFailure("n1") // -> Suspect at t0+1s
+	clk.Advance(time.Second)
+	d.ReportFailure("n1")
+	clk.Advance(time.Second)
+	d.ReportFailure("n1")
+	clk.Advance(time.Second)
+	d.ReportFailure("n1") // -> Down at t0+4s
+
+	h := d.Snapshot()["n1"]
+	if h.State != Down {
+		t.Fatalf("state = %v, want Down", h.State)
+	}
+	if want := t0.Add(4 * time.Second); !h.Since.Equal(want) {
+		t.Fatalf("Since = %v, want %v", h.Since, want)
+	}
+	if !h.LastSeen.IsZero() {
+		t.Fatalf("LastSeen = %v, want zero (never answered)", h.LastSeen)
+	}
+
+	clk.Advance(time.Second)
+	d.ReportSuccess("n1")
+	clk.Advance(time.Second)
+	d.ReportSuccess("n1") // -> Up at t0+6s
+	h = d.Snapshot()["n1"]
+	if h.State != Up {
+		t.Fatalf("state = %v, want Up", h.State)
+	}
+	if want := t0.Add(6 * time.Second); !h.Since.Equal(want) {
+		t.Fatalf("Since = %v, want %v", h.Since, want)
+	}
+	if want := t0.Add(6 * time.Second); !h.LastSeen.Equal(want) {
+		t.Fatalf("LastSeen = %v, want %v", h.LastSeen, want)
+	}
+}
+
+func TestDetectorEvents(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk)
+	d.Register("n1")
+	ch, cancel := d.Subscribe(16)
+	defer cancel()
+
+	for i := 0; i < 4; i++ {
+		d.ReportFailure("n1")
+	}
+	d.ReportSuccess("n1")
+	d.ReportSuccess("n1")
+
+	want := []struct{ from, to State }{
+		{Up, Suspect},
+		{Suspect, Down},
+		{Down, Up},
+	}
+	for i, w := range want {
+		select {
+		case ev := <-ch:
+			if ev.Node != "n1" || ev.From != w.from || ev.To != w.to {
+				t.Fatalf("event %d = %+v, want %s %v->%v", i, ev, "n1", w.from, w.to)
+			}
+		default:
+			t.Fatalf("event %d missing (want %v->%v)", i, w.from, w.to)
+		}
+	}
+	select {
+	case ev := <-ch:
+		t.Fatalf("unexpected extra event %+v", ev)
+	default:
+	}
+}
+
+// A full subscriber buffer drops events instead of blocking the reporter.
+func TestDetectorSubscriberNonBlocking(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk)
+	d.Register("n1")
+	_, cancel := d.Subscribe(1)
+	defer cancel()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Multiple transitions with nobody draining the channel.
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 4; j++ {
+				d.ReportFailure("n1")
+			}
+			d.ReportSuccess("n1")
+			d.ReportSuccess("n1")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reporting blocked on a full subscriber")
+	}
+}
+
+// Reports about unregistered nodes are ignored and unknown nodes read Up.
+func TestDetectorUnregistered(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk)
+	d.Register("n1")
+	d.ReportFailure("ghost")
+	if got := d.State("ghost"); got != Up {
+		t.Fatalf("unregistered node state = %v, want Up", got)
+	}
+	d.Unregister("n1")
+	d.ReportFailure("n1")
+	if got := d.State("n1"); got != Up {
+		t.Fatalf("unregistered node state after report = %v, want Up", got)
+	}
+	if n := d.Nodes(); len(n) != 0 {
+		t.Fatalf("Nodes() = %v, want empty", n)
+	}
+}
+
+func TestDetectorConcurrentReports(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk)
+	nodes := []string{"a", "b", "c", "d"}
+	d.Register(nodes...)
+	ch, cancel := d.Subscribe(64)
+	defer cancel()
+	go func() {
+		for range ch {
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				n := nodes[(w+i)%len(nodes)]
+				if i%3 == 0 {
+					d.ReportFailure(n)
+				} else {
+					d.ReportSuccess(n)
+				}
+				_ = d.State(n)
+				if i%50 == 0 {
+					_ = d.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestProberFeedsDetector(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk)
+	d.Register("good", "bad")
+
+	var mu sync.Mutex
+	badDown := true
+	probe := func(node string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if node == "bad" && badDown {
+			return errors.New("connection refused")
+		}
+		return nil
+	}
+	p := NewProber(d, probe, ProberOptions{})
+
+	for i := 0; i < 4; i++ {
+		p.ProbeOnce()
+	}
+	if got := d.State("bad"); got != Down {
+		t.Fatalf("bad state = %v, want Down", got)
+	}
+	if got := d.State("good"); got != Up {
+		t.Fatalf("good state = %v, want Up", got)
+	}
+
+	mu.Lock()
+	badDown = false
+	mu.Unlock()
+	p.ProbeOnce()
+	p.ProbeOnce()
+	if got := d.State("bad"); got != Up {
+		t.Fatalf("recovered state = %v, want Up", got)
+	}
+}
+
+func TestProberStartStop(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk)
+	for i := 0; i < 8; i++ {
+		d.Register(fmt.Sprintf("n%d", i))
+	}
+	var probes sync.Map
+	probe := func(node string) error {
+		probes.Store(node, true)
+		return nil
+	}
+	p := NewProber(d, probe, ProberOptions{Interval: time.Millisecond, Parallelism: 2})
+	p.Start()
+	p.Start() // idempotent
+	deadline := time.After(5 * time.Second)
+	for {
+		n := 0
+		probes.Range(func(_, _ any) bool { n++; return true })
+		if n == 8 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("probed only %d/8 nodes", n)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	p.Stop()
+	p.Stop() // idempotent
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Up: "up", Suspect: "suspect", Down: "down", State(9): "unknown"} {
+		if got := s.String(); got != want {
+			t.Fatalf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

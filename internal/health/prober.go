@@ -1,0 +1,115 @@
+package health
+
+import (
+	"sync"
+	"time"
+)
+
+// ProbeFunc checks one node's liveness (e.g. a single-attempt PING with a
+// short timeout) and returns nil if it answered. It must not retry
+// internally: the detector's hysteresis is the retry policy.
+type ProbeFunc func(node string) error
+
+// ProberOptions configures a Prober. Zero fields take defaults.
+type ProberOptions struct {
+	// Interval between probe rounds (default 500ms).
+	Interval time.Duration
+	// Parallelism bounds concurrent probes per round (default 4).
+	Parallelism int
+}
+
+func (o ProberOptions) withDefaults() ProberOptions {
+	if o.Interval <= 0 {
+		o.Interval = 500 * time.Millisecond
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 4
+	}
+	return o
+}
+
+// Prober actively exercises every registered node on a fixed cadence and
+// feeds the outcomes into the detector. Active probing is what bounds
+// time-to-detection when the workload goes quiet (no writes touching a
+// dead node means no passive evidence), and what notices a Down node has
+// come back so repair can start without waiting for traffic.
+type Prober struct {
+	det   *Detector
+	probe ProbeFunc
+	opts  ProberOptions
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+// NewProber creates a prober bound to det. Call Start to begin probing.
+func NewProber(det *Detector, probe ProbeFunc, opts ProberOptions) *Prober {
+	return &Prober{det: det, probe: probe, opts: opts.withDefaults()}
+}
+
+// Start launches the background probe loop. No-op if already running.
+func (p *Prober) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop != nil {
+		return
+	}
+	p.stop = make(chan struct{})
+	p.stopped = make(chan struct{})
+	go p.loop(p.stop, p.stopped)
+}
+
+// Stop halts the probe loop and waits for in-flight probes to finish.
+// No-op if not running.
+func (p *Prober) Stop() {
+	p.mu.Lock()
+	stop, stopped := p.stop, p.stopped
+	p.stop, p.stopped = nil, nil
+	p.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-stopped
+}
+
+func (p *Prober) loop(stop, stopped chan struct{}) {
+	defer close(stopped)
+	t := time.NewTicker(p.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			p.ProbeOnce()
+		}
+	}
+}
+
+// ProbeOnce probes every registered node once, in parallel (bounded by
+// Parallelism), reporting each outcome to the detector. It returns when
+// all probes have completed.
+func (p *Prober) ProbeOnce() {
+	nodes := p.det.Nodes()
+	if len(nodes) == 0 {
+		return
+	}
+	sem := make(chan struct{}, p.opts.Parallelism)
+	var wg sync.WaitGroup
+	for _, n := range nodes {
+		wg.Add(1)
+		go func(n string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := p.probe(n); err != nil {
+				p.det.ReportFailure(n)
+			} else {
+				p.det.ReportSuccess(n)
+			}
+		}(n)
+	}
+	wg.Wait()
+}

@@ -34,6 +34,7 @@ type Client struct {
 	baseDelay   time.Duration
 	maxDelay    time.Duration
 	opTimeout   time.Duration
+	observer    func(err error)
 
 	ops      atomic.Int64 // operations started (commands + pipeline bursts)
 	attempts atomic.Int64 // connection attempts across all operations
@@ -75,6 +76,12 @@ type DialOptions struct {
 	// Timeout, so an operation never outlives roughly
 	// MaxAttempts*Timeout + backoff.
 	OpTimeout time.Duration
+	// Observer, if set, is called once per operation with its final
+	// outcome: nil on success, the ErrUnavailable-wrapped error when every
+	// attempt failed. It feeds passive evidence to a failure detector, so
+	// it must be fast and must not call back into the client. Operations
+	// aborted by Close are not reported — teardown is not node failure.
+	Observer func(err error)
 }
 
 // Dial creates a client for the server at addr. No connection is opened
@@ -106,6 +113,7 @@ func Dial(addr string, opts DialOptions) *Client {
 		baseDelay:   opts.BaseDelay,
 		maxDelay:    opts.MaxDelay,
 		opTimeout:   opts.OpTimeout,
+		observer:    opts.Observer,
 		max:         opts.PoolSize,
 		waitCh:      make(chan struct{}, 1),
 	}
@@ -262,6 +270,9 @@ func (c *Client) withRetry(label string, op func(cc *clientConn) error) error {
 		if err == nil {
 			if err = op(cc); err == nil {
 				c.putConn(cc, false)
+				if c.observer != nil {
+					c.observer(nil)
+				}
 				return nil
 			}
 			c.putConn(cc, true)
@@ -283,8 +294,12 @@ func (c *Client) withRetry(label string, op func(cc *clientConn) error) error {
 		}
 		time.Sleep(d)
 	}
-	return fmt.Errorf("%w: %s to %s failed after %d attempts: %v",
+	finalErr := fmt.Errorf("%w: %s to %s failed after %d attempts: %v",
 		ErrUnavailable, label, c.addr, attempts, lastErr)
+	if c.observer != nil {
+		c.observer(finalErr)
+	}
+	return finalErr
 }
 
 // do sends one command and decodes the reply, retrying per the client's
@@ -338,6 +353,24 @@ func (c *Client) doInt(args ...[]byte) (int64, error) {
 
 // Ping checks liveness.
 func (c *Client) Ping() error { return c.doSimple([]byte("PING")) }
+
+// PingOnce checks liveness with a single connection attempt: no retries,
+// no backoff, and no Observer callback. It is the active-probe primitive —
+// the prober reports the outcome to the detector itself, and retries here
+// would both double-count evidence and stretch the probe cadence.
+func (c *Client) PingOnce() error {
+	cc, err := c.getConn()
+	if err != nil {
+		return err
+	}
+	reply, err := cc.roundTrip(c.timeout, []byte("PING"))
+	if err != nil {
+		c.putConn(cc, true)
+		return err
+	}
+	c.putConn(cc, false)
+	return reply.Err()
+}
 
 // Set stores value under key.
 func (c *Client) Set(key string, value []byte) error {
