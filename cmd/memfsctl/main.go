@@ -30,6 +30,10 @@
 //	repair [path]                    repair one file's redundancy, or show
 //	                                 the background repair queue's stats
 //	evacuate <node-id>               drain a victim store and drop it
+//	stats <health-addr>              fetch a daemon's /metrics and print a
+//	                                 compact telemetry summary (this verb
+//	                                 needs no -own; it talks HTTP to a
+//	                                 memfsd -health-addr endpoint)
 package main
 
 import (
@@ -57,6 +61,17 @@ func main() {
 	replicas := flag.Int("replicas", 0, "replication factor (0/1 = none)")
 	victimCap := flag.Int64("victim-mem", 10<<30, "per-victim scavenged memory cap in bytes")
 	flag.Parse()
+
+	// stats talks HTTP to a daemon's health endpoint — no mount needed.
+	if flag.NArg() > 0 && flag.Arg(0) == "stats" {
+		if flag.NArg() != 2 {
+			log.Fatal("memfsctl: stats needs a daemon health address (host:port or URL)")
+		}
+		if err := runStats(flag.Arg(1)); err != nil {
+			log.Fatalf("memfsctl: %v", err)
+		}
+		return
+	}
 
 	if *ownList == "" || flag.NArg() == 0 {
 		flag.Usage()

@@ -3,15 +3,30 @@
 // and one per victim node, then point memfsctl or the core library at
 // them.
 //
-// With -health-addr the daemon also serves an HTTP health endpoint:
-// GET /healthz returns liveness plus the store's usage stats as JSON, so
-// orchestrators and operators can watch a node without speaking the store
-// wire protocol (clients additionally probe the wire port directly via
-// PING, which is what the failure detector consumes).
+// With -health-addr the daemon also serves an HTTP observability
+// endpoint:
+//
+//	GET /healthz   liveness plus the store's usage stats as JSON
+//	GET /metrics   Prometheus text exposition of the telemetry registry
+//
+// so orchestrators and operators can watch a node without speaking the
+// store wire protocol (clients additionally probe the wire port directly
+// via PING, which is what the failure detector consumes).
+//
+// With -own (and optionally -victims) the daemon additionally mounts a
+// MemFSS client over the listed stores — gateway mode. The mounted
+// FileSystem shares the daemon's telemetry registry, so /metrics exposes
+// the full stack (store gauges, per-node kvstore client latency, data
+// path, health detector, repair queue) and /healthz folds in the failure
+// detector's per-node states and the repair queue's backlog. One gateway
+// next to a workload gives the whole deployment's observability from a
+// single scrape target.
 //
 // Usage:
 //
 //	memfsd -addr :7700 -password secret -maxmem 10737418240 -health-addr :7780
+//	memfsd -addr :7700 -health-addr :7780 \
+//	       -own 127.0.0.1:7700 -victims 127.0.0.1:7800,127.0.0.1:7801
 package main
 
 import (
@@ -22,17 +37,28 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"memfss/internal/container"
+	"memfss/internal/core"
+	"memfss/internal/hrw"
 	"memfss/internal/kvstore"
+	"memfss/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7700", "listen address")
 	password := flag.String("password", "", "require AUTH with this password")
 	maxMem := flag.Int64("maxmem", 0, "memory cap in bytes (0 = unlimited); on victim nodes this is the scavenged-memory budget")
-	healthAddr := flag.String("health-addr", "", "serve GET /healthz (JSON liveness + store stats) on this address; empty disables")
+	healthAddr := flag.String("health-addr", "", "serve GET /healthz and GET /metrics on this address; empty disables")
+	ownList := flag.String("own", "", "gateway mode: comma-separated own-node store addresses to mount")
+	victimList := flag.String("victims", "", "gateway mode: comma-separated victim-node store addresses")
+	alpha := flag.Float64("alpha", 0.25, "gateway mode: fraction of data kept on own nodes")
+	replicas := flag.Int("replicas", 0, "gateway mode: replication factor (0/1 = none)")
+	victimCap := flag.Int64("victim-mem", 10<<30, "gateway mode: per-victim scavenged memory cap in bytes")
+	slowOp := flag.Duration("slow-op", 0, "gateway mode: log ops slower than this with a trace (0 = 1s default, negative disables)")
 	flag.Parse()
 
 	store := kvstore.NewStore(*maxMem)
@@ -43,22 +69,26 @@ func main() {
 	}
 	fmt.Printf("memfsd: serving on %s (maxmem=%d, auth=%v)\n", bound, *maxMem, *password != "")
 
+	started := time.Now()
+	reg := obs.NewRegistry()
+	registerStoreGauges(reg, store, started)
+
+	var fs *core.FileSystem
+	if *ownList != "" {
+		fs, err = mountGateway(reg, *ownList, *victimList, *alpha, *password, *replicas, *victimCap, *slowOp)
+		if err != nil {
+			log.Fatalf("memfsd: gateway mount: %v", err)
+		}
+		defer fs.Close()
+		fmt.Printf("memfsd: gateway mounted over own=[%s] victims=[%s]\n", *ownList, *victimList)
+	}
+
 	if *healthAddr != "" {
-		started := time.Now()
 		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(reg))
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-			st := store.Stats()
 			w.Header().Set("Content-Type", "application/json")
-			_ = json.NewEncoder(w).Encode(map[string]any{
-				"status":         "ok",
-				"addr":           bound,
-				"uptime_seconds": int64(time.Since(started).Seconds()),
-				"bytes_used":     st.BytesUsed,
-				"max_memory":     st.MaxMemory,
-				"num_keys":       st.NumKeys,
-				"total_ops":      st.TotalOps,
-				"pressure":       st.Pressure,
-			})
+			_ = json.NewEncoder(w).Encode(healthzPayload(store, bound, started, fs))
 		})
 		hsrv := &http.Server{Addr: *healthAddr, Handler: mux}
 		go func() {
@@ -67,7 +97,7 @@ func main() {
 			}
 		}()
 		defer hsrv.Close()
-		fmt.Printf("memfsd: health endpoint on http://%s/healthz\n", *healthAddr)
+		fmt.Printf("memfsd: health endpoint on http://%s/healthz (metrics on /metrics)\n", *healthAddr)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -77,4 +107,133 @@ func main() {
 	if err := srv.Close(); err != nil {
 		log.Fatalf("memfsd: close: %v", err)
 	}
+}
+
+// registerStoreGauges exports the local store's usage as gauge families,
+// read live at scrape time.
+func registerStoreGauges(reg *obs.Registry, store *kvstore.Store, started time.Time) {
+	reg.Gauge("memfss_store_uptime_seconds", "Daemon uptime.", nil, func() float64 {
+		return time.Since(started).Seconds()
+	})
+	reg.Gauge("memfss_store_bytes_used", "Payload bytes resident in the store.", nil, func() float64 {
+		return float64(store.Stats().BytesUsed)
+	})
+	reg.Gauge("memfss_store_max_memory_bytes", "Configured memory cap (0 = unlimited).", nil, func() float64 {
+		return float64(store.Stats().MaxMemory)
+	})
+	reg.Gauge("memfss_store_keys", "Resident keys.", nil, func() float64 {
+		return float64(store.Stats().NumKeys)
+	})
+	reg.Gauge("memfss_store_ops", "Commands processed since start.", nil, func() float64 {
+		return float64(store.Stats().TotalOps)
+	})
+	reg.Gauge("memfss_store_pressure", "1 while the store is above its memory-pressure watermark.", nil, func() float64 {
+		if store.Stats().Pressure {
+			return 1
+		}
+		return 0
+	})
+}
+
+// mountGateway builds the core Config from the CLI node lists (the same
+// shape memfsctl uses) and mounts a FileSystem sharing reg.
+func mountGateway(reg *obs.Registry, ownList, victimList string, alpha float64,
+	password string, replicas int, victimCap int64, slowOp time.Duration) (*core.FileSystem, error) {
+	nodes := func(prefix, list string) []core.NodeSpec {
+		if list == "" {
+			return nil
+		}
+		var out []core.NodeSpec
+		for i, addr := range strings.Split(list, ",") {
+			out = append(out, core.NodeSpec{ID: fmt.Sprintf("%s-%d", prefix, i), Addr: strings.TrimSpace(addr)})
+		}
+		return out
+	}
+	classes := []core.ClassSpec{{Name: "own", Nodes: nodes("own", ownList)}}
+	victims := nodes("victim", victimList)
+	if len(victims) > 0 {
+		d, err := hrw.DeltaForOwnFraction(alpha)
+		if err != nil {
+			return nil, err
+		}
+		if d >= 0 {
+			classes[0].Weight = d
+		}
+		vc := core.ClassSpec{
+			Name: "victim", Nodes: victims, Victim: true,
+			Limits: container.Limits{MemoryBytes: victimCap},
+		}
+		if d < 0 {
+			vc.Weight = -d
+		}
+		classes = append(classes, vc)
+	}
+	cfg := core.Config{
+		Classes:  classes,
+		Password: password,
+		Obs:      core.ObsPolicy{Registry: reg, SlowOpThreshold: slowOp},
+	}
+	if replicas > 1 {
+		cfg.Redundancy = core.Redundancy{Mode: core.RedundancyReplicate, Replicas: replicas}
+	}
+	return core.New(cfg)
+}
+
+// healthzPayload assembles the /healthz JSON: always the local store's
+// stats; in gateway mode also the detector's per-node states, the repair
+// queue, and the data-path counters.
+func healthzPayload(store *kvstore.Store, bound string, started time.Time, fs *core.FileSystem) map[string]any {
+	st := store.Stats()
+	out := map[string]any{
+		"status":         "ok",
+		"addr":           bound,
+		"uptime_seconds": int64(time.Since(started).Seconds()),
+		"bytes_used":     st.BytesUsed,
+		"max_memory":     st.MaxMemory,
+		"num_keys":       st.NumKeys,
+		"total_ops":      st.TotalOps,
+		"pressure":       st.Pressure,
+	}
+	if fs == nil {
+		return out
+	}
+	if snap := fs.Health(); snap != nil {
+		nodes := make(map[string]any, len(snap))
+		for id, h := range snap {
+			nodes[id] = map[string]any{
+				"state":        h.State.String(),
+				"since":        h.Since.Format(time.RFC3339),
+				"consec_fails": h.ConsecFails,
+				"consec_oks":   h.ConsecOKs,
+				"last_seen":    h.LastSeen.Format(time.RFC3339),
+			}
+		}
+		out["health"] = nodes
+	}
+	rs := fs.RepairStats()
+	out["repair"] = map[string]any{
+		"enqueued":     rs.Enqueued,
+		"repaired":     rs.Repaired,
+		"restored":     rs.Restored,
+		"unrepairable": rs.Unrepairable,
+		"overflows":    rs.Overflows,
+		"full_scrubs":  rs.FullScrubs,
+		"queued":       rs.Queued,
+		"parked":       rs.Parked,
+		"in_flight":    rs.InFlight,
+	}
+	c := fs.Counters()
+	out["fs"] = map[string]any{
+		"bytes_written":          c.BytesWritten,
+		"bytes_read":             c.BytesRead,
+		"stripe_writes":          c.StripeWrites,
+		"stripe_reads":           c.StripeReads,
+		"deep_probes":            c.DeepProbes,
+		"repairs":                c.Repairs,
+		"degraded_writes":        c.DegradedWrites,
+		"skipped_replica_writes": c.SkippedReplicaWrites,
+		"store_ops":              c.StoreOps,
+		"store_attempts":         c.StoreAttempts,
+	}
+	return out
 }

@@ -6,7 +6,11 @@
 //
 // By default the workload runs twice — once in per-command mode (every
 // store command is its own round trip, PipelineDepth=1) and once in
-// pipelined mode — and reports the aggregate MB/s of both side by side.
+// pipelined mode — and reports the aggregate MB/s of both side by side,
+// plus histogram-derived p50/p95/p99 latency per op (end-to-end
+// WriteAt/ReadAt) and per node class (per-stripe store ops against own vs
+// victim nodes), read from the deployment's telemetry registry. -json
+// emits the same results as a machine-readable object.
 //
 // With -chaos the victim stores are reached through faultwrap proxies
 // that drop, truncate, and delay connections from a seeded plan, one
@@ -26,10 +30,12 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -38,6 +44,7 @@ import (
 	"memfss/internal/faultwrap"
 	"memfss/internal/health"
 	"memfss/internal/hrw"
+	"memfss/internal/obs"
 )
 
 func main() {
@@ -53,6 +60,7 @@ func main() {
 	stripeSize := flag.Int64("stripe", 0, "stripe size in bytes (0 = default); small stripes make the workload round-trip-bound")
 	chaos := flag.Bool("chaos", false, "run the fault-injection soak: victims behind chaos proxies, one killed mid-run, report fault/retry/degraded counters and fsck")
 	chaosSeed := flag.Int64("chaos-seed", 42, "seed for the chaos proxies' fault plan")
+	jsonOut := flag.Bool("json", false, "emit results as JSON instead of the human report (non-chaos modes)")
 	flag.Parse()
 
 	if *chaos && (*ownN < 2 || *victimN < 2) {
@@ -127,8 +135,10 @@ func main() {
 	rand.New(rand.NewSource(42)).Read(payload)
 	total := float64(*tasks) * float64(*size)
 
-	fmt.Printf("memfss-bench: %d tasks x %d B over %d own + %d victim stores (alpha=%.2f)\n",
-		*tasks, *size, *ownN, *victimN, *alpha)
+	if !*jsonOut {
+		fmt.Printf("memfss-bench: %d tasks x %d B over %d own + %d victim stores (alpha=%.2f)\n",
+			*tasks, *size, *ownN, *victimN, *alpha)
+	}
 
 	if *chaos {
 		runChaos(classes, password, *stripeSize, *depth, *tasks, *workers, payload, proxies, victims)
@@ -140,6 +150,7 @@ func main() {
 		wMBs, rMBs   float64
 		wDur, rDur   time.Duration
 		placementFmt string
+		latency      []latencyRow
 	}
 	runMode := func(label string, pipeDepth int, dir string) result {
 		fs, err := core.New(core.Config{
@@ -200,6 +211,7 @@ func main() {
 			wMBs:  total / 1e6 / writeDur.Seconds(),
 			rMBs:  total / 1e6 / readDur.Seconds(),
 			wDur:  writeDur, rDur: readDur,
+			latency: latencyRows(fs.Metrics()),
 		}
 		if ownBytes+victimBytes > 0 {
 			res.placementFmt = fmt.Sprintf("%.1f%% own / %.1f%% victim (target alpha %.0f%%)",
@@ -218,6 +230,40 @@ func main() {
 	if *pipeline {
 		results = append(results, runMode("pipelined", *depth, "/bench-pipelined"))
 	}
+
+	if *jsonOut {
+		type jsonMode struct {
+			Label        string       `json:"label"`
+			WriteMBs     float64      `json:"write_mb_s"`
+			ReadMBs      float64      `json:"read_mb_s"`
+			WriteSeconds float64      `json:"write_seconds"`
+			ReadSeconds  float64      `json:"read_seconds"`
+			Placement    string       `json:"placement,omitempty"`
+			Latency      []latencyRow `json:"latency"`
+		}
+		out := struct {
+			Tasks   int        `json:"tasks"`
+			Size    int64      `json:"size_bytes"`
+			Own     int        `json:"own_nodes"`
+			Victims int        `json:"victim_nodes"`
+			Alpha   float64    `json:"alpha"`
+			Modes   []jsonMode `json:"modes"`
+		}{Tasks: *tasks, Size: *size, Own: *ownN, Victims: *victimN, Alpha: *alpha}
+		for _, r := range results {
+			out.Modes = append(out.Modes, jsonMode{
+				Label: r.label, WriteMBs: r.wMBs, ReadMBs: r.rMBs,
+				WriteSeconds: r.wDur.Seconds(), ReadSeconds: r.rDur.Seconds(),
+				Placement: r.placementFmt, Latency: r.latency,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	for _, r := range results {
 		fmt.Printf("%-12s write: %6.1f MB in %8v (%6.0f MB/s)   read: %6.1f MB in %8v (%6.0f MB/s)\n",
 			r.label, total/1e6, r.wDur.Round(time.Millisecond), r.wMBs,
@@ -230,6 +276,72 @@ func main() {
 	if p := results[len(results)-1].placementFmt; p != "" {
 		fmt.Printf("placement: %s\n", p)
 	}
+	for _, r := range results {
+		if len(r.latency) == 0 {
+			continue
+		}
+		fmt.Printf("latency (%s):\n  %-46s %8s %10s %10s %10s\n", r.label, "series", "count", "p50", "p95", "p99")
+		for _, row := range r.latency {
+			fmt.Printf("  %-46s %8d %10s %10s %10s\n", row.Series, row.Count,
+				fmtMs(row.P50ms), fmtMs(row.P95ms), fmtMs(row.P99ms))
+		}
+	}
+}
+
+// latencyRow is one histogram series' quantile summary, derived from the
+// deployment's telemetry registry: end-to-end per op, and per-stripe per
+// op and node class.
+type latencyRow struct {
+	Series string  `json:"series"`
+	Count  int64   `json:"count"`
+	P50ms  float64 `json:"p50_ms"`
+	P95ms  float64 `json:"p95_ms"`
+	P99ms  float64 `json:"p99_ms"`
+}
+
+func latencyRows(fams []obs.FamilySnapshot) []latencyRow {
+	var rows []latencyRow
+	add := func(famName string, labels obs.Labels) {
+		for i := range fams {
+			if fams[i].Name != famName {
+				continue
+			}
+			s := fams[i].Find(labels)
+			if s == nil || s.Count == 0 {
+				return
+			}
+			rows = append(rows, latencyRow{
+				Series: famName + labels.String(),
+				Count:  s.Count,
+				P50ms:  quantileMs(s, fams[i].Bounds, 0.50),
+				P95ms:  quantileMs(s, fams[i].Bounds, 0.95),
+				P99ms:  quantileMs(s, fams[i].Bounds, 0.99),
+			})
+			return
+		}
+	}
+	for _, op := range []string{"write", "read"} {
+		add("memfss_fs_op_seconds", obs.L("op", op))
+		for _, cls := range []string{"own", "victim"} {
+			add("memfss_fs_stripe_seconds", obs.L("op", op, "class", cls))
+		}
+	}
+	return rows
+}
+
+func quantileMs(s *obs.SeriesSnapshot, bounds []time.Duration, q float64) float64 {
+	d := s.Quantile(bounds, q)
+	if d < 0 {
+		return -1
+	}
+	return float64(d) / float64(time.Millisecond)
+}
+
+func fmtMs(ms float64) string {
+	if ms < 0 {
+		return "-"
+	}
+	return time.Duration(ms * float64(time.Millisecond)).Round(time.Microsecond).String()
 }
 
 // runChaos is the -chaos workload: write every task under injected

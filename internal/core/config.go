@@ -20,6 +20,7 @@ import (
 
 	"memfss/internal/container"
 	"memfss/internal/hrw"
+	"memfss/internal/obs"
 	"memfss/internal/stripe"
 )
 
@@ -119,6 +120,32 @@ type Config struct {
 	// Repair configures the targeted background repair queue. Zero fields
 	// take defaults; set Disable to fall back to operator-driven Scrub.
 	Repair RepairPolicy
+	// Obs configures the telemetry layer (internal/obs): latency
+	// histograms, the Prometheus-exposable registry, and slow-op tracing.
+	// Zero value = enabled with a private registry and defaults.
+	Obs ObsPolicy
+}
+
+// ObsPolicy configures telemetry. The layer is on by default because its
+// hot-path cost is a handful of atomic adds per stripe; Disable exists
+// for the overhead ablation and for embedders that bring their own
+// metrics.
+type ObsPolicy struct {
+	// Disable turns the telemetry layer off: no registry, no histograms,
+	// no slow-op tracing. Counters() keeps working — its counters are
+	// allocated standalone when no registry exists.
+	Disable bool
+	// Registry, if set, receives every metric family instead of a private
+	// registry — this is how memfsd folds store and file-system telemetry
+	// into one /metrics page. Ignored when Disable is set.
+	Registry *obs.Registry
+	// SlowOpThreshold is the elapsed time past which a WriteAt/ReadAt
+	// emits a structured slow-op log line carrying the operation's trace
+	// ID and per-phase (stripe, node, class, attempts, duration) timings.
+	// 0 means the 1s default; negative disables slow-op tracing.
+	SlowOpThreshold time.Duration
+	// Logf receives slow-op lines (default log.Printf).
+	Logf func(format string, args ...any)
 }
 
 // RetryPolicy bounds how the data path handles transport failures against

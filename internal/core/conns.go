@@ -8,6 +8,7 @@ import (
 
 	"memfss/internal/container"
 	"memfss/internal/kvstore"
+	"memfss/internal/obs"
 )
 
 // connPool tracks the store client and (for victim nodes) the bandwidth
@@ -16,10 +17,15 @@ type connPool struct {
 	mu        sync.RWMutex
 	clients   map[string]*kvstore.Client     // node ID -> client
 	throttles map[string]*container.Throttle // node ID -> throttle (victims only)
+	classOf   map[string]string              // node ID -> "own" | "victim"
 	password  string
 	timeout   time.Duration
 	poolSize  int
 	retry     RetryPolicy
+
+	// metrics, when set before add, flows into every client's DialOptions
+	// so per-node kvstore telemetry lands on the FileSystem's registry.
+	metrics *obs.Registry
 
 	// report, if set, receives the final outcome of every client operation
 	// (nil on success, the transport error on exhausted retries) keyed by
@@ -42,6 +48,7 @@ func newConnPool(password string, timeout time.Duration, poolSize int, retry Ret
 	return &connPool{
 		clients:   make(map[string]*kvstore.Client),
 		throttles: make(map[string]*container.Throttle),
+		classOf:   make(map[string]string),
 		password:  password,
 		timeout:   timeout,
 		poolSize:  poolSize,
@@ -54,6 +61,10 @@ func newConnPool(password string, timeout time.Duration, poolSize int, retry Ret
 func (p *connPool) add(spec ClassSpec) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	cls := "own"
+	if spec.Victim {
+		cls = "victim"
+	}
 	for _, n := range spec.Nodes {
 		if _, dup := p.clients[n.ID]; dup {
 			return fmt.Errorf("core: node %q registered twice", n.ID)
@@ -66,12 +77,16 @@ func (p *connPool) add(spec ClassSpec) error {
 			BaseDelay:   p.retry.BaseDelay,
 			MaxDelay:    p.retry.MaxDelay,
 			OpTimeout:   p.retry.OpTimeout,
+			Metrics:     p.metrics,
+			Node:        n.ID,
+			Class:       cls,
 		}
 		if p.report != nil {
 			id := n.ID
 			opts.Observer = func(err error) { p.report(id, err) }
 		}
 		p.clients[n.ID] = kvstore.Dial(n.Addr, opts)
+		p.classOf[n.ID] = cls
 		if spec.Victim && spec.Limits.NetworkBytesPerSec > 0 {
 			th, err := container.NewThrottle(spec.Limits.NetworkBytesPerSec)
 			if err != nil {
@@ -97,6 +112,14 @@ func (p *connPool) client(nodeID string) (*kvstore.Client, error) {
 		return nil, fmt.Errorf("%w %q", errUnknownNode, nodeID)
 	}
 	return c, nil
+}
+
+// class reports a node's class label ("own"/"victim"); empty for unknown
+// nodes.
+func (p *connPool) class(nodeID string) string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.classOf[nodeID]
 }
 
 // opTotals sums every client's operation and attempt counters (including

@@ -11,6 +11,7 @@ import (
 	"memfss/internal/fsmeta"
 	"memfss/internal/health"
 	"memfss/internal/hrw"
+	"memfss/internal/kvstore"
 	"memfss/internal/stripe"
 )
 
@@ -95,15 +96,17 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	tr := f.fs.newTrace("write", f.path, off, len(p))
 	starts := spanStarts(spans)
 	var okSpans int
 	if f.coder == nil && f.fs.pipeDepth > 1 && len(spans) > 1 {
-		okSpans, err = f.writeSpansPipelined(spans, starts, p)
+		okSpans, err = f.writeSpansPipelined(tr, spans, starts, p)
 	} else {
 		okSpans, err = f.runSpans(spans, func(i int, span stripe.Span) error {
-			return f.writeSpan(span, p[starts[i]:starts[i]+int(span.Length)])
+			return f.writeSpan(tr, span, p[starts[i]:starts[i]+int(span.Length)])
 		})
 	}
+	f.fs.finishTrace(tr, len(spans), err)
 	written := 0
 	if okSpans > 0 {
 		written = starts[okSpans-1] + int(spans[okSpans-1].Length)
@@ -242,13 +245,14 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	tr := f.fs.newTrace("read", f.path, off, len(p))
 	starts := spanStarts(spans)
 	var okSpans int
 	if f.coder == nil && f.fs.pipeDepth > 1 && len(spans) > 1 {
-		okSpans, err = f.readSpansPipelined(spans, starts, p)
+		okSpans, err = f.readSpansPipelined(tr, spans, starts, p)
 	} else {
 		okSpans, err = f.runSpans(spans, func(i int, span stripe.Span) error {
-			data, rerr := f.readSpan(span)
+			data, rerr := f.readSpan(tr, span)
 			if rerr != nil {
 				return rerr
 			}
@@ -256,6 +260,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 			return nil
 		})
 	}
+	f.fs.finishTrace(tr, len(spans), err)
 	read := 0
 	if okSpans > 0 {
 		read = starts[okSpans-1] + int(spans[okSpans-1].Length)
@@ -316,7 +321,8 @@ func (f *File) targets(key string) []string {
 }
 
 // put writes value to a node, throttled if the node is a scavenged victim.
-func (f *File) put(nodeID, key string, value []byte) error {
+// st, when non-nil, receives the store op's attempt count and duration.
+func (f *File) put(nodeID, key string, value []byte, st *kvstore.OpStat) error {
 	if err := f.fs.conns.throttle(nodeID).Take(int64(len(value))); err != nil {
 		return err
 	}
@@ -324,11 +330,11 @@ func (f *File) put(nodeID, key string, value []byte) error {
 	if err != nil {
 		return err
 	}
-	return cli.Set(key, value)
+	return cli.SetStat(key, value, st)
 }
 
 // putRange writes value at offset within a node's key, throttled.
-func (f *File) putRange(nodeID, key string, off int64, value []byte) error {
+func (f *File) putRange(nodeID, key string, off int64, value []byte, st *kvstore.OpStat) error {
 	if err := f.fs.conns.throttle(nodeID).Take(int64(len(value))); err != nil {
 		return err
 	}
@@ -336,26 +342,33 @@ func (f *File) putRange(nodeID, key string, off int64, value []byte) error {
 	if err != nil {
 		return err
 	}
-	return cli.SetRange(key, off, value)
+	return cli.SetRangeStat(key, off, value, st)
 }
 
 // writeSpan stores one span of one stripe on all targets. Placement is
 // always computed from the raw stripe key; the store key carries the
 // "data:" prefix.
-func (f *File) writeSpan(span stripe.Span, data []byte) error {
+func (f *File) writeSpan(tr *opTrace, span stripe.Span, data []byte) error {
 	f.fs.stats.stripeWrites.Add(1)
 	sk := stripe.Key(f.rec.ID, span.Index)
 	key := dataKey(sk)
+	o := f.fs.obs
 	if f.coder != nil {
-		return f.writeSpanErasure(sk, span, data)
+		err := f.writeSpanErasure(tr, sk, span, data)
+		if err != nil {
+			o.outcome("write", "error").Inc()
+		} else {
+			o.outcome("write", "ok").Inc()
+		}
+		return err
 	}
 	full := span.Offset == 0 && span.Length == f.layout.Size()
-	write := func(node string) error {
+	write := func(node string, st *kvstore.OpStat) error {
 		var err error
 		if full {
-			err = f.put(node, key, data)
+			err = f.put(node, key, data, st)
 		} else {
-			err = f.putRange(node, key, span.Offset, data)
+			err = f.putRange(node, key, span.Offset, data, st)
 		}
 		if err != nil {
 			return fmt.Errorf("memfss: write stripe %s to %s: %w", key, node, err)
@@ -372,13 +385,19 @@ func (f *File) writeSpan(span stripe.Span, data []byte) error {
 	nodes := f.targets(sk)
 	skips := f.fs.replicaSkips(nodes)
 	errs := make([]error, len(nodes))
+	stats := make([]kvstore.OpStat, len(nodes))
 	attempt := func(i int) {
+		cls := f.fs.conns.class(nodes[i])
 		if skips != nil && skips[i] {
 			f.fs.stats.skippedReplicaWrites.Add(1)
 			errs[i] = fmt.Errorf("%w: %s", errNodeUnhealthy, nodes[i])
+			tr.phase(span.Index, nodes[i], cls, 0, 0, "skipped")
 			return
 		}
-		errs[i] = write(nodes[i])
+		errs[i] = write(nodes[i], &stats[i])
+		o.stripeHist("write", cls).Observe(stats[i].Dur)
+		tr.phase(span.Index, nodes[i], cls, stats[i].Attempts, stats[i].Dur,
+			phaseOutcome(errs[i], stats[i].Attempts))
 	}
 	if f.fs.pipeDepth <= 1 {
 		// Per-command mode: replicas go out one round trip at a time —
@@ -397,7 +416,38 @@ func (f *File) writeSpan(span stripe.Span, data []byte) error {
 	if degraded {
 		f.fs.enqueueRepair(f.path, sk, span.Index)
 	}
+	switch {
+	case err != nil:
+		o.outcome("write", "error").Inc()
+	case degraded:
+		o.outcome("write", "degraded").Inc()
+	case anyRetry(stats):
+		o.outcome("write", "retry").Inc()
+	default:
+		o.outcome("write", "ok").Inc()
+	}
 	return err
+}
+
+// phaseOutcome names a store op's result for a trace phase.
+func phaseOutcome(err error, attempts int) string {
+	switch {
+	case err != nil:
+		return "error"
+	case attempts > 1:
+		return "retry"
+	}
+	return "ok"
+}
+
+// anyRetry reports whether any op in the batch took more than one attempt.
+func anyRetry(stats []kvstore.OpStat) bool {
+	for _, st := range stats {
+		if st.Attempts > 1 {
+			return true
+		}
+	}
+	return false
 }
 
 // replicaSkips decides, per replica target, whether a write should skip
@@ -466,7 +516,7 @@ func (f *File) settleReplicaWrite(errs []error) (degraded bool, _ error) {
 // writeSpanErasure read-modify-writes the whole stripe: partial-stripe
 // updates under erasure coding are inherently RMW because every shard
 // depends on every data byte. sk is the raw stripe key.
-func (f *File) writeSpanErasure(sk string, span stripe.Span, data []byte) error {
+func (f *File) writeSpanErasure(tr *opTrace, sk string, span stripe.Span, data []byte) error {
 	curLen := f.layout.StripeLen(f.size, span.Index)
 	newLen := span.Offset + span.Length
 	if curLen > newLen {
@@ -474,7 +524,7 @@ func (f *File) writeSpanErasure(sk string, span stripe.Span, data []byte) error 
 	}
 	buf := make([]byte, newLen)
 	if curLen > 0 {
-		existing, err := f.readStripeErasure(sk, curLen)
+		existing, err := f.readStripeErasure(tr, sk, span.Index, curLen)
 		if err != nil && !errors.Is(err, ErrDataLoss) {
 			return err
 		}
@@ -488,8 +538,14 @@ func (f *File) writeSpanErasure(sk string, span stripe.Span, data []byte) error 
 	}
 	all := append(shards, parity...)
 	nodes := f.targets(sk)
+	o := f.fs.obs
 	writeShard := func(i int) error {
-		if err := f.put(nodes[i], shardKey(dataKey(sk), i), all[i]); err != nil {
+		var st kvstore.OpStat
+		err := f.put(nodes[i], shardKey(dataKey(sk), i), all[i], &st)
+		cls := f.fs.conns.class(nodes[i])
+		o.stripeHist("write", cls).Observe(st.Dur)
+		tr.phase(span.Index, nodes[i], cls, st.Attempts, st.Dur, phaseOutcome(err, st.Attempts))
+		if err != nil {
 			return fmt.Errorf("memfss: write shard %d of %s to %s: %w", i, sk, nodes[i], err)
 		}
 		return nil
@@ -506,8 +562,9 @@ func (f *File) writeSpanErasure(sk string, span stripe.Span, data []byte) error 
 }
 
 // get reads length bytes at offset from a node's key, throttled. ok is
-// false when the key is absent; err reports transport failures.
-func (f *File) get(nodeID, key string, off, length int64) ([]byte, bool, error) {
+// false when the key is absent; err reports transport failures. st, when
+// non-nil, receives the store op's attempt count and duration.
+func (f *File) get(nodeID, key string, off, length int64, st *kvstore.OpStat) ([]byte, bool, error) {
 	if err := f.fs.conns.throttle(nodeID).Take(length); err != nil {
 		return nil, false, err
 	}
@@ -515,21 +572,24 @@ func (f *File) get(nodeID, key string, off, length int64) ([]byte, bool, error) 
 	if err != nil {
 		return nil, false, err
 	}
-	return cli.GetRange(key, off, length)
+	return cli.GetRangeStat(key, off, length, st)
 }
 
 // readSpan fetches one span of one stripe, probing down the HRW order and
 // lazily repairing out-of-place stripes (paper §V-C).
-func (f *File) readSpan(span stripe.Span) ([]byte, error) {
+func (f *File) readSpan(tr *opTrace, span stripe.Span) ([]byte, error) {
 	f.fs.stats.stripeReads.Add(1)
 	sk := stripe.Key(f.rec.ID, span.Index)
 	key := dataKey(sk)
+	o := f.fs.obs
 	if f.coder != nil {
 		stripeLen := f.layout.StripeLen(f.size, span.Index)
-		buf, err := f.readStripeErasure(sk, stripeLen)
+		buf, err := f.readStripeErasure(tr, sk, span.Index, stripeLen)
 		if err != nil {
+			o.outcome("read", "error").Inc()
 			return nil, err
 		}
+		o.outcome("read", "ok").Inc()
 		out := make([]byte, span.Length)
 		if span.Offset < int64(len(buf)) {
 			copy(out, buf[span.Offset:])
@@ -552,30 +612,52 @@ func (f *File) readSpan(span stripe.Span) ([]byte, error) {
 	// actually reachable.
 	probe = f.fs.healthOrder(probe)
 	sawReachable := false
+	retried := false
 	for _, node := range probe {
-		data, ok, err := f.get(node, key, span.Offset, span.Length)
+		var st kvstore.OpStat
+		data, ok, err := f.get(node, key, span.Offset, span.Length, &st)
+		cls := f.fs.conns.class(node)
+		o.stripeHist("read", cls).Observe(st.Dur)
+		if st.Attempts > 1 {
+			retried = true
+		}
 		if err != nil {
+			tr.phase(span.Index, node, cls, st.Attempts, st.Dur, "error")
 			continue // unreachable or failed node: probe the next one
 		}
 		sawReachable = true
 		if !ok {
+			tr.phase(span.Index, node, cls, st.Attempts, st.Dur, "miss")
 			continue
 		}
 		if !containsString(primaries, node) {
+			tr.phase(span.Index, node, cls, st.Attempts, st.Dur, "deep")
 			f.fs.stats.deepProbes.Add(1)
 			f.repairStripe(key, node, primaries)
 			// A deep-probe miss is also repair-queue evidence: the stripe
 			// sits off its placement until the lazy move (above) or the
 			// background repairer restores it.
 			f.fs.enqueueRepair(f.path, sk, span.Index)
+			// A read served off its placement is a degraded read: correct
+			// bytes, wrong node, pending repair.
+			o.outcome("read", "degraded").Inc()
+		} else {
+			tr.phase(span.Index, node, cls, st.Attempts, st.Dur, phaseOutcome(nil, st.Attempts))
+			if retried {
+				o.outcome("read", "retry").Inc()
+			} else {
+				o.outcome("read", "ok").Inc()
+			}
 		}
 		return padTo(data, span.Length), nil
 	}
 	if !sawReachable {
+		o.outcome("read", "error").Inc()
 		return nil, fmt.Errorf("%w: %s (no reachable replica)", ErrDataLoss, key)
 	}
 	// Every reachable node reports the stripe absent: it is a hole
 	// (written sparsely or never written); holes read as zeros.
+	o.outcome("read", "ok").Inc()
 	return make([]byte, span.Length), nil
 }
 
@@ -593,7 +675,7 @@ func (f *File) repairStripe(key, from string, primaries []string) {
 		return
 	}
 	for _, node := range primaries {
-		if f.put(node, key, full) != nil {
+		if f.put(node, key, full, nil) != nil {
 			return // leave the stray copy in place if repair fails
 		}
 	}
@@ -604,16 +686,21 @@ func (f *File) repairStripe(key, from string, primaries []string) {
 // readStripeErasure gathers any k shards of a stripe and reconstructs its
 // bytes. A stripe with no shards anywhere reads as zeros (hole); fewer
 // than k reachable shards is data loss. sk is the raw stripe key.
-func (f *File) readStripeErasure(sk string, stripeLen int64) ([]byte, error) {
+func (f *File) readStripeErasure(tr *opTrace, sk string, idx, stripeLen int64) ([]byte, error) {
 	k, m := f.coder.K(), f.coder.M()
 	nodes := f.targets(sk)
 	shards := make([][]byte, k+m)
+	o := f.fs.obs
 	// Shards are equal-sized Splits of the stripe; the per-shard estimate
 	// meters the throttle before each transfer.
 	shardEst := (stripeLen + int64(k) - 1) / int64(k)
 	found, reachable := 0, 0
 	for i, node := range nodes {
-		data, ok, err := f.getFull(node, shardKey(dataKey(sk), i), shardEst)
+		var st kvstore.OpStat
+		data, ok, err := f.getFull(node, shardKey(dataKey(sk), i), shardEst, &st)
+		cls := f.fs.conns.class(node)
+		o.stripeHist("read", cls).Observe(st.Dur)
+		tr.phase(idx, node, cls, st.Attempts, st.Dur, phaseOutcome(err, st.Attempts))
 		if err != nil {
 			continue
 		}
@@ -652,7 +739,7 @@ func (f *File) readStripeErasure(sk string, stripeLen int64) ([]byte, error) {
 // the fact would let the bytes cross the wire unmetered, and a throttle
 // failure would turn an already-successful read into a phantom
 // unreachable-node error.
-func (f *File) getFull(nodeID, key string, length int64) ([]byte, bool, error) {
+func (f *File) getFull(nodeID, key string, length int64, st *kvstore.OpStat) ([]byte, bool, error) {
 	if err := f.fs.conns.throttle(nodeID).Take(length); err != nil {
 		return nil, false, err
 	}
@@ -660,7 +747,7 @@ func (f *File) getFull(nodeID, key string, length int64) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	return cli.Get(key)
+	return cli.GetStat(key, st)
 }
 
 func padTo(b []byte, n int64) []byte {

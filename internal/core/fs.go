@@ -10,6 +10,7 @@ import (
 	"memfss/internal/fsmeta"
 	"memfss/internal/health"
 	"memfss/internal/hrw"
+	"memfss/internal/obs"
 	"memfss/internal/stripe"
 )
 
@@ -30,6 +31,11 @@ type FileSystem struct {
 	writeQuorum int
 	stats       fsStats
 	closed      bool
+
+	// obsReg is the telemetry registry (nil with Obs.Disable); obs is the
+	// FileSystem-level telemetry bundle on top of it (nil when disabled).
+	obsReg *obs.Registry
+	obs    *fsObs
 
 	// detector/prober are the node-health subsystem (nil when disabled);
 	// repairs is the targeted repair queue (nil when disabled).
@@ -59,12 +65,21 @@ func New(cfg Config) (*FileSystem, error) {
 		retry.OpTimeout = cfg.DialTimeout
 	}
 	conns := newConnPool(cfg.Password, cfg.DialTimeout, cfg.PoolSize, retry)
+	var reg *obs.Registry
+	if !cfg.Obs.Disable {
+		reg = cfg.Obs.Registry
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		conns.metrics = reg
+	}
 	var detector *health.Detector
 	if !cfg.Health.Disable {
 		detector = health.New(health.Options{
 			SuspectAfter: cfg.Health.SuspectAfter,
 			DownAfter:    cfg.Health.DownAfter,
 			UpAfter:      cfg.Health.UpAfter,
+			Metrics:      reg,
 		})
 		// Passive evidence: every client operation's final outcome flows
 		// here via the kvstore Observer. Only transport-class failures
@@ -116,7 +131,12 @@ func New(cfg Config) (*FileSystem, error) {
 		ioPar:       ioPar,
 		pipeDepth:   pipeDepth,
 		writeQuorum: quorum,
+		stats:       newFSStats(reg),
 		detector:    detector,
+		obsReg:      reg,
+	}
+	if reg != nil {
+		fs.obs = newFSObs(reg, cfg.Obs)
 	}
 	for _, id := range ownIDs {
 		cli, err := conns.client(id)

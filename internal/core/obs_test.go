@@ -1,0 +1,274 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"memfss/internal/obs"
+)
+
+func withObs(pol ObsPolicy) deployOpt {
+	return func(c *Config) { c.Obs = pol }
+}
+
+// findFamily returns the snapshot of one family, or nil.
+func findFamily(fams []obs.FamilySnapshot, name string) *obs.FamilySnapshot {
+	for i := range fams {
+		if fams[i].Name == name {
+			return &fams[i]
+		}
+	}
+	return nil
+}
+
+// familyTotal sums a counter family's series, or a histogram family's
+// observation counts.
+func familyTotal(fams []obs.FamilySnapshot, name string) int64 {
+	f := findFamily(fams, name)
+	if f == nil {
+		return 0
+	}
+	var total int64
+	for _, s := range f.Series {
+		if f.Kind == obs.KindHistogram {
+			total += s.Count
+		} else {
+			total += int64(s.Value)
+		}
+	}
+	return total
+}
+
+// TestFSMetricsEndToEnd drives writes and reads through a replicated
+// deployment and checks that the registry's families — kvstore and core
+// alike — saw them.
+func TestFSMetricsEndToEnd(t *testing.T) {
+	d := newTestFS(t, 2, 2, withRedundancy(Redundancy{Mode: RedundancyReplicate, Replicas: 2, WriteQuorum: 1}))
+	data := randomBytes(7, 50_000)
+	if err := d.fs.WriteFile("/obs", data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.fs.ReadFile("/obs"); err != nil {
+		t.Fatal(err)
+	}
+	fams := d.fs.Metrics()
+	if fams == nil {
+		t.Fatal("Metrics() = nil with telemetry enabled")
+	}
+	// One system, not two: the registry and Counters read the same numbers.
+	c := d.fs.Counters()
+	bytesF := findFamily(fams, "memfss_fs_bytes_total")
+	if bytesF == nil {
+		t.Fatal("memfss_fs_bytes_total family missing")
+	}
+	if s := bytesF.Find(obs.L("op", "write")); s == nil || int64(s.Value) != c.BytesWritten {
+		t.Fatalf("bytes_total{op=write} = %v, Counters().BytesWritten = %d", s, c.BytesWritten)
+	}
+	if got := int64(50_000); c.BytesWritten != got {
+		t.Fatalf("BytesWritten = %d, want %d", c.BytesWritten, got)
+	}
+	for _, name := range []string{
+		"memfss_kvstore_ops_total",
+		"memfss_kvstore_attempt_seconds",
+		"memfss_fs_op_seconds",
+		"memfss_fs_stripe_ops_total",
+		"memfss_fs_span_outcomes_total",
+	} {
+		if familyTotal(fams, name) == 0 {
+			t.Errorf("family %s saw no activity", name)
+		}
+	}
+	// End-to-end op histograms: one write op, one read op.
+	opsF := findFamily(fams, "memfss_fs_op_seconds")
+	if s := opsF.Find(obs.L("op", "write")); s == nil || s.Count != 1 {
+		t.Fatalf("op_seconds{op=write} = %+v, want 1 observation", s)
+	}
+	if s := opsF.Find(obs.L("op", "read")); s == nil || s.Count != 1 {
+		t.Fatalf("op_seconds{op=read} = %+v, want 1 observation", s)
+	}
+	// kvstore ops carry node and class labels from the pool.
+	kvF := findFamily(fams, "memfss_kvstore_ops_total")
+	foundVictim := false
+	for _, s := range kvF.Series {
+		if s.Labels.Get("class") == "victim" && s.Value > 0 {
+			foundVictim = true
+		}
+	}
+	if !foundVictim {
+		t.Error("no kvstore ops recorded against victim-class nodes")
+	}
+}
+
+// TestSlowOpLog pins the acceptance criterion for tracing: with a
+// threshold every op exceeds, the structured line names the trace ID,
+// op, and per-phase node/class/attempt/duration detail.
+func TestSlowOpLog(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	d := newTestFS(t, 2, 2, withObs(ObsPolicy{
+		SlowOpThreshold: 1, // 1ns: everything is slow
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	}))
+	if err := d.fs.WriteFile("/slow", randomBytes(1, 20_000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.fs.ReadFile("/slow"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) == 0 {
+		t.Fatal("no slow-op lines logged at 1ns threshold")
+	}
+	var sawWrite bool
+	for _, ln := range lines {
+		if !strings.Contains(ln, "slow-op trace=") {
+			t.Fatalf("line missing trace ID: %q", ln)
+		}
+		if !strings.Contains(ln, "phases=[") || !strings.Contains(ln, "att=") {
+			t.Fatalf("line missing per-phase detail: %q", ln)
+		}
+		if strings.Contains(ln, "op=write path=/slow") {
+			sawWrite = true
+			if !strings.Contains(ln, "bytes=20000") {
+				t.Fatalf("write line missing byte count: %q", ln)
+			}
+		}
+	}
+	if !sawWrite {
+		t.Fatalf("no slow-op line for the write; got %q", lines)
+	}
+	fams := d.fs.Metrics()
+	if findFamily(fams, "memfss_fs_slow_ops_total") == nil || familyTotal(fams, "memfss_fs_slow_ops_total") == 0 {
+		t.Error("memfss_fs_slow_ops_total did not count the slow ops")
+	}
+}
+
+// TestObsDisabled checks the kill switch: no registry, no snapshot, and
+// the Counters surface still works.
+func TestObsDisabled(t *testing.T) {
+	d := newTestFS(t, 1, 1, withObs(ObsPolicy{Disable: true}))
+	if err := d.fs.WriteFile("/off", randomBytes(2, 9_000)); err != nil {
+		t.Fatal(err)
+	}
+	if d.fs.ObsRegistry() != nil {
+		t.Fatal("ObsRegistry() non-nil with Obs.Disable")
+	}
+	if d.fs.Metrics() != nil {
+		t.Fatal("Metrics() non-nil with Obs.Disable")
+	}
+	if c := d.fs.Counters(); c.BytesWritten != 9_000 {
+		t.Fatalf("BytesWritten = %d with telemetry disabled, want 9000", c.BytesWritten)
+	}
+}
+
+// TestMetricsFamilyCoverage pins the exposition acceptance criterion: a
+// live deployment's registry renders valid Prometheus text declaring at
+// least 12 metric families, spanning the kvstore client, the data path,
+// the failure detector, and the repair queue.
+func TestMetricsFamilyCoverage(t *testing.T) {
+	d := newTestFS(t, 2, 2, withRedundancy(Redundancy{Mode: RedundancyReplicate, Replicas: 2, WriteQuorum: 1}))
+	if err := d.fs.WriteFile("/cov", randomBytes(11, 30_000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.fs.ReadFile("/cov"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.fs.ObsRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	page, err := obs.ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Types) < 12 {
+		t.Fatalf("exposition declares %d families, want >= 12", len(page.Types))
+	}
+	subsystems := map[string]bool{}
+	for name := range page.Types {
+		for _, prefix := range []string{"memfss_kvstore_", "memfss_fs_", "memfss_health_", "memfss_repair_"} {
+			if strings.HasPrefix(name, prefix) {
+				subsystems[prefix] = true
+			}
+		}
+	}
+	for _, prefix := range []string{"memfss_kvstore_", "memfss_fs_", "memfss_health_", "memfss_repair_"} {
+		if !subsystems[prefix] {
+			t.Errorf("no %s* family in the exposition", prefix)
+		}
+	}
+	// The page must parse back to the same sample set it was written
+	// from: every declared family has a TYPE the parser understood.
+	for name, typ := range page.Types {
+		switch typ {
+		case "counter", "gauge", "histogram":
+		default:
+			t.Errorf("family %s has unexpected TYPE %q", name, typ)
+		}
+	}
+}
+
+// benchWriteObs measures write throughput with the given telemetry
+// policy; comparing the On/Off variants bounds the instrumentation
+// overhead on the per-stripe hot path (acceptance budget: <= 5%).
+func benchWriteObs(b *testing.B, pol ObsPolicy) {
+	const password = "bench-secret"
+	own, err := StartLocalStores(1, "own", password, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(own.Close)
+	victims, err := StartLocalStores(2, "victim", password, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(victims.Close)
+	fs, err := New(Config{
+		Classes: []ClassSpec{
+			{Name: "own", Nodes: own.Nodes},
+			{Name: "victim", Nodes: victims.Nodes, Victim: true},
+		},
+		StripeSize: 16 << 10,
+		Password:   password,
+		Obs:        pol,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { fs.Close() })
+	payload := randomBytes(17, 256<<10) // 16 stripes per write
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fs.WriteFile(fmt.Sprintf("/bench-%d", i%32), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteTelemetryOn(b *testing.B)  { benchWriteObs(b, ObsPolicy{}) }
+func BenchmarkWriteTelemetryOff(b *testing.B) { benchWriteObs(b, ObsPolicy{Disable: true}) }
+
+// TestSharedRegistry checks that an embedder-provided registry receives
+// the FileSystem's families (the memfsd gateway wiring).
+func TestSharedRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	d := newTestFS(t, 1, 1, withObs(ObsPolicy{Registry: reg}))
+	if err := d.fs.WriteFile("/shared", randomBytes(3, 4_096)); err != nil {
+		t.Fatal(err)
+	}
+	if d.fs.ObsRegistry() != reg {
+		t.Fatal("FileSystem did not adopt the provided registry")
+	}
+	if familyTotal(reg.Snapshot(), "memfss_fs_bytes_total") == 0 {
+		t.Fatal("provided registry saw no fs activity")
+	}
+}

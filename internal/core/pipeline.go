@@ -49,8 +49,11 @@ func splitBursts(perNode map[string][]spanCmd, nodeOrder []string, depth int) []
 }
 
 // runBurst throttles and ships one burst, handing each command's reply
-// (or the burst-level transport error) to done.
-func (f *File) runBurst(nb nodeBurst, done func(c spanCmd, r *kvstore.Reply, err error)) {
+// (or the burst-level transport error) to done. The burst lands in the
+// trace as one phase (stripe -1): per-stripe attribution inside a wire
+// pipeline is meaningless, but the node, class, attempt count, and burst
+// duration are exactly what a slow multi-stripe op needs named.
+func (f *File) runBurst(tr *opTrace, nb nodeBurst, done func(c spanCmd, r *kvstore.Reply, err error)) {
 	cli, err := f.fs.conns.client(nb.node)
 	if err == nil {
 		var total int64
@@ -60,6 +63,7 @@ func (f *File) runBurst(nb nodeBurst, done func(c spanCmd, r *kvstore.Reply, err
 		err = f.fs.conns.throttle(nb.node).Take(total)
 	}
 	if err != nil {
+		tr.phase(-1, nb.node, f.fs.conns.class(nb.node), 0, 0, "error")
 		for _, c := range nb.cmds {
 			done(c, nil, err)
 		}
@@ -69,7 +73,10 @@ func (f *File) runBurst(nb nodeBurst, done func(c spanCmd, r *kvstore.Reply, err
 	for _, c := range nb.cmds {
 		pl.Do(c.args...)
 	}
-	replies, err := pl.Run()
+	var st kvstore.OpStat
+	replies, err := pl.RunStat(&st)
+	tr.phase(-1, nb.node, f.fs.conns.class(nb.node), st.Attempts, st.Dur,
+		phaseOutcome(err, st.Attempts))
 	if err != nil {
 		for _, c := range nb.cmds {
 			done(c, nil, err)
@@ -88,7 +95,7 @@ func (f *File) runBurst(nb nodeBurst, done func(c spanCmd, r *kvstore.Reply, err
 // attempted, store-level errors fail the span, and transport-only
 // failures downgrade to degraded success when writeQuorum replicas
 // landed.
-func (f *File) writeSpansPipelined(spans []stripe.Span, starts []int, p []byte) (int, error) {
+func (f *File) writeSpansPipelined(tr *opTrace, spans []stripe.Span, starts []int, p []byte) (int, error) {
 	perNode := make(map[string][]spanCmd)
 	var nodeOrder []string
 	replicas := make([]int, len(spans))
@@ -151,7 +158,7 @@ func (f *File) writeSpansPipelined(spans []stripe.Span, starts []int, p []byte) 
 	}
 	_ = fanoutN(f.fs.ioPar, len(bursts), func(k int) error {
 		nb := bursts[k]
-		f.runBurst(nb, func(c spanCmd, r *kvstore.Reply, err error) {
+		f.runBurst(tr, nb, func(c spanCmd, r *kvstore.Reply, err error) {
 			if err != nil {
 				fail(c.span, fmt.Errorf("memfss: pipeline to %s: %w", nb.node, err))
 				return
@@ -163,6 +170,7 @@ func (f *File) writeSpansPipelined(spans []stripe.Span, starts []int, p []byte) 
 		})
 		return nil
 	})
+	fsObs := f.fs.obs
 	for i := range spans {
 		o := outcomes[i]
 		// Detector-skipped replicas count as transport failures for the
@@ -172,11 +180,13 @@ func (f *File) writeSpansPipelined(spans []stripe.Span, starts []int, p []byte) 
 		var err error
 		switch {
 		case failed == 0:
+			fsObs.outcome("write", "ok").Inc()
 		case o.storeErr != nil:
 			err = o.storeErr
 		case replicas[i] > 1 && replicas[i]-failed >= f.fs.writeQuorum:
 			f.fs.stats.degradedWrites.Add(1)
 			f.fs.enqueueRepair(f.path, sks[i], spans[i].Index)
+			fsObs.outcome("write", "degraded").Inc()
 		default:
 			err = o.transErr
 			if err == nil {
@@ -186,6 +196,7 @@ func (f *File) writeSpansPipelined(spans []stripe.Span, starts []int, p []byte) 
 			}
 		}
 		if err != nil {
+			fsObs.outcome("write", "error").Inc()
 			return i, err
 		}
 	}
@@ -199,7 +210,7 @@ func (f *File) writeSpansPipelined(spans []stripe.Span, starts []int, p []byte) 
 // keeps the lazy-repair semantics of paper §V-C intact. Returns the
 // leading-success count and the first error in span order, like
 // runSpans.
-func (f *File) readSpansPipelined(spans []stripe.Span, starts []int, p []byte) (int, error) {
+func (f *File) readSpansPipelined(tr *opTrace, spans []stripe.Span, starts []int, p []byte) (int, error) {
 	perNode := make(map[string][]spanCmd)
 	var nodeOrder []string
 	for i, span := range spans {
@@ -222,7 +233,7 @@ func (f *File) readSpansPipelined(spans []stripe.Span, starts []int, p []byte) (
 	// write disjoint done entries and disjoint regions of p.
 	done := make([]bool, len(spans))
 	_ = fanoutN(f.fs.ioPar, len(bursts), func(k int) error {
-		f.runBurst(bursts[k], func(c spanCmd, r *kvstore.Reply, err error) {
+		f.runBurst(tr, bursts[k], func(c spanCmd, r *kvstore.Reply, err error) {
 			if err != nil || r.Err() != nil || r.Nil {
 				return // stray, hole, or store trouble: the probe decides
 			}
@@ -237,6 +248,7 @@ func (f *File) readSpansPipelined(spans []stripe.Span, starts []int, p []byte) (
 	for i := range spans {
 		if done[i] {
 			f.fs.stats.stripeReads.Add(1)
+			f.fs.obs.outcome("read", "ok").Inc()
 		} else {
 			fallback = append(fallback, i)
 		}
@@ -245,7 +257,7 @@ func (f *File) readSpansPipelined(spans []stripe.Span, starts []int, p []byte) (
 	if len(fallback) > 0 {
 		_ = fanoutN(f.fs.ioPar, len(fallback), func(k int) error {
 			i := fallback[k]
-			data, err := f.readSpan(spans[i])
+			data, err := f.readSpan(tr, spans[i])
 			if err != nil {
 				errs[i] = err
 				return nil

@@ -2,10 +2,10 @@ package core
 
 import (
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"memfss/internal/health"
+	"memfss/internal/obs"
 )
 
 // This file implements the targeted repair queue: instead of waiting for
@@ -23,6 +23,9 @@ type repairUnit struct {
 	path string
 	sk   string // raw stripe key ("<fileID>#<idx>")
 	idx  int64
+	// enqueuedAt is when the unit first entered the queue; the interval to
+	// its successful repair is the time-to-restored-redundancy metric.
+	enqueuedAt time.Time
 }
 
 func (u repairUnit) key() string { return u.path + "#" + u.sk }
@@ -81,8 +84,14 @@ type repairQueue struct {
 	wg        sync.WaitGroup
 	cancelSub func()
 
-	enqueued, repaired, restored, unrepairable atomic.Int64
-	overflows, fullScrubs                      atomic.Int64
+	// Activity counters live on the FileSystem's registry when telemetry
+	// is enabled (standalone otherwise), so RepairStats and /metrics read
+	// the same numbers.
+	enqueued, repaired, restored, unrepairable *obs.Counter
+	overflows, fullScrubs                      *obs.Counter
+	// waitHist is time-to-restored-redundancy: enqueue to successful
+	// repair, on the slow (1ms-10min) bucket scale.
+	waitHist *obs.Histogram
 }
 
 func newRepairQueue(fs *FileSystem, pol RepairPolicy) *repairQueue {
@@ -95,13 +104,46 @@ func newRepairQueue(fs *FileSystem, pol RepairPolicy) *repairQueue {
 	if pol.Interval == 0 {
 		pol.Interval = 10 * time.Millisecond
 	}
-	return &repairQueue{
+	reg := fs.obsReg
+	const unitsHelp = "Repair-queue units by final outcome."
+	q := &repairQueue{
 		fs:     fs,
 		pol:    pol,
 		seen:   make(map[string]bool),
 		kickCh: make(chan struct{}, 1),
 		stopCh: make(chan struct{}),
+		enqueued: counterOr(reg, "memfss_repair_enqueued_total",
+			"Units accepted into the targeted repair queue.", nil),
+		repaired:     counterOr(reg, "memfss_repair_units_total", unitsHelp, obs.L("outcome", "repaired")),
+		unrepairable: counterOr(reg, "memfss_repair_units_total", unitsHelp, obs.L("outcome", "unrepairable")),
+		restored: counterOr(reg, "memfss_repair_restored_total",
+			"Replica copies or shards rewritten by the repair queue.", nil),
+		overflows: counterOr(reg, "memfss_repair_overflows_total",
+			"Enqueues rejected by a full queue (each arms a catch-all Scrub).", nil),
+		fullScrubs: counterOr(reg, "memfss_repair_full_scrubs_total",
+			"Catch-all full Scrub passes triggered by queue overflow.", nil),
 	}
+	if reg != nil {
+		q.waitHist = reg.Histogram("memfss_repair_wait_seconds",
+			"Time from enqueue to restored redundancy.", nil, obs.DefSlowBuckets)
+		const depthHelp = "Current repair backlog by state."
+		reg.Gauge("memfss_repair_queue_depth", depthHelp, obs.L("state", "queued"), func() float64 {
+			q.mu.Lock()
+			defer q.mu.Unlock()
+			return float64(len(q.active))
+		})
+		reg.Gauge("memfss_repair_queue_depth", depthHelp, obs.L("state", "parked"), func() float64 {
+			q.mu.Lock()
+			defer q.mu.Unlock()
+			return float64(len(q.parked))
+		})
+		reg.Gauge("memfss_repair_queue_depth", depthHelp, obs.L("state", "in_flight"), func() float64 {
+			q.mu.Lock()
+			defer q.mu.Unlock()
+			return float64(q.inFlight)
+		})
+	}
+	return q
 }
 
 func (q *repairQueue) start() {
@@ -135,7 +177,7 @@ func (q *repairQueue) kick() {
 // Duplicates of units already queued or parked are dropped; a full queue
 // trips the overflow path (one full Scrub owed) instead of growing.
 func (q *repairQueue) enqueue(path, sk string, idx int64) {
-	u := repairUnit{path: path, sk: sk, idx: idx}
+	u := repairUnit{path: path, sk: sk, idx: idx, enqueuedAt: time.Now()}
 	q.mu.Lock()
 	if q.seen[u.key()] {
 		q.mu.Unlock()
@@ -322,6 +364,9 @@ func (q *repairQueue) repairOne(u repairUnit) {
 		q.park(u, out.pending)
 	default:
 		q.repaired.Add(1)
+		if !u.enqueuedAt.IsZero() {
+			q.waitHist.Observe(time.Since(u.enqueuedAt))
+		}
 	}
 }
 
@@ -348,12 +393,12 @@ func (q *repairQueue) stats() RepairStats {
 	queued, parked, inFlight := len(q.active), len(q.parked), q.inFlight
 	q.mu.Unlock()
 	return RepairStats{
-		Enqueued:     q.enqueued.Load(),
-		Repaired:     q.repaired.Load(),
-		Restored:     q.restored.Load(),
-		Unrepairable: q.unrepairable.Load(),
-		Overflows:    q.overflows.Load(),
-		FullScrubs:   q.fullScrubs.Load(),
+		Enqueued:     q.enqueued.Value(),
+		Repaired:     q.repaired.Value(),
+		Restored:     q.restored.Value(),
+		Unrepairable: q.unrepairable.Value(),
+		Overflows:    q.overflows.Value(),
+		FullScrubs:   q.fullScrubs.Value(),
 		Queued:       queued,
 		Parked:       parked,
 		InFlight:     inFlight,

@@ -120,6 +120,10 @@ func (fs *FileSystem) EvacuateNode(nodeID string) error {
 	if err := fs.rehomeKeys(nodeID, keys); err != nil {
 		return err
 	}
+	if fs.obs != nil {
+		fs.obs.evacKeys.Add(int64(len(keys)))
+		fs.obs.evacs.Inc()
+	}
 	if err := cli.FlushAll(); err != nil {
 		return err
 	}

@@ -126,6 +126,9 @@ func (fs *FileSystem) scrubFile(path string, rec *fsmeta.FileRecord, rep *ScrubR
 	count := layout.Count(rec.Size)
 	for idx := int64(0); idx < count; idx++ {
 		rep.StripesChecked++
+		if fs.obs != nil {
+			fs.obs.scrubChk.Inc()
+		}
 		sk := stripe.Key(rec.ID, idx)
 		var out fixOutcome
 		switch {
@@ -139,6 +142,9 @@ func (fs *FileSystem) scrubFile(path string, rec *fsmeta.FileRecord, rep *ScrubR
 			continue
 		}
 		rep.Restored += out.restored
+		if fs.obs != nil {
+			fs.obs.scrubRest.Add(int64(out.restored))
+		}
 		if out.reason != "" {
 			rep.Unrepairable = append(rep.Unrepairable,
 				fmt.Sprintf("%s#%s: %s", path, sk, out.reason))

@@ -1,17 +1,55 @@
 package core
 
-import "sync/atomic"
+import "memfss/internal/obs"
 
-// fsStats instruments the data path with atomic counters.
+// fsStats instruments the data path. Since PR 4 the counters are
+// internal/obs counters rather than raw atomics: with telemetry enabled
+// they are registered series on the FileSystem's registry (so /metrics
+// and Counters() read the same numbers — one metrics system, not two);
+// with telemetry disabled they are standalone obs counters, keeping
+// Counters() functional at the same per-observation cost as before.
 type fsStats struct {
-	bytesWritten   atomic.Int64
-	bytesRead      atomic.Int64
-	stripeWrites   atomic.Int64
-	stripeReads    atomic.Int64
-	deepProbes           atomic.Int64
-	repairs              atomic.Int64
-	degradedWrites       atomic.Int64
-	skippedReplicaWrites atomic.Int64
+	bytesWritten         *obs.Counter
+	bytesRead            *obs.Counter
+	stripeWrites         *obs.Counter
+	stripeReads          *obs.Counter
+	deepProbes           *obs.Counter
+	repairs              *obs.Counter
+	degradedWrites       *obs.Counter
+	skippedReplicaWrites *obs.Counter
+}
+
+// counterOr resolves a registered counter, or a standalone one when the
+// registry is nil — for counters that must keep counting (the Counters()
+// surface) even with telemetry disabled.
+func counterOr(reg *obs.Registry, name, help string, labels obs.Labels) *obs.Counter {
+	if reg == nil {
+		return obs.NewCounter()
+	}
+	return reg.Counter(name, help, labels)
+}
+
+// newFSStats wires the data-path counters, registering them on reg when
+// telemetry is enabled.
+func newFSStats(reg *obs.Registry) fsStats {
+	return fsStats{
+		bytesWritten: counterOr(reg, "memfss_fs_bytes_total",
+			"Payload bytes moved through the file-system client.", obs.L("op", "write")),
+		bytesRead: counterOr(reg, "memfss_fs_bytes_total",
+			"Payload bytes moved through the file-system client.", obs.L("op", "read")),
+		stripeWrites: counterOr(reg, "memfss_fs_stripe_ops_total",
+			"Span-level store operations.", obs.L("op", "write")),
+		stripeReads: counterOr(reg, "memfss_fs_stripe_ops_total",
+			"Span-level store operations.", obs.L("op", "read")),
+		deepProbes: counterOr(reg, "memfss_fs_deep_probes_total",
+			"Reads that had to look beyond the primary placement.", nil),
+		repairs: counterOr(reg, "memfss_fs_lazy_repairs_total",
+			"Stripes lazily moved back to their primary node by reads.", nil),
+		degradedWrites: counterOr(reg, "memfss_fs_degraded_writes_total",
+			"Replicated span writes that succeeded with fewer than all replicas.", nil),
+		skippedReplicaWrites: counterOr(reg, "memfss_fs_skipped_replica_writes_total",
+			"Replica targets skipped because the failure detector judged them Suspect or Down.", nil),
+	}
 }
 
 // Counters is a snapshot of a FileSystem's data-path activity.
@@ -51,15 +89,27 @@ type Counters struct {
 func (fs *FileSystem) Counters() Counters {
 	ops, attempts := fs.conns.opTotals()
 	return Counters{
-		BytesWritten:   fs.stats.bytesWritten.Load(),
-		BytesRead:      fs.stats.bytesRead.Load(),
-		StripeWrites:   fs.stats.stripeWrites.Load(),
-		StripeReads:    fs.stats.stripeReads.Load(),
-		DeepProbes:     fs.stats.deepProbes.Load(),
-		Repairs:        fs.stats.repairs.Load(),
-		DegradedWrites:       fs.stats.degradedWrites.Load(),
-		SkippedReplicaWrites: fs.stats.skippedReplicaWrites.Load(),
+		BytesWritten:         fs.stats.bytesWritten.Value(),
+		BytesRead:            fs.stats.bytesRead.Value(),
+		StripeWrites:         fs.stats.stripeWrites.Value(),
+		StripeReads:          fs.stats.stripeReads.Value(),
+		DeepProbes:           fs.stats.deepProbes.Value(),
+		Repairs:              fs.stats.repairs.Value(),
+		DegradedWrites:       fs.stats.degradedWrites.Value(),
+		SkippedReplicaWrites: fs.stats.skippedReplicaWrites.Value(),
 		StoreOps:             ops,
 		StoreAttempts:        attempts,
 	}
 }
+
+// Metrics snapshots the FileSystem's full telemetry registry (every
+// family: core, kvstore, health, repair), or nil when telemetry is
+// disabled. For Prometheus text exposition use ObsRegistry with
+// obs.Handler / WritePrometheus.
+func (fs *FileSystem) Metrics() []obs.FamilySnapshot {
+	return fs.obsReg.Snapshot()
+}
+
+// ObsRegistry returns the telemetry registry (nil when disabled) so
+// embedders like memfsd can serve it or fold their own families in.
+func (fs *FileSystem) ObsRegistry() *obs.Registry { return fs.obsReg }

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memfss/internal/obs"
+)
+
+// This file holds the FileSystem-level telemetry beyond plain counters:
+// end-to-end and per-stripe latency histograms, span outcome counters,
+// and per-operation tracing. Each WriteAt/ReadAt carries an optional
+// *opTrace down through its spans to the retry layer; phases record
+// which node served which stripe, in which class, with how many
+// connection attempts, and how long it took. Operations slower than the
+// configured threshold emit one structured log line naming all of it —
+// the "where did my write spend its time" answer the paper's
+// per-node-class evaluation needs.
+
+// fsObs bundles the telemetry the FileSystem only has when the obs layer
+// is enabled. A nil *fsObs (telemetry disabled) no-ops everywhere.
+type fsObs struct {
+	reg *obs.Registry
+
+	writeSeconds *obs.Histogram // memfss_fs_op_seconds{op="write"}
+	readSeconds  *obs.Histogram // memfss_fs_op_seconds{op="read"}
+
+	// Per-stripe store-operation latency split by node class — the
+	// own-vs-victim distribution behind the paper's Figures 5-9.
+	stripeWriteOwn    *obs.Histogram
+	stripeWriteVictim *obs.Histogram
+	stripeReadOwn     *obs.Histogram
+	stripeReadVictim  *obs.Histogram
+
+	outcomes  sync.Map // "op/outcome" -> *obs.Counter (memfss_fs_span_outcomes_total)
+	slowOps   sync.Map // op -> *obs.Counter (memfss_fs_slow_ops_total)
+	slowThr   time.Duration
+	logf      func(format string, args ...any)
+	evacKeys  *obs.Counter
+	evacs     *obs.Counter
+	scrubChk  *obs.Counter
+	scrubRest *obs.Counter
+}
+
+// newFSObs builds the enabled-telemetry bundle; reg must be non-nil.
+func newFSObs(reg *obs.Registry, pol ObsPolicy) *fsObs {
+	const opHelp = "End-to-end WriteAt/ReadAt latency."
+	const stripeHelp = "Per-stripe store operation latency by node class."
+	o := &fsObs{
+		reg:          reg,
+		writeSeconds: reg.Histogram("memfss_fs_op_seconds", opHelp, obs.L("op", "write"), nil),
+		readSeconds:  reg.Histogram("memfss_fs_op_seconds", opHelp, obs.L("op", "read"), nil),
+		stripeWriteOwn: reg.Histogram("memfss_fs_stripe_seconds", stripeHelp,
+			obs.L("op", "write", "class", "own"), nil),
+		stripeWriteVictim: reg.Histogram("memfss_fs_stripe_seconds", stripeHelp,
+			obs.L("op", "write", "class", "victim"), nil),
+		stripeReadOwn: reg.Histogram("memfss_fs_stripe_seconds", stripeHelp,
+			obs.L("op", "read", "class", "own"), nil),
+		stripeReadVictim: reg.Histogram("memfss_fs_stripe_seconds", stripeHelp,
+			obs.L("op", "read", "class", "victim"), nil),
+		evacKeys: reg.Counter("memfss_fs_evacuated_keys_total",
+			"Data keys drained off evacuating victim nodes.", nil),
+		evacs: reg.Counter("memfss_fs_evacuations_total",
+			"Victim node evacuations completed.", nil),
+		scrubChk: reg.Counter("memfss_scrub_stripes_checked_total",
+			"Stripe inspections by Scrub/RepairFile passes.", nil),
+		scrubRest: reg.Counter("memfss_scrub_restored_total",
+			"Replica copies or shards rewritten by Scrub/RepairFile passes.", nil),
+		slowThr: pol.SlowOpThreshold,
+		logf:    pol.Logf,
+	}
+	if o.slowThr == 0 {
+		o.slowThr = time.Second
+	}
+	if o.logf == nil {
+		o.logf = log.Printf
+	}
+	// Pre-register the outcome and slow-op families so /metrics shows
+	// them before any traffic.
+	o.outcome("write", "ok")
+	o.outcome("read", "ok")
+	o.slowCounter("write")
+	o.slowCounter("read")
+	return o
+}
+
+// stripeHist resolves the per-stripe histogram for an op ("write"/"read")
+// and class; nil-safe on a nil receiver.
+func (o *fsObs) stripeHist(op, class string) *obs.Histogram {
+	if o == nil {
+		return nil
+	}
+	if op == "write" {
+		if class == "victim" {
+			return o.stripeWriteVictim
+		}
+		return o.stripeWriteOwn
+	}
+	if class == "victim" {
+		return o.stripeReadVictim
+	}
+	return o.stripeReadOwn
+}
+
+// outcome resolves (registering lazily) the span-outcome counter for
+// op in write|read and outcome in ok|retry|degraded|error|deep.
+func (o *fsObs) outcome(op, outcome string) *obs.Counter {
+	if o == nil {
+		return nil
+	}
+	key := op + "/" + outcome
+	if c, ok := o.outcomes.Load(key); ok {
+		return c.(*obs.Counter)
+	}
+	c := o.reg.Counter("memfss_fs_span_outcomes_total",
+		"Span-level results of WriteAt/ReadAt stripe operations.",
+		obs.L("op", op, "outcome", outcome))
+	o.outcomes.Store(key, c)
+	return c
+}
+
+func (o *fsObs) slowCounter(op string) *obs.Counter {
+	if o == nil {
+		return nil
+	}
+	if c, ok := o.slowOps.Load(op); ok {
+		return c.(*obs.Counter)
+	}
+	c := o.reg.Counter("memfss_fs_slow_ops_total",
+		"Operations that exceeded the slow-op threshold.", obs.L("op", op))
+	o.slowOps.Store(op, c)
+	return c
+}
+
+// --- per-operation tracing --------------------------------------------------
+
+// traceBase ^ traceSeq yields process-unique trace IDs without a lock;
+// the random base keeps IDs from colliding across processes in a
+// multi-client deployment's merged logs.
+var (
+	traceBase = rand.Uint64()
+	traceSeq  atomic.Uint64
+)
+
+// tracePhase is one recorded step of an operation: a stripe-level store
+// op (or a whole pipeline burst when stripe is -1).
+type tracePhase struct {
+	stripe   int64 // stripe index, -1 for a multi-stripe burst
+	node     string
+	class    string
+	attempts int
+	dur      time.Duration
+	outcome  string // ok | retry | deep | error | skipped | miss
+}
+
+// opTrace accumulates the phases of one WriteAt/ReadAt. All methods are
+// nil-safe: a nil trace (telemetry or slow-op logging disabled) costs
+// one branch per call site.
+type opTrace struct {
+	id    uint64
+	op    string
+	path  string
+	off   int64
+	bytes int
+
+	start  time.Time
+	mu     sync.Mutex
+	phases []tracePhase
+}
+
+// tracePhaseCap bounds the phases kept per operation: a huge write's
+// trace stays useful (and cheap) by keeping the head and letting finish
+// report the slowest phases.
+const tracePhaseCap = 256
+
+// newTrace starts a trace for one operation, or nil when telemetry is off.
+func (fs *FileSystem) newTrace(op, path string, off int64, n int) *opTrace {
+	if fs.obs == nil {
+		return nil
+	}
+	return &opTrace{
+		id:    traceBase ^ traceSeq.Add(1),
+		op:    op,
+		path:  path,
+		off:   off,
+		bytes: n,
+		start: time.Now(),
+	}
+}
+
+// phase records one step; drops silently past the cap.
+func (t *opTrace) phase(stripe int64, node, class string, attempts int, dur time.Duration, outcome string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.phases) < tracePhaseCap {
+		t.phases = append(t.phases, tracePhase{
+			stripe: stripe, node: node, class: class,
+			attempts: attempts, dur: dur, outcome: outcome,
+		})
+	}
+	t.mu.Unlock()
+}
+
+// finishTrace closes the trace: observe the end-to-end histogram and,
+// when the operation exceeded the slow threshold, emit the structured
+// slow-op line. spans is the operation's span count (phases may exceed
+// it with replicas, or undercount it when capped). A negative threshold
+// keeps the histograms but disables the log line.
+func (fs *FileSystem) finishTrace(t *opTrace, spans int, err error) {
+	o := fs.obs
+	if o == nil || t == nil {
+		return
+	}
+	elapsed := time.Since(t.start)
+	if t.op == "write" {
+		o.writeSeconds.Observe(elapsed)
+	} else {
+		o.readSeconds.Observe(elapsed)
+	}
+	if o.slowThr < 0 || elapsed < o.slowThr {
+		return
+	}
+	o.slowCounter(t.op).Inc()
+	o.logf("memfss: slow-op trace=%016x op=%s path=%s off=%d bytes=%d elapsed=%s spans=%d err=%v phases=%s",
+		t.id, t.op, t.path, t.off, t.bytes, elapsed.Round(time.Microsecond), spans, err, t.renderPhases())
+}
+
+// renderPhases formats the recorded phases, slowest-first capped at 12,
+// as s<stripe>@<node>(<class>,att=N,<outcome>,<dur>).
+func (t *opTrace) renderPhases() string {
+	t.mu.Lock()
+	phases := make([]tracePhase, len(t.phases))
+	copy(phases, t.phases)
+	t.mu.Unlock()
+	total := len(phases)
+	sort.SliceStable(phases, func(i, j int) bool { return phases[i].dur > phases[j].dur })
+	const keep = 12
+	trimmed := false
+	if len(phases) > keep {
+		phases = phases[:keep]
+		trimmed = true
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, p := range phases {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		target := "s" + fmt.Sprint(p.stripe)
+		if p.stripe < 0 {
+			target = "burst"
+		}
+		fmt.Fprintf(&b, "%s@%s(%s,att=%d,%s,%s)",
+			target, p.node, p.class, p.attempts, p.outcome, p.dur.Round(time.Microsecond))
+	}
+	if trimmed {
+		fmt.Fprintf(&b, " +%d more", total-keep)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

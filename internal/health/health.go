@@ -20,6 +20,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"memfss/internal/obs"
 )
 
 // State is a node's health as judged by the detector.
@@ -87,6 +89,11 @@ type Options struct {
 	UpAfter int
 	// Now is the clock (default time.Now); tests inject a fake.
 	Now func() time.Time
+	// Metrics, when set, exports per-node state gauges
+	// (memfss_health_node_state: 0=up, 1=suspect, 2=down; removed on
+	// Unregister) and a transitions counter
+	// (memfss_health_transitions_total{node,to}) on the registry.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -138,12 +145,21 @@ func New(opts Options) *Detector {
 // existing node is a no-op (its evidence streak is preserved).
 func (d *Detector) Register(nodes ...string) {
 	now := d.opts.Now()
+	var added []string
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	for _, n := range nodes {
 		if _, ok := d.nodes[n]; !ok {
 			d.nodes[n] = &entry{state: Up, since: now}
+			added = append(added, n)
 		}
+	}
+	d.mu.Unlock()
+	for _, n := range added {
+		n := n
+		d.opts.Metrics.Gauge("memfss_health_node_state",
+			"Failure-detector state per node (0=up, 1=suspect, 2=down).",
+			obs.L("node", n),
+			func() float64 { return float64(d.State(n)) })
 	}
 }
 
@@ -153,6 +169,7 @@ func (d *Detector) Unregister(node string) {
 	d.mu.Lock()
 	delete(d.nodes, node)
 	d.mu.Unlock()
+	d.opts.Metrics.Remove("memfss_health_node_state", obs.L("node", node))
 }
 
 // Nodes lists the registered node IDs, sorted.
@@ -207,6 +224,11 @@ func (d *Detector) report(node string, ok bool) {
 	}
 	subs := d.subscribersLocked(ev)
 	d.mu.Unlock()
+	if ev != nil {
+		d.opts.Metrics.Counter("memfss_health_transitions_total",
+			"Failure-detector state transitions by destination state.",
+			obs.L("node", ev.Node, "to", ev.To.String())).Inc()
+	}
 	deliver(subs, ev)
 }
 

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"memfss/internal/obs"
 )
 
 // ErrClosed is returned by client operations after Close.
@@ -38,6 +40,17 @@ type Client struct {
 
 	ops      atomic.Int64 // operations started (commands + pipeline bursts)
 	attempts atomic.Int64 // connection attempts across all operations
+
+	// Telemetry (nil when DialOptions.Metrics is unset; every obs method
+	// is a no-op on nil, so the hot path below never branches on it).
+	metrics     *obs.Registry
+	class       string
+	opsOK       *obs.Counter
+	opsErr      *obs.Counter
+	retries     *obs.Counter
+	attemptHist *obs.Histogram
+	probeHist   *obs.Histogram
+	opHists     sync.Map // command verb -> *obs.Histogram
 
 	mu     sync.Mutex
 	idle   []*clientConn
@@ -82,6 +95,27 @@ type DialOptions struct {
 	// it must be fast and must not call back into the client. Operations
 	// aborted by Close are not reported — teardown is not node failure.
 	Observer func(err error)
+	// Metrics, if set, receives this client's telemetry: per-command
+	// latency (memfss_kvstore_op_seconds{op,class}), per-attempt latency
+	// (memfss_kvstore_attempt_seconds{node,class}), outcome counters
+	// (memfss_kvstore_ops_total{node,class,outcome}) and retry counts
+	// (memfss_kvstore_retries_total{node,class}). Node and Class label the
+	// series; both default to the dial address when empty.
+	Metrics *obs.Registry
+	// Node is the deployment-level node ID for metric labels.
+	Node string
+	// Class is the node's placement class ("own" or "victim") for metric
+	// labels.
+	Class string
+}
+
+// OpStat, when passed to a *Stat method, receives the operation's final
+// attempt count and wall-clock duration (including backoff sleeps). It
+// lets callers attribute retry cost to a higher-level trace without the
+// client knowing anything about tracing.
+type OpStat struct {
+	Attempts int
+	Dur      time.Duration
 }
 
 // Dial creates a client for the server at addr. No connection is opened
@@ -105,7 +139,7 @@ func Dial(addr string, opts DialOptions) *Client {
 	if opts.OpTimeout <= 0 {
 		opts.OpTimeout = opts.Timeout
 	}
-	return &Client{
+	c := &Client{
 		addr:        addr,
 		password:    opts.Password,
 		timeout:     opts.Timeout,
@@ -117,6 +151,50 @@ func Dial(addr string, opts DialOptions) *Client {
 		max:         opts.PoolSize,
 		waitCh:      make(chan struct{}, 1),
 	}
+	if opts.Metrics != nil {
+		node := opts.Node
+		if node == "" {
+			node = addr
+		}
+		class := opts.Class
+		if class == "" {
+			class = addr
+		}
+		c.metrics = opts.Metrics
+		c.class = class
+		nc := obs.L("node", node, "class", class)
+		c.opsOK = opts.Metrics.Counter("memfss_kvstore_ops_total",
+			"Store client operations by final outcome.",
+			obs.L("node", node, "class", class, "outcome", "ok"))
+		c.opsErr = opts.Metrics.Counter("memfss_kvstore_ops_total",
+			"Store client operations by final outcome.",
+			obs.L("node", node, "class", class, "outcome", "error"))
+		c.retries = opts.Metrics.Counter("memfss_kvstore_retries_total",
+			"Store client retry attempts beyond the first.", nc)
+		c.attemptHist = opts.Metrics.Histogram("memfss_kvstore_attempt_seconds",
+			"Latency of individual connection attempts.", nc, nil)
+		c.probeHist = opts.Metrics.Histogram("memfss_kvstore_probe_seconds",
+			"Latency of single-shot health probes (PingOnce).", nc, nil)
+	}
+	return c
+}
+
+// opHist lazily resolves the per-command latency histogram; the op label
+// is the command verb (bounded by the protocol's command set) plus
+// "PIPELINE" for bursts, and cardinality is kept down by labeling with
+// the node class rather than the node.
+func (c *Client) opHist(op string) *obs.Histogram {
+	if c.metrics == nil {
+		return nil
+	}
+	if h, ok := c.opHists.Load(op); ok {
+		return h.(*obs.Histogram)
+	}
+	h := c.metrics.Histogram("memfss_kvstore_op_seconds",
+		"End-to-end store command latency including retries and backoff.",
+		obs.L("op", op, "class", c.class), nil)
+	c.opHists.Store(op, h)
+	return h
 }
 
 // Ops returns how many operations (commands and pipeline bursts) the
@@ -258,18 +336,22 @@ func (c *Client) backoffDelay(attempt int) time.Duration {
 // on Pipeline). Exhausted retries yield an error wrapping ErrUnavailable
 // that names the operation, the address, and the attempt count, so the
 // failure is diagnosable — and classifiable — upstream.
-func (c *Client) withRetry(label string, op func(cc *clientConn) error) error {
+func (c *Client) withRetry(op, label string, st *OpStat, fn func(cc *clientConn) error) error {
 	c.ops.Add(1)
-	deadline := time.Now().Add(c.opTimeout)
+	opStart := time.Now()
+	deadline := opStart.Add(c.opTimeout)
 	var lastErr error
 	attempts := 0
 	for attempt := 1; attempt <= c.maxAttempts; attempt++ {
 		attempts++
 		c.attempts.Add(1)
+		attStart := time.Now()
 		cc, err := c.getConn()
 		if err == nil {
-			if err = op(cc); err == nil {
+			if err = fn(cc); err == nil {
 				c.putConn(cc, false)
+				c.attemptHist.Observe(time.Since(attStart))
+				c.finishOp(op, opStart, attempts, st, true)
 				if c.observer != nil {
 					c.observer(nil)
 				}
@@ -277,8 +359,12 @@ func (c *Client) withRetry(label string, op func(cc *clientConn) error) error {
 			}
 			c.putConn(cc, true)
 		}
+		c.attemptHist.Observe(time.Since(attStart))
 		if errors.Is(err, ErrClosed) {
-			return err // client torn down on purpose: retrying is pointless
+			// Client torn down on purpose: retrying is pointless, and
+			// teardown is neither detector evidence nor an error outcome.
+			fillStat(st, attempts, time.Since(opStart))
+			return err
 		}
 		lastErr = err
 		if attempt == c.maxAttempts {
@@ -292,22 +378,51 @@ func (c *Client) withRetry(label string, op func(cc *clientConn) error) error {
 		if d > remain {
 			d = remain
 		}
+		c.retries.Inc()
 		time.Sleep(d)
 	}
 	finalErr := fmt.Errorf("%w: %s to %s failed after %d attempts: %v",
 		ErrUnavailable, label, c.addr, attempts, lastErr)
+	c.finishOp(op, opStart, attempts, st, false)
 	if c.observer != nil {
 		c.observer(finalErr)
 	}
 	return finalErr
 }
 
+// finishOp records an operation's final telemetry: the OpStat out-param
+// for the caller's trace, the outcome counter, and the per-command
+// latency histogram.
+func (c *Client) finishOp(op string, start time.Time, attempts int, st *OpStat, ok bool) {
+	dur := time.Since(start)
+	fillStat(st, attempts, dur)
+	if c.metrics == nil {
+		return
+	}
+	if ok {
+		c.opsOK.Inc()
+	} else {
+		c.opsErr.Inc()
+	}
+	c.opHist(op).Observe(dur)
+}
+
+func fillStat(st *OpStat, attempts int, dur time.Duration) {
+	if st != nil {
+		st.Attempts = attempts
+		st.Dur = dur
+	}
+}
+
 // do sends one command and decodes the reply, retrying per the client's
 // retry policy on broken connections (the server may have closed an idle
 // pooled one, or the node may be flapping).
-func (c *Client) do(args ...[]byte) (*Reply, error) {
+func (c *Client) do(args ...[]byte) (*Reply, error) { return c.doStat(nil, args...) }
+
+func (c *Client) doStat(st *OpStat, args ...[]byte) (*Reply, error) {
 	var reply *Reply
-	err := c.withRetry(strings.ToUpper(string(args[0])), func(cc *clientConn) error {
+	verb := strings.ToUpper(string(args[0]))
+	err := c.withRetry(verb, verb, st, func(cc *clientConn) error {
 		r, err := cc.roundTrip(c.timeout, args...)
 		if err != nil {
 			return err
@@ -329,16 +444,20 @@ func bs(ss ...string) [][]byte {
 	return out
 }
 
-func (c *Client) doSimple(args ...[]byte) error {
-	reply, err := c.do(args...)
+func (c *Client) doSimple(args ...[]byte) error { return c.doSimpleStat(nil, args...) }
+
+func (c *Client) doSimpleStat(st *OpStat, args ...[]byte) error {
+	reply, err := c.doStat(st, args...)
 	if err != nil {
 		return err
 	}
 	return reply.Err()
 }
 
-func (c *Client) doInt(args ...[]byte) (int64, error) {
-	reply, err := c.do(args...)
+func (c *Client) doInt(args ...[]byte) (int64, error) { return c.doIntStat(nil, args...) }
+
+func (c *Client) doIntStat(st *OpStat, args ...[]byte) (int64, error) {
+	reply, err := c.doStat(st, args...)
 	if err != nil {
 		return 0, err
 	}
@@ -359,11 +478,14 @@ func (c *Client) Ping() error { return c.doSimple([]byte("PING")) }
 // the prober reports the outcome to the detector itself, and retries here
 // would both double-count evidence and stretch the probe cadence.
 func (c *Client) PingOnce() error {
+	start := time.Now()
 	cc, err := c.getConn()
 	if err != nil {
+		c.probeHist.Observe(time.Since(start))
 		return err
 	}
 	reply, err := cc.roundTrip(c.timeout, []byte("PING"))
+	c.probeHist.Observe(time.Since(start))
 	if err != nil {
 		c.putConn(cc, true)
 		return err
@@ -373,8 +495,11 @@ func (c *Client) PingOnce() error {
 }
 
 // Set stores value under key.
-func (c *Client) Set(key string, value []byte) error {
-	return c.doSimple([]byte("SET"), []byte(key), value)
+func (c *Client) Set(key string, value []byte) error { return c.SetStat(key, value, nil) }
+
+// SetStat is Set with an optional OpStat out-param for trace attribution.
+func (c *Client) SetStat(key string, value []byte, st *OpStat) error {
+	return c.doSimpleStat(st, []byte("SET"), []byte(key), value)
 }
 
 // SetNX stores value only if key is absent, reporting whether it stored.
@@ -385,7 +510,12 @@ func (c *Client) SetNX(key string, value []byte) (bool, error) {
 
 // Get fetches key's value; ok is false if the key is absent.
 func (c *Client) Get(key string) (value []byte, ok bool, err error) {
-	reply, err := c.do([]byte("GET"), []byte(key))
+	return c.GetStat(key, nil)
+}
+
+// GetStat is Get with an optional OpStat out-param for trace attribution.
+func (c *Client) GetStat(key string, st *OpStat) (value []byte, ok bool, err error) {
+	reply, err := c.doStat(st, []byte("GET"), []byte(key))
 	if err != nil {
 		return nil, false, err
 	}
@@ -400,7 +530,12 @@ func (c *Client) Get(key string) (value []byte, ok bool, err error) {
 
 // GetRange fetches length bytes at offset of key's value.
 func (c *Client) GetRange(key string, offset, length int64) (value []byte, ok bool, err error) {
-	reply, err := c.do([]byte("GETRANGE"), []byte(key),
+	return c.GetRangeStat(key, offset, length, nil)
+}
+
+// GetRangeStat is GetRange with an optional OpStat out-param.
+func (c *Client) GetRangeStat(key string, offset, length int64, st *OpStat) (value []byte, ok bool, err error) {
+	reply, err := c.doStat(st, []byte("GETRANGE"), []byte(key),
 		[]byte(strconv.FormatInt(offset, 10)), []byte(strconv.FormatInt(length, 10)))
 	if err != nil {
 		return nil, false, err
@@ -416,7 +551,12 @@ func (c *Client) GetRange(key string, offset, length int64) (value []byte, ok bo
 
 // SetRange writes value at offset within key's value, zero-extending.
 func (c *Client) SetRange(key string, offset int64, value []byte) error {
-	return c.doSimple([]byte("SETRANGE"), []byte(key),
+	return c.SetRangeStat(key, offset, value, nil)
+}
+
+// SetRangeStat is SetRange with an optional OpStat out-param.
+func (c *Client) SetRangeStat(key string, offset int64, value []byte, st *OpStat) error {
+	return c.doSimpleStat(st, []byte("SETRANGE"), []byte(key),
 		[]byte(strconv.FormatInt(offset, 10)), value)
 }
 

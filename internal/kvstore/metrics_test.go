@@ -1,0 +1,124 @@
+package kvstore
+
+import (
+	"testing"
+	"time"
+
+	"memfss/internal/obs"
+)
+
+func findCounter(t *testing.T, reg *obs.Registry, name string, labels obs.Labels) int64 {
+	t.Helper()
+	for _, f := range reg.Snapshot() {
+		if f.Name == name {
+			if s := f.Find(labels); s != nil {
+				return s.Value
+			}
+		}
+	}
+	return 0
+}
+
+func findHistCount(t *testing.T, reg *obs.Registry, name string, labels obs.Labels) int64 {
+	t.Helper()
+	for _, f := range reg.Snapshot() {
+		if f.Name == name {
+			if s := f.Find(labels); s != nil {
+				return s.Count
+			}
+		}
+	}
+	return 0
+}
+
+// TestClientMetrics pins the client's telemetry: per-command histograms
+// labeled by verb and class, outcome counters, attempt histograms, and
+// the OpStat out-param.
+func TestClientMetrics(t *testing.T) {
+	srv := NewServer(NewStore(0), "")
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	reg := obs.NewRegistry()
+	cli := Dial(addr, DialOptions{
+		Timeout: 5 * time.Second,
+		Metrics: reg, Node: "victim-0", Class: "victim",
+	})
+	t.Cleanup(func() { cli.Close() })
+
+	var st OpStat
+	if err := cli.SetStat("k", []byte("v"), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Attempts != 1 || st.Dur <= 0 {
+		t.Fatalf("OpStat = %+v, want 1 attempt with positive duration", st)
+	}
+	if _, ok, err := cli.GetStat("k", &st); err != nil || !ok {
+		t.Fatalf("GetStat: ok=%v err=%v", ok, err)
+	}
+	p := cli.Pipeline()
+	p.Set("a", []byte("1"))
+	p.Set("b", []byte("2"))
+	if _, err := p.RunStat(&st); err != nil {
+		t.Fatal(err)
+	}
+
+	nc := obs.L("node", "victim-0", "class", "victim")
+	if got := findCounter(t, reg, "memfss_kvstore_ops_total",
+		obs.L("node", "victim-0", "outcome", "ok")); got != 3 {
+		t.Fatalf("ok ops = %d, want 3 (SET, GET, PIPELINE)", got)
+	}
+	if got := findHistCount(t, reg, "memfss_kvstore_op_seconds", obs.L("op", "SET", "class", "victim")); got != 1 {
+		t.Fatalf("SET histogram count = %d, want 1", got)
+	}
+	if got := findHistCount(t, reg, "memfss_kvstore_op_seconds", obs.L("op", "PIPELINE", "class", "victim")); got != 1 {
+		t.Fatalf("PIPELINE histogram count = %d, want 1", got)
+	}
+	if got := findHistCount(t, reg, "memfss_kvstore_attempt_seconds", nc); got != 3 {
+		t.Fatalf("attempt histogram count = %d, want 3", got)
+	}
+	if got := findCounter(t, reg, "memfss_kvstore_retries_total", nc); got != 0 {
+		t.Fatalf("retries = %d, want 0", got)
+	}
+	if err := cli.PingOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if got := findHistCount(t, reg, "memfss_kvstore_probe_seconds", nc); got != 1 {
+		t.Fatalf("probe histogram count = %d, want 1", got)
+	}
+}
+
+// TestClientMetricsRetries pins retry accounting against a dead node:
+// every attempt fails, the final outcome is an error, and OpStat reports
+// the full attempt count.
+func TestClientMetricsRetries(t *testing.T) {
+	reg := obs.NewRegistry()
+	cli := Dial(deadListener(t), DialOptions{
+		Timeout: 200 * time.Millisecond, MaxAttempts: 3,
+		BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond,
+		OpTimeout: 2 * time.Second,
+		Metrics:   reg, Node: "own-0", Class: "own",
+	})
+	t.Cleanup(func() { cli.Close() })
+
+	var st OpStat
+	if err := cli.SetStat("k", []byte("v"), &st); err == nil {
+		t.Fatal("write to dead node succeeded")
+	}
+	if st.Attempts != 3 {
+		t.Fatalf("OpStat.Attempts = %d, want 3", st.Attempts)
+	}
+	nc := obs.L("node", "own-0", "class", "own")
+	if got := findCounter(t, reg, "memfss_kvstore_ops_total",
+		obs.L("node", "own-0", "outcome", "error")); got != 1 {
+		t.Fatalf("error ops = %d, want 1", got)
+	}
+	if got := findCounter(t, reg, "memfss_kvstore_retries_total", nc); got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+	if got := findHistCount(t, reg, "memfss_kvstore_attempt_seconds", nc); got != 3 {
+		t.Fatalf("attempt histogram count = %d, want 3", got)
+	}
+}

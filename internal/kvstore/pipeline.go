@@ -69,14 +69,18 @@ func (p *Pipeline) Exists(key string) { p.Do([]byte("EXISTS"), []byte(key)) }
 // client's retry policy (mid-pipeline connection death reruns every
 // command, hence the idempotency requirement above). The queue is cleared
 // on success so the pipeline can be reused.
-func (p *Pipeline) Run() ([]*Reply, error) {
+func (p *Pipeline) Run() ([]*Reply, error) { return p.RunStat(nil) }
+
+// RunStat is Run with an optional OpStat out-param receiving the burst's
+// final attempt count and duration for trace attribution.
+func (p *Pipeline) RunStat(st *OpStat) ([]*Reply, error) {
 	if len(p.cmds) == 0 {
 		return nil, nil
 	}
 	c := p.c
 	var replies []*Reply
 	label := fmt.Sprintf("pipeline of %d commands", len(p.cmds))
-	err := c.withRetry(label, func(cc *clientConn) error {
+	err := c.withRetry("PIPELINE", label, st, func(cc *clientConn) error {
 		rs, err := cc.pipelineRoundTrip(c.timeout, p.cmds)
 		if err != nil {
 			return err

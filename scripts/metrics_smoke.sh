@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# End-to-end observability smoke test: start a victim store and a gateway
+# memfsd, push a workload through memfsctl, then assert that /metrics
+# serves the expected metric families, /healthz folds in the detector and
+# repair state, and `memfsctl stats` renders the page.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/memfsd" ./cmd/memfsd
+go build -o "$workdir/memfsctl" ./cmd/memfsctl
+
+VICTIM=127.0.0.1:7901
+OWN=127.0.0.1:7900
+HEALTH=127.0.0.1:7980
+
+"$workdir/memfsd" -addr "$VICTIM" >"$workdir/victim.log" 2>&1 &
+sleep 0.5
+"$workdir/memfsd" -addr "$OWN" -health-addr "$HEALTH" \
+    -own "$OWN" -victims "$VICTIM" >"$workdir/gateway.log" 2>&1 &
+sleep 1
+
+head -c 1048576 /dev/urandom >"$workdir/blob"
+"$workdir/memfsctl" -own "$OWN" -victims "$VICTIM" put /smoke "$workdir/blob"
+"$workdir/memfsctl" -own "$OWN" -victims "$VICTIM" get /smoke "$workdir/out"
+cmp "$workdir/blob" "$workdir/out"
+
+curl -sf "http://$HEALTH/metrics" >"$workdir/metrics.txt"
+
+# Families spanning every instrumented layer must be declared.
+for family in \
+    memfss_store_bytes_used \
+    memfss_store_uptime_seconds \
+    memfss_kvstore_ops_total \
+    memfss_kvstore_op_seconds \
+    memfss_kvstore_attempt_seconds \
+    memfss_fs_bytes_total \
+    memfss_fs_op_seconds \
+    memfss_fs_stripe_ops_total \
+    memfss_health_node_state \
+    memfss_repair_queue_depth \
+    memfss_repair_enqueued_total
+do
+    grep -q "^# TYPE $family " "$workdir/metrics.txt" \
+        || { echo "FAIL: family $family missing from /metrics"; exit 1; }
+done
+
+families=$(grep -c '^# TYPE ' "$workdir/metrics.txt")
+[ "$families" -ge 12 ] || { echo "FAIL: only $families metric families (< 12)"; exit 1; }
+
+healthz=$(curl -sf "http://$HEALTH/healthz")
+echo "$healthz" | grep -q '"health"' || { echo "FAIL: /healthz missing detector states"; exit 1; }
+echo "$healthz" | grep -q '"repair"' || { echo "FAIL: /healthz missing repair stats"; exit 1; }
+
+"$workdir/memfsctl" stats "$HEALTH" >"$workdir/stats.txt"
+grep -q '^health:' "$workdir/stats.txt" || { echo "FAIL: stats verb missing health section"; exit 1; }
+grep -q '^repair queue:' "$workdir/stats.txt" || { echo "FAIL: stats verb missing repair section"; exit 1; }
+
+echo "metrics smoke: OK ($families families)"
