@@ -29,7 +29,15 @@
 //	health                           probe every node and show detector state
 //	repair [path]                    repair one file's redundancy, or show
 //	                                 the background repair queue's stats
-//	evacuate <node-id>               drain a victim store and drop it
+//	evacuate <node-id>               full revocation: drain a victim store
+//	                                 and drop it from the deployment,
+//	                                 bounded by -evac-deadline (on expiry
+//	                                 the node is force-released and unmoved
+//	                                 keys are handed to the repair queue)
+//	drain <node-id>                  partial eviction: move data off a
+//	                                 victim store until it is at or below
+//	                                 -drain-target bytes (default 75% of
+//	                                 its cap); the node stays registered
 //	stats <health-addr>              fetch a daemon's /metrics and print a
 //	                                 compact telemetry summary (this verb
 //	                                 needs no -own; it talks HTTP to a
@@ -37,6 +45,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +60,12 @@ import (
 	"memfss/internal/hrw"
 )
 
+// Revocation tuning shared between main's flag set and run's verbs.
+var (
+	evacDeadline time.Duration
+	drainTarget  int64
+)
+
 func main() {
 	log.SetFlags(0)
 	ownList := flag.String("own", "", "comma-separated own-node store addresses (required)")
@@ -60,6 +75,10 @@ func main() {
 	stripeSize := flag.Int64("stripe", 0, "stripe size in bytes (default 1 MiB)")
 	replicas := flag.Int("replicas", 0, "replication factor (0/1 = none)")
 	victimCap := flag.Int64("victim-mem", 10<<30, "per-victim scavenged memory cap in bytes")
+	flag.DurationVar(&evacDeadline, "evac-deadline", 0,
+		"revocation deadline for evacuate (0 = server default); on expiry the node is force-released")
+	flag.Int64Var(&drainTarget, "drain-target", 0,
+		"drain until the store is at or below this many bytes (0 = 75% of its memory cap)")
 	flag.Parse()
 
 	// stats talks HTTP to a daemon's health endpoint — no mount needed.
@@ -318,7 +337,31 @@ func run(fs *core.FileSystem, args []string) error {
 		if err := need(1); err != nil {
 			return err
 		}
-		return fs.EvacuateNode(rest[0])
+		rep, err := fs.Evacuate(context.Background(), rest[0],
+			core.EvacOptions{Deadline: evacDeadline})
+		if rep != nil {
+			fmt.Printf("node: %s\nkeys moved: %d\norphans dropped: %d\ndeferred to repair: %d\npasses: %d\n",
+				rep.Node, rep.Moved, rep.Orphans, rep.Deferred, rep.Passes)
+			fmt.Printf("elapsed: %s (deadline %s)\n",
+				rep.Elapsed.Round(time.Millisecond), rep.Deadline)
+			if rep.Forced {
+				fmt.Printf("FORCED RELEASE: %d at-risk key(s) flushed before a copy was confirmed; "+
+					"redundancy restored via replicas and the repair queue\n", rep.AtRisk)
+			}
+		}
+		return err
+	case "drain":
+		if err := need(1); err != nil {
+			return err
+		}
+		rep, err := fs.DrainNode(context.Background(), rest[0], drainTarget)
+		if rep != nil {
+			fmt.Printf("node: %s\nkeys moved: %d\nkeys skipped: %d\npasses: %d\n",
+				rep.Node, rep.Moved, rep.Skipped, rep.Passes)
+			fmt.Printf("bytes: %d -> %d (target %d)\nelapsed: %s\n",
+				rep.BytesBefore, rep.BytesAfter, rep.Target, rep.Elapsed.Round(time.Millisecond))
+		}
+		return err
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}

@@ -193,9 +193,13 @@ func healthzPayload(store *kvstore.Store, bound string, started time.Time, fs *c
 		"num_keys":       st.NumKeys,
 		"total_ops":      st.TotalOps,
 		"pressure":       st.Pressure,
+		"over_cap":       st.MaxMemory > 0 && st.BytesUsed > st.MaxMemory,
 	}
 	if fs == nil {
 		return out
+	}
+	if draining := fs.Draining(); len(draining) > 0 {
+		out["draining"] = draining
 	}
 	if snap := fs.Health(); snap != nil {
 		nodes := make(map[string]any, len(snap))
@@ -232,6 +236,8 @@ func healthzPayload(store *kvstore.Store, bound string, started time.Time, fs *c
 		"repairs":                c.Repairs,
 		"degraded_writes":        c.DegradedWrites,
 		"skipped_replica_writes": c.SkippedReplicaWrites,
+		"fenced_replica_writes":  c.FencedWrites,
+		"no_space_writes":        c.NoSpaceWrites,
 		"store_ops":              c.StoreOps,
 		"store_attempts":         c.StoreAttempts,
 	}

@@ -30,6 +30,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -466,6 +467,40 @@ func runChaos(classes []core.ClassSpec, password string, stripeSize int64, depth
 	}
 	if len(srep.Unrepairable) > 0 {
 		log.Fatalf("chaos: UNREPAIRABLE stripes: %v", srep.Unrepairable)
+	}
+
+	// Revocation leg: with one victim already dead, revoke the surviving
+	// one under the same injected faults — the worst-case "tenant wants
+	// its memory back mid-incident" scenario — and demand zero loss again.
+	liveID := victims.Nodes[0].ID
+	start = time.Now()
+	evrep, err := fs.Evacuate(context.Background(), liveID, core.EvacOptions{})
+	if err != nil {
+		log.Fatalf("chaos: revocation of %s failed: %v", liveID, err)
+	}
+	fmt.Printf("chaos: revoked %s in %v (deadline %v): moved %d keys, %d orphans, %d deferred to repair, forced=%v\n",
+		liveID, evrep.Elapsed.Round(time.Millisecond), evrep.Deadline,
+		evrep.Moved, evrep.Orphans, evrep.Deferred, evrep.Forced)
+	if evrep.Forced {
+		fmt.Printf("chaos: forced release flushed %d at-risk key(s); repair queue restores redundancy\n", evrep.AtRisk)
+	}
+	if !fs.WaitRepairIdle(30 * time.Second) {
+		log.Fatalf("chaos: repair queue never drained after revocation: %+v", fs.RepairStats())
+	}
+	for i := 0; i < tasks; i++ {
+		data, err := fs.ReadFile(fmt.Sprintf("/chaos/task-%d", i))
+		if err != nil || !bytes.Equal(data, payload) {
+			log.Fatalf("chaos: task %d lost to revocation: %v", i, err)
+		}
+	}
+	rep, err = fs.Fsck()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chaos: post-revocation fsck %v after revoke: %d files, %d damaged\n",
+		time.Since(start).Round(time.Millisecond), rep.Files, len(rep.Damaged))
+	if len(rep.Damaged) > 0 {
+		log.Fatalf("chaos: DATA LOSS after revocation in %v", rep.Damaged)
 	}
 	fmt.Println("chaos: zero data loss")
 }

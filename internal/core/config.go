@@ -120,6 +120,10 @@ type Config struct {
 	// Repair configures the targeted background repair queue. Zero fields
 	// take defaults; set Disable to fall back to operator-driven Scrub.
 	Repair RepairPolicy
+	// Evac bounds victim revocation: the evacuation deadline, the partial-
+	// drain watermark, and the monitor's per-node retry backoff. Zero
+	// fields take defaults.
+	Evac EvacPolicy
 	// Obs configures the telemetry layer (internal/obs): latency
 	// histograms, the Prometheus-exposable registry, and slow-op tracing.
 	// Zero value = enabled with a private registry and defaults.
@@ -237,6 +241,37 @@ func (r RepairPolicy) validate() error {
 	return nil
 }
 
+// EvacPolicy bounds victim revocation (paper §III-A: the tenant is
+// waiting for its memory back, so revocation cannot run open-ended).
+type EvacPolicy struct {
+	// Deadline bounds a full evacuation end to end (default 30s). When it
+	// expires the drain stops and the node is force-released anyway: the
+	// store is flushed, unresolved keys are counted at risk and handed to
+	// the repair queue, and redundancy is restored from surviving
+	// replicas.
+	Deadline time.Duration
+	// SoftTarget is the fill fraction a partial drain evicts a pressured
+	// store down to (default 0.75 of its memory cap). Must stay below the
+	// store's pressure watermark or a partial drain would never relieve
+	// pressure.
+	SoftTarget float64
+	// Backoff / MaxBackoff pace the Monitor's per-node retries after a
+	// failed revocation (defaults 2s / 30s, doubling per consecutive
+	// failure) so a stuck node is not hammered every poll tick.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+func (e EvacPolicy) validate() error {
+	if e.Deadline < 0 || e.Backoff < 0 || e.MaxBackoff < 0 {
+		return fmt.Errorf("core: negative evacuation knob in %+v", e)
+	}
+	if e.SoftTarget < 0 || e.SoftTarget >= 1 {
+		return fmt.Errorf("core: evacuation soft target %v outside [0, 1)", e.SoftTarget)
+	}
+	return nil
+}
+
 // defaultPipelineDepth is the burst size used when PipelineDepth is 0.
 // 32 commands of a 64 KiB stripe each keep a burst around 2 MiB — big
 // enough to amortize the round trip, small enough to stay inside the
@@ -280,6 +315,9 @@ func (c *Config) validate() error {
 		return err
 	}
 	if err := c.Repair.validate(); err != nil {
+		return err
+	}
+	if err := c.Evac.validate(); err != nil {
 		return err
 	}
 	switch c.Redundancy.Mode {

@@ -161,6 +161,37 @@ func (p *connPool) remove(nodeID string) {
 	th.Close()
 }
 
+// detach removes a node from the pool without closing its client: the
+// evacuation protocol needs to keep draining a node after the rest of the
+// data path can no longer route to it (client lookups fail with
+// errUnknownNode the moment detach returns). The node's throttle closes
+// here like remove; the caller owns the returned client and must hand it
+// to retire when the drain completes so its op counters fold into the
+// pool totals.
+func (p *connPool) detach(nodeID string) *kvstore.Client {
+	p.mu.Lock()
+	c := p.clients[nodeID]
+	th := p.throttles[nodeID]
+	delete(p.clients, nodeID)
+	delete(p.throttles, nodeID)
+	p.mu.Unlock()
+	th.Close()
+	return c
+}
+
+// retire closes a detached client, folding its op counters into the
+// pool-wide removed totals so StoreOps/StoreAttempts stay monotonic.
+func (p *connPool) retire(c *kvstore.Client) {
+	if c == nil {
+		return
+	}
+	p.mu.Lock()
+	p.removedOps += c.Ops()
+	p.removedAttempts += c.Attempts()
+	p.mu.Unlock()
+	c.Close()
+}
+
 // closeAll tears down every client and throttle.
 func (p *connPool) closeAll() {
 	p.mu.Lock()

@@ -34,6 +34,13 @@ var (
 // discover.
 var errNodeUnhealthy = errors.New("core: node marked unhealthy")
 
+// errNodeDraining marks a replica target a write skipped because the node
+// is being drained for revocation. Like errNodeUnhealthy it classifies as
+// unavailability — the node is administratively leaving, and the copies
+// that land elsewhere keep the data safe — but it is a distinct error so
+// fence skips are countable separately from health skips.
+var errNodeDraining = errors.New("core: node draining for revocation")
+
 // isUnavailable reports whether err is a transport-class failure: the node
 // could not be reached (after client-level retries), was already removed
 // from the deployment, was skipped as unhealthy by the failure detector,
@@ -46,5 +53,13 @@ func isUnavailable(err error) bool {
 	return errors.Is(err, kvstore.ErrUnavailable) ||
 		errors.Is(err, container.ErrThrottleClosed) ||
 		errors.Is(err, errUnknownNode) ||
-		errors.Is(err, errNodeUnhealthy)
+		errors.Is(err, errNodeUnhealthy) ||
+		errors.Is(err, errNodeDraining)
 }
+
+// isNoSpace reports whether err is a store-full rejection (the store's
+// typed OOM classification, in-process or decoded from the wire). It is
+// deliberately NOT unavailability: the store answered, and a full store
+// fails the same way on every retry, so writes fail fast instead of
+// burning the retry budget.
+func isNoSpace(err error) bool { return errors.Is(err, kvstore.ErrNoSpace) }

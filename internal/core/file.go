@@ -356,6 +356,9 @@ func (f *File) writeSpan(tr *opTrace, span stripe.Span, data []byte) error {
 	if f.coder != nil {
 		err := f.writeSpanErasure(tr, sk, span, data)
 		if err != nil {
+			if isNoSpace(err) {
+				f.fs.stats.noSpaceWrites.Add(1)
+			}
 			o.outcome("write", "error").Inc()
 		} else {
 			o.outcome("write", "ok").Inc()
@@ -389,8 +392,13 @@ func (f *File) writeSpan(tr *opTrace, span stripe.Span, data []byte) error {
 	attempt := func(i int) {
 		cls := f.fs.conns.class(nodes[i])
 		if skips != nil && skips[i] {
-			f.fs.stats.skippedReplicaWrites.Add(1)
-			errs[i] = fmt.Errorf("%w: %s", errNodeUnhealthy, nodes[i])
+			if f.fs.isDraining(nodes[i]) {
+				f.fs.stats.fencedWrites.Add(1)
+				errs[i] = fmt.Errorf("%w: %s", errNodeDraining, nodes[i])
+			} else {
+				f.fs.stats.skippedReplicaWrites.Add(1)
+				errs[i] = fmt.Errorf("%w: %s", errNodeUnhealthy, nodes[i])
+			}
 			tr.phase(span.Index, nodes[i], cls, 0, 0, "skipped")
 			return
 		}
@@ -402,8 +410,15 @@ func (f *File) writeSpan(tr *opTrace, span stripe.Span, data []byte) error {
 	if f.fs.pipeDepth <= 1 {
 		// Per-command mode: replicas go out one round trip at a time —
 		// the ablation baseline the pipelining benchmarks compare against.
+		// A store-level rejection (a full store, a wrong-type key) fails
+		// the whole write regardless of the remaining replicas, so stop
+		// early instead of burning round trips that cannot change the
+		// outcome.
 		for i := range nodes {
 			attempt(i)
+			if errs[i] != nil && !isUnavailable(errs[i]) {
+				break
+			}
 		}
 	} else {
 		// All replicas in flight concurrently.
@@ -415,6 +430,9 @@ func (f *File) writeSpan(tr *opTrace, span stripe.Span, data []byte) error {
 	degraded, err := f.settleReplicaWrite(errs)
 	if degraded {
 		f.fs.enqueueRepair(f.path, sk, span.Index)
+	}
+	if err != nil && isNoSpace(err) {
+		f.fs.stats.noSpaceWrites.Add(1)
 	}
 	switch {
 	case err != nil:
@@ -451,12 +469,16 @@ func anyRetry(stats []kvstore.OpStat) bool {
 }
 
 // replicaSkips decides, per replica target, whether a write should skip
-// it because the failure detector judges it Suspect or Down. It returns
-// nil (skip nothing) unless enough healthy targets remain to satisfy the
-// write quorum: stale health evidence must never make a write strictly
-// worse than attempting every replica.
+// it because the failure detector judges it Suspect or Down, or because
+// the node is fenced off Draining for revocation. It returns nil (skip
+// nothing) unless enough healthy targets remain to satisfy the write
+// quorum: stale health evidence must never make a write strictly worse
+// than attempting every replica. The quorum guard applies to the fence
+// too — a drain of the only reachable replica must not turn writes into
+// silent single-copy losses, so the write lands on the draining node and
+// the final post-detach sweep moves it.
 func (fs *FileSystem) replicaSkips(nodes []string) []bool {
-	if fs.detector == nil || len(nodes) <= 1 {
+	if len(nodes) <= 1 || (fs.detector == nil && !fs.anyDraining()) {
 		return nil
 	}
 	skips := make([]bool, len(nodes))
@@ -760,10 +782,13 @@ func padTo(b []byte, n int64) []byte {
 }
 
 // healthOrder stably reorders a probe list so detector-Up nodes come
-// first; relative HRW order is preserved within each group. With the
-// detector disabled the list is returned unchanged.
+// first; relative HRW order is preserved within each group. Draining
+// nodes sort with the unhealthy — reads still probe them (the data may
+// only exist there until the drain completes) but prefer settled copies.
+// With the detector disabled and no drain fence up the list is returned
+// unchanged.
 func (fs *FileSystem) healthOrder(nodes []string) []string {
-	if fs.detector == nil || len(nodes) <= 1 {
+	if len(nodes) <= 1 || (fs.detector == nil && !fs.anyDraining()) {
 		return nodes
 	}
 	healthy := make([]string, 0, len(nodes))

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -42,6 +43,16 @@ type FileSystem struct {
 	detector *health.Detector
 	prober   *health.Prober
 	repairs  *repairQueue
+
+	// draining is the revocation write fence, kept FS-side (not only in
+	// the detector) so fencing works with the detector disabled.
+	// drainBusy serializes revocations per node: a second Evacuate or
+	// DrainNode against a node already being drained fails fast instead
+	// of interleaving. Both live under drainMu, separate from fs.mu so
+	// fence checks on the write path never contend with placement swaps.
+	drainMu   sync.RWMutex
+	draining  map[string]bool
+	drainBusy map[string]bool
 }
 
 // New connects to the stores described by cfg and returns a FileSystem.
@@ -127,16 +138,25 @@ func New(cfg Config) (*FileSystem, error) {
 		cfg:         cfg,
 		layout:      layout,
 		conns:       conns,
-		meta:        newMetaService(ownIDs, conns),
+		meta:        newMetaService(ownIDs, conns, pipeDepth),
 		ioPar:       ioPar,
 		pipeDepth:   pipeDepth,
 		writeQuorum: quorum,
 		stats:       newFSStats(reg),
 		detector:    detector,
 		obsReg:      reg,
+		draining:    make(map[string]bool),
+		drainBusy:   make(map[string]bool),
 	}
 	if reg != nil {
 		fs.obs = newFSObs(reg, cfg.Obs)
+		reg.Gauge("memfss_fs_draining_nodes",
+			"Nodes currently fenced for revocation drain.", nil,
+			func() float64 {
+				fs.drainMu.RLock()
+				defer fs.drainMu.RUnlock()
+				return float64(len(fs.draining))
+			})
 	}
 	for _, id := range ownIDs {
 		cli, err := conns.client(id)
@@ -196,12 +216,60 @@ func (fs *FileSystem) ProbeHealth() map[string]health.NodeHealth {
 }
 
 // nodeState reports a node's detector state; Up when the detector is
-// disabled (absence of evidence must never block traffic).
+// disabled (absence of evidence must never block traffic). The revocation
+// fence overrides either way: a draining node reports Draining even with
+// the detector disabled, because the fence is a correctness mechanism
+// (the post-drain flush must not race live writes), not an optimization.
 func (fs *FileSystem) nodeState(nodeID string) health.State {
+	if fs.isDraining(nodeID) {
+		return health.Draining
+	}
 	if fs.detector == nil {
 		return health.Up
 	}
 	return fs.detector.State(nodeID)
+}
+
+// setDraining flips a node's revocation fence, mirroring it into the
+// detector (when enabled) so health snapshots and /healthz show the
+// Draining state.
+func (fs *FileSystem) setDraining(nodeID string, on bool) {
+	fs.drainMu.Lock()
+	if on {
+		fs.draining[nodeID] = true
+	} else {
+		delete(fs.draining, nodeID)
+	}
+	fs.drainMu.Unlock()
+	if fs.detector != nil {
+		fs.detector.SetDraining(nodeID, on)
+	}
+}
+
+func (fs *FileSystem) isDraining(nodeID string) bool {
+	fs.drainMu.RLock()
+	defer fs.drainMu.RUnlock()
+	return fs.draining[nodeID]
+}
+
+// anyDraining is the cheap write-path guard: with no fence up and no
+// detector, skip/reorder logic short-circuits entirely.
+func (fs *FileSystem) anyDraining() bool {
+	fs.drainMu.RLock()
+	defer fs.drainMu.RUnlock()
+	return len(fs.draining) > 0
+}
+
+// Draining lists the nodes currently fenced for revocation, sorted.
+func (fs *FileSystem) Draining() []string {
+	fs.drainMu.RLock()
+	out := make([]string, 0, len(fs.draining))
+	for n := range fs.draining {
+		out = append(out, n)
+	}
+	fs.drainMu.RUnlock()
+	sort.Strings(out)
+	return out
 }
 
 // Close releases every store connection. Open File handles become

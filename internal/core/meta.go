@@ -13,8 +13,9 @@ import (
 // records are stored only on own nodes, sharded by a modulo hash of the
 // path, so latency-bound namespace operations never touch victim nodes.
 type metaService struct {
-	ownIDs []string // own node IDs in class order; shard targets
-	conns  *connPool
+	ownIDs    []string // own node IDs in class order; shard targets
+	conns     *connPool
+	pipeDepth int // readDir batches per-entry stats when >= 2
 }
 
 // EntryInfo describes one namespace entry, as returned by Stat and ReadDir.
@@ -29,10 +30,10 @@ type EntryInfo struct {
 	IsDir bool
 }
 
-func newMetaService(ownIDs []string, conns *connPool) *metaService {
+func newMetaService(ownIDs []string, conns *connPool, pipeDepth int) *metaService {
 	ids := make([]string, len(ownIDs))
 	copy(ids, ownIDs)
-	return &metaService{ownIDs: ids, conns: conns}
+	return &metaService{ownIDs: ids, conns: conns, pipeDepth: pipeDepth}
 }
 
 // shardClient returns the own-node client responsible for a metadata key's
@@ -41,11 +42,16 @@ func (m *metaService) shardClient(path string) (*kvstore.Client, error) {
 	return m.conns.client(m.ownIDs[fsmeta.Shard(path, len(m.ownIDs))])
 }
 
-// allocFileID reserves a fresh, cluster-unique file ID.
+// allocFileID reserves a fresh, cluster-unique file ID. The counter lives
+// on the first own node; when that node has no registered client the error
+// classifies as unavailability (kvstore.ErrUnavailable) so callers and
+// retry policy treat it like any other unreachable-store failure rather
+// than a namespace error.
 func (m *metaService) allocFileID() (string, error) {
 	cli, err := m.conns.client(m.ownIDs[0])
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("core: allocate file ID: %w: own node %s: %v",
+			kvstore.ErrUnavailable, m.ownIDs[0], err)
 	}
 	n, err := cli.Incr("nextid")
 	if err != nil {
@@ -195,25 +201,89 @@ func (m *metaService) readDir(path string) ([]EntryInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	entries := make([]EntryInfo, 0, len(names))
-	for _, name := range names {
+	children := make([]string, len(names))
+	for i, name := range names {
 		child := path + "/" + name
 		if path == "/" {
 			child = "/" + name
 		}
-		rec, err := m.statRecord(child)
+		children[i] = child
+	}
+	var entries []EntryInfo
+	if m.pipeDepth >= 2 && len(names) > 1 {
+		entries, err = m.statChildrenBatched(names, children)
+	} else {
+		entries, err = m.statChildrenSerial(names, children)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries, nil
+}
+
+// statChildrenSerial stats each directory entry with an individual get —
+// the pipelining-off (ablation) path, one round trip per entry.
+func (m *metaService) statChildrenSerial(names, children []string) ([]EntryInfo, error) {
+	entries := make([]EntryInfo, 0, len(names))
+	for i, name := range names {
+		rec, err := m.statRecord(children[i])
 		if err != nil {
 			// A concurrent remove can race the listing; skip the ghost.
 			continue
 		}
-		e := EntryInfo{Name: name, Path: child, IsDir: rec.IsDir()}
-		if rec.File != nil {
-			e.Size = rec.File.Size
-		}
-		entries = append(entries, e)
+		entries = append(entries, entryInfo(name, children[i], rec))
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
 	return entries, nil
+}
+
+// statChildrenBatched stats directory entries with one pipelined MGet per
+// metadata shard instead of one Get round trip per entry — the listing
+// cost drops from O(entries) round trips to O(shards). Entries whose
+// record is gone by fetch time (a concurrent remove racing the listing)
+// come back nil and are skipped, matching the serial path; decode errors
+// still surface.
+func (m *metaService) statChildrenBatched(names, children []string) ([]EntryInfo, error) {
+	// Group entry indexes by the own node that shards their metadata key.
+	byShard := make(map[int][]int)
+	for i, child := range children {
+		s := fsmeta.Shard(child, len(m.ownIDs))
+		byShard[s] = append(byShard[s], i)
+	}
+	entries := make([]EntryInfo, 0, len(names))
+	for s, idxs := range byShard {
+		cli, err := m.conns.client(m.ownIDs[s])
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]string, len(idxs))
+		for j, i := range idxs {
+			keys[j] = fsmeta.MetaKey(children[i])
+		}
+		vals, err := cli.MGet(keys...)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range idxs {
+			if vals[j] == nil {
+				continue // ghost: removed between listing and fetch
+			}
+			rec, err := fsmeta.Decode(vals[j])
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, entryInfo(names[i], children[i], rec))
+		}
+	}
+	return entries, nil
+}
+
+func entryInfo(name, path string, rec *fsmeta.Record) EntryInfo {
+	e := EntryInfo{Name: name, Path: path, IsDir: rec.IsDir()}
+	if rec.File != nil {
+		e.Size = rec.File.Size
+	}
+	return e
 }
 
 // removeEntry deletes the record at path and unlinks it from its parent.

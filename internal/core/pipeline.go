@@ -122,7 +122,11 @@ func (f *File) writeSpansPipelined(tr *opTrace, spans []stripe.Span, starts []in
 		for ti, node := range targets {
 			replicas[i]++
 			if skips != nil && skips[ti] {
-				f.fs.stats.skippedReplicaWrites.Add(1)
+				if f.fs.isDraining(node) {
+					f.fs.stats.fencedWrites.Add(1)
+				} else {
+					f.fs.stats.skippedReplicaWrites.Add(1)
+				}
 				skipped[i]++
 				continue
 			}

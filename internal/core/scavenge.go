@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"log"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -80,18 +82,52 @@ func (fs *FileSystem) ApplyVictimCaps() error {
 	return firstErr
 }
 
-// EvacuateNode drains every stripe from a victim node's store and removes
-// the node from MemFSS — the response to the monitor's "tenant needs its
-// memory back" signal (paper §III-A). Each stripe is re-homed to the next
-// node in its file's snapshot probe order, so subsequent reads find it by
-// lazy probing without any metadata rewrite.
-func (fs *FileSystem) EvacuateNode(nodeID string) error {
-	if err := fs.check(); err != nil {
-		return err
-	}
-	// Copy what we need while holding the lock: a pointer into fs.classes
-	// dereferenced after RUnlock would race with concurrent
-	// AddVictimClass/evacuations swapping the slice out underneath it.
+// --- victim revocation -------------------------------------------------------
+
+// Revocation knob defaults; the configured values live in Config.Evac.
+const (
+	defaultEvacDeadline   = 30 * time.Second
+	defaultSoftTarget     = 0.75
+	defaultEvacBackoff    = 2 * time.Second
+	defaultEvacMaxBackoff = 30 * time.Second
+
+	// drainPassPause separates drain retry passes so a node with a
+	// persistent per-key failure is not hammered in a tight loop.
+	drainPassPause = 20 * time.Millisecond
+	// drainListBatch bounds one partial-drain listing (plus the skip set,
+	// so skipped keys at the front of the sort order never starve deeper
+	// candidates).
+	drainListBatch = 256
+	// flushRetries re-attempts the release-phase FlushAll beyond the
+	// client's own retry budget: by flush time the node is already out of
+	// placement, so giving up leaves stale bytes the tenant wants back.
+	flushRetries = 5
+)
+
+// EvacOptions tunes one evacuation.
+type EvacOptions struct {
+	// Deadline bounds the evacuation end to end; 0 takes Config.Evac
+	// .Deadline, then the 30s default. On expiry the node is
+	// force-released: flushed and removed with unresolved keys counted at
+	// risk and handed to the repair queue.
+	Deadline time.Duration
+}
+
+// EvacReport describes what one evacuation did.
+type EvacReport struct {
+	Node     string        // the evacuated node
+	Moved    int           // keys confirmed on another node
+	Orphans  int           // keys whose file is gone; dropped with the flush
+	Deferred int           // unresolved keys handed to the repair queue
+	AtRisk   int           // keys flushed before a copy was confirmed (forced only)
+	Passes   int           // drain passes run
+	Forced   bool          // deadline expired; the node was released anyway
+	Elapsed  time.Duration // wall time fence to release
+	Deadline time.Duration // effective deadline
+}
+
+// victimNode verifies nodeID is a registered victim node.
+func (fs *FileSystem) victimNode(nodeID string) error {
 	fs.mu.RLock()
 	var found, victim bool
 	for i := range fs.classes {
@@ -109,25 +145,140 @@ func (fs *FileSystem) EvacuateNode(nodeID string) error {
 	if !victim {
 		return fmt.Errorf("core: node %q is an own node; refusing to evacuate metadata", nodeID)
 	}
+	return nil
+}
+
+// acquireDrain claims the per-node drain slot so concurrent revocations of
+// the same node fail fast instead of interleaving fence flips and flushes.
+func (fs *FileSystem) acquireDrain(nodeID string) error {
+	fs.drainMu.Lock()
+	defer fs.drainMu.Unlock()
+	if fs.drainBusy[nodeID] {
+		return fmt.Errorf("core: node %q is already being drained", nodeID)
+	}
+	fs.drainBusy[nodeID] = true
+	return nil
+}
+
+func (fs *FileSystem) releaseDrain(nodeID string) {
+	fs.drainMu.Lock()
+	delete(fs.drainBusy, nodeID)
+	fs.drainMu.Unlock()
+}
+
+// EvacuateNode drains every stripe from a victim node's store and removes
+// the node from MemFSS — the response to the monitor's "tenant needs its
+// memory back" signal (paper §III-A). It is Evacuate with background
+// context and default options.
+func (fs *FileSystem) EvacuateNode(nodeID string) error {
+	_, err := fs.Evacuate(context.Background(), nodeID, EvacOptions{})
+	return err
+}
+
+// Evacuate runs the full revocation protocol against a victim node:
+//
+//  1. fence: the node enters Draining — replicated writes skip it (with
+//     quorum accounting) while reads keep probing it.
+//  2. drain: repeated passes re-home every data key to the next node in
+//     its file's snapshot probe order. Per-key failures are retried on the
+//     next pass; the loop is idempotent, so a crashed or interrupted
+//     evacuation can simply be re-run.
+//  3. detach: the node leaves placement and the connection pool (new
+//     writes cannot route to it), while this evacuation keeps the client.
+//  4. sweep: a final full re-pass over the now-stable listing catches
+//     stripes written during the drain (unreplicated and erasure writes
+//     are not fenced).
+//  5. release: the store is flushed, the node is unregistered, and parked
+//     repair units are re-queued.
+//
+// Replicated stripes are re-homed with SETNX — during the drain the fence
+// diverts writes to the surviving replicas, so a copy already at the
+// destination may be newer than the source and must not be clobbered.
+// Unreplicated and erasure stripes keep taking writes at the source, so
+// the source is authoritative and re-homing overwrites.
+//
+// When ctx is canceled before detach the evacuation aborts cleanly: the
+// fence comes down and the node stays in the deployment. When the deadline
+// expires (the tenant is waiting) the node is force-released: unresolved
+// keys are counted AtRisk, handed to the repair queue, and redundancy is
+// restored from surviving replicas.
+func (fs *FileSystem) Evacuate(ctx context.Context, nodeID string, opts EvacOptions) (*EvacReport, error) {
+	if err := fs.check(); err != nil {
+		return nil, err
+	}
+	if err := fs.victimNode(nodeID); err != nil {
+		return nil, err
+	}
+	if err := fs.acquireDrain(nodeID); err != nil {
+		return nil, err
+	}
+	defer fs.releaseDrain(nodeID)
 	cli, err := fs.conns.client(nodeID)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	keys, err := cli.Keys("data:")
-	if err != nil {
-		return fmt.Errorf("core: list keys on %s: %w", nodeID, err)
+	deadline := opts.Deadline
+	if deadline == 0 {
+		deadline = fs.cfg.Evac.Deadline
 	}
-	if err := fs.rehomeKeys(nodeID, keys); err != nil {
-		return err
+	if deadline == 0 {
+		deadline = defaultEvacDeadline
 	}
-	if fs.obs != nil {
-		fs.obs.evacKeys.Add(int64(len(keys)))
-		fs.obs.evacs.Inc()
+	dctx, cancel := context.WithTimeout(ctx, deadline)
+	defer cancel()
+
+	start := time.Now()
+	phaseStart := start
+	observePhase := func(name string) {
+		now := time.Now()
+		if h := fs.obs.evacPhase(name); h != nil {
+			h.Observe(now.Sub(phaseStart))
+		}
+		phaseStart = now
 	}
-	if err := cli.FlushAll(); err != nil {
-		return err
+	rep := &EvacReport{Node: nodeID, Deadline: deadline}
+	resolved := make(map[string]bool)
+	forced := false
+
+	// Phase 1: fence.
+	fs.setDraining(nodeID, true)
+	observePhase("fence")
+
+	// Phase 2: drain passes until a pass resolves every listed key.
+	for {
+		if err := dctx.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				forced = true
+				break
+			}
+			// Canceled: abort cleanly. The node stays in the deployment
+			// and the drain can be re-run from scratch.
+			fs.setDraining(nodeID, false)
+			rep.Elapsed = time.Since(start)
+			return rep, fmt.Errorf("core: evacuate %s: %w", nodeID, err)
+		}
+		keys, err := cli.Keys("data:")
+		if err != nil {
+			time.Sleep(drainPassPause)
+			continue
+		}
+		todo := unresolvedKeys(keys, resolved)
+		if len(todo) > 0 {
+			rep.Passes++
+			res := fs.rehomePass(dctx, cli, nodeID, todo, resolved)
+			rep.Moved += res.moved
+			rep.Orphans += res.orphans
+			if len(res.failed) > 0 {
+				time.Sleep(drainPassPause)
+				continue
+			}
+		}
+		break
 	}
-	// Remove the node from the live classes so new files avoid it.
+	observePhase("drain")
+
+	// Phase 3: detach. The node leaves placement and the pool; this
+	// evacuation keeps the client for the sweep and the flush.
 	fs.mu.Lock()
 	next := make([]ClassSpec, 0, len(fs.classes))
 	for _, c := range fs.classes {
@@ -142,163 +293,369 @@ func (fs *FileSystem) EvacuateNode(nodeID string) error {
 			next = append(next, c)
 		}
 	}
-	placer, err := hrw.NewPlacer(placerClasses(next)...)
-	if err != nil {
+	placer, perr := hrw.NewPlacer(placerClasses(next)...)
+	if perr != nil {
 		fs.mu.Unlock()
-		return err
+		fs.setDraining(nodeID, false)
+		rep.Elapsed = time.Since(start)
+		return rep, perr
 	}
 	fs.classes = next
 	fs.placer = placer
 	fs.mu.Unlock()
-	fs.conns.remove(nodeID)
+	fs.conns.detach(nodeID)
+	observePhase("detach")
+
+	// Phase 4: final sweep. Post-detach no new write can route to the
+	// node, so the listing is stable. The first pass deliberately ignores
+	// the resolved set: unreplicated and erasure stripes kept taking
+	// writes at the source during the drain, so every surviving key is
+	// re-copied (already-confirmed replicated keys re-check as a cheap
+	// SETNX no-op). Later passes retry only stragglers. From here the
+	// protocol cannot abort — the node is out of placement — so both
+	// cancellation and deadline expiry escalate to a forced release.
+	if !forced {
+		for pass := 0; ; pass++ {
+			if dctx.Err() != nil {
+				forced = true
+				break
+			}
+			keys, err := cli.Keys("data:")
+			if err != nil {
+				time.Sleep(drainPassPause)
+				continue
+			}
+			todo := keys
+			if pass > 0 {
+				todo = unresolvedKeys(keys, resolved)
+			}
+			if len(todo) == 0 {
+				break
+			}
+			rep.Passes++
+			res := fs.rehomePass(dctx, cli, nodeID, todo, resolved)
+			rep.Moved += res.moved
+			rep.Orphans += res.orphans
+			if pass > 0 && len(res.failed) > 0 {
+				time.Sleep(drainPassPause)
+			}
+		}
+	}
+	observePhase("sweep")
+
+	// Phase 5: release. On a forced release, list what is about to be
+	// lost from this store and hand every unresolved stripe to the repair
+	// queue — surviving replicas or parity restore redundancy from there.
+	if forced {
+		rep.Forced = true
+		if keys, err := cli.Keys("data:"); err == nil {
+			for _, key := range keys {
+				if resolved[key] {
+					continue
+				}
+				rep.Deferred++
+				if tgt, err := fs.rehomeTarget(nodeID, key); err == nil && tgt != nil {
+					fs.enqueueRepair(tgt.path, tgt.sk, tgt.idx)
+				}
+			}
+		}
+		rep.AtRisk = rep.Deferred
+	}
+	var flushErr error
+	for i := 0; i < flushRetries; i++ {
+		if flushErr = cli.FlushAll(); flushErr == nil {
+			break
+		}
+		time.Sleep(drainPassPause)
+	}
+	fs.conns.retire(cli)
 	if fs.detector != nil {
 		// No longer a placement target: forget its history so health
 		// snapshots and write-skip decisions stop mentioning it.
 		fs.detector.Unregister(nodeID)
 	}
+	fs.setDraining(nodeID, false)
 	if fs.repairs != nil {
 		// Units parked on the evacuated node can resolve now — the fix
 		// pass skips unregistered targets instead of waiting for them.
 		fs.repairs.unparkReady()
 		fs.repairs.kick()
 	}
-	return nil
+	observePhase("release")
+	rep.Elapsed = time.Since(start)
+	fs.obs.evacReport(rep)
+	if flushErr != nil {
+		return rep, fmt.Errorf("core: evacuate %s: flush: %w", nodeID, flushErr)
+	}
+	return rep, nil
 }
 
-// rehomeKeys drains an evacuating node's data keys. With PipelineDepth
-// >= 2 each batch costs a handful of bursts instead of three round trips
-// per key: one MGET on the source, then pipelined SETNX runs per
-// destination (SETNX collapses the old Exists-then-Set pair — it
-// declines exactly when a replica already lives there). Any key the fast
-// path cannot place falls back to the per-key probe walk of rehomeKey.
-func (fs *FileSystem) rehomeKeys(nodeID string, keys []string) error {
-	rehomeSerial := func(keys []string) error {
-		for _, key := range keys {
-			if err := fs.rehomeKey(nodeID, key); err != nil {
-				return fmt.Errorf("core: evacuate %s from %s: %w", key, nodeID, err)
+// unresolvedKeys filters a listing down to the keys not yet resolved.
+func unresolvedKeys(keys []string, resolved map[string]bool) []string {
+	out := keys[:0:0]
+	for _, k := range keys {
+		if !resolved[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// --- partial drain (soft pressure) ------------------------------------------
+
+// DrainReport describes what one partial drain did.
+type DrainReport struct {
+	Node        string        // the drained node
+	Moved       int           // keys confirmed elsewhere and deleted at the source
+	Skipped     int           // keys that could not move this drain
+	BytesBefore int64         // store fill when the drain started
+	BytesAfter  int64         // store fill when it stopped
+	Target      int64         // fill the drain aimed for
+	Passes      int           // listing passes run
+	Elapsed     time.Duration // wall time
+}
+
+// DrainNode evicts data keys from a victim store until its fill drops to
+// targetBytes — the graduated response to soft memory pressure: the tenant
+// gets memory back without MemFSS giving up the node. targetBytes <= 0
+// takes Config.Evac.SoftTarget (default 0.75) of the store's memory cap.
+//
+// The node is fenced Draining for the duration so replicated writes stop
+// adding to it, then unfenced — it stays registered and keeps serving. A
+// key moves with copy-then-compare-delete: the value is copied out, then
+// deleted at the source only if still byte-identical (DELVAL), so a write
+// racing the drain never loses its update — the key is simply skipped and
+// left for the next pressure sweep.
+func (fs *FileSystem) DrainNode(ctx context.Context, nodeID string, targetBytes int64) (*DrainReport, error) {
+	if err := fs.check(); err != nil {
+		return nil, err
+	}
+	if err := fs.victimNode(nodeID); err != nil {
+		return nil, err
+	}
+	if err := fs.acquireDrain(nodeID); err != nil {
+		return nil, err
+	}
+	defer fs.releaseDrain(nodeID)
+	cli, err := fs.conns.client(nodeID)
+	if err != nil {
+		return nil, err
+	}
+	st, err := cli.Info()
+	if err != nil {
+		return nil, fmt.Errorf("core: drain %s: %w", nodeID, err)
+	}
+	target := targetBytes
+	if target <= 0 {
+		if st.MaxMemory <= 0 {
+			return nil, fmt.Errorf("core: drain %s: no memory cap and no explicit target", nodeID)
+		}
+		soft := fs.cfg.Evac.SoftTarget
+		if soft == 0 {
+			soft = defaultSoftTarget
+		}
+		target = int64(float64(st.MaxMemory) * soft)
+	}
+	rep := &DrainReport{
+		Node: nodeID, BytesBefore: st.BytesUsed, BytesAfter: st.BytesUsed, Target: target,
+	}
+	start := time.Now()
+	fs.setDraining(nodeID, true)
+	defer fs.setDraining(nodeID, false)
+	skipped := make(map[string]bool)
+	for {
+		st, err := cli.Info()
+		if err != nil {
+			rep.Skipped = len(skipped)
+			rep.Elapsed = time.Since(start)
+			return rep, fmt.Errorf("core: drain %s: %w", nodeID, err)
+		}
+		rep.BytesAfter = st.BytesUsed
+		if st.BytesUsed <= target {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			rep.Skipped = len(skipped)
+			rep.Elapsed = time.Since(start)
+			if errors.Is(err, context.DeadlineExceeded) {
+				return rep, nil // best effort: pressure relief, not a contract
+			}
+			return rep, err
+		}
+		// The skip set grows the listing bound so keys stuck at the front
+		// of the sort order never starve deeper candidates.
+		keys, err := cli.KeysN("data:", drainListBatch+len(skipped))
+		if err != nil {
+			rep.Skipped = len(skipped)
+			rep.Elapsed = time.Since(start)
+			return rep, fmt.Errorf("core: drain %s: %w", nodeID, err)
+		}
+		todo := unresolvedKeys(keys, skipped)
+		if len(todo) == 0 {
+			break // everything left is unmovable right now
+		}
+		rep.Passes++
+		rep.Moved += fs.drainPass(ctx, cli, nodeID, todo, skipped)
+	}
+	rep.Skipped = len(skipped)
+	rep.Elapsed = time.Since(start)
+	fs.obs.drainReport(rep)
+	return rep, nil
+}
+
+// drainPass evicts one batch of keys: copy each to its re-home target,
+// then compare-and-delete at the source. Keys that cannot move (no live
+// destination, value changed under us, store errors) land in skipped.
+func (fs *FileSystem) drainPass(ctx context.Context, cli *kvstore.Client, nodeID string, keys []string, skipped map[string]bool) (moved int) {
+	batch := fs.pipeDepth
+	if batch < 1 {
+		batch = 1
+	}
+	for s := 0; s < len(keys); s += batch {
+		if ctx.Err() != nil {
+			return moved
+		}
+		e := s + batch
+		if e > len(keys) {
+			e = len(keys)
+		}
+		moved += fs.drainBatch(cli, nodeID, keys[s:e], skipped)
+	}
+	return moved
+}
+
+func (fs *FileSystem) drainBatch(cli *kvstore.Client, nodeID string, keys []string, skipped map[string]bool) (moved int) {
+	vals, err := cli.MGet(keys...)
+	if err != nil {
+		for _, k := range keys {
+			skipped[k] = true
+		}
+		return 0
+	}
+	type item struct {
+		key string
+		val []byte
+	}
+	var evict []item // placed (or orphaned) keys ready for compare-delete
+	for i, key := range keys {
+		if vals[i] == nil {
+			continue // gone already
+		}
+		tgt, err := fs.rehomeTarget(nodeID, key)
+		if err != nil {
+			skipped[key] = true
+			continue
+		}
+		if tgt == nil {
+			// Orphan: its file is gone; delete without copying.
+			evict = append(evict, item{key, vals[i]})
+			continue
+		}
+		if err := fs.placeCopy(tgt, key, vals[i]); err != nil {
+			skipped[key] = true
+			continue
+		}
+		evict = append(evict, item{key, vals[i]})
+	}
+	if len(evict) == 0 {
+		return 0
+	}
+	pl := cli.Pipeline()
+	for _, it := range evict {
+		pl.DelVal(it.key, it.val)
+	}
+	replies, err := pl.Run()
+	if err != nil {
+		for _, it := range evict {
+			skipped[it.key] = true
+		}
+		return 0
+	}
+	for j, r := range replies {
+		if r.Err() == nil && r.Int == 1 {
+			moved++
+		} else {
+			// Mismatch: a write updated the key after we copied it. The
+			// update is preserved; the key waits for the next sweep.
+			skipped[evict[j].key] = true
+		}
+	}
+	return moved
+}
+
+// placeCopy writes one value to the first accepting destination in the
+// target's candidate order, honoring the SETNX-vs-SET authority rule.
+func (fs *FileSystem) placeCopy(tgt *rehomeTarget, key string, value []byte) error {
+	var lastErr error
+	for _, cand := range tgt.order {
+		dst, err := fs.conns.client(cand)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := fs.conns.throttle(cand).Take(int64(len(value))); err != nil {
+			lastErr = err
+			continue
+		}
+		if tgt.setNX {
+			if _, err := dst.SetNX(key, value); err != nil {
+				lastErr = err
+				continue
+			}
+		} else {
+			if err := dst.Set(key, value); err != nil {
+				lastErr = err
+				continue
 			}
 		}
 		return nil
 	}
-	if fs.pipeDepth <= 1 {
-		return rehomeSerial(keys)
+	if lastErr == nil {
+		lastErr = errors.New("no candidate destinations")
 	}
-	src, err := fs.conns.client(nodeID)
-	if err != nil {
-		return err
-	}
-	for start := 0; start < len(keys); start += fs.pipeDepth {
-		end := start + fs.pipeDepth
-		if end > len(keys) {
-			end = len(keys)
-		}
-		leftover := fs.rehomeBatch(src, nodeID, keys[start:end])
-		if err := rehomeSerial(leftover); err != nil {
-			return err
-		}
-	}
-	return nil
+	return fmt.Errorf("core: no live node accepts %s: %w", key, lastErr)
 }
 
-// rehomeBatch attempts the pipelined drain of one key batch, returning
-// the keys that still need the serial per-key fallback.
-func (fs *FileSystem) rehomeBatch(src *kvstore.Client, nodeID string, keys []string) []string {
-	vals, err := src.MGet(keys...)
-	if err != nil {
-		return keys // let the serial path retry (and report) per key
-	}
-	type pending struct {
-		key string
-		val []byte
-	}
-	perDest := make(map[string][]pending)
-	var destOrder []string
-	var fallback []string
-	for i, key := range keys {
-		if vals[i] == nil {
-			continue // already drained
-		}
-		order, err := fs.rehomeOrder(nodeID, key)
-		if err != nil {
-			fallback = append(fallback, key) // serial path reproduces the error
-			continue
-		}
-		if order == nil {
-			continue // orphan: dropped by the post-drain flush
-		}
-		dest := ""
-		for _, cand := range order {
-			if _, err := fs.conns.client(cand); err == nil {
-				dest = cand
-				break
-			}
-		}
-		if dest == "" {
-			fallback = append(fallback, key) // rehomeKey reports "no live node"
-			continue
-		}
-		if _, ok := perDest[dest]; !ok {
-			destOrder = append(destOrder, dest)
-		}
-		perDest[dest] = append(perDest[dest], pending{key: key, val: vals[i]})
-	}
-	for _, dest := range destOrder {
-		batch := perDest[dest]
-		dst, err := fs.conns.client(dest)
-		if err != nil {
-			for _, p := range batch {
-				fallback = append(fallback, p.key)
-			}
-			continue
-		}
-		var total int64
-		for _, p := range batch {
-			total += int64(len(p.val))
-		}
-		if err := fs.conns.throttle(dest).Take(total); err != nil {
-			for _, p := range batch {
-				fallback = append(fallback, p.key)
-			}
-			continue
-		}
-		pl := dst.Pipeline()
-		for _, p := range batch {
-			pl.SetNX(p.key, p.val)
-		}
-		replies, err := pl.Run()
-		if err != nil {
-			for _, p := range batch {
-				fallback = append(fallback, p.key)
-			}
-			continue
-		}
-		for j, r := range replies {
-			// A :0 reply means a replica already lives there — done,
-			// matching the old Exists short-circuit.
-			if r.Err() != nil {
-				fallback = append(fallback, batch[j].key)
-			}
-		}
-	}
-	return fallback
+// --- re-homing machinery -----------------------------------------------------
+
+// rehomeTarget is the placement answer for one evacuating data key.
+type rehomeTarget struct {
+	order []string // candidate destinations, best first (source excluded)
+	path  string   // owning file's path, for repair-queue deferral
+	sk    string   // stripe key ("<fileID>#<idx>"), the repair unit key
+	idx   int64    // stripe index
+	// setNX: the file is replicated, so the fence diverted its writes to
+	// the surviving replicas — a copy already at the destination may be
+	// newer than the source and must not be clobbered. Unreplicated and
+	// erasure stripes keep the source authoritative and overwrite.
+	setNX bool
 }
 
-// rehomeOrder computes the candidate destinations for one evacuating
-// data key: its file's snapshot probe order minus the evacuating node.
-// An orphan key (file already removed) yields a nil slice — the caller
-// just drops it with the store flush.
-func (fs *FileSystem) rehomeOrder(nodeID, key string) ([]string, error) {
+// rehomeTarget resolves one data key to its candidate destinations: the
+// file's snapshot probe order minus the evacuating node. A nil target with
+// nil error is an orphan (its file is gone) — the release flush drops it.
+// Transport errors against the metadata service propagate: treating an
+// unreachable own node as "file removed" would silently drop live data.
+func (fs *FileSystem) rehomeTarget(nodeID, key string) (*rehomeTarget, error) {
 	fileID, shardIdx, ok := parseDataKey(key)
 	if !ok {
-		return nil, fmt.Errorf("unparseable data key %q", key)
+		return nil, fmt.Errorf("core: unparseable data key %q", key)
 	}
 	path, err := fs.meta.lookupFileID(fileID)
 	if err != nil {
-		// Orphan stripe (file already removed): just drop it.
-		return nil, nil
+		if isNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
 	}
 	rec, err := fs.meta.statRecord(path)
-	if err != nil || rec.File == nil {
+	if err != nil {
+		if isNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if rec.File == nil {
 		return nil, nil
 	}
 	pl, err := placerFromSnapshot(rec.File.Classes)
@@ -307,54 +664,203 @@ func (fs *FileSystem) rehomeOrder(nodeID, key string) ([]string, error) {
 	}
 	// The probe key is the stripe key (without shard suffix).
 	probeKey := strings.TrimSuffix(key, "/s"+shardIdx)
-	order := pl.ProbeOrder(strings.TrimPrefix(probeKey, "data:"))
+	sk := strings.TrimPrefix(probeKey, "data:")
+	order := pl.ProbeOrder(sk)
 	out := make([]string, 0, len(order))
 	for _, c := range order {
 		if c != nodeID {
 			out = append(out, c)
 		}
 	}
-	return out, nil
+	// Healthy candidates first: with a replica concurrently dead, the rank
+	// order alone would keep steering copies at the Down node and the key
+	// would stall pass after pass until the deadline forces the release.
+	out = fs.healthOrder(out)
+	var idx int64
+	if hash := strings.LastIndexByte(sk, '#'); hash >= 0 {
+		idx, _ = strconv.ParseInt(sk[hash+1:], 10, 64)
+	}
+	return &rehomeTarget{
+		order: out,
+		path:  path,
+		sk:    sk,
+		idx:   idx,
+		setNX: rec.File.Replicas > 1,
+	}, nil
 }
 
-// rehomeKey moves one data key off an evacuating node to the next live
-// node in its file's snapshot probe order.
-func (fs *FileSystem) rehomeKey(nodeID, key string) error {
-	order, err := fs.rehomeOrder(nodeID, key)
-	if err != nil {
-		return err
+// rehomeResult tallies one drain pass.
+type rehomeResult struct {
+	moved   int
+	orphans int
+	failed  []string // keys to retry next pass
+}
+
+// rehomePass re-homes one key list in pipeline-sized batches. Keys already
+// in resolved are not re-counted; ctx expiry fails the remainder (the
+// caller decides between another pass and a forced release).
+func (fs *FileSystem) rehomePass(ctx context.Context, src *kvstore.Client, nodeID string, keys []string, resolved map[string]bool) rehomeResult {
+	var res rehomeResult
+	batch := fs.pipeDepth
+	if batch < 1 {
+		batch = 1
 	}
-	if order == nil {
-		return nil
+	for s := 0; s < len(keys); s += batch {
+		if ctx.Err() != nil {
+			res.failed = append(res.failed, keys[s:]...)
+			return res
+		}
+		e := s + batch
+		if e > len(keys) {
+			e = len(keys)
+		}
+		fs.rehomeBatch(src, nodeID, keys[s:e], resolved, &res)
 	}
-	src, err := fs.conns.client(nodeID)
+	return res
+}
+
+// rehomeBatch re-homes one batch: a single MGET on the source, then one
+// pipelined SETNX/SET run per destination. Keys whose fast path fails fall
+// back to the per-key candidate walk of rehomeKey; keys that still fail
+// land in res.failed for the next pass.
+func (fs *FileSystem) rehomeBatch(src *kvstore.Client, nodeID string, keys []string, resolved map[string]bool, res *rehomeResult) {
+	vals, err := src.MGet(keys...)
 	if err != nil {
-		return err
+		res.failed = append(res.failed, keys...)
+		return
+	}
+	markMoved := func(key string) {
+		if !resolved[key] {
+			res.moved++
+			resolved[key] = true
+		}
+	}
+	markOrphan := func(key string) {
+		if !resolved[key] {
+			res.orphans++
+			resolved[key] = true
+		}
+	}
+	type pending struct {
+		key string
+		val []byte
+		tgt *rehomeTarget
+	}
+	perDest := make(map[string][]pending)
+	var destOrder []string
+	for i, key := range keys {
+		if vals[i] == nil {
+			resolved[key] = true // gone from the source: nothing to move
+			continue
+		}
+		tgt, err := fs.rehomeTarget(nodeID, key)
+		if err != nil {
+			res.failed = append(res.failed, key)
+			continue
+		}
+		if tgt == nil {
+			markOrphan(key)
+			continue
+		}
+		dest := ""
+		for _, cand := range tgt.order {
+			if _, err := fs.conns.client(cand); err == nil {
+				dest = cand
+				break
+			}
+		}
+		if dest == "" {
+			res.failed = append(res.failed, key)
+			continue
+		}
+		if _, ok := perDest[dest]; !ok {
+			destOrder = append(destOrder, dest)
+		}
+		perDest[dest] = append(perDest[dest], pending{key: key, val: vals[i], tgt: tgt})
+	}
+	// serialAll walks every candidate per key — the slow path when the
+	// batched destination turned out unreachable mid-burst. Failing the
+	// whole batch instead would retry the same dead destination next pass.
+	serialAll := func(batch []pending) {
+		for _, p := range batch {
+			orphan, err := fs.rehomeKey(src, nodeID, p.key)
+			switch {
+			case err != nil:
+				res.failed = append(res.failed, p.key)
+			case orphan:
+				markOrphan(p.key)
+			default:
+				markMoved(p.key)
+			}
+		}
+	}
+	for _, dest := range destOrder {
+		batch := perDest[dest]
+		dst, err := fs.conns.client(dest)
+		if err != nil {
+			serialAll(batch)
+			continue
+		}
+		var total int64
+		for _, p := range batch {
+			total += int64(len(p.val))
+		}
+		if err := fs.conns.throttle(dest).Take(total); err != nil {
+			serialAll(batch)
+			continue
+		}
+		pl := dst.Pipeline()
+		for _, p := range batch {
+			if p.tgt.setNX {
+				pl.SetNX(p.key, p.val)
+			} else {
+				pl.Set(p.key, p.val)
+			}
+		}
+		replies, err := pl.Run()
+		if err != nil {
+			serialAll(batch)
+			continue
+		}
+		for j, r := range replies {
+			// A :0 SETNX reply means a replica already lives there — done.
+			if r.Err() == nil {
+				markMoved(batch[j].key)
+				continue
+			}
+			// Store-level rejection (e.g. destination over its cap): walk
+			// the remaining candidates serially.
+			orphan, err := fs.rehomeKey(src, nodeID, batch[j].key)
+			switch {
+			case err != nil:
+				res.failed = append(res.failed, batch[j].key)
+			case orphan:
+				markOrphan(batch[j].key)
+			default:
+				markMoved(batch[j].key)
+			}
+		}
+	}
+}
+
+// rehomeKey moves one data key off an evacuating node, walking every
+// candidate destination. orphan reports a key whose file is gone.
+func (fs *FileSystem) rehomeKey(src *kvstore.Client, nodeID, key string) (orphan bool, err error) {
+	tgt, err := fs.rehomeTarget(nodeID, key)
+	if err != nil {
+		return false, err
+	}
+	if tgt == nil {
+		return true, nil
 	}
 	value, ok, err := src.Get(key)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if !ok {
-		return nil
+		return false, nil // gone from the source: nothing to move
 	}
-	for _, candidate := range order {
-		dst, err := fs.conns.client(candidate)
-		if err != nil {
-			continue
-		}
-		if err := fs.conns.throttle(candidate).Take(int64(len(value))); err != nil {
-			continue
-		}
-		if exists, err := dst.Exists(key); err == nil && exists {
-			return nil // a replica already lives there
-		}
-		if err := dst.Set(key, value); err != nil {
-			continue
-		}
-		return nil
-	}
-	return fmt.Errorf("no live node accepts %s", key)
+	return false, fs.placeCopy(tgt, key, value)
 }
 
 // parseDataKey splits "data:<fileID>#<idx>[/s<n>]" into the file ID and
@@ -401,16 +907,25 @@ func (fs *FileSystem) VerifyFile(path string) error {
 	return nil
 }
 
-// Monitor polls victim stores for memory pressure and triggers evacuation,
-// playing the role of the cluster monitoring process of paper §III-A.
+// --- pressure monitor --------------------------------------------------------
+
+// Monitor polls victim stores and mounts the graduated pressure response
+// of paper §III-A: soft pressure (fill above the store's watermark, still
+// under the cap) triggers a partial drain that returns memory while the
+// node keeps serving; hard revocation (an explicit Revoke, or fill above
+// the cap after the tenant shrank it) triggers the full deadline-bounded
+// evacuation. Failed revocations back off per node with doubling delays.
 type Monitor struct {
 	fs       *FileSystem
 	interval time.Duration
 	logf     func(format string, args ...any)
 
-	mu      sync.Mutex
-	stopped chan struct{}
-	done    chan struct{}
+	mu           sync.Mutex
+	stopped      chan struct{}
+	done         chan struct{}
+	revoked      map[string]bool
+	backoff      map[string]time.Duration
+	backoffUntil map[string]time.Time
 }
 
 // NewMonitor creates a monitor polling every interval (default 1s).
@@ -422,7 +937,23 @@ func NewMonitor(fs *FileSystem, interval time.Duration, logf func(string, ...any
 	if logf == nil {
 		logf = log.Printf
 	}
-	return &Monitor{fs: fs, interval: interval, logf: logf}
+	return &Monitor{
+		fs: fs, interval: interval, logf: logf,
+		revoked:      make(map[string]bool),
+		backoff:      make(map[string]time.Duration),
+		backoffUntil: make(map[string]time.Time),
+	}
+}
+
+// Revoke marks a node for hard revocation: the next sweep runs the full
+// deadline-bounded evacuation regardless of the store's fill level — the
+// "tenant wants its memory back now" signal. Any failure backoff on the
+// node is cleared so the operator signal acts immediately.
+func (m *Monitor) Revoke(nodeID string) {
+	m.mu.Lock()
+	m.revoked[nodeID] = true
+	delete(m.backoffUntil, nodeID)
+	m.mu.Unlock()
 }
 
 // Start launches the polling loop. It is an error to start twice without
@@ -466,26 +997,92 @@ func (m *Monitor) loop(stopped, done chan struct{}) {
 	}
 }
 
-// sweep evacuates every victim store currently reporting pressure.
+// sweep applies the graduated response to every victim node.
 func (m *Monitor) sweep() {
+	now := time.Now()
 	for _, cls := range m.fs.Classes() {
 		if !cls.Victim {
 			continue
 		}
 		for _, n := range cls.Nodes {
-			cli, err := m.fs.conns.client(n.ID)
-			if err != nil {
-				continue
-			}
-			st, err := cli.Info()
-			if err != nil || !st.Pressure {
-				continue
-			}
-			m.logf("memfss: victim %s under memory pressure (%d/%d bytes), evacuating",
-				n.ID, st.BytesUsed, st.MaxMemory)
-			if err := m.fs.EvacuateNode(n.ID); err != nil {
-				m.logf("memfss: evacuate %s: %v", n.ID, err)
-			}
+			m.sweepNode(now, n.ID)
 		}
 	}
+}
+
+func (m *Monitor) sweepNode(now time.Time, nodeID string) {
+	m.mu.Lock()
+	wait := m.backoffUntil[nodeID]
+	revoked := m.revoked[nodeID]
+	m.mu.Unlock()
+	if now.Before(wait) {
+		return
+	}
+	cli, err := m.fs.conns.client(nodeID)
+	if err != nil {
+		return
+	}
+	st, err := cli.Info()
+	if err != nil {
+		return
+	}
+	overCap := st.MaxMemory > 0 && st.BytesUsed > st.MaxMemory
+	switch {
+	case revoked || overCap:
+		m.logf("memfss: victim %s under memory pressure (%d/%d bytes), evacuating",
+			nodeID, st.BytesUsed, st.MaxMemory)
+		rep, err := m.fs.Evacuate(context.Background(), nodeID, EvacOptions{})
+		if err != nil {
+			m.logf("memfss: evacuate %s: %v", nodeID, err)
+			m.fail(nodeID)
+			return
+		}
+		m.clear(nodeID)
+		m.logf("memfss: evacuated %s: moved=%d orphans=%d deferred=%d forced=%v in %s (deadline %s)",
+			nodeID, rep.Moved, rep.Orphans, rep.Deferred, rep.Forced,
+			rep.Elapsed.Round(time.Millisecond), rep.Deadline)
+	case st.Pressure:
+		m.logf("memfss: victim %s under soft pressure (%d/%d bytes), partial drain",
+			nodeID, st.BytesUsed, st.MaxMemory)
+		rep, err := m.fs.DrainNode(context.Background(), nodeID, 0)
+		if err != nil {
+			m.logf("memfss: drain %s: %v", nodeID, err)
+			m.fail(nodeID)
+			return
+		}
+		m.clear(nodeID)
+		m.logf("memfss: drained %s: moved=%d skipped=%d, %d -> %d bytes (target %d)",
+			nodeID, rep.Moved, rep.Skipped, rep.BytesBefore, rep.BytesAfter, rep.Target)
+	}
+}
+
+// fail records a failed revocation attempt, doubling the node's backoff.
+func (m *Monitor) fail(nodeID string) {
+	base := m.fs.cfg.Evac.Backoff
+	if base <= 0 {
+		base = defaultEvacBackoff
+	}
+	maxB := m.fs.cfg.Evac.MaxBackoff
+	if maxB <= 0 {
+		maxB = defaultEvacMaxBackoff
+	}
+	m.mu.Lock()
+	b := m.backoff[nodeID]
+	if b <= 0 {
+		b = base
+	} else {
+		b = min(b*2, maxB)
+	}
+	m.backoff[nodeID] = b
+	m.backoffUntil[nodeID] = time.Now().Add(b)
+	m.mu.Unlock()
+}
+
+// clear resets a node's revocation bookkeeping after success.
+func (m *Monitor) clear(nodeID string) {
+	m.mu.Lock()
+	delete(m.revoked, nodeID)
+	delete(m.backoff, nodeID)
+	delete(m.backoffUntil, nodeID)
+	m.mu.Unlock()
 }

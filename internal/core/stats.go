@@ -17,6 +17,8 @@ type fsStats struct {
 	repairs              *obs.Counter
 	degradedWrites       *obs.Counter
 	skippedReplicaWrites *obs.Counter
+	fencedWrites         *obs.Counter
+	noSpaceWrites        *obs.Counter
 }
 
 // counterOr resolves a registered counter, or a standalone one when the
@@ -49,6 +51,10 @@ func newFSStats(reg *obs.Registry) fsStats {
 			"Replicated span writes that succeeded with fewer than all replicas.", nil),
 		skippedReplicaWrites: counterOr(reg, "memfss_fs_skipped_replica_writes_total",
 			"Replica targets skipped because the failure detector judged them Suspect or Down.", nil),
+		fencedWrites: counterOr(reg, "memfss_fs_fenced_replica_writes_total",
+			"Replica targets skipped because the node is draining for revocation.", nil),
+		noSpaceWrites: counterOr(reg, "memfss_fs_no_space_writes_total",
+			"Span writes rejected because a store was over its memory cap.", nil),
 	}
 }
 
@@ -77,6 +83,15 @@ type Counters struct {
 	// is a full retry budget (MaxAttempts connections plus backoff) the
 	// data path did not burn against a dead node.
 	SkippedReplicaWrites int64
+	// FencedWrites counts replica targets skipped because the node was
+	// fenced off Draining for revocation — write traffic the drain kept
+	// off the departing node.
+	FencedWrites int64
+	// NoSpaceWrites counts span writes rejected by a store's memory cap
+	// (the typed ErrNoSpace classification). These fail fast — a full
+	// store fails identically on every retry — so a nonzero value means
+	// capacity, not connectivity, is the bottleneck.
+	NoSpaceWrites int64
 	// StoreOps / StoreAttempts count store operations (commands and
 	// pipeline bursts) and the connection attempts they consumed, summed
 	// over every node client. StoreAttempts-StoreOps is the retry count;
@@ -97,6 +112,8 @@ func (fs *FileSystem) Counters() Counters {
 		Repairs:              fs.stats.repairs.Value(),
 		DegradedWrites:       fs.stats.degradedWrites.Value(),
 		SkippedReplicaWrites: fs.stats.skippedReplicaWrites.Value(),
+		FencedWrites:         fs.stats.fencedWrites.Value(),
+		NoSpaceWrites:        fs.stats.noSpaceWrites.Value(),
 		StoreOps:             ops,
 		StoreAttempts:        attempts,
 	}

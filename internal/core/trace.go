@@ -38,14 +38,19 @@ type fsObs struct {
 	stripeReadOwn     *obs.Histogram
 	stripeReadVictim  *obs.Histogram
 
-	outcomes  sync.Map // "op/outcome" -> *obs.Counter (memfss_fs_span_outcomes_total)
-	slowOps   sync.Map // op -> *obs.Counter (memfss_fs_slow_ops_total)
-	slowThr   time.Duration
-	logf      func(format string, args ...any)
-	evacKeys  *obs.Counter
-	evacs     *obs.Counter
-	scrubChk  *obs.Counter
-	scrubRest *obs.Counter
+	outcomes   sync.Map // "op/outcome" -> *obs.Counter (memfss_fs_span_outcomes_total)
+	slowOps    sync.Map // op -> *obs.Counter (memfss_fs_slow_ops_total)
+	slowThr    time.Duration
+	logf       func(format string, args ...any)
+	evacKeys   *obs.Counter
+	evacs      *obs.Counter
+	evacForced *obs.Counter
+	evacAtRisk *obs.Counter
+	evacDefer  *obs.Counter
+	drains     *obs.Counter
+	evacPhases sync.Map // phase -> *obs.Histogram (memfss_fs_evac_phase_seconds)
+	scrubChk   *obs.Counter
+	scrubRest  *obs.Counter
 }
 
 // newFSObs builds the enabled-telemetry bundle; reg must be non-nil.
@@ -68,6 +73,14 @@ func newFSObs(reg *obs.Registry, pol ObsPolicy) *fsObs {
 			"Data keys drained off evacuating victim nodes.", nil),
 		evacs: reg.Counter("memfss_fs_evacuations_total",
 			"Victim node evacuations completed.", nil),
+		evacForced: reg.Counter("memfss_fs_evac_forced_releases_total",
+			"Evacuations that hit their deadline and force-released the node.", nil),
+		evacAtRisk: reg.Counter("memfss_fs_evac_at_risk_keys_total",
+			"Data keys flushed by forced releases before a copy was confirmed elsewhere.", nil),
+		evacDefer: reg.Counter("memfss_fs_evac_deferred_keys_total",
+			"Unresolved keys an evacuation handed to the repair queue instead of moving inline.", nil),
+		drains: reg.Counter("memfss_fs_partial_drains_total",
+			"Soft-pressure partial drains completed (node stays registered).", nil),
 		scrubChk: reg.Counter("memfss_scrub_stripes_checked_total",
 			"Stripe inspections by Scrub/RepairFile passes.", nil),
 		scrubRest: reg.Counter("memfss_scrub_restored_total",
@@ -123,6 +136,45 @@ func (o *fsObs) outcome(op, outcome string) *obs.Counter {
 		obs.L("op", op, "outcome", outcome))
 	o.outcomes.Store(key, c)
 	return c
+}
+
+// evacPhase resolves (registering lazily) the duration histogram for one
+// evacuation phase in fence|drain|detach|sweep|release; nil-safe.
+func (o *fsObs) evacPhase(phase string) *obs.Histogram {
+	if o == nil {
+		return nil
+	}
+	if h, ok := o.evacPhases.Load(phase); ok {
+		return h.(*obs.Histogram)
+	}
+	h := o.reg.Histogram("memfss_fs_evac_phase_seconds",
+		"Wall time spent in each phase of a node evacuation.",
+		obs.L("phase", phase), nil)
+	o.evacPhases.Store(phase, h)
+	return h
+}
+
+// evacReport folds one finished evacuation into the registry; nil-safe.
+func (o *fsObs) evacReport(rep *EvacReport) {
+	if o == nil || rep == nil {
+		return
+	}
+	o.evacs.Inc()
+	o.evacKeys.Add(int64(rep.Moved))
+	o.evacDefer.Add(int64(rep.Deferred))
+	if rep.Forced {
+		o.evacForced.Inc()
+		o.evacAtRisk.Add(int64(rep.AtRisk))
+	}
+}
+
+// drainReport folds one finished partial drain into the registry; nil-safe.
+func (o *fsObs) drainReport(rep *DrainReport) {
+	if o == nil || rep == nil {
+		return
+	}
+	o.drains.Inc()
+	o.evacKeys.Add(int64(rep.Moved))
 }
 
 func (o *fsObs) slowCounter(op string) *obs.Counter {

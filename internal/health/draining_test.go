@@ -1,0 +1,64 @@
+package health
+
+import "testing"
+
+// TestSetDrainingOverlay: the administrative Draining overlay masks the
+// evidence-driven state without destroying it, emits transition events on
+// both edges, and clears back to whatever the evidence machine says.
+func TestSetDrainingOverlay(t *testing.T) {
+	clk := newFakeClock()
+	d := newTestDetector(clk)
+	d.Register("n1")
+	ch, cancel := d.Subscribe(16)
+	defer cancel()
+
+	d.SetDraining("n1", true)
+	if got := d.State("n1"); got != Draining {
+		t.Fatalf("fenced state = %v, want Draining", got)
+	}
+	select {
+	case ev := <-ch:
+		if ev.Node != "n1" || ev.From != Up || ev.To != Draining {
+			t.Fatalf("fence event = %+v", ev)
+		}
+	default:
+		t.Fatal("no event for the fence transition")
+	}
+	// Setting the same overlay again is idempotent: no duplicate event.
+	d.SetDraining("n1", true)
+	select {
+	case ev := <-ch:
+		t.Fatalf("duplicate fence event %+v", ev)
+	default:
+	}
+
+	// Evidence keeps accumulating underneath the overlay.
+	for i := 0; i < 4; i++ {
+		d.ReportFailure("n1")
+	}
+	if got := d.State("n1"); got != Draining {
+		t.Fatalf("overlay lost to evidence: %v", got)
+	}
+	for i := 0; i < 2; i++ {
+		<-ch // the underlying Up->Suspect->Down transitions still fire
+	}
+
+	d.SetDraining("n1", false)
+	if got := d.State("n1"); got != Down {
+		t.Fatalf("unfenced state = %v, want the underlying Down", got)
+	}
+	select {
+	case ev := <-ch:
+		if ev.From != Draining || ev.To != Down {
+			t.Fatalf("unfence event = %+v", ev)
+		}
+	default:
+		t.Fatal("no event for the unfence transition")
+	}
+
+	// Unknown nodes are a no-op, not a panic.
+	d.SetDraining("ghost", true)
+	if got := d.State("ghost"); got == Draining {
+		t.Fatal("overlay applied to an unregistered node")
+	}
+}

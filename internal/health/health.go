@@ -11,6 +11,10 @@
 // (writes skip Suspect/Down replicas and degrade to quorum immediately)
 // and what triggers targeted re-replication the moment a node returns.
 //
+// A fourth state, Draining, is not part of the evidence machine: it is an
+// administrative overlay the scavenging manager sets while it revokes a
+// node, fencing new writes off without declaring the node unhealthy.
+//
 // The clock is injectable, so the state machine is deterministic under
 // test: transitions depend only on the reported evidence sequence, never
 // on wall-clock races.
@@ -37,6 +41,13 @@ const (
 	// Down: failures persisted past the hysteresis threshold. The node is
 	// treated as gone until UpAfter consecutive successes prove otherwise.
 	Down
+	// Draining: revocation in progress. Unlike the evidence-driven states
+	// this is an administrative overlay set by the scavenging manager: new
+	// writes fence the node off (it is leaving anyway) while reads keep
+	// probing it until the drain completes. The evidence machine keeps
+	// running underneath, so clearing the overlay restores the judged
+	// state, not a blind Up.
+	Draining
 )
 
 func (s State) String() string {
@@ -47,6 +58,8 @@ func (s State) String() string {
 		return "suspect"
 	case Down:
 		return "down"
+	case Draining:
+		return "draining"
 	default:
 		return "unknown"
 	}
@@ -90,8 +103,8 @@ type Options struct {
 	// Now is the clock (default time.Now); tests inject a fake.
 	Now func() time.Time
 	// Metrics, when set, exports per-node state gauges
-	// (memfss_health_node_state: 0=up, 1=suspect, 2=down; removed on
-	// Unregister) and a transitions counter
+	// (memfss_health_node_state: 0=up, 1=suspect, 2=down, 3=draining;
+	// removed on Unregister) and a transitions counter
 	// (memfss_health_transitions_total{node,to}) on the registry.
 	Metrics *obs.Registry
 }
@@ -118,6 +131,20 @@ type entry struct {
 	consecFails int
 	consecOKs   int
 	lastSeen    time.Time
+	// draining is the administrative revocation overlay: while set, the
+	// node reports Draining regardless of evidence. The evidence machine
+	// (state + streaks) keeps running so clearing the overlay restores
+	// the judged state.
+	draining bool
+}
+
+// effective is the state the node reports: the revocation overlay masks
+// the evidence-driven state while a drain is in progress.
+func (e *entry) effective() State {
+	if e.draining {
+		return Draining
+	}
+	return e.state
 }
 
 // Detector tracks the health of a set of registered nodes. It is safe for
@@ -157,7 +184,7 @@ func (d *Detector) Register(nodes ...string) {
 	for _, n := range added {
 		n := n
 		d.opts.Metrics.Gauge("memfss_health_node_state",
-			"Failure-detector state per node (0=up, 1=suspect, 2=down).",
+			"Failure-detector state per node (0=up, 1=suspect, 2=down, 3=draining).",
 			obs.L("node", n),
 			func() float64 { return float64(d.State(n)) })
 	}
@@ -276,9 +303,38 @@ func (d *Detector) State(node string) State {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if e := d.nodes[node]; e != nil {
-		return e.state
+		return e.effective()
 	}
 	return Up
+}
+
+// SetDraining sets or clears the administrative Draining overlay on a
+// node. While set, State and Snapshot report Draining; the evidence
+// machine keeps judging underneath, so clearing restores the evidence
+// state. Unregistered nodes are ignored. Toggling publishes a transition
+// event (to Draining, or from Draining back to the evidence state) so
+// subscribers such as the repair queue re-evaluate parked work.
+func (d *Detector) SetDraining(node string, on bool) {
+	now := d.opts.Now()
+	var ev *Event
+	d.mu.Lock()
+	e := d.nodes[node]
+	if e == nil || e.draining == on {
+		d.mu.Unlock()
+		return
+	}
+	e.draining = on
+	if on {
+		ev = &Event{Node: node, From: e.state, To: Draining, At: now}
+	} else {
+		ev = &Event{Node: node, From: Draining, To: e.state, At: now}
+	}
+	subs := d.subscribersLocked(ev)
+	d.mu.Unlock()
+	d.opts.Metrics.Counter("memfss_health_transitions_total",
+		"Failure-detector state transitions by destination state.",
+		obs.L("node", ev.Node, "to", ev.To.String())).Inc()
+	deliver(subs, ev)
 }
 
 // Snapshot returns every registered node's health.
@@ -288,7 +344,7 @@ func (d *Detector) Snapshot() map[string]NodeHealth {
 	out := make(map[string]NodeHealth, len(d.nodes))
 	for n, e := range d.nodes {
 		out[n] = NodeHealth{
-			State:       e.state,
+			State:       e.effective(),
 			Since:       e.since,
 			ConsecFails: e.consecFails,
 			ConsecOKs:   e.consecOKs,

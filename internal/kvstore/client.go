@@ -626,6 +626,32 @@ func (c *Client) Keys(prefix string) ([]string, error) {
 	return out, nil
 }
 
+// KeysN lists up to n keys with the given prefix, sorted — the bounded
+// listing a partial drain uses so one pass over a huge store doesn't
+// marshal every key.
+func (c *Client) KeysN(prefix string, n int) ([]string, error) {
+	reply, err := c.do([]byte("KEYSN"), []byte(prefix), []byte(strconv.Itoa(n)))
+	if err != nil {
+		return nil, err
+	}
+	if err := reply.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]string, len(reply.Array))
+	for i, b := range reply.Array {
+		out[i] = string(b)
+	}
+	return out, nil
+}
+
+// DelVal deletes key only if it still holds exactly value, and reports
+// whether it did — the compare-and-delete that makes copy-then-delete
+// eviction safe against a write racing in between.
+func (c *Client) DelVal(key string, value []byte) (bool, error) {
+	n, err := c.doInt([]byte("DELVAL"), []byte(key), value)
+	return n == 1, err
+}
+
 // FlushAll clears the store.
 func (c *Client) FlushAll() error { return c.doSimple([]byte("FLUSHALL")) }
 

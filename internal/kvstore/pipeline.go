@@ -59,6 +59,13 @@ func (p *Pipeline) Del(keys ...string) {
 	p.Do(append(bs("DEL"), bs(keys...)...)...)
 }
 
+// DelVal queues a DELVAL (compare-and-delete: remove key only if it still
+// holds exactly value). Safe to retry: a re-run after the delete landed
+// simply reports 0.
+func (p *Pipeline) DelVal(key string, value []byte) {
+	p.Do([]byte("DELVAL"), []byte(key), value)
+}
+
 // Exists queues an EXISTS.
 func (p *Pipeline) Exists(key string) { p.Do([]byte("EXISTS"), []byte(key)) }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // The wire protocol is a RESP-like framing (the protocol family Redis
@@ -47,12 +48,18 @@ type Reply struct {
 	Array [][]byte // array of bulk strings; a nil element is a nil bulk
 }
 
-// Err returns the reply's error, if it is an error reply.
+// Err returns the reply's error, if it is an error reply. Store-full
+// rejections (the server's "OOM ..." reply) decode as ErrNoSpace-wrapped
+// errors so the classification survives the wire: callers can fail fast
+// on a full store instead of treating it like any opaque failure.
 func (r *Reply) Err() error {
-	if r.Kind == '-' {
-		return errors.New(r.Str)
+	if r.Kind != '-' {
+		return nil
 	}
-	return nil
+	if strings.HasPrefix(r.Str, "OOM") {
+		return fmt.Errorf("%w: %s", ErrNoSpace, r.Str)
+	}
+	return errors.New(r.Str)
 }
 
 func readLine(br *bufio.Reader) ([]byte, error) {

@@ -342,6 +342,28 @@ func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
 			items[i] = []byte(k)
 		}
 		return appendArrayReply(bw, items)
+	case "KEYSN":
+		if len(args) != 2 {
+			return fail("ERR wrong number of arguments for KEYSN")
+		}
+		n, err := strconv.ParseInt(string(args[1]), 10, 64)
+		if err != nil || n < 0 {
+			return fail("ERR value is not a valid key limit")
+		}
+		keys := s.store.KeysN(string(args[0]), int(n))
+		items := make([][]byte, len(keys))
+		for i, k := range keys {
+			items[i] = []byte(k)
+		}
+		return appendArrayReply(bw, items)
+	case "DELVAL":
+		if len(args) != 2 {
+			return fail("ERR wrong number of arguments for DELVAL")
+		}
+		if s.store.DelIfEquals(string(args[0]), args[1]) {
+			return appendInt(bw, 1)
+		}
+		return appendInt(bw, 0)
 	case "FLUSHALL":
 		s.store.FlushAll()
 		return appendSimple(bw, "OK")

@@ -6,6 +6,7 @@
 package kvstore
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -19,8 +20,17 @@ import (
 // many-small-key workloads such as MemFSS metadata.
 const entryOverhead = 64
 
-// ErrOOM is returned when a write would push the store past its memory cap.
-var ErrOOM = errors.New("kvstore: out of memory (over configured cap)")
+// ErrNoSpace classifies store-full rejections: the write was refused
+// because it would push the store past its memory cap. Unlike transport
+// failures (ErrUnavailable) this is not transient from the writer's point
+// of view — retrying the same store burns the retry budget for nothing —
+// so callers should fail fast and place the data elsewhere.
+var ErrNoSpace = errors.New("kvstore: no space left in store")
+
+// ErrOOM is returned when a write would push the store past its memory
+// cap. It wraps ErrNoSpace so errors.Is(err, ErrNoSpace) classifies both
+// in-process store errors and decoded wire replies the same way.
+var ErrOOM = fmt.Errorf("%w: out of memory (over configured cap)", ErrNoSpace)
 
 // ErrWrongType is returned when a key holds the other kind of value
 // (string vs. set) than the operation expects.
@@ -482,6 +492,37 @@ func (s *Store) Keys(prefix string) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// KeysN returns up to n keys (string and set) with the given prefix, in
+// sorted order. The scan still visits every key — the point is bounding
+// the reply, so a partial drain of a huge store can work in slices
+// instead of marshalling the full listing every pass. n <= 0 means no
+// limit.
+func (s *Store) KeysN(prefix string, n int) []string {
+	out := s.Keys(prefix)
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// DelIfEquals removes key only if it currently holds exactly value, and
+// reports whether it did. This is the compare-and-delete the partial
+// drain uses after copying a key off a node: if a concurrent write
+// changed the value between the copy and the delete, the delete declines
+// and the newer value survives.
+func (s *Store) DelIfEquals(key string, value []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.countOp()
+	old, ok := s.data[key]
+	if !ok || !bytes.Equal(old, value) {
+		return false
+	}
+	s.used -= int64(len(old)) + int64(len(key)) + entryOverhead
+	delete(s.data, key)
+	return true
 }
 
 // FlushAll removes every key.
