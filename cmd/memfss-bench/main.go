@@ -37,6 +37,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -62,6 +63,9 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the fault-injection soak: victims behind chaos proxies, one killed mid-run, report fault/retry/degraded counters and fsck")
 	chaosSeed := flag.Int64("chaos-seed", 42, "seed for the chaos proxies' fault plan")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of the human report (non-chaos modes)")
+	benchOut := flag.String("bench-out", "", "append a schema-stable benchmark record (throughput, p50/p95/p99, allocs/op, config) to this JSON file, e.g. BENCH_baseline.json")
+	saturate := flag.Int("saturate", 0, "also run a saturation leg with this many concurrent clients (both write and read phases parallel); 0 disables")
+	poolSize := flag.Int("pool", 0, "connections per store node (0 = default)")
 	flag.Parse()
 
 	if *chaos && (*ownN < 2 || *victimN < 2) {
@@ -152,11 +156,21 @@ func main() {
 		wDur, rDur   time.Duration
 		placementFmt string
 		latency      []latencyRow
+		allocsPerOp  float64
+		storeOps     int64
+		workers      int
 	}
-	runMode := func(label string, pipeDepth int, dir string) result {
+	// runMode runs the full write-then-read workload once. modeWorkers
+	// bounds concurrent writer tasks; parallelRead additionally runs the
+	// read-back phase at the same concurrency (the saturation shape) rather
+	// than the default serial scan. Allocations are sampled around the run
+	// and reported per store operation — the end-to-end allocs/op of the
+	// whole in-process stack (client, wire, server, store).
+	runMode := func(label string, pipeDepth, modeWorkers int, parallelRead bool, dir string) result {
 		fs, err := core.New(core.Config{
 			Classes: classes, Password: password,
 			StripeSize: *stripeSize, PipelineDepth: pipeDepth,
+			PoolSize: *poolSize,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -165,10 +179,12 @@ func main() {
 		if err := fs.MkdirAll(dir); err != nil {
 			log.Fatal(err)
 		}
+		var msBefore runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		var wg sync.WaitGroup
 		errCh := make(chan error, *tasks)
-		sem := make(chan struct{}, *workers)
+		sem := make(chan struct{}, modeWorkers)
 		for i := 0; i < *tasks; i++ {
 			wg.Add(1)
 			go func(i int) {
@@ -188,16 +204,46 @@ func main() {
 		writeDur := time.Since(start)
 
 		start = time.Now()
-		for i := 0; i < *tasks; i++ {
+		readOne := func(i int) error {
 			data, err := fs.ReadFile(fmt.Sprintf("%s/task-%d", dir, i))
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if int64(len(data)) != *size {
-				log.Fatalf("task %d: read %d bytes, want %d", i, len(data), *size)
+				return fmt.Errorf("task %d: read %d bytes, want %d", i, len(data), *size)
+			}
+			return nil
+		}
+		if parallelRead {
+			rErrCh := make(chan error, *tasks)
+			rSem := make(chan struct{}, modeWorkers)
+			for i := 0; i < *tasks; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					rSem <- struct{}{}
+					defer func() { <-rSem }()
+					rErrCh <- readOne(i)
+				}(i)
+			}
+			wg.Wait()
+			close(rErrCh)
+			for err := range rErrCh {
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+		} else {
+			for i := 0; i < *tasks; i++ {
+				if err := readOne(i); err != nil {
+					log.Fatal(err)
+				}
 			}
 		}
 		readDur := time.Since(start)
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
+		counters := fs.Counters()
 
 		var ownBytes, victimBytes int64
 		for _, st := range fs.StoreStats() {
@@ -212,7 +258,12 @@ func main() {
 			wMBs:  total / 1e6 / writeDur.Seconds(),
 			rMBs:  total / 1e6 / readDur.Seconds(),
 			wDur:  writeDur, rDur: readDur,
-			latency: latencyRows(fs.Metrics()),
+			latency:  latencyRows(fs.Metrics()),
+			storeOps: counters.StoreOps,
+			workers:  modeWorkers,
+		}
+		if counters.StoreOps > 0 {
+			res.allocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(counters.StoreOps)
 		}
 		if ownBytes+victimBytes > 0 {
 			res.placementFmt = fmt.Sprintf("%.1f%% own / %.1f%% victim (target alpha %.0f%%)",
@@ -227,21 +278,47 @@ func main() {
 		return res
 	}
 
-	results := []result{runMode("per-command", 1, "/bench-percmd")}
+	results := []result{runMode("per-command", 1, *workers, false, "/bench-percmd")}
 	if *pipeline {
-		results = append(results, runMode("pipelined", *depth, "/bench-pipelined"))
+		results = append(results, runMode("pipelined", *depth, *workers, false, "/bench-pipelined"))
+	}
+	if *saturate > 0 {
+		results = append(results, runMode(fmt.Sprintf("saturated-%d", *saturate),
+			*depth, *saturate, true, "/bench-saturated"))
+	}
+
+	modesJSON := func() []jsonMode {
+		var modes []jsonMode
+		for _, r := range results {
+			modes = append(modes, jsonMode{
+				Label: r.label, WriteMBs: r.wMBs, ReadMBs: r.rMBs,
+				WriteSeconds: r.wDur.Seconds(), ReadSeconds: r.rDur.Seconds(),
+				Placement: r.placementFmt, Latency: r.latency,
+				AllocsPerOp: r.allocsPerOp, StoreOps: r.storeOps, Workers: r.workers,
+			})
+		}
+		return modes
+	}
+
+	if *benchOut != "" {
+		rec := benchRecord{
+			Time: time.Now().UTC().Format(time.RFC3339),
+			Config: benchConfig{
+				Tasks: *tasks, Size: *size, Own: *ownN, Victims: *victimN,
+				Alpha: *alpha, Workers: *workers, Depth: *depth,
+				Stripe: *stripeSize, Saturate: *saturate, Pool: *poolSize,
+			},
+			Modes: modesJSON(),
+		}
+		if err := appendBenchRecord(*benchOut, rec); err != nil {
+			log.Fatal(err)
+		}
+		if !*jsonOut {
+			fmt.Printf("bench record appended to %s\n", *benchOut)
+		}
 	}
 
 	if *jsonOut {
-		type jsonMode struct {
-			Label        string       `json:"label"`
-			WriteMBs     float64      `json:"write_mb_s"`
-			ReadMBs      float64      `json:"read_mb_s"`
-			WriteSeconds float64      `json:"write_seconds"`
-			ReadSeconds  float64      `json:"read_seconds"`
-			Placement    string       `json:"placement,omitempty"`
-			Latency      []latencyRow `json:"latency"`
-		}
 		out := struct {
 			Tasks   int        `json:"tasks"`
 			Size    int64      `json:"size_bytes"`
@@ -249,14 +326,7 @@ func main() {
 			Victims int        `json:"victim_nodes"`
 			Alpha   float64    `json:"alpha"`
 			Modes   []jsonMode `json:"modes"`
-		}{Tasks: *tasks, Size: *size, Own: *ownN, Victims: *victimN, Alpha: *alpha}
-		for _, r := range results {
-			out.Modes = append(out.Modes, jsonMode{
-				Label: r.label, WriteMBs: r.wMBs, ReadMBs: r.rMBs,
-				WriteSeconds: r.wDur.Seconds(), ReadSeconds: r.rDur.Seconds(),
-				Placement: r.placementFmt, Latency: r.latency,
-			})
-		}
+		}{Tasks: *tasks, Size: *size, Own: *ownN, Victims: *victimN, Alpha: *alpha, Modes: modesJSON()}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -266,11 +336,11 @@ func main() {
 	}
 
 	for _, r := range results {
-		fmt.Printf("%-12s write: %6.1f MB in %8v (%6.0f MB/s)   read: %6.1f MB in %8v (%6.0f MB/s)\n",
+		fmt.Printf("%-12s write: %6.1f MB in %8v (%6.0f MB/s)   read: %6.1f MB in %8v (%6.0f MB/s)   %6.1f allocs/store-op\n",
 			r.label, total/1e6, r.wDur.Round(time.Millisecond), r.wMBs,
-			total/1e6, r.rDur.Round(time.Millisecond), r.rMBs)
+			total/1e6, r.rDur.Round(time.Millisecond), r.rMBs, r.allocsPerOp)
 	}
-	if len(results) == 2 {
+	if len(results) >= 2 {
 		fmt.Printf("pipelined vs per-command: %.2fx write, %.2fx read\n",
 			results[1].wMBs/results[0].wMBs, results[1].rMBs/results[0].rMBs)
 	}
@@ -287,6 +357,63 @@ func main() {
 				fmtMs(row.P50ms), fmtMs(row.P95ms), fmtMs(row.P99ms))
 		}
 	}
+}
+
+// jsonMode is one workload mode's machine-readable result; the schema is
+// stable across PRs so BENCH_*.json files form a comparable trajectory.
+type jsonMode struct {
+	Label        string       `json:"label"`
+	WriteMBs     float64      `json:"write_mb_s"`
+	ReadMBs      float64      `json:"read_mb_s"`
+	WriteSeconds float64      `json:"write_seconds"`
+	ReadSeconds  float64      `json:"read_seconds"`
+	Placement    string       `json:"placement,omitempty"`
+	Latency      []latencyRow `json:"latency"`
+	AllocsPerOp  float64      `json:"allocs_per_store_op"`
+	StoreOps     int64        `json:"store_ops"`
+	Workers      int          `json:"workers"`
+}
+
+// benchConfig pins the knobs a record was produced under, so two records
+// are only compared when their workloads match.
+type benchConfig struct {
+	Tasks    int     `json:"tasks"`
+	Size     int64   `json:"size_bytes"`
+	Own      int     `json:"own_nodes"`
+	Victims  int     `json:"victim_nodes"`
+	Alpha    float64 `json:"alpha"`
+	Workers  int     `json:"workers"`
+	Depth    int     `json:"depth"`
+	Stripe   int64   `json:"stripe_bytes"`
+	Saturate int     `json:"saturate"`
+	Pool     int     `json:"pool_size"`
+}
+
+// benchRecord is one -bench-out entry: the perf-trajectory point the
+// ROADMAP expects, appended to a JSON array file.
+type benchRecord struct {
+	Time   string      `json:"time"`
+	Config benchConfig `json:"config"`
+	Modes  []jsonMode  `json:"modes"`
+}
+
+// appendBenchRecord appends rec to the JSON array in path, creating the
+// file if needed. The file stays a valid JSON document after every append.
+func appendBenchRecord(path string, rec benchRecord) error {
+	var records []benchRecord
+	if data, err := os.ReadFile(path); err == nil && len(bytes.TrimSpace(data)) > 0 {
+		if err := json.Unmarshal(data, &records); err != nil {
+			return fmt.Errorf("memfss-bench: %s exists but is not a bench-record array: %w", path, err)
+		}
+	} else if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	records = append(records, rec)
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // latencyRow is one histogram series' quantile summary, derived from the

@@ -252,12 +252,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		okSpans, err = f.readSpansPipelined(tr, spans, starts, p)
 	} else {
 		okSpans, err = f.runSpans(spans, func(i int, span stripe.Span) error {
-			data, rerr := f.readSpan(tr, span)
-			if rerr != nil {
-				return rerr
-			}
-			copy(p[starts[i]:starts[i]+int(span.Length)], data)
-			return nil
+			return f.readSpanInto(tr, span, p[starts[i]:starts[i]+int(span.Length)])
 		})
 	}
 	f.fs.finishTrace(tr, len(spans), err)
@@ -583,23 +578,28 @@ func (f *File) writeSpanErasure(tr *opTrace, sk string, span stripe.Span, data [
 	return fanoutN(f.fs.ioPar, len(nodes), writeShard)
 }
 
-// get reads length bytes at offset from a node's key, throttled. ok is
+// getInto reads length bytes at offset from a node's key directly into
+// dst (len(dst) >= length), throttled — the zero-copy read path: the
+// stripe payload lands in the caller's buffer straight off the wire. n is
+// how many bytes arrived (short when the stored value ends early); ok is
 // false when the key is absent; err reports transport failures. st, when
 // non-nil, receives the store op's attempt count and duration.
-func (f *File) get(nodeID, key string, off, length int64, st *kvstore.OpStat) ([]byte, bool, error) {
+func (f *File) getInto(nodeID, key string, off, length int64, dst []byte, st *kvstore.OpStat) (int, bool, error) {
 	if err := f.fs.conns.throttle(nodeID).Take(length); err != nil {
-		return nil, false, err
+		return 0, false, err
 	}
 	cli, err := f.fs.conns.client(nodeID)
 	if err != nil {
-		return nil, false, err
+		return 0, false, err
 	}
-	return cli.GetRangeStat(key, off, length, st)
+	return cli.GetRangeIntoStat(key, off, length, dst, st)
 }
 
-// readSpan fetches one span of one stripe, probing down the HRW order and
-// lazily repairing out-of-place stripes (paper §V-C).
-func (f *File) readSpan(tr *opTrace, span stripe.Span) ([]byte, error) {
+// readSpanInto fetches one span of one stripe into dst (len(dst) ==
+// span.Length), probing down the HRW order and lazily repairing
+// out-of-place stripes (paper §V-C). Holes and short stripes read as
+// zeros: every byte of dst is written on success.
+func (f *File) readSpanInto(tr *opTrace, span stripe.Span, dst []byte) error {
 	f.fs.stats.stripeReads.Add(1)
 	sk := stripe.Key(f.rec.ID, span.Index)
 	key := dataKey(sk)
@@ -609,14 +609,15 @@ func (f *File) readSpan(tr *opTrace, span stripe.Span) ([]byte, error) {
 		buf, err := f.readStripeErasure(tr, sk, span.Index, stripeLen)
 		if err != nil {
 			o.outcome("read", "error").Inc()
-			return nil, err
+			return err
 		}
 		o.outcome("read", "ok").Inc()
-		out := make([]byte, span.Length)
+		n := 0
 		if span.Offset < int64(len(buf)) {
-			copy(out, buf[span.Offset:])
+			n = copy(dst, buf[span.Offset:])
 		}
-		return out, nil
+		clear(dst[n:])
+		return nil
 	}
 
 	primaries := f.targets(sk)
@@ -637,7 +638,7 @@ func (f *File) readSpan(tr *opTrace, span stripe.Span) ([]byte, error) {
 	retried := false
 	for _, node := range probe {
 		var st kvstore.OpStat
-		data, ok, err := f.get(node, key, span.Offset, span.Length, &st)
+		n, ok, err := f.getInto(node, key, span.Offset, span.Length, dst, &st)
 		cls := f.fs.conns.class(node)
 		o.stripeHist("read", cls).Observe(st.Dur)
 		if st.Attempts > 1 {
@@ -671,16 +672,18 @@ func (f *File) readSpan(tr *opTrace, span stripe.Span) ([]byte, error) {
 				o.outcome("read", "ok").Inc()
 			}
 		}
-		return padTo(data, span.Length), nil
+		clear(dst[n:]) // a short stripe reads as zeros past its end
+		return nil
 	}
 	if !sawReachable {
 		o.outcome("read", "error").Inc()
-		return nil, fmt.Errorf("%w: %s (no reachable replica)", ErrDataLoss, key)
+		return fmt.Errorf("%w: %s (no reachable replica)", ErrDataLoss, key)
 	}
 	// Every reachable node reports the stripe absent: it is a hole
 	// (written sparsely or never written); holes read as zeros.
 	o.outcome("read", "ok").Inc()
-	return make([]byte, span.Length), nil
+	clear(dst)
+	return nil
 }
 
 // repairStripe lazily moves a stripe found off its HRW placement back to
@@ -770,15 +773,6 @@ func (f *File) getFull(nodeID, key string, length int64, st *kvstore.OpStat) ([]
 		return nil, false, err
 	}
 	return cli.GetStat(key, st)
-}
-
-func padTo(b []byte, n int64) []byte {
-	if int64(len(b)) >= n {
-		return b[:n]
-	}
-	out := make([]byte, n)
-	copy(out, b)
-	return out
 }
 
 // healthOrder stably reorders a probe list so detector-Up nodes come

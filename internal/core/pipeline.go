@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"strconv"
 	"sync"
 
 	"memfss/internal/kvstore"
@@ -17,11 +16,47 @@ import (
 // depth-1 ablation baseline and the fallback for everything the fast
 // path cannot serve (erasure coding, probe reads, lazy repair).
 
-// spanCmd pairs one queued store command with the span it serves.
+// spanCmd pairs one queued store command with the span it serves. It is
+// typed rather than a pre-marshaled [][]byte so queueing encodes straight
+// into the pipeline's wire tape: write payloads and read destinations are
+// referenced zero-copy and must stay valid until the burst completes.
 type spanCmd struct {
-	span int      // index into the operation's span slice
-	args [][]byte // wire command
-	n    int64    // payload bytes, for victim throttling
+	span int  // index into the operation's span slice
+	op   byte // opSet, opSetRange, or opGetRange
+	key  string
+	off  int64  // SETRANGE/GETRANGE offset
+	n    int64  // payload/read bytes, for victim throttling
+	data []byte // write payload (opSet, opSetRange)
+	dst  []byte // read destination (opGetRange); len(dst) == n
+}
+
+const (
+	opSet byte = iota
+	opSetRange
+	opGetRange
+)
+
+func (c *spanCmd) verb() string {
+	switch c.op {
+	case opSet:
+		return "SET"
+	case opSetRange:
+		return "SETRANGE"
+	default:
+		return "GETRANGE"
+	}
+}
+
+// queue encodes the command into a pipeline.
+func (c *spanCmd) queue(pl *kvstore.Pipeline) {
+	switch c.op {
+	case opSet:
+		pl.Set(c.key, c.data)
+	case opSetRange:
+		pl.SetRange(c.key, c.off, c.data)
+	default:
+		pl.GetRangeInto(c.key, c.off, c.n, c.dst)
+	}
 }
 
 // nodeBurst is one pipeline's worth of commands bound for one node.
@@ -70,8 +105,8 @@ func (f *File) runBurst(tr *opTrace, nb nodeBurst, done func(c spanCmd, r *kvsto
 		return
 	}
 	pl := cli.Pipeline()
-	for _, c := range nb.cmds {
-		pl.Do(c.args...)
+	for i := range nb.cmds {
+		nb.cmds[i].queue(pl)
 	}
 	var st kvstore.OpStat
 	replies, err := pl.RunStat(&st)
@@ -107,12 +142,12 @@ func (f *File) writeSpansPipelined(tr *opTrace, spans []stripe.Span, starts []in
 		sks[i] = sk
 		key := dataKey(sk)
 		data := p[starts[i] : starts[i]+int(span.Length)]
-		var args [][]byte
+		cmd := spanCmd{span: i, key: key, n: int64(len(data)), data: data}
 		if span.Offset == 0 && span.Length == f.layout.Size() {
-			args = [][]byte{[]byte("SET"), []byte(key), data}
+			cmd.op = opSet
 		} else {
-			args = [][]byte{[]byte("SETRANGE"), []byte(key),
-				[]byte(strconv.FormatInt(span.Offset, 10)), data}
+			cmd.op = opSetRange
+			cmd.off = span.Offset
 		}
 		// Same skip rule as writeSpan: replicas the detector marks
 		// Suspect/Down are not even queued when enough healthy targets
@@ -133,7 +168,7 @@ func (f *File) writeSpansPipelined(tr *opTrace, spans []stripe.Span, starts []in
 			if _, ok := perNode[node]; !ok {
 				nodeOrder = append(nodeOrder, node)
 			}
-			perNode[node] = append(perNode[node], spanCmd{span: i, args: args, n: int64(len(data))})
+			perNode[node] = append(perNode[node], cmd)
 		}
 	}
 	bursts := splitBursts(perNode, nodeOrder, f.fs.pipeDepth)
@@ -169,7 +204,7 @@ func (f *File) writeSpansPipelined(tr *opTrace, spans []stripe.Span, starts []in
 			}
 			if rerr := r.Err(); rerr != nil {
 				fail(c.span, fmt.Errorf("memfss: %s %s on %s: %w",
-					string(c.args[0]), string(c.args[1]), nb.node, rerr))
+					c.verb(), c.key, nb.node, rerr))
 			}
 		})
 		return nil
@@ -208,10 +243,11 @@ func (f *File) writeSpansPipelined(tr *opTrace, spans []stripe.Span, starts []in
 }
 
 // readSpansPipelined fetches every span from its primary target in
-// pipelined GETRANGE bursts, then falls back to the per-span probe path
-// (readSpan) for anything the fast path misses: absent keys (strays or
-// holes), error replies, or an unreachable primary. The probe fallback
-// keeps the lazy-repair semantics of paper §V-C intact. Returns the
+// pipelined GETRANGE bursts decoded straight into p (no intermediate
+// copies), then falls back to the per-span probe path (readSpanInto) for
+// anything the fast path misses: absent keys (strays or holes), error
+// replies, or an unreachable primary. The probe fallback keeps the
+// lazy-repair semantics of paper §V-C intact. Returns the
 // leading-success count and the first error in span order, like
 // runSpans.
 func (f *File) readSpansPipelined(tr *opTrace, spans []stripe.Span, starts []int, p []byte) (int, error) {
@@ -219,9 +255,9 @@ func (f *File) readSpansPipelined(tr *opTrace, spans []stripe.Span, starts []int
 	var nodeOrder []string
 	for i, span := range spans {
 		sk := stripe.Key(f.rec.ID, span.Index)
-		args := [][]byte{[]byte("GETRANGE"), []byte(dataKey(sk)),
-			[]byte(strconv.FormatInt(span.Offset, 10)),
-			[]byte(strconv.FormatInt(span.Length, 10))}
+		dst := p[starts[i] : starts[i]+int(span.Length)]
+		cmd := spanCmd{span: i, op: opGetRange, key: dataKey(sk),
+			off: span.Offset, n: span.Length, dst: dst}
 		// First *healthy* target, not blindly rank 0: bursting GETRANGEs
 		// at a Down primary would stall every span in the burst behind its
 		// retry budget before falling back.
@@ -229,21 +265,23 @@ func (f *File) readSpansPipelined(tr *opTrace, spans []stripe.Span, starts []int
 		if _, ok := perNode[node]; !ok {
 			nodeOrder = append(nodeOrder, node)
 		}
-		perNode[node] = append(perNode[node], spanCmd{span: i, args: args, n: span.Length})
+		perNode[node] = append(perNode[node], cmd)
 	}
 	bursts := splitBursts(perNode, nodeOrder, f.fs.pipeDepth)
 
 	// Each span appears in exactly one burst, so the burst goroutines
-	// write disjoint done entries and disjoint regions of p.
+	// write disjoint done entries and disjoint regions of p (each span's
+	// reply decodes into its own dst window).
 	done := make([]bool, len(spans))
 	_ = fanoutN(f.fs.ioPar, len(bursts), func(k int) error {
 		f.runBurst(tr, bursts[k], func(c spanCmd, r *kvstore.Reply, err error) {
 			if err != nil || r.Err() != nil || r.Nil {
 				return // stray, hole, or store trouble: the probe decides
 			}
-			i := c.span
-			copy(p[starts[i]:starts[i]+int(spans[i].Length)], padTo(r.Bulk, spans[i].Length))
-			done[i] = true
+			// The payload is already in place (r.Bulk aliases c.dst);
+			// a short stripe reads as zeros past its end.
+			clear(c.dst[len(r.Bulk):])
+			done[c.span] = true
 		})
 		return nil
 	})
@@ -261,12 +299,9 @@ func (f *File) readSpansPipelined(tr *opTrace, spans []stripe.Span, starts []int
 	if len(fallback) > 0 {
 		_ = fanoutN(f.fs.ioPar, len(fallback), func(k int) error {
 			i := fallback[k]
-			data, err := f.readSpan(tr, spans[i])
-			if err != nil {
+			if err := f.readSpanInto(tr, spans[i], p[starts[i]:starts[i]+int(spans[i].Length)]); err != nil {
 				errs[i] = err
-				return nil
 			}
-			copy(p[starts[i]:starts[i]+int(spans[i].Length)], data)
 			return nil
 		})
 	}

@@ -28,6 +28,12 @@ var ErrUnavailable = errors.New("kvstore: store unavailable")
 // Client is a pooled protocol client for one store server. It is safe for
 // concurrent use: up to poolSize requests proceed in parallel, each on its
 // own authenticated connection. Connections are created lazily.
+//
+// The pool is sharded: connections live in per-shard sub-pools, each with
+// its own mutex, and checkouts start at a round-robin shard and steal from
+// neighbors when their own is empty. Concurrent pipelines to the same node
+// therefore no longer serialize on one pool lock — the multiplexing that
+// lets a saturated workload actually use all N connections.
 type Client struct {
 	addr        string
 	password    string
@@ -52,18 +58,37 @@ type Client struct {
 	probeHist   *obs.Histogram
 	opHists     sync.Map // command verb -> *obs.Histogram
 
-	mu     sync.Mutex
-	idle   []*clientConn
-	total  int
-	max    int
-	closed bool
+	shards []connShard
+	rr     atomic.Uint32
+	closed atomic.Bool
 	waitCh chan struct{}
 }
 
+// connShard is one sub-pool of connections. cap bounds connections this
+// shard may hold; the shard caps sum to the client's PoolSize.
+type connShard struct {
+	mu    sync.Mutex
+	idle  []*clientConn
+	total int
+	cap   int
+	_     [64]byte // keep neighboring shard locks off one cache line
+}
+
+// clientConn is one pooled connection. Its encoder owns a persistent
+// header arena, so single-command round trips reuse the same buffer for
+// the life of the connection — no pool traffic at all on that path.
 type clientConn struct {
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	conn  net.Conn
+	br    *bufio.Reader
+	enc   wireEnc
+	shard int
+}
+
+// startOp arms the round-trip deadline and resets the connection's
+// encoder for a fresh command.
+func (cc *clientConn) startOp(timeout time.Duration) error {
+	cc.enc.reset()
+	return cc.conn.SetDeadline(time.Now().Add(timeout))
 }
 
 // DialOptions configures a Client.
@@ -148,8 +173,24 @@ func Dial(addr string, opts DialOptions) *Client {
 		maxDelay:    opts.MaxDelay,
 		opTimeout:   opts.OpTimeout,
 		observer:    opts.Observer,
-		max:         opts.PoolSize,
 		waitCh:      make(chan struct{}, 1),
+	}
+	// One shard per ~2 connections, capped at 8: enough lock spread to
+	// stop checkout serialization, few enough that work-stealing scans
+	// stay cheap. Shard caps sum exactly to PoolSize.
+	nsh := opts.PoolSize / 2
+	if nsh < 1 {
+		nsh = 1
+	}
+	if nsh > 8 {
+		nsh = 8
+	}
+	c.shards = make([]connShard, nsh)
+	for i := range c.shards {
+		c.shards[i].cap = opts.PoolSize / nsh
+		if i < opts.PoolSize%nsh {
+			c.shards[i].cap++
+		}
 	}
 	if opts.Metrics != nil {
 		node := opts.Node
@@ -213,44 +254,65 @@ func (c *Client) Addr() string { return c.addr }
 // Close tears down all idle connections; in-flight requests finish and
 // their connections are then discarded.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	c.closed = true
-	idle := c.idle
-	c.idle = nil
-	c.mu.Unlock()
-	for _, cc := range idle {
-		cc.conn.Close()
+	if c.closed.Swap(true) {
+		return nil
 	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		idle := s.idle
+		s.idle = nil
+		s.total -= len(idle)
+		s.mu.Unlock()
+		for _, cc := range idle {
+			cc.conn.Close()
+		}
+	}
+	c.signal() // wake a blocked waiter so it observes closed
 	return nil
 }
 
+// getConn checks out a connection: first an idle one from any shard
+// (starting round-robin, stealing from neighbors), then fresh capacity in
+// any shard, and only then blocks for a return.
 func (c *Client) getConn() (*clientConn, error) {
+	n := len(c.shards)
+	start := int(c.rr.Add(1)) % n
 	for {
-		c.mu.Lock()
-		if c.closed {
-			c.mu.Unlock()
+		if c.closed.Load() {
 			return nil, ErrClosed
 		}
-		if n := len(c.idle); n > 0 {
-			cc := c.idle[n-1]
-			c.idle = c.idle[:n-1]
-			c.mu.Unlock()
-			return cc, nil
-		}
-		if c.total < c.max {
-			c.total++
-			c.mu.Unlock()
-			cc, err := c.dialConn()
-			if err != nil {
-				c.mu.Lock()
-				c.total--
-				c.mu.Unlock()
-				c.signal()
-				return nil, err
+		for i := 0; i < n; i++ {
+			s := &c.shards[(start+i)%n]
+			s.mu.Lock()
+			if k := len(s.idle); k > 0 {
+				cc := s.idle[k-1]
+				s.idle[k-1] = nil
+				s.idle = s.idle[:k-1]
+				s.mu.Unlock()
+				return cc, nil
 			}
-			return cc, nil
+			s.mu.Unlock()
 		}
-		c.mu.Unlock()
+		for i := 0; i < n; i++ {
+			idx := (start + i) % n
+			s := &c.shards[idx]
+			s.mu.Lock()
+			if s.total < s.cap {
+				s.total++
+				s.mu.Unlock()
+				cc, err := c.dialConn(idx)
+				if err != nil {
+					s.mu.Lock()
+					s.total--
+					s.mu.Unlock()
+					c.signal()
+					return nil, err
+				}
+				return cc, nil
+			}
+			s.mu.Unlock()
+		}
 		select {
 		case <-c.waitCh:
 		case <-time.After(c.timeout):
@@ -267,31 +329,33 @@ func (c *Client) signal() {
 }
 
 func (c *Client) putConn(cc *clientConn, broken bool) {
-	c.mu.Lock()
-	if broken || c.closed {
-		c.total--
-		c.mu.Unlock()
+	s := &c.shards[cc.shard]
+	if broken || c.closed.Load() {
+		s.mu.Lock()
+		s.total--
+		s.mu.Unlock()
 		cc.conn.Close()
 		c.signal()
 		return
 	}
-	c.idle = append(c.idle, cc)
-	c.mu.Unlock()
+	s.mu.Lock()
+	s.idle = append(s.idle, cc)
+	s.mu.Unlock()
 	c.signal()
 }
 
-func (c *Client) dialConn() (*clientConn, error) {
+func (c *Client) dialConn(shard int) (*clientConn, error) {
 	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: dial %s: %w", c.addr, err)
 	}
 	cc := &clientConn{
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, 64<<10),
-		bw:   bufio.NewWriterSize(conn, 64<<10),
+		conn:  conn,
+		br:    bufio.NewReaderSize(conn, 64<<10),
+		shard: shard,
 	}
 	if c.password != "" {
-		reply, err := cc.roundTrip(c.timeout, []byte("AUTH"), []byte(c.password))
+		reply, err := cc.roundTrip(c.timeout, verbAuth, []byte(c.password))
 		if err != nil {
 			conn.Close()
 			return nil, err
@@ -304,11 +368,18 @@ func (c *Client) dialConn() (*clientConn, error) {
 	return cc, nil
 }
 
+// roundTrip sends one generically-built command and decodes its reply —
+// the cold path behind do(); hot commands use the specialized encoders
+// below instead.
 func (cc *clientConn) roundTrip(timeout time.Duration, args ...[]byte) (*Reply, error) {
-	if err := cc.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+	if err := cc.startOp(timeout); err != nil {
 		return nil, err
 	}
-	if err := WriteCommand(cc.bw, args...); err != nil {
+	cc.enc.beginCommand(len(args))
+	for _, a := range args {
+		cc.enc.argBytes(a)
+	}
+	if err := cc.enc.writeTo(cc.conn); err != nil {
 		return nil, err
 	}
 	return ReadReply(cc.br)
@@ -421,7 +492,7 @@ func (c *Client) do(args ...[]byte) (*Reply, error) { return c.doStat(nil, args.
 
 func (c *Client) doStat(st *OpStat, args ...[]byte) (*Reply, error) {
 	var reply *Reply
-	verb := strings.ToUpper(string(args[0]))
+	verb := verbOf(args[0])
 	err := c.withRetry(verb, verb, st, func(cc *clientConn) error {
 		r, err := cc.roundTrip(c.timeout, args...)
 		if err != nil {
@@ -443,6 +514,30 @@ func bs(ss ...string) [][]byte {
 	}
 	return out
 }
+
+// Fixed command verbs for the cold-path commands, precomputed once
+// instead of rebuilt per call. (Hot-path commands encode their verb
+// straight onto the wire tape and never materialize it.) These are
+// shared across goroutines: callers must treat them as immutable.
+var (
+	verbAuth     = []byte("AUTH")
+	verbPing     = []byte("PING")
+	verbSetNX    = []byte("SETNX")
+	verbDel      = []byte("DEL")
+	verbExists   = []byte("EXISTS")
+	verbSAdd     = []byte("SADD")
+	verbSRem     = []byte("SREM")
+	verbSMembers = []byte("SMEMBERS")
+	verbSCard    = []byte("SCARD")
+	verbIncr     = []byte("INCR")
+	verbKeys     = []byte("KEYS")
+	verbKeysN    = []byte("KEYSN")
+	verbDelVal   = []byte("DELVAL")
+	verbFlushAll = []byte("FLUSHALL")
+	verbMemCap   = []byte("MEMCAP")
+	verbInfo     = []byte("INFO")
+	verbMGet     = []byte("MGET")
+)
 
 func (c *Client) doSimple(args ...[]byte) error { return c.doSimpleStat(nil, args...) }
 
@@ -471,7 +566,7 @@ func (c *Client) doIntStat(st *OpStat, args ...[]byte) (int64, error) {
 }
 
 // Ping checks liveness.
-func (c *Client) Ping() error { return c.doSimple([]byte("PING")) }
+func (c *Client) Ping() error { return c.doSimple(verbPing) }
 
 // PingOnce checks liveness with a single connection attempt: no retries,
 // no backoff, and no Observer callback. It is the active-probe primitive —
@@ -484,7 +579,7 @@ func (c *Client) PingOnce() error {
 		c.probeHist.Observe(time.Since(start))
 		return err
 	}
-	reply, err := cc.roundTrip(c.timeout, []byte("PING"))
+	reply, err := cc.roundTrip(c.timeout, verbPing)
 	c.probeHist.Observe(time.Since(start))
 	if err != nil {
 		c.putConn(cc, true)
@@ -494,59 +589,159 @@ func (c *Client) PingOnce() error {
 	return reply.Err()
 }
 
+// The methods below are the data-path hot commands. Each encodes straight
+// from its typed arguments into the connection's persistent encoder — no
+// [][]byte argument slice, no []byte(key) conversion, no Reply struct —
+// and separates store-level error replies from transport failures so the
+// retry loop never replays a command the store already rejected.
+
 // Set stores value under key.
 func (c *Client) Set(key string, value []byte) error { return c.SetStat(key, value, nil) }
 
 // SetStat is Set with an optional OpStat out-param for trace attribution.
 func (c *Client) SetStat(key string, value []byte, st *OpStat) error {
-	return c.doSimpleStat(st, []byte("SET"), []byte(key), value)
+	var errMsg string
+	err := c.withRetry("SET", "SET", st, func(cc *clientConn) error {
+		if err := cc.startOp(c.timeout); err != nil {
+			return err
+		}
+		cc.enc.beginCommand(3)
+		cc.enc.argString("SET")
+		cc.enc.argString(key)
+		cc.enc.argBytes(value)
+		if err := cc.enc.writeTo(cc.conn); err != nil {
+			return err
+		}
+		var err error
+		errMsg, err = readStatusReply(cc.br)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if errMsg != "" {
+		return replyError(errMsg)
+	}
+	return nil
 }
 
 // SetNX stores value only if key is absent, reporting whether it stored.
 func (c *Client) SetNX(key string, value []byte) (bool, error) {
-	n, err := c.doInt([]byte("SETNX"), []byte(key), value)
+	n, err := c.doInt(verbSetNX, []byte(key), value)
 	return n == 1, err
 }
 
-// Get fetches key's value; ok is false if the key is absent.
+// Get fetches key's value; ok is false if the key is absent. The value is
+// a fresh allocation owned by the caller.
 func (c *Client) Get(key string) (value []byte, ok bool, err error) {
 	return c.GetStat(key, nil)
 }
 
 // GetStat is Get with an optional OpStat out-param for trace attribution.
 func (c *Client) GetStat(key string, st *OpStat) (value []byte, ok bool, err error) {
-	reply, err := c.doStat(st, []byte("GET"), []byte(key))
-	if err != nil {
-		return nil, false, err
+	var errMsg string
+	rerr := c.withRetry("GET", "GET", st, func(cc *clientConn) error {
+		if err := cc.startOp(c.timeout); err != nil {
+			return err
+		}
+		cc.enc.beginCommand(2)
+		cc.enc.argString("GET")
+		cc.enc.argString(key)
+		if err := cc.enc.writeTo(cc.conn); err != nil {
+			return err
+		}
+		v, k, msg, err := readBulkReplyAlloc(cc.br)
+		if err != nil {
+			return err
+		}
+		value, ok, errMsg = v, k, msg
+		return nil
+	})
+	if rerr != nil {
+		return nil, false, rerr
 	}
-	if err := reply.Err(); err != nil {
-		return nil, false, err
+	if errMsg != "" {
+		return nil, false, replyError(errMsg)
 	}
-	if reply.Nil {
-		return nil, false, nil
-	}
-	return reply.Bulk, true, nil
+	return value, ok, nil
 }
 
-// GetRange fetches length bytes at offset of key's value.
+// GetRange fetches length bytes at offset of key's value. The value is a
+// fresh allocation owned by the caller; use GetRangeInto to decode
+// straight into an existing buffer instead.
 func (c *Client) GetRange(key string, offset, length int64) (value []byte, ok bool, err error) {
 	return c.GetRangeStat(key, offset, length, nil)
 }
 
 // GetRangeStat is GetRange with an optional OpStat out-param.
 func (c *Client) GetRangeStat(key string, offset, length int64, st *OpStat) (value []byte, ok bool, err error) {
-	reply, err := c.doStat(st, []byte("GETRANGE"), []byte(key),
-		[]byte(strconv.FormatInt(offset, 10)), []byte(strconv.FormatInt(length, 10)))
-	if err != nil {
-		return nil, false, err
+	var errMsg string
+	rerr := c.withRetry("GETRANGE", "GETRANGE", st, func(cc *clientConn) error {
+		if err := cc.sendGetRange(c.timeout, key, offset, length); err != nil {
+			return err
+		}
+		v, k, msg, err := readBulkReplyAlloc(cc.br)
+		if err != nil {
+			return err
+		}
+		value, ok, errMsg = v, k, msg
+		return nil
+	})
+	if rerr != nil {
+		return nil, false, rerr
 	}
-	if err := reply.Err(); err != nil {
-		return nil, false, err
+	if errMsg != "" {
+		return nil, false, replyError(errMsg)
 	}
-	if reply.Nil {
-		return nil, false, nil
+	return value, ok, nil
+}
+
+// GetRangeInto fetches up to length bytes at offset of key's value,
+// decoding the payload directly into dst — the zero-copy read path the
+// stripe reads in core use. It returns how many bytes were written to
+// dst; n < length means the stored value ended early (short ranges are
+// NOT zero-padded — that is the caller's policy). len(dst) must be at
+// least length. On error or ok=false, dst's contents are undefined.
+func (c *Client) GetRangeInto(key string, offset, length int64, dst []byte) (n int, ok bool, err error) {
+	return c.GetRangeIntoStat(key, offset, length, dst, nil)
+}
+
+// GetRangeIntoStat is GetRangeInto with an optional OpStat out-param.
+func (c *Client) GetRangeIntoStat(key string, offset, length int64, dst []byte, st *OpStat) (n int, ok bool, err error) {
+	if int64(len(dst)) < length {
+		return 0, false, fmt.Errorf("kvstore: GetRangeInto destination %d short of length %d", len(dst), length)
 	}
-	return reply.Bulk, true, nil
+	var errMsg string
+	rerr := c.withRetry("GETRANGE", "GETRANGE", st, func(cc *clientConn) error {
+		if err := cc.sendGetRange(c.timeout, key, offset, length); err != nil {
+			return err
+		}
+		rn, k, msg, err := readBulkReplyInto(cc.br, dst)
+		if err != nil {
+			return err
+		}
+		n, ok, errMsg = rn, k, msg
+		return nil
+	})
+	if rerr != nil {
+		return 0, false, rerr
+	}
+	if errMsg != "" {
+		return 0, false, replyError(errMsg)
+	}
+	return n, ok, nil
+}
+
+func (cc *clientConn) sendGetRange(timeout time.Duration, key string, offset, length int64) error {
+	if err := cc.startOp(timeout); err != nil {
+		return err
+	}
+	cc.enc.beginCommand(4)
+	cc.enc.argString("GETRANGE")
+	cc.enc.argString(key)
+	cc.enc.argInt(offset)
+	cc.enc.argInt(length)
+	return cc.enc.writeTo(cc.conn)
 }
 
 // SetRange writes value at offset within key's value, zero-extending.
@@ -556,37 +751,59 @@ func (c *Client) SetRange(key string, offset int64, value []byte) error {
 
 // SetRangeStat is SetRange with an optional OpStat out-param.
 func (c *Client) SetRangeStat(key string, offset int64, value []byte, st *OpStat) error {
-	return c.doSimpleStat(st, []byte("SETRANGE"), []byte(key),
-		[]byte(strconv.FormatInt(offset, 10)), value)
+	var errMsg string
+	err := c.withRetry("SETRANGE", "SETRANGE", st, func(cc *clientConn) error {
+		if err := cc.startOp(c.timeout); err != nil {
+			return err
+		}
+		cc.enc.beginCommand(4)
+		cc.enc.argString("SETRANGE")
+		cc.enc.argString(key)
+		cc.enc.argInt(offset)
+		cc.enc.argBytes(value)
+		if err := cc.enc.writeTo(cc.conn); err != nil {
+			return err
+		}
+		var err error
+		errMsg, err = readStatusReply(cc.br)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if errMsg != "" {
+		return replyError(errMsg)
+	}
+	return nil
 }
 
 // Del removes keys, returning how many existed.
 func (c *Client) Del(keys ...string) (int64, error) {
-	args := append(bs("DEL"), bs(keys...)...)
+	args := append([][]byte{verbDel}, bs(keys...)...)
 	return c.doInt(args...)
 }
 
 // Exists reports whether key exists.
 func (c *Client) Exists(key string) (bool, error) {
-	n, err := c.doInt([]byte("EXISTS"), []byte(key))
+	n, err := c.doInt(verbExists, []byte(key))
 	return n == 1, err
 }
 
 // SAdd adds members to the set at key.
 func (c *Client) SAdd(key string, members ...string) (int64, error) {
-	args := append(bs("SADD", key), bs(members...)...)
+	args := append([][]byte{verbSAdd, []byte(key)}, bs(members...)...)
 	return c.doInt(args...)
 }
 
 // SRem removes members from the set at key.
 func (c *Client) SRem(key string, members ...string) (int64, error) {
-	args := append(bs("SREM", key), bs(members...)...)
+	args := append([][]byte{verbSRem, []byte(key)}, bs(members...)...)
 	return c.doInt(args...)
 }
 
 // SMembers lists the set at key, sorted.
 func (c *Client) SMembers(key string) ([]string, error) {
-	reply, err := c.do([]byte("SMEMBERS"), []byte(key))
+	reply, err := c.do(verbSMembers, []byte(key))
 	if err != nil {
 		return nil, err
 	}
@@ -602,17 +819,17 @@ func (c *Client) SMembers(key string) ([]string, error) {
 
 // SCard returns the cardinality of the set at key.
 func (c *Client) SCard(key string) (int64, error) {
-	return c.doInt([]byte("SCARD"), []byte(key))
+	return c.doInt(verbSCard, []byte(key))
 }
 
 // Incr increments the counter at key and returns the new value.
 func (c *Client) Incr(key string) (int64, error) {
-	return c.doInt([]byte("INCR"), []byte(key))
+	return c.doInt(verbIncr, []byte(key))
 }
 
 // Keys lists all keys with the given prefix, sorted.
 func (c *Client) Keys(prefix string) ([]string, error) {
-	reply, err := c.do([]byte("KEYS"), []byte(prefix))
+	reply, err := c.do(verbKeys, []byte(prefix))
 	if err != nil {
 		return nil, err
 	}
@@ -630,7 +847,7 @@ func (c *Client) Keys(prefix string) ([]string, error) {
 // listing a partial drain uses so one pass over a huge store doesn't
 // marshal every key.
 func (c *Client) KeysN(prefix string, n int) ([]string, error) {
-	reply, err := c.do([]byte("KEYSN"), []byte(prefix), []byte(strconv.Itoa(n)))
+	reply, err := c.do(verbKeysN, []byte(prefix), []byte(strconv.Itoa(n)))
 	if err != nil {
 		return nil, err
 	}
@@ -648,21 +865,21 @@ func (c *Client) KeysN(prefix string, n int) ([]string, error) {
 // whether it did — the compare-and-delete that makes copy-then-delete
 // eviction safe against a write racing in between.
 func (c *Client) DelVal(key string, value []byte) (bool, error) {
-	n, err := c.doInt([]byte("DELVAL"), []byte(key), value)
+	n, err := c.doInt(verbDelVal, []byte(key), value)
 	return n == 1, err
 }
 
 // FlushAll clears the store.
-func (c *Client) FlushAll() error { return c.doSimple([]byte("FLUSHALL")) }
+func (c *Client) FlushAll() error { return c.doSimple(verbFlushAll) }
 
 // SetMemCap sets the server's memory cap in bytes (0 = unlimited).
 func (c *Client) SetMemCap(n int64) error {
-	return c.doSimple([]byte("MEMCAP"), []byte(strconv.FormatInt(n, 10)))
+	return c.doSimple(verbMemCap, []byte(strconv.FormatInt(n, 10)))
 }
 
 // Info fetches the server's stats snapshot.
 func (c *Client) Info() (Stats, error) {
-	reply, err := c.do([]byte("INFO"))
+	reply, err := c.do(verbInfo)
 	if err != nil {
 		return Stats{}, err
 	}

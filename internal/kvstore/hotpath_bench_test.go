@@ -1,0 +1,172 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Hot-path benchmarks: the per-operation allocation and latency profile of
+// the wire client against a live loopback server. These are the numbers the
+// CI benchmark gate holds to a budget (scripts/allocs_budget.txt): the
+// zero-allocation hot path is a perf *contract*, not a one-off win, so a
+// change that quietly reintroduces per-op garbage fails the build.
+//
+// The pipeline benchmarks measure one depth-32 burst of 4 KiB stripe
+// payloads per iteration — the shape of core's pipelined stripe writes —
+// so their allocs/op are per *burst*, not per command.
+
+const (
+	benchPayloadSize = 4096
+	benchBurst       = 32
+)
+
+func newBenchClient(b *testing.B, opts DialOptions) *Client {
+	b.Helper()
+	srv := NewServer(NewStore(0), "")
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	c := Dial(addr, opts)
+	b.Cleanup(func() { c.Close() })
+	return c
+}
+
+func benchPayload() []byte {
+	p := make([]byte, benchPayloadSize)
+	for i := range p {
+		p[i] = byte(i)
+	}
+	return p
+}
+
+func BenchmarkWireSet4K(b *testing.B) {
+	c := newBenchClient(b, DialOptions{})
+	payload := benchPayload()
+	b.ReportAllocs()
+	b.SetBytes(benchPayloadSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Set("bench:set", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireGet4K(b *testing.B) {
+	c := newBenchClient(b, DialOptions{})
+	if err := c.Set("bench:get", benchPayload()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(benchPayloadSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, ok, err := c.Get("bench:get")
+		if err != nil || !ok || len(v) != benchPayloadSize {
+			b.Fatalf("get: ok=%v err=%v len=%d", ok, err, len(v))
+		}
+	}
+}
+
+func BenchmarkWireGetRange4K(b *testing.B) {
+	c := newBenchClient(b, DialOptions{})
+	if err := c.Set("bench:gr", benchPayload()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(benchPayloadSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, ok, err := c.GetRange("bench:gr", 0, benchPayloadSize)
+		if err != nil || !ok || len(v) != benchPayloadSize {
+			b.Fatalf("getrange: ok=%v err=%v len=%d", ok, err, len(v))
+		}
+	}
+}
+
+// BenchmarkWirePipelineSet4K is the shape of a pipelined multi-stripe
+// write: one depth-32 burst of 4 KiB SETs per iteration.
+func BenchmarkWirePipelineSet4K(b *testing.B) {
+	c := newBenchClient(b, DialOptions{})
+	payload := benchPayload()
+	keys := make([]string, benchBurst)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench:pset:%d", i)
+	}
+	b.ReportAllocs()
+	b.SetBytes(benchPayloadSize * benchBurst)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl := c.Pipeline()
+		for _, k := range keys {
+			pl.Set(k, payload)
+		}
+		replies, err := pl.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range replies {
+			if err := r.Err(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkWirePipelineGetRange4K is the shape of a pipelined multi-stripe
+// read: one depth-32 burst of 4 KiB GETRANGEs per iteration.
+func BenchmarkWirePipelineGetRange4K(b *testing.B) {
+	c := newBenchClient(b, DialOptions{})
+	payload := benchPayload()
+	keys := make([]string, benchBurst)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench:pget:%d", i)
+		if err := c.Set(keys[i], payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.SetBytes(benchPayloadSize * benchBurst)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl := c.Pipeline()
+		for _, k := range keys {
+			pl.GetRange(k, 0, benchPayloadSize)
+		}
+		replies, err := pl.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range replies {
+			if r.Err() != nil || len(r.Bulk) != benchPayloadSize {
+				b.Fatalf("burst reply: err=%v len=%d", r.Err(), len(r.Bulk))
+			}
+		}
+	}
+}
+
+// BenchmarkWireConcurrentPipelines drives many goroutines of pipelined
+// bursts through ONE client — the saturation shape where the old
+// single-mutex connection pool serialized checkouts.
+func BenchmarkWireConcurrentPipelines(b *testing.B) {
+	c := newBenchClient(b, DialOptions{PoolSize: 16})
+	payload := benchPayload()
+	b.ReportAllocs()
+	b.SetBytes(benchPayloadSize * benchBurst)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			pl := c.Pipeline()
+			for j := 0; j < benchBurst; j++ {
+				pl.Set(fmt.Sprintf("bench:conc:%d", (i+j)%256), payload)
+			}
+			if _, err := pl.Run(); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}

@@ -2,13 +2,20 @@ package kvstore
 
 import (
 	"fmt"
-	"strconv"
 	"time"
 )
 
 // Pipeline queues commands and sends them as one burst over a single
-// pooled connection: one write, one flush, N in-order replies — the
-// Redis-style pipelining that collapses N round trips into one.
+// pooled connection: one vectored write (writev), one round trip, N
+// in-order replies — the Redis-style pipelining that collapses N round
+// trips into one.
+//
+// Commands are encoded into a pooled wire tape as they are queued, not
+// re-marshaled at Run: queueing a 4 KiB stripe write costs a few header
+// bytes, and the payload itself is referenced zero-copy. Payload slices
+// passed to Set/SetRange/Do and destination buffers passed to
+// GetRangeInto must therefore stay valid — and unmodified — until Run
+// returns.
 //
 // A Pipeline is not safe for concurrent use (build and Run it from one
 // goroutine), but independent pipelines on the same Client are: each Run
@@ -17,78 +24,169 @@ import (
 // (SET/GET/DEL/EXISTS/SETNX and friends — not INCR or SADD) unless the
 // caller tolerates re-execution.
 type Pipeline struct {
-	c    *Client
-	cmds [][][]byte
+	c     *Client
+	enc   *wireEnc
+	sinks []pipeSink
+	n     int
+}
+
+// pipeSink records where one queued command's reply payload should be
+// decoded; into=false means generic Reply decoding.
+type pipeSink struct {
+	dst  []byte
+	into bool
 }
 
 // Pipeline starts an empty command pipeline on the client.
 func (c *Client) Pipeline() *Pipeline { return &Pipeline{c: c} }
 
 // Len reports how many commands are queued.
-func (p *Pipeline) Len() int { return len(p.cmds) }
+func (p *Pipeline) Len() int { return p.n }
+
+func (p *Pipeline) tape() *wireEnc {
+	if p.enc == nil {
+		p.enc = getEnc()
+	}
+	return p.enc
+}
+
+func (p *Pipeline) endCmd(dst []byte, into bool) {
+	p.sinks = append(p.sinks, pipeSink{dst: dst, into: into})
+	p.n++
+}
 
 // Do queues one raw command.
-func (p *Pipeline) Do(args ...[]byte) { p.cmds = append(p.cmds, args) }
+func (p *Pipeline) Do(args ...[]byte) {
+	e := p.tape()
+	e.beginCommand(len(args))
+	for _, a := range args {
+		e.argBytes(a)
+	}
+	p.endCmd(nil, false)
+}
 
 // Set queues a SET.
 func (p *Pipeline) Set(key string, value []byte) {
-	p.Do([]byte("SET"), []byte(key), value)
+	e := p.tape()
+	e.beginCommand(3)
+	e.argString("SET")
+	e.argString(key)
+	e.argBytes(value)
+	p.endCmd(nil, false)
 }
 
 // SetNX queues a SETNX.
 func (p *Pipeline) SetNX(key string, value []byte) {
-	p.Do([]byte("SETNX"), []byte(key), value)
+	e := p.tape()
+	e.beginCommand(3)
+	e.argString("SETNX")
+	e.argString(key)
+	e.argBytes(value)
+	p.endCmd(nil, false)
 }
 
 // Get queues a GET.
-func (p *Pipeline) Get(key string) { p.Do([]byte("GET"), []byte(key)) }
+func (p *Pipeline) Get(key string) {
+	e := p.tape()
+	e.beginCommand(2)
+	e.argString("GET")
+	e.argString(key)
+	p.endCmd(nil, false)
+}
 
-// GetRange queues a GETRANGE.
+// GetRange queues a GETRANGE whose reply payload is freshly allocated.
 func (p *Pipeline) GetRange(key string, offset, length int64) {
-	p.Do([]byte("GETRANGE"), []byte(key),
-		[]byte(strconv.FormatInt(offset, 10)), []byte(strconv.FormatInt(length, 10)))
+	p.sendRange(key, offset, length)
+	p.endCmd(nil, false)
+}
+
+// GetRangeInto queues a GETRANGE whose reply payload decodes directly
+// into dst (len(dst) >= length) — the zero-copy burst read. The reply's
+// Bulk aliases dst, truncated to the bytes actually returned; dst must
+// stay valid until Run returns, and on a failed Run its contents are
+// undefined.
+func (p *Pipeline) GetRangeInto(key string, offset, length int64, dst []byte) {
+	p.sendRange(key, offset, length)
+	p.endCmd(dst[:length], true)
+}
+
+func (p *Pipeline) sendRange(key string, offset, length int64) {
+	e := p.tape()
+	e.beginCommand(4)
+	e.argString("GETRANGE")
+	e.argString(key)
+	e.argInt(offset)
+	e.argInt(length)
 }
 
 // SetRange queues a SETRANGE.
 func (p *Pipeline) SetRange(key string, offset int64, value []byte) {
-	p.Do([]byte("SETRANGE"), []byte(key), []byte(strconv.FormatInt(offset, 10)), value)
+	e := p.tape()
+	e.beginCommand(4)
+	e.argString("SETRANGE")
+	e.argString(key)
+	e.argInt(offset)
+	e.argBytes(value)
+	p.endCmd(nil, false)
 }
 
 // Del queues a DEL of one batch of keys (a single multi-key command).
 func (p *Pipeline) Del(keys ...string) {
-	p.Do(append(bs("DEL"), bs(keys...)...)...)
+	e := p.tape()
+	e.beginCommand(1 + len(keys))
+	e.argString("DEL")
+	for _, k := range keys {
+		e.argString(k)
+	}
+	p.endCmd(nil, false)
 }
 
 // DelVal queues a DELVAL (compare-and-delete: remove key only if it still
 // holds exactly value). Safe to retry: a re-run after the delete landed
 // simply reports 0.
 func (p *Pipeline) DelVal(key string, value []byte) {
-	p.Do([]byte("DELVAL"), []byte(key), value)
+	e := p.tape()
+	e.beginCommand(3)
+	e.argString("DELVAL")
+	e.argString(key)
+	e.argBytes(value)
+	p.endCmd(nil, false)
 }
 
 // Exists queues an EXISTS.
-func (p *Pipeline) Exists(key string) { p.Do([]byte("EXISTS"), []byte(key)) }
+func (p *Pipeline) Exists(key string) {
+	e := p.tape()
+	e.beginCommand(2)
+	e.argString("EXISTS")
+	e.argString(key)
+	p.endCmd(nil, false)
+}
 
 // Run flushes the queued commands in one burst and reads their replies,
 // aligned with queue order. Error *replies* (e.g. OOM on one SET) do not
 // fail the burst — inspect each Reply.Err(); Run itself fails only on
 // transport or protocol errors, after retrying the whole burst per the
-// client's retry policy (mid-pipeline connection death reruns every
-// command, hence the idempotency requirement above). The queue is cleared
-// on success so the pipeline can be reused.
+// client's retry policy (mid-pipeline connection death replays the
+// encoded tape verbatim, hence the idempotency requirement above). The
+// queue is cleared — and the pooled tape released — when Run returns,
+// success or failure, so the pipeline can be reused.
 func (p *Pipeline) Run() ([]*Reply, error) { return p.RunStat(nil) }
 
 // RunStat is Run with an optional OpStat out-param receiving the burst's
 // final attempt count and duration for trace attribution.
 func (p *Pipeline) RunStat(st *OpStat) ([]*Reply, error) {
-	if len(p.cmds) == 0 {
+	if p.n == 0 {
 		return nil, nil
 	}
+	// Release the tape on every exit path — success, exhausted retries,
+	// client teardown — a pooled buffer held across an error return is a
+	// leak.
+	defer p.reset()
 	c := p.c
 	var replies []*Reply
-	label := fmt.Sprintf("pipeline of %d commands", len(p.cmds))
+	label := fmt.Sprintf("pipeline of %d commands", p.n)
 	err := c.withRetry("PIPELINE", label, st, func(cc *clientConn) error {
-		rs, err := cc.pipelineRoundTrip(c.timeout, p.cmds)
+		rs, err := p.roundTrip(cc, c.timeout)
 		if err != nil {
 			return err
 		}
@@ -98,33 +196,57 @@ func (p *Pipeline) RunStat(st *OpStat) ([]*Reply, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.cmds = nil
 	return replies, nil
 }
 
-// pipelineRoundTrip writes every command with a single flush, then reads
-// the same number of replies.
-func (cc *clientConn) pipelineRoundTrip(timeout time.Duration, cmds [][][]byte) ([]*Reply, error) {
+func (p *Pipeline) reset() {
+	if p.enc != nil {
+		putEnc(p.enc)
+		p.enc = nil
+	}
+	for i := range p.sinks {
+		p.sinks[i] = pipeSink{}
+	}
+	p.sinks = p.sinks[:0]
+	p.n = 0
+}
+
+// roundTrip replays the encoded tape as one vectored write, then reads
+// the same number of replies. Replies share one arena allocation; sinked
+// GETRANGEs decode straight into their destination buffers.
+func (p *Pipeline) roundTrip(cc *clientConn, timeout time.Duration) ([]*Reply, error) {
 	if err := cc.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 		return nil, err
 	}
-	for _, args := range cmds {
-		if err := appendCommand(cc.bw, args...); err != nil {
-			return nil, err
-		}
-	}
-	if err := cc.bw.Flush(); err != nil {
+	if err := p.enc.writeTo(cc.conn); err != nil {
 		return nil, err
 	}
-	replies := make([]*Reply, len(cmds))
-	for i := range replies {
-		r, err := ReadReply(cc.br)
-		if err != nil {
-			return nil, fmt.Errorf("kvstore: pipeline reply %d of %d: %w", i+1, len(cmds), err)
+	arena := make([]Reply, p.n)
+	out := make([]*Reply, p.n)
+	for i := 0; i < p.n; i++ {
+		r := &arena[i]
+		if s := p.sinks[i]; s.into {
+			n, ok, errMsg, err := readBulkReplyInto(cc.br, s.dst)
+			if err != nil {
+				return nil, fmt.Errorf("kvstore: pipeline reply %d of %d: %w", i+1, p.n, err)
+			}
+			switch {
+			case errMsg != "":
+				r.Kind = '-'
+				r.Str = errMsg
+			case !ok:
+				r.Kind = '$'
+				r.Nil = true
+			default:
+				r.Kind = '$'
+				r.Bulk = s.dst[:n]
+			}
+		} else if err := readReplyInto(cc.br, r); err != nil {
+			return nil, fmt.Errorf("kvstore: pipeline reply %d of %d: %w", i+1, p.n, err)
 		}
-		replies[i] = r
+		out[i] = r
 	}
-	return replies, nil
+	return out, nil
 }
 
 // MSet stores every pair atomically in one round trip.
@@ -140,7 +262,7 @@ func (c *Client) MSet(pairs []KV) error {
 // MGet fetches every key in one round trip; missing keys yield nil
 // entries, aligned with keys.
 func (c *Client) MGet(keys ...string) ([][]byte, error) {
-	reply, err := c.do(append(bs("MGET"), bs(keys...)...)...)
+	reply, err := c.do(append([][]byte{verbMGet}, bs(keys...)...)...)
 	if err != nil {
 		return nil, err
 	}

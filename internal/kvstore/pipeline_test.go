@@ -204,7 +204,7 @@ func flakyServer(t *testing.T, replyLimit int, failConns int32) (addr string, st
 			go func(conn net.Conn, failing bool) {
 				defer conn.Close()
 				br := bufio.NewReader(conn)
-				bw := bufio.NewWriter(conn)
+				rw := &replyWriter{conn: conn}
 				replies := 0
 				for {
 					args, err := ReadCommand(br)
@@ -214,10 +214,8 @@ func flakyServer(t *testing.T, replyLimit int, failConns int32) (addr string, st
 					if failing && replies == replyLimit {
 						return // k replies sent, socket dies mid-burst
 					}
-					if err := srv.dispatch(bw, strings.ToUpper(string(args[0])), args[1:]); err != nil {
-						return
-					}
-					if err := bw.Flush(); err != nil {
+					srv.dispatch(rw, strings.ToUpper(string(args[0])), args[1:])
+					if err := rw.flush(); err != nil {
 						return
 					}
 					replies++

@@ -7,8 +7,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"strconv"
-	"strings"
 	"sync"
 )
 
@@ -107,177 +105,378 @@ func (s *Server) dropConn(conn net.Conn) {
 	conn.Close()
 }
 
+// cmdReader decodes commands for one connection into reusable storage:
+// one flat byte buffer holds every argument payload, and the arg slice
+// headers are rebuilt over it — a steady-state command costs zero
+// allocations. The returned args alias that buffer and are valid only
+// until the next call; dispatch must finish with them (or copy — the
+// store copies on write) before the next command is read.
+type cmdReader struct {
+	br   *bufio.Reader
+	args [][]byte
+	offs [][2]int
+	buf  []byte
+}
+
+// cmdBufKeep caps the argument buffer retained between commands, so one
+// 64 MiB SET doesn't pin that much per connection forever.
+const cmdBufKeep = 1 << 20
+
+func newCmdReader(conn net.Conn) *cmdReader {
+	return &cmdReader{br: bufio.NewReaderSize(conn, 64<<10)}
+}
+
+// next reads one command. io.EOF is returned unwrapped on a clean close
+// before any bytes.
+func (cr *cmdReader) next() ([][]byte, error) {
+	if cap(cr.buf) > cmdBufKeep {
+		cr.buf = nil
+	}
+	line, err := readLine(cr.br)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 || line[0] != '*' {
+		return nil, fmt.Errorf("%w: expected array, got %q", errProtocol, line)
+	}
+	n64, err := parseInt(line[1:])
+	if err != nil {
+		return nil, err
+	}
+	if n64 <= 0 || n64 > maxArrayLen {
+		return nil, fmt.Errorf("%w: array length %d out of range", errProtocol, n64)
+	}
+	n := int(n64)
+	if cap(cr.args) < n {
+		cr.args = make([][]byte, n)
+		cr.offs = make([][2]int, n)
+	}
+	cr.args = cr.args[:n]
+	cr.offs = cr.offs[:n]
+	pos := 0
+	for i := 0; i < n; i++ {
+		ln64, isNil, err := readBulkHeader(cr.br)
+		if err != nil {
+			return nil, err
+		}
+		if isNil {
+			return nil, fmt.Errorf("%w: nil bulk inside command", errProtocol)
+		}
+		ln := int(ln64)
+		need := pos + ln + 2
+		if need > cap(cr.buf) {
+			newCap := 2 * cap(cr.buf)
+			if newCap < need {
+				newCap = need
+			}
+			if newCap < 4<<10 {
+				newCap = 4 << 10
+			}
+			nb := make([]byte, newCap)
+			copy(nb, cr.buf[:pos])
+			cr.buf = nb
+		}
+		cr.buf = cr.buf[:cap(cr.buf)]
+		if _, err := io.ReadFull(cr.br, cr.buf[pos:need]); err != nil {
+			return nil, err
+		}
+		if cr.buf[need-2] != '\r' || cr.buf[need-1] != '\n' {
+			return nil, fmt.Errorf("%w: bulk not CRLF-terminated", errProtocol)
+		}
+		cr.offs[i] = [2]int{pos, pos + ln}
+		pos = need
+	}
+	for i := range cr.args {
+		cr.args[i] = cr.buf[cr.offs[i][0]:cr.offs[i][1]]
+	}
+	return cr.args, nil
+}
+
+// replyWriter accumulates replies for one connection in a vectored
+// encoder: framing in the reusable header arena, large value payloads as
+// zero-copy iovec entries. Value buffers come from a connection-local
+// freelist and return to it when the encoder is flushed (or, for small
+// values that were copied into the arena, immediately) — so a GET-heavy
+// connection reaches a steady state of zero value allocations. Replies
+// never reference cmdReader's argument buffer, which is what makes the
+// hold-until-flush lifetime safe against the next command overwriting it.
+type replyWriter struct {
+	conn net.Conn
+	enc  wireEnc
+	pend [][]byte // freelist buffers referenced by the encoder until flush
+	free [][]byte
+}
+
+const (
+	// replyFlushBytes bounds reply accumulation mid-burst, the backpressure
+	// the old 64 KiB bufio.Writer provided implicitly.
+	replyFlushBytes = 256 << 10
+	// valBufKeep caps freelist buffer size and count.
+	valBufKeep  = 1 << 20
+	valFreeKeep = 32
+)
+
+// valueBuf returns an empty buffer to append a store value into.
+func (rw *replyWriter) valueBuf() []byte {
+	if k := len(rw.free); k > 0 {
+		b := rw.free[k-1]
+		rw.free[k-1] = nil
+		rw.free = rw.free[:k-1]
+		return b
+	}
+	return make([]byte, 0, 4<<10)
+}
+
+// release returns a value buffer to the freelist.
+func (rw *replyWriter) release(b []byte) {
+	if poisonPooled.Load() {
+		poisonBuf(b)
+	}
+	if cap(b) > valBufKeep || len(rw.free) >= valFreeKeep {
+		return
+	}
+	rw.free = append(rw.free, b[:0])
+}
+
+// bulkValue writes a bulk reply whose payload is a freelist buffer: big
+// payloads ride as zero-copy segments and are released at flush; small
+// ones are copied into the arena and released immediately.
+func (rw *replyWriter) bulkValue(v []byte) {
+	rw.enc.bulkHeader(len(v))
+	if len(v) >= zeroCopyMin {
+		rw.enc.extRef(v)
+		rw.pend = append(rw.pend, v)
+	} else {
+		rw.enc.hdr = append(rw.enc.hdr, v...)
+		rw.release(v)
+	}
+	rw.enc.crlf()
+}
+
+func (rw *replyWriter) flush() error {
+	err := rw.enc.writeTo(rw.conn)
+	rw.enc.reset()
+	for i, b := range rw.pend {
+		rw.release(b)
+		rw.pend[i] = nil
+	}
+	rw.pend = rw.pend[:0]
+	return err
+}
+
+func (rw *replyWriter) maybeFlush() error {
+	if rw.enc.len() >= replyFlushBytes {
+		return rw.flush()
+	}
+	return nil
+}
+
 // serveConn reads commands and writes replies. Replies are buffered, not
 // flushed per command: when a client pipelines a burst of commands in one
-// segment, the burst is answered with one flush once the read buffer
-// drains — the server side of the Pipeline API's single round trip.
+// segment, the burst is answered with one vectored flush once the read
+// buffer drains — the server side of the Pipeline API's single round trip.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.dropConn(conn)
-	br := bufio.NewReaderSize(conn, 64<<10)
-	bw := bufio.NewWriterSize(conn, 64<<10)
+	cr := newCmdReader(conn)
+	rw := &replyWriter{conn: conn}
 	authed := s.password == ""
 	for {
-		args, err := ReadCommand(br)
+		args, err := cr.next()
 		if err != nil {
 			if err != io.EOF {
 				// Best effort: a malformed frame is unrecoverable, tell
 				// the client why before dropping the connection.
-				_ = WriteError(bw, "ERR protocol: "+err.Error())
+				rw.enc.errorReply("ERR protocol: " + err.Error())
+				_ = rw.flush()
 			}
 			return
 		}
-		cmd := strings.ToUpper(string(args[0]))
-		var werr error
+		cmd := verbOf(args[0])
 		switch {
 		case !authed && cmd != "AUTH" && cmd != "PING":
-			werr = appendError(bw, "NOAUTH authentication required")
+			rw.enc.errorReply("NOAUTH authentication required")
 		case cmd == "AUTH":
 			switch {
 			case len(args) != 2:
-				werr = appendError(bw, "ERR wrong number of arguments for AUTH")
+				rw.enc.errorReply("ERR wrong number of arguments for AUTH")
 			case s.password == "":
-				werr = appendError(bw, "ERR no password is set")
+				rw.enc.errorReply("ERR no password is set")
 			case subtle.ConstantTimeCompare(args[1], []byte(s.password)) == 1:
 				authed = true
-				werr = appendSimple(bw, "OK")
+				rw.enc.simple("OK")
 			default:
-				werr = appendError(bw, "WRONGPASS invalid password")
+				rw.enc.errorReply("WRONGPASS invalid password")
 			}
 		case cmd == "PING":
-			werr = appendSimple(bw, "PONG")
+			rw.enc.simple("PONG")
 		default:
-			werr = s.dispatch(bw, cmd, args[1:])
+			s.dispatch(rw, cmd, args[1:])
 		}
-		if werr != nil {
+		if err := rw.maybeFlush(); err != nil {
 			return
 		}
 		// Flush only when no further pipelined command is already buffered;
 		// mid-burst the reply stays queued behind its successors.
-		if br.Buffered() == 0 {
-			if err := bw.Flush(); err != nil {
+		if cr.br.Buffered() == 0 {
+			if err := rw.flush(); err != nil {
 				return
 			}
 		}
 	}
 }
 
-// dispatch executes one authenticated command and writes its reply.
-func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
-	fail := func(format string, a ...any) error {
-		return appendError(bw, fmt.Sprintf(format, a...))
+// dispatch executes one authenticated command and queues its reply in rw.
+// Replies are buffered in the encoder; write errors surface at flush.
+func (s *Server) dispatch(rw *replyWriter, cmd string, args [][]byte) {
+	fail := func(format string, a ...any) {
+		rw.enc.errorReply(fmt.Sprintf(format, a...))
 	}
-	storeErr := func(err error) error {
+	storeErr := func(err error) {
 		switch {
 		case errors.Is(err, ErrOOM):
-			return appendError(bw, "OOM command not allowed when used memory > maxmemory")
+			rw.enc.errorReply("OOM command not allowed when used memory > maxmemory")
 		case errors.Is(err, ErrWrongType):
-			return appendError(bw, "WRONGTYPE operation against a key holding the wrong kind of value")
+			rw.enc.errorReply("WRONGTYPE operation against a key holding the wrong kind of value")
 		default:
-			return appendError(bw, "ERR "+err.Error())
+			rw.enc.errorReply("ERR " + err.Error())
 		}
 	}
+	intReply := func(n int64) { rw.enc.intReply(n) }
 	switch cmd {
 	case "SET":
 		if len(args) != 2 {
-			return fail("ERR wrong number of arguments for SET")
+			fail("ERR wrong number of arguments for SET")
+			return
 		}
 		if err := s.store.Set(string(args[0]), args[1]); err != nil {
-			return storeErr(err)
+			storeErr(err)
+			return
 		}
-		return appendSimple(bw, "OK")
+		rw.enc.simple("OK")
 	case "SETNX":
 		if len(args) != 2 {
-			return fail("ERR wrong number of arguments for SETNX")
+			fail("ERR wrong number of arguments for SETNX")
+			return
 		}
 		ok, err := s.store.SetNX(string(args[0]), args[1])
 		if err != nil {
-			return storeErr(err)
+			storeErr(err)
+			return
 		}
 		if ok {
-			return appendInt(bw, 1)
+			intReply(1)
+		} else {
+			intReply(0)
 		}
-		return appendInt(bw, 0)
 	case "GET":
 		if len(args) != 1 {
-			return fail("ERR wrong number of arguments for GET")
+			fail("ERR wrong number of arguments for GET")
+			return
 		}
-		v, ok, err := s.store.Get(string(args[0]))
+		v, ok, err := s.store.GetAppend(rw.valueBuf(), string(args[0]))
 		if err != nil {
-			return storeErr(err)
+			rw.release(v)
+			storeErr(err)
+			return
 		}
-		return appendBulkReply(bw, v, !ok)
+		if !ok {
+			rw.release(v)
+			rw.enc.nilBulk()
+			return
+		}
+		rw.bulkValue(v)
 	case "GETRANGE":
 		if len(args) != 3 {
-			return fail("ERR wrong number of arguments for GETRANGE")
+			fail("ERR wrong number of arguments for GETRANGE")
+			return
 		}
-		off, err1 := strconv.ParseInt(string(args[1]), 10, 64)
-		length, err2 := strconv.ParseInt(string(args[2]), 10, 64)
+		off, err1 := parseInt(args[1])
+		length, err2 := parseInt(args[2])
 		if err1 != nil || err2 != nil {
-			return fail("ERR value is not an integer")
+			fail("ERR value is not an integer")
+			return
 		}
-		v, ok, err := s.store.GetRange(string(args[0]), off, length)
+		v, ok, err := s.store.GetRangeAppend(rw.valueBuf(), string(args[0]), off, length)
 		if err != nil {
-			return storeErr(err)
+			rw.release(v)
+			storeErr(err)
+			return
 		}
-		return appendBulkReply(bw, v, !ok)
+		if !ok {
+			rw.release(v)
+			rw.enc.nilBulk()
+			return
+		}
+		rw.bulkValue(v)
 	case "SETRANGE":
 		if len(args) != 3 {
-			return fail("ERR wrong number of arguments for SETRANGE")
+			fail("ERR wrong number of arguments for SETRANGE")
+			return
 		}
-		off, err := strconv.ParseInt(string(args[1]), 10, 64)
+		off, err := parseInt(args[1])
 		if err != nil {
-			return fail("ERR value is not an integer")
+			fail("ERR value is not an integer")
+			return
 		}
 		if err := s.store.SetRange(string(args[0]), off, args[2]); err != nil {
-			return storeErr(err)
+			storeErr(err)
+			return
 		}
-		return appendSimple(bw, "OK")
+		rw.enc.simple("OK")
 	case "DEL":
 		if len(args) < 1 {
-			return fail("ERR wrong number of arguments for DEL")
+			fail("ERR wrong number of arguments for DEL")
+			return
 		}
 		keys := make([]string, len(args))
 		for i, a := range args {
 			keys[i] = string(a)
 		}
-		return appendInt(bw, int64(s.store.Del(keys...)))
+		intReply(int64(s.store.Del(keys...)))
 	case "MSET":
 		if len(args) < 2 || len(args)%2 != 0 {
-			return fail("ERR wrong number of arguments for MSET")
+			fail("ERR wrong number of arguments for MSET")
+			return
 		}
 		pairs := make([]KV, len(args)/2)
 		for i := range pairs {
 			pairs[i] = KV{Key: string(args[2*i]), Value: args[2*i+1]}
 		}
 		if err := s.store.MSet(pairs); err != nil {
-			return storeErr(err)
+			storeErr(err)
+			return
 		}
-		return appendSimple(bw, "OK")
+		rw.enc.simple("OK")
 	case "MGET":
 		if len(args) < 1 {
-			return fail("ERR wrong number of arguments for MGET")
+			fail("ERR wrong number of arguments for MGET")
+			return
 		}
 		keys := make([]string, len(args))
 		for i, a := range args {
 			keys[i] = string(a)
 		}
-		return appendArrayReply(bw, s.store.MGet(keys))
+		rw.arrayReply(s.store.MGet(keys))
 	case "DELPREFIX":
 		if len(args) != 1 {
-			return fail("ERR wrong number of arguments for DELPREFIX")
+			fail("ERR wrong number of arguments for DELPREFIX")
+			return
 		}
-		return appendInt(bw, int64(s.store.DelPrefix(string(args[0]))))
+		intReply(int64(s.store.DelPrefix(string(args[0]))))
 	case "EXISTS":
 		if len(args) != 1 {
-			return fail("ERR wrong number of arguments for EXISTS")
+			fail("ERR wrong number of arguments for EXISTS")
+			return
 		}
 		if s.store.Exists(string(args[0])) {
-			return appendInt(bw, 1)
+			intReply(1)
+		} else {
+			intReply(0)
 		}
-		return appendInt(bw, 0)
 	case "SADD":
 		if len(args) < 2 {
-			return fail("ERR wrong number of arguments for SADD")
+			fail("ERR wrong number of arguments for SADD")
+			return
 		}
 		members := make([]string, len(args)-1)
 		for i, a := range args[1:] {
@@ -285,12 +484,14 @@ func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
 		}
 		n, err := s.store.SAdd(string(args[0]), members...)
 		if err != nil {
-			return storeErr(err)
+			storeErr(err)
+			return
 		}
-		return appendInt(bw, int64(n))
+		intReply(int64(n))
 	case "SREM":
 		if len(args) < 2 {
-			return fail("ERR wrong number of arguments for SREM")
+			fail("ERR wrong number of arguments for SREM")
+			return
 		}
 		members := make([]string, len(args)-1)
 		for i, a := range args[1:] {
@@ -298,85 +499,96 @@ func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
 		}
 		n, err := s.store.SRem(string(args[0]), members...)
 		if err != nil {
-			return storeErr(err)
+			storeErr(err)
+			return
 		}
-		return appendInt(bw, int64(n))
+		intReply(int64(n))
 	case "SMEMBERS":
 		if len(args) != 1 {
-			return fail("ERR wrong number of arguments for SMEMBERS")
+			fail("ERR wrong number of arguments for SMEMBERS")
+			return
 		}
 		members, err := s.store.SMembers(string(args[0]))
 		if err != nil {
-			return storeErr(err)
+			storeErr(err)
+			return
 		}
-		items := make([][]byte, len(members))
-		for i, m := range members {
-			items[i] = []byte(m)
+		rw.enc.arrayHeader(len(members))
+		for _, m := range members {
+			rw.enc.argString(m)
 		}
-		return appendArrayReply(bw, items)
 	case "SCARD":
 		if len(args) != 1 {
-			return fail("ERR wrong number of arguments for SCARD")
+			fail("ERR wrong number of arguments for SCARD")
+			return
 		}
 		n, err := s.store.SCard(string(args[0]))
 		if err != nil {
-			return storeErr(err)
+			storeErr(err)
+			return
 		}
-		return appendInt(bw, int64(n))
+		intReply(int64(n))
 	case "INCR":
 		if len(args) != 1 {
-			return fail("ERR wrong number of arguments for INCR")
+			fail("ERR wrong number of arguments for INCR")
+			return
 		}
 		n, err := s.store.Incr(string(args[0]))
 		if err != nil {
-			return storeErr(err)
+			storeErr(err)
+			return
 		}
-		return appendInt(bw, n)
+		intReply(n)
 	case "KEYS":
 		if len(args) != 1 {
-			return fail("ERR wrong number of arguments for KEYS")
+			fail("ERR wrong number of arguments for KEYS")
+			return
 		}
 		keys := s.store.Keys(string(args[0]))
-		items := make([][]byte, len(keys))
-		for i, k := range keys {
-			items[i] = []byte(k)
+		rw.enc.arrayHeader(len(keys))
+		for _, k := range keys {
+			rw.enc.argString(k)
 		}
-		return appendArrayReply(bw, items)
 	case "KEYSN":
 		if len(args) != 2 {
-			return fail("ERR wrong number of arguments for KEYSN")
+			fail("ERR wrong number of arguments for KEYSN")
+			return
 		}
-		n, err := strconv.ParseInt(string(args[1]), 10, 64)
+		n, err := parseInt(args[1])
 		if err != nil || n < 0 {
-			return fail("ERR value is not a valid key limit")
+			fail("ERR value is not a valid key limit")
+			return
 		}
 		keys := s.store.KeysN(string(args[0]), int(n))
-		items := make([][]byte, len(keys))
-		for i, k := range keys {
-			items[i] = []byte(k)
+		rw.enc.arrayHeader(len(keys))
+		for _, k := range keys {
+			rw.enc.argString(k)
 		}
-		return appendArrayReply(bw, items)
 	case "DELVAL":
 		if len(args) != 2 {
-			return fail("ERR wrong number of arguments for DELVAL")
+			fail("ERR wrong number of arguments for DELVAL")
+			return
 		}
 		if s.store.DelIfEquals(string(args[0]), args[1]) {
-			return appendInt(bw, 1)
+			intReply(1)
+		} else {
+			intReply(0)
 		}
-		return appendInt(bw, 0)
 	case "FLUSHALL":
 		s.store.FlushAll()
-		return appendSimple(bw, "OK")
+		rw.enc.simple("OK")
 	case "MEMCAP":
 		if len(args) != 1 {
-			return fail("ERR wrong number of arguments for MEMCAP")
+			fail("ERR wrong number of arguments for MEMCAP")
+			return
 		}
-		n, err := strconv.ParseInt(string(args[0]), 10, 64)
+		n, err := parseInt(args[0])
 		if err != nil || n < 0 {
-			return fail("ERR value is not a valid memory cap")
+			fail("ERR value is not a valid memory cap")
+			return
 		}
 		s.store.SetMaxMemory(n)
-		return appendSimple(bw, "OK")
+		rw.enc.simple("OK")
 	case "INFO":
 		st := s.store.Stats()
 		pressure := 0
@@ -386,8 +598,24 @@ func (s *Server) dispatch(bw *bufio.Writer, cmd string, args [][]byte) error {
 		info := fmt.Sprintf(
 			"bytes_used:%d\nmax_memory:%d\nnum_keys:%d\nnum_sets:%d\ntotal_ops:%d\npressure:%d\n",
 			st.BytesUsed, st.MaxMemory, st.NumKeys, st.NumSets, st.TotalOps, pressure)
-		return appendBulkReply(bw, []byte(info), false)
+		rw.enc.bulkHeader(len(info))
+		rw.enc.hdr = append(rw.enc.hdr, info...)
+		rw.enc.crlf()
 	default:
-		return fail("ERR unknown command '%s'", cmd)
+		fail("ERR unknown command '%s'", cmd)
+	}
+}
+
+// arrayReply writes an array-of-bulks reply; nil items encode as the nil
+// bulk (MGET's missing-key marker). Items are caller-owned allocations,
+// referenced zero-copy until the next flush.
+func (rw *replyWriter) arrayReply(items [][]byte) {
+	rw.enc.arrayHeader(len(items))
+	for _, it := range items {
+		if it == nil {
+			rw.enc.nilBulk()
+			continue
+		}
+		rw.enc.argBytes(it)
 	}
 }

@@ -273,6 +273,50 @@ func (s *Store) GetRange(key string, offset, length int64) ([]byte, bool, error)
 	return out, true, nil
 }
 
+// GetAppend appends a copy of key's value to dst and returns the extended
+// slice — the allocation-free read path: the server passes a reusable
+// reply buffer and no fresh value allocation happens once the buffer has
+// grown to working-set size. dst (possibly reallocated by append) is
+// returned even on error so the caller can recycle it.
+func (s *Store) GetAppend(dst []byte, key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.countOp()
+	if _, isSet := s.sets[key]; isSet {
+		return dst, false, ErrWrongType
+	}
+	v, ok := s.data[key]
+	if !ok {
+		return dst, false, nil
+	}
+	return append(dst, v...), true, nil
+}
+
+// GetRangeAppend is GetRange with GetAppend's reusable-buffer contract.
+func (s *Store) GetRangeAppend(dst []byte, key string, offset, length int64) ([]byte, bool, error) {
+	if offset < 0 || length < 0 {
+		return dst, false, fmt.Errorf("kvstore: negative range offset=%d length=%d", offset, length)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.countOp()
+	if _, isSet := s.sets[key]; isSet {
+		return dst, false, ErrWrongType
+	}
+	v, ok := s.data[key]
+	if !ok {
+		return dst, false, nil
+	}
+	if offset >= int64(len(v)) {
+		return dst, true, nil
+	}
+	end := offset + length
+	if end > int64(len(v)) {
+		end = int64(len(v))
+	}
+	return append(dst, v[offset:end]...), true, nil
+}
+
 // SetRange writes value into key's value at offset, zero-extending the
 // value if needed. Creates the key if missing.
 func (s *Store) SetRange(key string, offset int64, value []byte) error {

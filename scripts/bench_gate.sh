@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# bench_gate.sh — CI allocation gate for the kvstore hot path.
+#
+# Runs the Wire* benchmarks (internal/kvstore/hotpath_bench_test.go)
+# with -benchmem at a fixed iteration count and fails if any
+# benchmark's allocs/op exceeds its budget in scripts/allocs_budget.txt.
+# Prints a benchstat-style table (measured vs budget, headroom) into
+# the job log either way.
+#
+# allocs/op is the gated metric because it is deterministic at a fixed
+# -benchtime on any machine; ns/op and MB/s are printed for context but
+# never gated (CI runners are too noisy for wall-clock thresholds).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUDGET_FILE=scripts/allocs_budget.txt
+BENCHTIME=${BENCHTIME:-1000x}
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+
+echo "== bench gate: go test -bench Wire -benchmem -benchtime $BENCHTIME ./internal/kvstore/"
+go test -run '^$' -bench Wire -benchmem -benchtime "$BENCHTIME" -count 1 ./internal/kvstore/ | tee "$OUT"
+echo
+
+awk -v budget_file="$BUDGET_FILE" '
+BEGIN {
+    while ((getline line < budget_file) > 0) {
+        if (line ~ /^[[:space:]]*(#|$)/) continue
+        split(line, f, /[[:space:]]+/)
+        budget[f[1]] = f[2] + 0
+    }
+    printf "%-36s %12s %12s %10s   %s\n", "name", "allocs/op", "budget", "headroom", "status"
+    fail = 0
+}
+/^Benchmark/ && /allocs\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)            # strip GOMAXPROCS suffix
+    for (i = 1; i <= NF; i++)
+        if ($i == "allocs/op") allocs = $(i - 1) + 0
+    if (!(name in budget)) {
+        printf "%-36s %12d %12s %10s   %s\n", name, allocs, "-", "-", "MISSING BUDGET"
+        fail = 1
+        next
+    }
+    b = budget[name]
+    status = (allocs <= b) ? "ok" : "FAIL"
+    if (allocs > b) fail = 1
+    printf "%-36s %12d %12d %9d%%   %s\n", name, allocs, b, (b > 0 ? int(100 * (b - allocs) / b) : 0), status
+    seen[name] = 1
+}
+END {
+    for (name in budget)
+        if (!(name in seen)) {
+            printf "%-36s %12s %12d %10s   %s\n", name, "-", budget[name], "-", "NOT RUN"
+            fail = 1
+        }
+    if (fail) {
+        print ""
+        print "bench gate FAILED: allocs/op over budget, or budget/benchmark mismatch."
+        print "If the regression is intentional, update scripts/allocs_budget.txt with rationale."
+        exit 1
+    }
+    print ""
+    print "bench gate OK: all hot-path benchmarks within allocation budget."
+}' "$OUT"
