@@ -62,13 +62,37 @@ func main() {
 	stripeSize := flag.Int64("stripe", 0, "stripe size in bytes (0 = default); small stripes make the workload round-trip-bound")
 	chaos := flag.Bool("chaos", false, "run the fault-injection soak: victims behind chaos proxies, one killed mid-run, report fault/retry/degraded counters and fsck")
 	chaosSeed := flag.Int64("chaos-seed", 42, "seed for the chaos proxies' fault plan")
+	redFlag := flag.String("redundancy", "", "redundancy mode: replicate or erasure (default: none for throughput runs, replicate for -chaos)")
+	ecK := flag.Int("ec-k", 4, "erasure data shards per stripe (with -redundancy erasure)")
+	ecM := flag.Int("ec-m", 2, "erasure parity shards per stripe (with -redundancy erasure)")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of the human report (non-chaos modes)")
 	benchOut := flag.String("bench-out", "", "append a schema-stable benchmark record (throughput, p50/p95/p99, allocs/op, config) to this JSON file, e.g. BENCH_baseline.json")
 	saturate := flag.Int("saturate", 0, "also run a saturation leg with this many concurrent clients (both write and read phases parallel); 0 disables")
 	poolSize := flag.Int("pool", 0, "connections per store node (0 = default)")
 	flag.Parse()
 
-	if *chaos && (*ownN < 2 || *victimN < 2) {
+	// Resolve the redundancy scheme the workload runs under. The default
+	// preserves the historical shapes — no redundancy for throughput runs,
+	// 2-way replication for the chaos soak — so BENCH_*.json trajectories
+	// stay comparable across PRs.
+	var red core.Redundancy
+	switch *redFlag {
+	case "":
+		if *chaos {
+			red = core.Redundancy{Mode: core.RedundancyReplicate, Replicas: 2}
+		}
+	case "replicate":
+		red = core.Redundancy{Mode: core.RedundancyReplicate, Replicas: 2}
+	case "erasure":
+		red = core.Redundancy{Mode: core.RedundancyErasure, DataShards: *ecK, ParityShards: *ecM}
+		if need := *ecK + *ecM; *ownN < need || (*victimN > 0 && *victimN < need) {
+			log.Fatalf("memfss-bench: -redundancy erasure RS(%d,%d) needs every class to hold at least %d nodes (got -own %d, -victims %d); try -own %d -victims %d",
+				*ecK, *ecM, need, *ownN, *victimN, need, need+2)
+		}
+	default:
+		log.Fatalf("memfss-bench: unknown -redundancy %q (want replicate or erasure)", *redFlag)
+	}
+	if *chaos && red.Mode == core.RedundancyReplicate && (*ownN < 2 || *victimN < 2) {
 		log.Fatal("memfss-bench: -chaos needs -own >= 2 and -victims >= 2 (replication requires 2 nodes per class)")
 	}
 
@@ -146,7 +170,7 @@ func main() {
 	}
 
 	if *chaos {
-		runChaos(classes, password, *stripeSize, *depth, *tasks, *workers, payload, proxies, victims)
+		runChaos(classes, password, red, *stripeSize, *depth, *tasks, *workers, payload, proxies, victims)
 		return
 	}
 
@@ -170,7 +194,7 @@ func main() {
 		fs, err := core.New(core.Config{
 			Classes: classes, Password: password,
 			StripeSize: *stripeSize, PipelineDepth: pipeDepth,
-			PoolSize: *poolSize,
+			PoolSize: *poolSize, Redundancy: red,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -301,14 +325,19 @@ func main() {
 	}
 
 	if *benchOut != "" {
+		cfg := benchConfig{
+			Tasks: *tasks, Size: *size, Own: *ownN, Victims: *victimN,
+			Alpha: *alpha, Workers: *workers, Depth: *depth,
+			Stripe: *stripeSize, Saturate: *saturate, Pool: *poolSize,
+			Redundancy: *redFlag,
+		}
+		if red.Mode == core.RedundancyErasure {
+			cfg.ECK, cfg.ECM = red.DataShards, red.ParityShards
+		}
 		rec := benchRecord{
-			Time: time.Now().UTC().Format(time.RFC3339),
-			Config: benchConfig{
-				Tasks: *tasks, Size: *size, Own: *ownN, Victims: *victimN,
-				Alpha: *alpha, Workers: *workers, Depth: *depth,
-				Stripe: *stripeSize, Saturate: *saturate, Pool: *poolSize,
-			},
-			Modes: modesJSON(),
+			Time:   time.Now().UTC().Format(time.RFC3339),
+			Config: cfg,
+			Modes:  modesJSON(),
 		}
 		if err := appendBenchRecord(*benchOut, rec); err != nil {
 			log.Fatal(err)
@@ -387,6 +416,12 @@ type benchConfig struct {
 	Stripe   int64   `json:"stripe_bytes"`
 	Saturate int     `json:"saturate"`
 	Pool     int     `json:"pool_size"`
+	// Redundancy is the -redundancy flag value ("" = the historical
+	// default: none for throughput runs, replicate for -chaos); ECK/ECM
+	// pin the Reed-Solomon geometry when it is "erasure".
+	Redundancy string `json:"redundancy,omitempty"`
+	ECK        int    `json:"ec_k,omitempty"`
+	ECM        int    `json:"ec_m,omitempty"`
 }
 
 // benchRecord is one -bench-out entry: the perf-trajectory point the
@@ -474,13 +509,17 @@ func fmtMs(ms float64) string {
 
 // runChaos is the -chaos workload: write every task under injected
 // faults, kill one victim permanently, read everything back, and report
-// reliability counters and a fsck verdict instead of throughput.
-func runChaos(classes []core.ClassSpec, password string, stripeSize int64, depth, tasks, workers int,
+// reliability counters and a fsck verdict instead of throughput. The
+// redundancy scheme is the caller's: 2-way replication by default, or
+// RS(k,m) erasure coding with -redundancy erasure — the same soak then
+// exercises degraded shard writes and reconstruction reads instead of
+// replica failover.
+func runChaos(classes []core.ClassSpec, password string, red core.Redundancy, stripeSize int64, depth, tasks, workers int,
 	payload []byte, proxies []*faultwrap.Proxy, victims *core.LocalStores) {
 	fs, err := core.New(core.Config{
 		Classes: classes, Password: password,
 		StripeSize: stripeSize, PipelineDepth: depth,
-		Redundancy: core.Redundancy{Mode: core.RedundancyReplicate, Replicas: 2},
+		Redundancy: red,
 		Retry: core.RetryPolicy{
 			MaxAttempts: 8,
 			BaseDelay:   time.Millisecond,
@@ -589,6 +628,10 @@ func runChaos(classes []core.ClassSpec, password string, stripeSize int64, depth
 	fmt.Printf("chaos: store ops %d, attempts %d (%.2f per op), degraded writes %d, skipped replica writes %d, deep probes %d\n",
 		c.StoreOps, c.StoreAttempts, float64(c.StoreAttempts)/float64(ops),
 		c.DegradedWrites, c.SkippedReplicaWrites, c.DeepProbes)
+	if red.Mode == core.RedundancyErasure {
+		fmt.Printf("chaos: ec reconstructs %d (degraded reads served by Reed-Solomon), generation conflicts %d\n",
+			c.ECReconstructs, c.ECGenConflicts)
+	}
 	if len(rep.Damaged) > 0 {
 		log.Fatalf("chaos: DATA LOSS in %v", rep.Damaged)
 	}
@@ -599,6 +642,14 @@ func runChaos(classes []core.ClassSpec, password string, stripeSize int64, depth
 	// Revocation leg: with one victim already dead, revoke the surviving
 	// one under the same injected faults — the worst-case "tenant wants
 	// its memory back mid-incident" scenario — and demand zero loss again.
+	// Erasure placement needs k+m nodes in the class, so the leg only runs
+	// when the victim class can spare one (run with -victims >= k+m+1).
+	if red.Mode == core.RedundancyErasure && len(victims.Nodes)-1 < red.DataShards+red.ParityShards {
+		fmt.Printf("chaos: skipping revocation leg: revoking a victim would leave %d nodes, below the RS(%d,%d) placement need of %d\n",
+			len(victims.Nodes)-1, red.DataShards, red.ParityShards, red.DataShards+red.ParityShards)
+		fmt.Println("chaos: zero data loss")
+		return
+	}
 	liveID := victims.Nodes[0].ID
 	start = time.Now()
 	evrep, err := fs.Evacuate(context.Background(), liveID, core.EvacOptions{})

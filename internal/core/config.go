@@ -69,9 +69,22 @@ type Redundancy struct {
 	Mode RedundancyMode
 	// Replicas is the copy count for RedundancyReplicate (>= 2).
 	Replicas int
-	// DataShards/ParityShards configure RedundancyErasure.
+	// DataShards/ParityShards configure RedundancyErasure. Erasure writes
+	// have a fixed write quorum of DataShards (k): a write with fewer than
+	// k new shards landed would be unreadable, so k shards must persist;
+	// transport failures on up to ParityShards (m) targets degrade the
+	// write (the repair queue rebuilds the missing shards) instead of
+	// failing it. WriteQuorum does not apply to erasure mode.
 	DataShards   int
 	ParityShards int
+	// ReadSpare is how many shards beyond DataShards an erasure read
+	// fetches in its first concurrent wave (default 1, capped at
+	// ParityShards by construction since only k+m shards exist). The
+	// spares are the race margin: reconstruction starts as soon as any k
+	// shards of one write arrive, so a slow or dead node costs nothing as
+	// long as a spare answers. Negative means no spares (first wave is
+	// exactly k).
+	ReadSpare int
 	// WriteQuorum is how many replicas of a RedundancyReplicate write must
 	// land for the write to succeed (default 1). When some replicas fail
 	// with *transport* errors but at least WriteQuorum persisted, the

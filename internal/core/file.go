@@ -1,11 +1,13 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"memfss/internal/erasure"
 	"memfss/internal/fsmeta"
@@ -349,16 +351,7 @@ func (f *File) writeSpan(tr *opTrace, span stripe.Span, data []byte) error {
 	key := dataKey(sk)
 	o := f.fs.obs
 	if f.coder != nil {
-		err := f.writeSpanErasure(tr, sk, span, data)
-		if err != nil {
-			if isNoSpace(err) {
-				f.fs.stats.noSpaceWrites.Add(1)
-			}
-			o.outcome("write", "error").Inc()
-		} else {
-			o.outcome("write", "ok").Inc()
-		}
-		return err
+		return f.writeSpanErasure(tr, sk, span, data)
 	}
 	full := span.Offset == 0 && span.Length == f.layout.Size()
 	write := func(node string, st *kvstore.OpStat) error {
@@ -463,16 +456,17 @@ func anyRetry(stats []kvstore.OpStat) bool {
 	return false
 }
 
-// replicaSkips decides, per replica target, whether a write should skip
-// it because the failure detector judges it Suspect or Down, or because
-// the node is fenced off Draining for revocation. It returns nil (skip
-// nothing) unless enough healthy targets remain to satisfy the write
-// quorum: stale health evidence must never make a write strictly worse
-// than attempting every replica. The quorum guard applies to the fence
-// too — a drain of the only reachable replica must not turn writes into
-// silent single-copy losses, so the write lands on the draining node and
-// the final post-detach sweep moves it.
-func (fs *FileSystem) replicaSkips(nodes []string) []bool {
+// writeSkips decides, per write target, whether the write should skip it
+// because the failure detector judges it Suspect or Down, or because the
+// node is fenced off Draining for revocation. It returns nil (skip
+// nothing) unless at least need healthy targets remain: stale health
+// evidence must never make a write strictly worse than attempting every
+// target. The guard applies to the fence too — a drain of the only
+// reachable target must not turn writes into silent losses, so the write
+// lands on the draining node and the final post-detach sweep moves it.
+// need is the write quorum: configured WriteQuorum for replication, k for
+// erasure coding (fewer than k new shards is an unreadable write).
+func (fs *FileSystem) writeSkips(nodes []string, need int) []bool {
 	if len(nodes) <= 1 || (fs.detector == nil && !fs.anyDraining()) {
 		return nil
 	}
@@ -487,7 +481,6 @@ func (fs *FileSystem) replicaSkips(nodes []string) []bool {
 			any = true
 		}
 	}
-	need := fs.writeQuorum
 	if need < 1 {
 		need = 1
 	}
@@ -495,6 +488,11 @@ func (fs *FileSystem) replicaSkips(nodes []string) []bool {
 		return nil
 	}
 	return skips
+}
+
+// replicaSkips is writeSkips with the replicated path's configured quorum.
+func (fs *FileSystem) replicaSkips(nodes []string) []bool {
+	return fs.writeSkips(nodes, fs.writeQuorum)
 }
 
 // settleReplicaWrite decides a replicated span write's fate from its
@@ -530,52 +528,175 @@ func (f *File) settleReplicaWrite(errs []error) (degraded bool, _ error) {
 	return false, firstErr
 }
 
+// ecWriteBase ^ ecWriteSeq yields process-unique erasure write IDs
+// without a lock; the random base keeps IDs from colliding across
+// processes, so two clients racing the same stripe generation still
+// produce distinct shard groups.
+var (
+	ecWriteBase = rand.Uint64()
+	ecWriteSeq  atomic.Uint64
+)
+
 // writeSpanErasure read-modify-writes the whole stripe: partial-stripe
 // updates under erasure coding are inherently RMW because every shard
 // depends on every data byte. sk is the raw stripe key.
+//
+// Every shard of the write carries the same (generation, write ID) tag:
+// generation is the highest generation observed on the stripe plus one,
+// so the new write supersedes whatever it read. The write tolerates up
+// to m shard failures the way replicated writes tolerate missing
+// replicas — transport failures degrade the write (repair rebuilds the
+// missing shards from the k+ that landed) instead of failing it, and a
+// torn stripe is impossible to mis-read because reconstruction only ever
+// joins shards sharing one tag.
 func (f *File) writeSpanErasure(tr *opTrace, sk string, span stripe.Span, data []byte) error {
+	o := f.fs.obs
+	k := f.coder.K()
 	curLen := f.layout.StripeLen(f.size, span.Index)
 	newLen := span.Offset + span.Length
 	if curLen > newLen {
 		newLen = curLen
 	}
 	buf := make([]byte, newLen)
+	var gen uint64
 	if curLen > 0 {
-		existing, err := f.readStripeErasure(tr, sk, span.Index, curLen)
-		if err != nil && !errors.Is(err, ErrDataLoss) {
-			return err
+		// The RMW gather probes every slot, not just the first k: the new
+		// generation must exceed every generation present — including a
+		// failed write's orphan shards — or two distinct writes could
+		// share a generation and leave the winner ambiguous.
+		g := f.gatherStripe(tr, sk, span.Index, curLen, true)
+		gen = g.maxGen
+		if g.found >= k {
+			existing, err := f.reconstructGather(g, curLen)
+			if err != nil {
+				o.outcome("write", "error").Inc()
+				return err
+			}
+			copy(buf, existing)
 		}
-		copy(buf, existing)
+		// Fewer than k shards of any one write: the stripe is a hole, or
+		// its bytes are currently unrecoverable. Either way the overwrite
+		// proceeds over zeros (matching the pre-generation behavior) and
+		// the new, complete generation supersedes the remnants.
 	}
 	copy(buf[span.Offset:], data)
 	shards := f.coder.Split(buf)
 	parity, err := f.coder.Encode(shards)
 	if err != nil {
+		o.outcome("write", "error").Inc()
 		return err
 	}
 	all := append(shards, parity...)
+	gen++
+	id := ecWriteBase ^ ecWriteSeq.Add(1)
 	nodes := f.targets(sk)
-	o := f.fs.obs
-	writeShard := func(i int) error {
-		var st kvstore.OpStat
-		err := f.put(nodes[i], shardKey(dataKey(sk), i), all[i], &st)
+	skips := f.fs.writeSkips(nodes, k)
+	errs := make([]error, len(nodes))
+	stats := make([]kvstore.OpStat, len(nodes))
+	attempt := func(i int) {
 		cls := f.fs.conns.class(nodes[i])
-		o.stripeHist("write", cls).Observe(st.Dur)
-		tr.phase(span.Index, nodes[i], cls, st.Attempts, st.Dur, phaseOutcome(err, st.Attempts))
-		if err != nil {
-			return fmt.Errorf("memfss: write shard %d of %s to %s: %w", i, sk, nodes[i], err)
+		if skips != nil && skips[i] {
+			if f.fs.isDraining(nodes[i]) {
+				f.fs.stats.fencedWrites.Add(1)
+				errs[i] = fmt.Errorf("%w: %s", errNodeDraining, nodes[i])
+			} else {
+				f.fs.stats.skippedReplicaWrites.Add(1)
+				errs[i] = fmt.Errorf("%w: %s", errNodeUnhealthy, nodes[i])
+			}
+			tr.phase(span.Index, nodes[i], cls, 0, 0, "skipped")
+			return
 		}
-		return nil
+		err := f.put(nodes[i], shardKey(dataKey(sk), i), erasure.WrapShard(gen, id, all[i]), &stats[i])
+		if err != nil {
+			err = fmt.Errorf("memfss: write shard %d of %s to %s: %w", i, sk, nodes[i], err)
+		}
+		errs[i] = err
+		o.stripeHist("write", cls).Observe(stats[i].Dur)
+		tr.phase(span.Index, nodes[i], cls, stats[i].Attempts, stats[i].Dur,
+			phaseOutcome(err, stats[i].Attempts))
 	}
+	attempted := len(nodes)
 	if f.fs.pipeDepth <= 1 {
+		// Per-command mode: shards go out one round trip at a time. A
+		// transport failure must NOT stop the loop — the remaining shards
+		// still count toward the k quorum, and stopping early used to
+		// leave a torn stripe with no repair enqueued. A store-level
+		// rejection fails identically everywhere, so stop on those; any
+		// shard that already landed makes the stripe torn until repair
+		// converges it.
 		for i := range nodes {
-			if err := writeShard(i); err != nil {
-				return err
+			attempt(i)
+			if errs[i] != nil && !isUnavailable(errs[i]) {
+				attempted = i + 1
+				break
 			}
 		}
-		return nil
+	} else {
+		_ = fanoutN(f.fs.ioPar, len(nodes), func(i int) error {
+			attempt(i)
+			return nil
+		})
 	}
-	return fanoutN(f.fs.ioPar, len(nodes), writeShard)
+	degraded, err := f.settleErasureWrite(errs[:attempted], k)
+	if degraded || (err != nil && anyLanded(errs[:attempted])) {
+		f.fs.enqueueRepair(f.path, sk, span.Index)
+	}
+	if err != nil && isNoSpace(err) {
+		f.fs.stats.noSpaceWrites.Add(1)
+	}
+	switch {
+	case err != nil:
+		o.outcome("write", "error").Inc()
+	case degraded:
+		o.outcome("write", "degraded").Inc()
+	case anyRetry(stats):
+		o.outcome("write", "retry").Inc()
+	default:
+		o.outcome("write", "ok").Inc()
+	}
+	return err
+}
+
+// settleErasureWrite decides an erasure span write's fate from its
+// per-shard outcomes. The write quorum is k and is not configurable:
+// unlike replication, where a single landed copy is a complete story,
+// fewer than k new-generation shards is a write nothing can read back.
+// All k+m landed: success. Any store-level error: that error (it fails
+// identically everywhere and must surface). Transport-only failures with
+// at least k shards landed: degraded success — the repair queue rebuilds
+// the missing shards from the survivors. Otherwise the first error in
+// slot order.
+func (f *File) settleErasureWrite(errs []error, k int) (degraded bool, _ error) {
+	ok := 0
+	var firstErr error
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case !isUnavailable(err):
+			return false, err
+		case firstErr == nil:
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		return false, nil
+	}
+	if ok >= k {
+		f.fs.stats.degradedWrites.Add(1)
+		return true, nil
+	}
+	return false, firstErr
+}
+
+// anyLanded reports whether any outcome in the batch succeeded.
+func anyLanded(errs []error) bool {
+	for _, err := range errs {
+		if err == nil {
+			return true
+		}
+	}
+	return false
 }
 
 // getInto reads length bytes at offset from a node's key directly into
@@ -606,12 +727,16 @@ func (f *File) readSpanInto(tr *opTrace, span stripe.Span, dst []byte) error {
 	o := f.fs.obs
 	if f.coder != nil {
 		stripeLen := f.layout.StripeLen(f.size, span.Index)
-		buf, err := f.readStripeErasure(tr, sk, span.Index, stripeLen)
+		buf, degraded, err := f.readStripeErasure(tr, sk, span.Index, stripeLen)
 		if err != nil {
 			o.outcome("read", "error").Inc()
 			return err
 		}
-		o.outcome("read", "ok").Inc()
+		if degraded {
+			o.outcome("read", "degraded").Inc()
+		} else {
+			o.outcome("read", "ok").Inc()
+		}
 		n := 0
 		if span.Offset < int64(len(buf)) {
 			n = copy(dst, buf[span.Offset:])
@@ -708,55 +833,239 @@ func (f *File) repairStripe(key, from string, primaries []string) {
 	f.fs.stats.repairs.Add(1)
 }
 
-// readStripeErasure gathers any k shards of a stripe and reconstructs its
-// bytes. A stripe with no shards anywhere reads as zeros (hole); fewer
-// than k reachable shards is data loss. sk is the raw stripe key.
-func (f *File) readStripeErasure(tr *opTrace, sk string, idx, stripeLen int64) ([]byte, error) {
+// ecSlot is one shard slot's observed state during a gather.
+type ecSlot struct {
+	probed  bool
+	present bool
+	gen     uint64
+	id      uint64
+	payload []byte
+	err     error
+}
+
+// ecGather is the outcome of one concurrent shard gather over a stripe:
+// per-slot evidence plus the winning write — the (generation, write ID)
+// group that first reached k shards, preferring higher generations.
+type ecGather struct {
+	nodes  []string
+	slots  []ecSlot
+	found  int    // shards of the winning write received
+	gen    uint64 // winning write's generation
+	id     uint64 // winning write's ID
+	maxGen uint64 // highest generation seen on any shard, any group
+	// present counts parsed shards of any generation; absent counts slots
+	// a node answered for with no (or an unparseable) shard. Slots the
+	// gather abandoned mid-flight count toward neither.
+	present int
+	absent  int
+	mixed   bool // more than one (generation, write ID) observed
+}
+
+// gatherStripe fetches a stripe's shards concurrently, health-ordered:
+// the first wave covers k+ReadSpare slots the detector believes Up, and
+// the gather returns as soon as any one write's shard group reaches k —
+// Hydra's degraded read, racing reconstruction against stragglers
+// instead of waiting out a slow or dead node's retry budget. If the
+// first wave cannot produce a winner the remaining slots are fanned out,
+// so an unsuccessful gather has probed every slot. probeAll disables the
+// early return (and the spare cap): the RMW write path needs every
+// slot's generation, not just the fastest k.
+func (f *File) gatherStripe(tr *opTrace, sk string, idx, stripeLen int64, probeAll bool) *ecGather {
 	k, m := f.coder.K(), f.coder.M()
+	n := k + m
 	nodes := f.targets(sk)
-	shards := make([][]byte, k+m)
 	o := f.fs.obs
-	// Shards are equal-sized Splits of the stripe; the per-shard estimate
-	// meters the throttle before each transfer.
-	shardEst := (stripeLen + int64(k) - 1) / int64(k)
-	found, reachable := 0, 0
-	for i, node := range nodes {
-		var st kvstore.OpStat
-		data, ok, err := f.getFull(node, shardKey(dataKey(sk), i), shardEst, &st)
-		cls := f.fs.conns.class(node)
-		o.stripeHist("read", cls).Observe(st.Dur)
-		tr.phase(idx, node, cls, st.Attempts, st.Dur, phaseOutcome(err, st.Attempts))
+	// Shards are equal-sized Splits of the stripe plus the shard header;
+	// the per-shard estimate meters the throttle before each transfer.
+	shardEst := (stripeLen+int64(k)-1)/int64(k) + erasure.HeaderSize
+	type fetch struct {
+		slot int
+		data []byte
+		ok   bool
+		err  error
+	}
+	// Buffered to n so abandoned stragglers can always deliver and exit.
+	ch := make(chan fetch, n)
+	launch := func(i int) {
+		go func() {
+			var st kvstore.OpStat
+			data, ok, err := f.getFull(nodes[i], shardKey(dataKey(sk), i), shardEst, &st)
+			cls := f.fs.conns.class(nodes[i])
+			o.stripeHist("read", cls).Observe(st.Dur)
+			out := "miss"
+			if err != nil || ok {
+				out = phaseOutcome(err, st.Attempts)
+			}
+			tr.phase(idx, nodes[i], cls, st.Attempts, st.Dur, out)
+			ch <- fetch{slot: i, data: data, ok: ok, err: err}
+		}()
+	}
+	// Health-ordered slots, stable: detector-Up targets first, so the
+	// first wave is shards the evidence says are actually fetchable.
+	order := make([]int, 0, n)
+	var rest []int
+	reorder := f.fs.detector != nil || f.fs.anyDraining()
+	for i := range nodes {
+		if reorder && f.fs.nodeState(nodes[i]) != health.Up {
+			rest = append(rest, i)
+		} else {
+			order = append(order, i)
+		}
+	}
+	order = append(order, rest...)
+	first := n
+	if !probeAll {
+		first = k + f.fs.ecSpare
+		if first > n {
+			first = n
+		}
+	}
+	g := &ecGather{nodes: nodes, slots: make([]ecSlot, n)}
+	counts := make(map[[2]uint64]int, 1)
+	for _, i := range order[:first] {
+		launch(i)
+	}
+	launched, received := first, 0
+	for received < launched {
+		r := <-ch
+		received++
+		s := &g.slots[r.slot]
+		s.probed = true
+		switch {
+		case r.err != nil:
+			s.err = r.err
+		case !r.ok:
+			g.absent++
+		default:
+			gen, id, payload, perr := erasure.ParseShard(r.data)
+			if perr != nil {
+				// An unparseable shard is as good as missing; the repair
+				// pass rewrites it.
+				g.absent++
+				break
+			}
+			s.present = true
+			s.gen, s.id, s.payload = gen, id, payload
+			g.present++
+			if gen > g.maxGen {
+				g.maxGen = gen
+			}
+			counts[[2]uint64{gen, id}]++
+			if c := counts[[2]uint64{gen, id}]; c >= k {
+				if g.found < k || gen > g.gen || (gen == g.gen && id >= g.id) {
+					g.gen, g.id, g.found = gen, id, c
+				}
+			}
+		}
+		if g.found >= k && !probeAll {
+			break // reconstruction can start; stragglers are abandoned
+		}
+		if g.found < k && received == launched && launched < n {
+			for _, i := range order[launched:] {
+				launch(i)
+			}
+			launched = n
+		}
+	}
+	g.mixed = len(counts) > 1
+	return g
+}
+
+// winnerShards returns the k+m slot array holding only the winning
+// write's shards, ready for reconstruction.
+func (g *ecGather) winnerShards() [][]byte {
+	shards := make([][]byte, len(g.slots))
+	for i := range g.slots {
+		if s := &g.slots[i]; s.present && s.gen == g.gen && s.id == g.id {
+			shards[i] = s.payload
+		}
+	}
+	return shards
+}
+
+// reconstructGather turns a winning gather into stripe bytes, rebuilding
+// any missing data shards from the survivors.
+func (f *File) reconstructGather(g *ecGather, stripeLen int64) ([]byte, error) {
+	k := f.coder.K()
+	shards := g.winnerShards()
+	data := shards[:k]
+	for i := 0; i < k; i++ {
+		if shards[i] != nil {
+			continue
+		}
+		start := time.Now()
+		rec, err := f.coder.Reconstruct(shards)
 		if err != nil {
+			return nil, err
+		}
+		f.fs.stats.ecReconstructs.Add(1)
+		f.fs.obs.ecReconstructHist().Observe(time.Since(start))
+		data = rec
+		break
+	}
+	return f.coder.Join(data, int(stripeLen))
+}
+
+// noteStripeState converts gather evidence into repair work. A shard
+// missing, unreachable, corrupt, or tagged with a superseded write — or
+// a slot the gather never probed whose node the detector distrusts —
+// means the stripe's redundancy is (or may be) below k+m, which only a
+// repair pass fixes; without this, a read that found its k shards would
+// let redundancy silently decay until a full scrub noticed. Returns
+// whether anything was off (the read was degraded).
+func (f *File) noteStripeState(sk string, idx int64, g *ecGather) bool {
+	if g.mixed {
+		f.fs.stats.ecGenConflicts.Add(1)
+	}
+	needs := g.mixed
+	for i := range g.slots {
+		s := &g.slots[i]
+		if !s.probed {
+			if f.fs.nodeState(g.nodes[i]) != health.Up {
+				needs = true
+			}
 			continue
 		}
-		reachable++
-		if !ok {
-			continue
-		}
-		shards[i] = data
-		found++
-		if found == k {
-			break
+		if s.err != nil || !s.present || s.gen != g.gen || s.id != g.id {
+			needs = true
 		}
 	}
-	if found == 0 {
-		if reachable == 0 {
-			return nil, fmt.Errorf("%w: %s (no reachable shard)", ErrDataLoss, sk)
+	if needs {
+		f.fs.enqueueRepair(f.path, sk, idx)
+	}
+	return needs
+}
+
+// readStripeErasure gathers one write's k shards and reconstructs the
+// stripe's bytes, reporting whether the read was degraded (missing or
+// stale shards observed — repair enqueued). A stripe whose slots all
+// answer "no shard" reads as zeros (hole); fewer than k shards of any
+// single write otherwise is data loss. sk is the raw stripe key.
+func (f *File) readStripeErasure(tr *opTrace, sk string, idx, stripeLen int64) ([]byte, bool, error) {
+	k, m := f.coder.K(), f.coder.M()
+	g := f.gatherStripe(tr, sk, idx, stripeLen, false)
+	if g.found < k {
+		// An unsuccessful gather probed every slot, so the counts below
+		// cover the full shard set.
+		if g.present == 0 && g.absent > m {
+			// More than m targets answered "no shard here": even a stripe
+			// that had lost its full failure budget would have shown a
+			// survivor among them. The stripe was never written — a hole,
+			// which reads as zeros. (No repair: absence is its state.)
+			return make([]byte, stripeLen), false, nil
 		}
-		return make([]byte, stripeLen), nil // hole
+		f.noteStripeState(sk, idx, g)
+		if g.present == 0 && g.absent == 0 {
+			return nil, false, fmt.Errorf("%w: %s (no reachable shard)", ErrDataLoss, sk)
+		}
+		return nil, false, fmt.Errorf("%w: %s (%d of %d shards of one write)", ErrDataLoss, sk, g.found, k)
 	}
-	if found < k {
-		return nil, fmt.Errorf("%w: %s (%d of %d shards)", ErrDataLoss, sk, found, k)
-	}
-	dataShards, err := f.coder.Reconstruct(shards)
+	degraded := f.noteStripeState(sk, idx, g)
+	buf, err := f.reconstructGather(g, stripeLen)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	buf, err := f.coder.Join(dataShards, int(stripeLen))
-	if err != nil {
-		return nil, err
-	}
-	return buf, nil
+	return buf, degraded, nil
 }
 
 // getFull reads a whole key from a node, throttled by the expected value

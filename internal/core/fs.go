@@ -30,6 +30,7 @@ type FileSystem struct {
 	ioPar       int
 	pipeDepth   int
 	writeQuorum int
+	ecSpare     int
 	stats       fsStats
 	closed      bool
 
@@ -132,6 +133,12 @@ func New(cfg Config) (*FileSystem, error) {
 	if quorum == 0 {
 		quorum = 1
 	}
+	ecSpare := cfg.Redundancy.ReadSpare
+	if ecSpare == 0 {
+		ecSpare = 1
+	} else if ecSpare < 0 {
+		ecSpare = 0
+	}
 	fs := &FileSystem{
 		classes:     classes,
 		placer:      placer,
@@ -142,6 +149,7 @@ func New(cfg Config) (*FileSystem, error) {
 		ioPar:       ioPar,
 		pipeDepth:   pipeDepth,
 		writeQuorum: quorum,
+		ecSpare:     ecSpare,
 		stats:       newFSStats(reg),
 		detector:    detector,
 		obsReg:      reg,

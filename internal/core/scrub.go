@@ -133,7 +133,7 @@ func (fs *FileSystem) scrubFile(path string, rec *fsmeta.FileRecord, rep *ScrubR
 		var out fixOutcome
 		switch {
 		case coder != nil:
-			out = fs.fixErasureStripe(path, sk, idx, pl, coder)
+			out = fs.fixErasureStripe(path, sk, idx, layout.StripeLen(rec.Size, idx), pl, coder)
 		case rec.Replicas > 1:
 			out = fs.fixReplicatedStripe(path, sk, idx, rec.Replicas, pl)
 		default:
@@ -186,7 +186,7 @@ func (fs *FileSystem) fixStripe(u repairUnit) fixOutcome {
 		if err != nil {
 			return fixOutcome{}
 		}
-		return fs.fixErasureStripe(u.path, u.sk, u.idx, pl, coder)
+		return fs.fixErasureStripe(u.path, u.sk, u.idx, layout.StripeLen(fr.Size, u.idx), pl, coder)
 	}
 	if fr.Replicas > 1 {
 		return fs.fixReplicatedStripe(u.path, u.sk, u.idx, fr.Replicas, pl)
@@ -310,14 +310,30 @@ func (fs *FileSystem) fixReplicatedStripe(path, sk string, idx int64, replicas i
 }
 
 // fixErasureStripe checks one erasure-coded stripe's shard set and
-// reconstructs + rewrites missing shards when at least k survive.
-func (fs *FileSystem) fixErasureStripe(path, sk string, idx int64, pl *hrw.Placer, coder *erasure.Coder) fixOutcome {
+// rebuilds missing, stale, and corrupt shards from the newest complete
+// write generation. Only the shards that need rewriting are
+// reconstructed (one decode-matrix row each via ReconstructShards)
+// instead of decoding the whole stripe and re-encoding all parity.
+//
+// A slot holding a shard from a superseded or torn write is replaced
+// with compare-and-delete (DELVAL on the exact bytes read) followed by
+// SETNX: if a live writer lands a newer shard between the two steps,
+// both no-op and the fresher value survives — repair never clobbers
+// newer data.
+func (fs *FileSystem) fixErasureStripe(path, sk string, idx, stripeLen int64, pl *hrw.Placer, coder *erasure.Coder) fixOutcome {
 	k, m := coder.K(), coder.M()
 	targets := pl.PlaceK(sk, k+m)
-	shards := make([][]byte, k+m)
+	type slotState struct {
+		raw     []byte // exact stored bytes, for compare-and-delete
+		gen, id uint64
+		payload []byte
+		present bool
+		checked bool // the node answered; absence/staleness is known
+	}
+	slots := make([]slotState, k+m)
+	shardEst := int64(coder.ShardSize(int(stripeLen)) + erasure.HeaderSize)
 	var out fixOutcome
-	var missing []int
-	found := 0
+	counts := make(map[[2]uint64]int, 1)
 	for i, node := range targets {
 		cli, err := fs.conns.client(node)
 		if err != nil {
@@ -327,53 +343,96 @@ func (fs *FileSystem) fixErasureStripe(path, sk string, idx int64, pl *hrw.Place
 			out.pending = append(out.pending, node)
 			continue
 		}
+		// Repair reads move shard payloads like any other transfer, so
+		// they meter the victim throttle before touching the wire.
+		if err := fs.conns.throttle(node).Take(shardEst); err != nil {
+			out.pending = append(out.pending, node)
+			continue
+		}
 		data, ok, err := cli.Get(shardKey(dataKey(sk), i))
 		if err != nil {
 			out.pending = append(out.pending, node)
 			continue
 		}
+		slots[i].checked = true
 		if !ok {
-			missing = append(missing, i)
 			continue
 		}
-		shards[i] = data
-		found++
+		gen, id, payload, perr := erasure.ParseShard(data)
+		if perr != nil {
+			continue // corrupt: treated as absent and rewritten below
+		}
+		slots[i] = slotState{raw: data, gen: gen, id: id, payload: payload, present: true, checked: true}
+		counts[[2]uint64{gen, id}]++
 	}
-	if len(missing) == 0 {
-		return out
+	if len(counts) > 1 {
+		fs.stats.ecGenConflicts.Add(1)
 	}
-	if found < k {
+	// The winner is the newest write with at least k shards: every other
+	// group is a superseded write or a failed one, and its shards are
+	// stale. Reconstruction stays inside the winning group — mixing
+	// generations is impossible by construction.
+	var win [2]uint64
+	winN, best := 0, 0
+	for g, n := range counts {
+		if n > best {
+			best = n
+		}
+		if n >= k && (winN == 0 || g[0] > win[0] || (g[0] == win[0] && g[1] > win[1])) {
+			win, winN = g, n
+		}
+	}
+	if winN == 0 {
 		if len(out.pending) > 0 {
 			return out // the unavailable nodes may hold the missing shards
 		}
 		if !fs.stripeStillExpected(path, sk, idx) {
 			return fixOutcome{}
 		}
-		out.reason = fmt.Sprintf("only %d of %d shards survive (need %d)", found, k+m, k)
+		out.reason = fmt.Sprintf("only %d of %d shards of one write survive (need %d)", best, k+m, k)
 		return out
 	}
-	dataShards, err := coder.Reconstruct(shards)
+	shards := make([][]byte, k+m)
+	var fix []int
+	for i := range slots {
+		s := &slots[i]
+		switch {
+		case s.present && s.gen == win[0] && s.id == win[1]:
+			shards[i] = s.payload
+		case s.checked:
+			fix = append(fix, i)
+		}
+	}
+	if len(fix) == 0 {
+		return out
+	}
+	rebuilt, err := coder.ReconstructShards(shards, fix)
 	if err != nil {
 		out.reason = fmt.Sprintf("reconstruct failed: %v", err)
 		return out
 	}
-	parity, err := coder.Encode(dataShards)
-	if err != nil {
-		out.reason = fmt.Sprintf("re-encode failed: %v", err)
-		return out
-	}
-	all := append(append([][]byte{}, dataShards...), parity...)
-	for _, i := range missing {
+	for j, i := range fix {
 		node := targets[i]
 		cli, err := fs.conns.client(node)
 		if err != nil {
 			continue
 		}
-		if err := fs.conns.throttle(node).Take(int64(len(all[i]))); err != nil {
+		wrapped := erasure.WrapShard(win[0], win[1], rebuilt[j])
+		if err := fs.conns.throttle(node).Take(int64(len(wrapped))); err != nil {
 			out.pending = append(out.pending, node)
 			continue
 		}
-		stored, err := cli.SetNX(shardKey(dataKey(sk), i), all[i])
+		if slots[i].present {
+			gone, err := cli.DelVal(shardKey(dataKey(sk), i), slots[i].raw)
+			if err != nil {
+				out.pending = append(out.pending, node)
+				continue
+			}
+			if !gone {
+				continue // changed under us: a live writer owns the slot now
+			}
+		}
+		stored, err := cli.SetNX(shardKey(dataKey(sk), i), wrapped)
 		switch {
 		case err != nil:
 			out.pending = append(out.pending, node)

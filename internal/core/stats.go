@@ -19,6 +19,8 @@ type fsStats struct {
 	skippedReplicaWrites *obs.Counter
 	fencedWrites         *obs.Counter
 	noSpaceWrites        *obs.Counter
+	ecReconstructs       *obs.Counter
+	ecGenConflicts       *obs.Counter
 }
 
 // counterOr resolves a registered counter, or a standalone one when the
@@ -55,6 +57,10 @@ func newFSStats(reg *obs.Registry) fsStats {
 			"Replica targets skipped because the node is draining for revocation.", nil),
 		noSpaceWrites: counterOr(reg, "memfss_fs_no_space_writes_total",
 			"Span writes rejected because a store was over its memory cap.", nil),
+		ecReconstructs: counterOr(reg, "memfss_fs_ec_reconstructs_total",
+			"Erasure stripe reads served by Reed-Solomon reconstruction (some data shard missing).", nil),
+		ecGenConflicts: counterOr(reg, "memfss_fs_ec_generation_conflicts_total",
+			"Erasure stripe inspections that observed shards from more than one write generation.", nil),
 	}
 }
 
@@ -92,6 +98,15 @@ type Counters struct {
 	// store fails identically on every retry — so a nonzero value means
 	// capacity, not connectivity, is the bottleneck.
 	NoSpaceWrites int64
+	// ECReconstructs counts erasure stripe reads that had to rebuild a
+	// missing data shard via Reed-Solomon reconstruction — each one is a
+	// degraded read that still returned correct bytes.
+	ECReconstructs int64
+	// ECGenConflicts counts stripe inspections that observed shards from
+	// more than one write generation — the leftovers of a torn or
+	// superseded write, converged by the repair pass. Reconstruction never
+	// mixes generations; this only measures how often the mix was seen.
+	ECGenConflicts int64
 	// StoreOps / StoreAttempts count store operations (commands and
 	// pipeline bursts) and the connection attempts they consumed, summed
 	// over every node client. StoreAttempts-StoreOps is the retry count;
@@ -114,6 +129,8 @@ func (fs *FileSystem) Counters() Counters {
 		SkippedReplicaWrites: fs.stats.skippedReplicaWrites.Value(),
 		FencedWrites:         fs.stats.fencedWrites.Value(),
 		NoSpaceWrites:        fs.stats.noSpaceWrites.Value(),
+		ECReconstructs:       fs.stats.ecReconstructs.Value(),
+		ECGenConflicts:       fs.stats.ecGenConflicts.Value(),
 		StoreOps:             ops,
 		StoreAttempts:        attempts,
 	}

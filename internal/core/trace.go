@@ -38,6 +38,11 @@ type fsObs struct {
 	stripeReadOwn     *obs.Histogram
 	stripeReadVictim  *obs.Histogram
 
+	// ecRebuild is the Reed-Solomon reconstruction cost on degraded
+	// erasure reads — the CPU price of racing reconstruction instead of
+	// waiting for a straggler shard.
+	ecRebuild *obs.Histogram
+
 	outcomes   sync.Map // "op/outcome" -> *obs.Counter (memfss_fs_span_outcomes_total)
 	slowOps    sync.Map // op -> *obs.Counter (memfss_fs_slow_ops_total)
 	slowThr    time.Duration
@@ -69,6 +74,8 @@ func newFSObs(reg *obs.Registry, pol ObsPolicy) *fsObs {
 			obs.L("op", "read", "class", "own"), nil),
 		stripeReadVictim: reg.Histogram("memfss_fs_stripe_seconds", stripeHelp,
 			obs.L("op", "read", "class", "victim"), nil),
+		ecRebuild: reg.Histogram("memfss_fs_ec_reconstruct_seconds",
+			"Reed-Solomon reconstruction latency on degraded erasure reads.", nil, nil),
 		evacKeys: reg.Counter("memfss_fs_evacuated_keys_total",
 			"Data keys drained off evacuating victim nodes.", nil),
 		evacs: reg.Counter("memfss_fs_evacuations_total",
@@ -95,12 +102,25 @@ func newFSObs(reg *obs.Registry, pol ObsPolicy) *fsObs {
 		o.logf = log.Printf
 	}
 	// Pre-register the outcome and slow-op families so /metrics shows
-	// them before any traffic.
+	// them before any traffic — including the degraded outcomes, so
+	// dashboards can alert on them from zero instead of discovering the
+	// series mid-incident.
 	o.outcome("write", "ok")
 	o.outcome("read", "ok")
+	o.outcome("write", "degraded")
+	o.outcome("read", "degraded")
 	o.slowCounter("write")
 	o.slowCounter("read")
 	return o
+}
+
+// ecReconstructHist returns the erasure reconstruction-latency histogram;
+// nil-safe on a nil receiver.
+func (o *fsObs) ecReconstructHist() *obs.Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.ecRebuild
 }
 
 // stripeHist resolves the per-stripe histogram for an op ("write"/"read")

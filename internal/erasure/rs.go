@@ -64,16 +64,24 @@ func (c *Coder) Split(data []byte) [][]byte {
 }
 
 // Join reassembles the original payload of length n from k data shards.
+// Shards larger than ShardSize(n) are accepted and the result clamped to n:
+// a stripe truncated in metadata keeps its full-size shards on disk until
+// the next overwrite, and reads of it must still succeed.
 func (c *Coder) Join(shards [][]byte, n int) ([]byte, error) {
 	if len(shards) != c.k {
 		return nil, fmt.Errorf("erasure: Join needs %d data shards, got %d", c.k, len(shards))
 	}
-	size := c.ShardSize(n)
-	out := make([]byte, 0, n)
+	size := len(shards[0])
 	for _, s := range shards {
 		if len(s) != size {
 			return nil, fmt.Errorf("erasure: shard size %d, want %d", len(s), size)
 		}
+	}
+	if n > c.k*size {
+		return nil, fmt.Errorf("erasure: %d-byte shards cannot cover a %d-byte payload", size, n)
+	}
+	out := make([]byte, 0, c.k*size)
+	for _, s := range shards {
 		out = append(out, s...)
 	}
 	return out[:n], nil
@@ -102,8 +110,22 @@ func (c *Coder) Encode(data [][]byte) ([][]byte, error) {
 
 // Reconstruct recovers all k data shards from any k survivors. shards must
 // have length k+m with missing entries nil; indices 0..k-1 are data shards
-// and k..k+m-1 parity shards. The returned slice holds the k data shards.
+// and k..k+m-1 parity shards. The returned slice holds the k data shards;
+// shards that survived are returned as-is (aliased, not copied).
 func (c *Coder) Reconstruct(shards [][]byte) ([][]byte, error) {
+	want := make([]int, c.k)
+	for i := range want {
+		want[i] = i
+	}
+	return c.ReconstructShards(shards, want)
+}
+
+// ReconstructShards recovers exactly the shards named in want (data or
+// parity indices) from any k survivors, returning them in want order.
+// This is the repair path's tool: rebuilding one lost shard costs one
+// matrix row instead of a full-stripe decode+re-encode. Present shards
+// requested in want are returned aliased, not copied.
+func (c *Coder) ReconstructShards(shards [][]byte, want []int) ([][]byte, error) {
 	if len(shards) != c.k+c.m {
 		return nil, fmt.Errorf("erasure: Reconstruct needs %d shard slots, got %d", c.k+c.m, len(shards))
 	}
@@ -120,37 +142,30 @@ func (c *Coder) Reconstruct(shards [][]byte) ([][]byte, error) {
 		}
 		present = append(present, idx)
 	}
+	out := make([][]byte, len(want))
+	missing := false
+	for i, w := range want {
+		if w < 0 || w >= c.k+c.m {
+			return nil, fmt.Errorf("erasure: shard index %d out of range", w)
+		}
+		if shards[w] != nil {
+			out[i] = shards[w]
+		} else {
+			missing = true
+		}
+	}
+	if !missing {
+		return out, nil
+	}
 	if len(present) < c.k {
 		return nil, fmt.Errorf("%w: have %d of %d needed", ErrTooFewShards, len(present), c.k)
 	}
 	present = present[:c.k]
 
-	// Fast path: all data shards survived.
-	allData := true
-	for _, idx := range present {
-		if idx >= c.k {
-			allData = false
-			break
-		}
-	}
-	if allData {
-		out := make([][]byte, c.k)
-		dataComplete := true
-		for i := 0; i < c.k; i++ {
-			if shards[i] == nil {
-				dataComplete = false
-				break
-			}
-			out[i] = shards[i]
-		}
-		if dataComplete {
-			return out, nil
-		}
-	}
-
 	// Build the k×k matrix mapping data shards to the chosen survivors:
 	// row for data shard i is the identity row e_i; row for parity shard p
-	// is the parity coefficient row.
+	// is the parity coefficient row. Its inverse maps survivors back to
+	// data shards.
 	mat := make([][]byte, c.k)
 	for r, idx := range present {
 		mat[r] = make([]byte, c.k)
@@ -163,11 +178,30 @@ func (c *Coder) Reconstruct(shards [][]byte) ([][]byte, error) {
 	if !invertMatrix(mat) {
 		return nil, errors.New("erasure: survivor matrix singular (corrupt coder state)")
 	}
-	out := make([][]byte, c.k)
-	for i := 0; i < c.k; i++ {
+	for i, w := range want {
+		if out[i] != nil {
+			continue
+		}
+		// row maps the chosen survivors directly to shard w: for a data
+		// shard it is a row of the inverse; for parity shard p it is the
+		// parity coefficient row composed with the inverse.
+		var row []byte
+		if w < c.k {
+			row = mat[w]
+		} else {
+			row = make([]byte, c.k)
+			coef := c.parity[w-c.k]
+			for r := 0; r < c.k; r++ {
+				var v byte
+				for j := 0; j < c.k; j++ {
+					v ^= gfMul(coef[j], mat[j][r])
+				}
+				row[r] = v
+			}
+		}
 		out[i] = make([]byte, size)
 		for r, idx := range present {
-			mulSliceXor(mat[i][r], shards[idx], out[i])
+			mulSliceXor(row[r], shards[idx], out[i])
 		}
 	}
 	return out, nil
