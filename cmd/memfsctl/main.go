@@ -42,6 +42,11 @@
 //	                                 compact telemetry summary (this verb
 //	                                 needs no -own; it talks HTTP to a
 //	                                 memfsd -health-addr endpoint)
+//	tenant add <name>                register a tenant (namespace
+//	                                 /tenants/<name>/) with -quota,
+//	                                 -priority and -weight
+//	tenant list                      show registered tenants and usage
+//	tenant rm <name>                 unregister a tenant (its files stay)
 package main
 
 import (
@@ -58,12 +63,17 @@ import (
 	"memfss/internal/container"
 	"memfss/internal/core"
 	"memfss/internal/hrw"
+	"memfss/internal/qos"
 )
 
-// Revocation tuning shared between main's flag set and run's verbs.
+// Revocation and tenant tuning shared between main's flag set and run's
+// verbs.
 var (
-	evacDeadline time.Duration
-	drainTarget  int64
+	evacDeadline   time.Duration
+	drainTarget    int64
+	tenantQuota    int64
+	tenantWeight   float64
+	tenantPriority string
 )
 
 func main() {
@@ -79,6 +89,12 @@ func main() {
 		"revocation deadline for evacuate (0 = server default); on expiry the node is force-released")
 	flag.Int64Var(&drainTarget, "drain-target", 0,
 		"drain until the store is at or below this many bytes (0 = 75% of its memory cap)")
+	flag.Int64Var(&tenantQuota, "quota", 0,
+		"tenant add: memory quota in bytes (0 = unlimited)")
+	flag.Float64Var(&tenantWeight, "weight", 1,
+		"tenant add: bandwidth share weight")
+	flag.StringVar(&tenantPriority, "priority", "normal",
+		"tenant add: reclamation priority (low, normal, high)")
 	flag.Parse()
 
 	// stats talks HTTP to a daemon's health endpoint — no mount needed.
@@ -144,11 +160,23 @@ func connect(ownList, victimList string, alpha float64, password string,
 		Classes:    classes,
 		StripeSize: stripeSize,
 		Password:   password,
+		// The CLI always mounts with tenant awareness (unpaced — the
+		// daemon enforces bandwidth) so tenant verbs work and writes under
+		// /tenants/ are quota-checked against the stored directory.
+		QoS: core.QoSPolicy{Tenants: qos.NewRegistry(qos.Options{})},
 	}
 	if replicas > 1 {
 		cfg.Redundancy = core.Redundancy{Mode: core.RedundancyReplicate, Replicas: replicas}
 	}
-	return core.New(cfg)
+	fs, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fs.LoadTenants(); err != nil {
+		fs.Close()
+		return nil, fmt.Errorf("loading tenant directory: %w", err)
+	}
+	return fs, nil
 }
 
 func run(fs *core.FileSystem, args []string) error {
@@ -362,6 +390,51 @@ func run(fs *core.FileSystem, args []string) error {
 				rep.BytesBefore, rep.BytesAfter, rep.Target, rep.Elapsed.Round(time.Millisecond))
 		}
 		return err
+	case "tenant":
+		if len(rest) == 0 {
+			return fmt.Errorf("tenant needs a subcommand: add, list, rm")
+		}
+		sub, subArgs := rest[0], rest[1:]
+		switch sub {
+		case "add":
+			if len(subArgs) != 1 {
+				return fmt.Errorf("tenant add needs a tenant name")
+			}
+			p, err := qos.ParsePriority(tenantPriority)
+			if err != nil {
+				return err
+			}
+			spec := qos.TenantSpec{
+				Name:       subArgs[0],
+				QuotaBytes: tenantQuota,
+				Weight:     tenantWeight,
+				Priority:   p,
+			}
+			if err := fs.SaveTenant(spec); err != nil {
+				return err
+			}
+			fmt.Printf("tenant %s registered: namespace %s quota %d weight %g priority %s\n",
+				spec.Name, qos.TenantRoot(spec.Name), spec.QuotaBytes, spec.Weight, spec.Priority)
+			return nil
+		case "list", "ls":
+			specs, err := fs.LoadTenants()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-16s %14s %14s %8s %s\n", "tenant", "quota", "used", "weight", "priority")
+			for _, s := range specs {
+				fmt.Printf("%-16s %14d %14d %8g %s\n",
+					s.Name, s.QuotaBytes, fs.TenantUsage(s.Name), s.Weight, s.Priority)
+			}
+			return nil
+		case "rm":
+			if len(subArgs) != 1 {
+				return fmt.Errorf("tenant rm needs a tenant name")
+			}
+			return fs.DeleteTenant(subArgs[0])
+		default:
+			return fmt.Errorf("unknown tenant subcommand %q", sub)
+		}
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}

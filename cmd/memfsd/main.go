@@ -46,6 +46,7 @@ import (
 	"memfss/internal/hrw"
 	"memfss/internal/kvstore"
 	"memfss/internal/obs"
+	"memfss/internal/qos"
 )
 
 func main() {
@@ -59,6 +60,7 @@ func main() {
 	replicas := flag.Int("replicas", 0, "gateway mode: replication factor (0/1 = none)")
 	victimCap := flag.Int64("victim-mem", 10<<30, "gateway mode: per-victim scavenged memory cap in bytes")
 	slowOp := flag.Duration("slow-op", 0, "gateway mode: log ops slower than this with a trace (0 = 1s default, negative disables)")
+	qosBW := flag.Int64("qos-bw", 0, "gateway mode: aggregate tenant bandwidth budget in bytes/sec split by weight (0 = tenants metered but unpaced)")
 	flag.Parse()
 
 	store := kvstore.NewStore(*maxMem)
@@ -75,12 +77,19 @@ func main() {
 
 	var fs *core.FileSystem
 	if *ownList != "" {
-		fs, err = mountGateway(reg, *ownList, *victimList, *alpha, *password, *replicas, *victimCap, *slowOp)
+		fs, err = mountGateway(reg, *ownList, *victimList, *alpha, *password, *replicas, *victimCap, *slowOp, *qosBW)
 		if err != nil {
 			log.Fatalf("memfsd: gateway mount: %v", err)
 		}
 		defer fs.Close()
 		fmt.Printf("memfsd: gateway mounted over own=[%s] victims=[%s]\n", *ownList, *victimList)
+		// Reload the persisted tenant directory so quotas, weights and
+		// priorities survive a gateway restart.
+		if specs, err := fs.LoadTenants(); err != nil {
+			log.Printf("memfsd: tenant reload: %v", err)
+		} else if len(specs) > 0 {
+			fmt.Printf("memfsd: %d tenant(s) loaded (qos-bw=%d B/s)\n", len(specs), *qosBW)
+		}
 	}
 
 	if *healthAddr != "" {
@@ -138,7 +147,7 @@ func registerStoreGauges(reg *obs.Registry, store *kvstore.Store, started time.T
 // mountGateway builds the core Config from the CLI node lists (the same
 // shape memfsctl uses) and mounts a FileSystem sharing reg.
 func mountGateway(reg *obs.Registry, ownList, victimList string, alpha float64,
-	password string, replicas int, victimCap int64, slowOp time.Duration) (*core.FileSystem, error) {
+	password string, replicas int, victimCap int64, slowOp time.Duration, qosBW int64) (*core.FileSystem, error) {
 	nodes := func(prefix, list string) []core.NodeSpec {
 		if list == "" {
 			return nil
@@ -172,6 +181,13 @@ func mountGateway(reg *obs.Registry, ownList, victimList string, alpha float64,
 		Classes:  classes,
 		Password: password,
 		Obs:      core.ObsPolicy{Registry: reg, SlowOpThreshold: slowOp},
+		// The gateway is the QoS enforcement point: tenants share one
+		// registry with the telemetry registry so /metrics exposes the
+		// memfss_qos_* families alongside the data path.
+		QoS: core.QoSPolicy{Tenants: qos.NewRegistry(qos.Options{
+			TotalBandwidth: qosBW,
+			Obs:            reg,
+		})},
 	}
 	if replicas > 1 {
 		cfg.Redundancy = core.Redundancy{Mode: core.RedundancyReplicate, Replicas: replicas}
@@ -240,6 +256,18 @@ func healthzPayload(store *kvstore.Store, bound string, started time.Time, fs *c
 		"no_space_writes":        c.NoSpaceWrites,
 		"store_ops":              c.StoreOps,
 		"store_attempts":         c.StoreAttempts,
+	}
+	if specs := fs.Tenants(); len(specs) > 0 {
+		tenants := make(map[string]any, len(specs))
+		for _, s := range specs {
+			tenants[s.Name] = map[string]any{
+				"quota":    s.QuotaBytes,
+				"used":     fs.TenantUsage(s.Name),
+				"weight":   s.Weight,
+				"priority": s.Priority.String(),
+			}
+		}
+		out["tenants"] = tenants
 	}
 	return out
 }

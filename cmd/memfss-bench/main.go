@@ -47,6 +47,7 @@ import (
 	"memfss/internal/health"
 	"memfss/internal/hrw"
 	"memfss/internal/obs"
+	"memfss/internal/qos"
 )
 
 func main() {
@@ -69,6 +70,8 @@ func main() {
 	benchOut := flag.String("bench-out", "", "append a schema-stable benchmark record (throughput, p50/p95/p99, allocs/op, config) to this JSON file, e.g. BENCH_baseline.json")
 	saturate := flag.Int("saturate", 0, "also run a saturation leg with this many concurrent clients (both write and read phases parallel); 0 disables")
 	poolSize := flag.Int("pool", 0, "connections per store node (0 = default)")
+	tenantsLeg := flag.Bool("tenants", false, "run the multi-tenant QoS leg: a high-priority tenant's throughput solo vs under low-priority saturation, then a mid-workload lease revocation; reports the isolation delta and notice SLO")
+	qosBW := flag.Int64("qos-bw", 8<<20, "tenants leg: aggregate tenant bandwidth budget in bytes/sec, split 3:1 high:low")
 	flag.Parse()
 
 	// Resolve the redundancy scheme the workload runs under. The default
@@ -171,6 +174,16 @@ func main() {
 
 	if *chaos {
 		runChaos(classes, password, red, *stripeSize, *depth, *tasks, *workers, payload, proxies, victims)
+		return
+	}
+	if *tenantsLeg {
+		runTenants(classes, password, red, *stripeSize, *depth, *tasks, payload, *qosBW, *benchOut, *jsonOut,
+			benchConfig{
+				Tasks: *tasks, Size: *size, Own: *ownN, Victims: *victimN,
+				Alpha: *alpha, Workers: *workers, Depth: *depth,
+				Stripe: *stripeSize, Pool: *poolSize, Redundancy: *redFlag,
+				QoSBW: *qosBW,
+			})
 		return
 	}
 
@@ -422,6 +435,9 @@ type benchConfig struct {
 	Redundancy string `json:"redundancy,omitempty"`
 	ECK        int    `json:"ec_k,omitempty"`
 	ECM        int    `json:"ec_m,omitempty"`
+	// QoSBW is the -tenants leg's aggregate bandwidth budget (0 on
+	// throughput records).
+	QoSBW int64 `json:"qos_bw,omitempty"`
 }
 
 // benchRecord is one -bench-out entry: the perf-trajectory point the
@@ -505,6 +521,161 @@ func fmtMs(ms float64) string {
 		return "-"
 	}
 	return time.Duration(ms * float64(time.Millisecond)).Round(time.Microsecond).String()
+}
+
+// runTenants is the -tenants workload: two tenants (prod, weight 3,
+// high priority; batch, weight 1, low priority) share the deployment
+// under an aggregate bandwidth budget. The leg measures prod's write
+// throughput alone, then again while batch saturates its own share —
+// under strict weighted-fair shares the two numbers should match — and
+// finishes with a lease revocation through the broker mid-traffic,
+// reporting the eviction-notice SLO and verifying zero prod data loss.
+// The solo/contended pair lands in -bench-out as two modes of one
+// record, so BENCH_qos.json tracks the isolation delta across PRs.
+func runTenants(classes []core.ClassSpec, password string, red core.Redundancy, stripeSize int64,
+	depth, tasks int, payload []byte, qosBW int64, benchOut string, jsonOut bool, cfg benchConfig) {
+	reg := obs.NewRegistry()
+	tenants := qos.NewRegistry(qos.Options{TotalBandwidth: qosBW, Obs: reg})
+	defer tenants.Close()
+	fs, err := core.New(core.Config{
+		Classes: classes, Password: password,
+		StripeSize: stripeSize, PipelineDepth: depth,
+		Redundancy: red,
+		Obs:        core.ObsPolicy{Registry: reg},
+		QoS:        core.QoSPolicy{Tenants: tenants},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fs.Close()
+	if err := fs.SaveTenant(qos.TenantSpec{Name: "prod", Weight: 3, Priority: qos.PriorityHigh}); err != nil {
+		log.Fatal(err)
+	}
+	if err := fs.SaveTenant(qos.TenantSpec{Name: "batch", Weight: 1, Priority: qos.PriorityLow}); err != nil {
+		log.Fatal(err)
+	}
+	if err := fs.ApplyVictimCaps(); err != nil {
+		log.Fatal(err)
+	}
+	total := float64(tasks) * float64(len(payload))
+
+	writeAll := func(dir string) time.Duration {
+		if err := fs.MkdirAll(dir); err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		for i := 0; i < tasks; i++ {
+			if err := fs.WriteFile(fmt.Sprintf("%s/task-%d", dir, i), payload); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	// refill lets prod's token bucket (burst = 1s of its share) fill back
+	// up so the solo and contended runs start from the same state.
+	refill := func() { time.Sleep(1200 * time.Millisecond) }
+
+	soloDur := writeAll("/tenants/prod/solo")
+	refill()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		junk := payload
+		if len(junk) > 256<<10 {
+			junk = junk[:256<<10]
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = fs.WriteFile(fmt.Sprintf("/tenants/batch/junk-%d", i%8), junk)
+		}
+	}()
+	contendedDur := writeAll("/tenants/prod/contended")
+	close(stop)
+	wg.Wait()
+
+	soloMBs := total / 1e6 / soloDur.Seconds()
+	contendedMBs := total / 1e6 / contendedDur.Seconds()
+	delta := 100 * (soloDur.Seconds() - contendedDur.Seconds()) / soloDur.Seconds()
+	if delta < 0 {
+		delta = -delta
+	}
+
+	// Revocation leg: lease a victim to batch, then take it back through
+	// the broker (notice window + graduated evacuation) and check prod lost
+	// nothing. Skipped when the deployment has no victims to lease.
+	var rev qos.RevokeReport
+	revoked := false
+	if len(classes) > 1 {
+		broker := qos.NewBroker(qos.BrokerOptions{Evac: fs, Obs: reg})
+		const noticeSLO = 100 * time.Millisecond
+		if err := fs.AdvertiseCapacity(broker, noticeSLO); err != nil {
+			log.Fatal(err)
+		}
+		lease, err := broker.Request("batch", 1<<20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rev, err = broker.Revoke(context.Background(), lease.Node, qos.RevokeOptions{EvacDeadline: 30 * time.Second})
+		if err != nil {
+			log.Fatalf("tenants: revocation of %s failed: %v", lease.Node, err)
+		}
+		revoked = true
+		for i := 0; i < tasks; i++ {
+			for _, dir := range []string{"/tenants/prod/solo", "/tenants/prod/contended"} {
+				if err := fs.VerifyFile(fmt.Sprintf("%s/task-%d", dir, i)); err != nil {
+					log.Fatalf("tenants: prod data lost to revocation: %v", err)
+				}
+			}
+		}
+	}
+
+	modes := []jsonMode{
+		{Label: "qos-solo", WriteMBs: soloMBs, WriteSeconds: soloDur.Seconds(), Latency: latencyRows(fs.Metrics()), Workers: 1},
+		{Label: "qos-contended", WriteMBs: contendedMBs, WriteSeconds: contendedDur.Seconds(), Workers: 1},
+	}
+	if benchOut != "" {
+		rec := benchRecord{Time: time.Now().UTC().Format(time.RFC3339), Config: cfg, Modes: modes}
+		if err := appendBenchRecord(benchOut, rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if jsonOut {
+		out := struct {
+			Modes []jsonMode `json:"modes"`
+			Delta float64    `json:"isolation_delta_pct"`
+		}{Modes: modes, Delta: delta}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("tenants: prod solo  %6.1f MB in %8v (%6.1f MB/s)\n",
+		total/1e6, soloDur.Round(time.Millisecond), soloMBs)
+	fmt.Printf("tenants: contended  %6.1f MB in %8v (%6.1f MB/s)  delta %.1f%% (isolation target <= 25%%)\n",
+		total/1e6, contendedDur.Round(time.Millisecond), contendedMBs, delta)
+	if delta > 25 {
+		log.Fatalf("tenants: isolation violated: %.1f%% > 25%%", delta)
+	}
+	if revoked {
+		fmt.Printf("tenants: revoked %s: notice %v (SLO %v, met=%v), evacuated=%v in %v; prod verified, zero loss\n",
+			rev.Node, rev.Notice.Round(time.Millisecond), rev.SLO, rev.SLOMet, rev.Evacuated,
+			rev.Elapsed.Round(time.Millisecond))
+		if !rev.SLOMet {
+			log.Fatal("tenants: eviction-notice SLO violated")
+		}
+	}
+	if benchOut != "" {
+		fmt.Printf("bench record appended to %s\n", benchOut)
+	}
 }
 
 // runChaos is the -chaos workload: write every task under injected

@@ -83,31 +83,39 @@ func NewThrottle(bytesPerSec int64) (*Throttle, error) {
 
 // Take blocks until n bytes of budget are available, then consumes them.
 // Requests larger than the burst are admitted in burst-size installments.
-// A nil throttle admits immediately.
+// The installment size is re-read from the live rate on every iteration, so
+// a waiter blocked across a SetRate observes the new budget rather than the
+// snapshot it slept on. A nil throttle admits immediately.
 func (t *Throttle) Take(n int64) error {
 	if t == nil || n <= 0 {
 		return nil
 	}
 	remaining := float64(n)
 	for remaining > 0 {
-		chunk := remaining
-		if chunk > t.burst {
-			chunk = t.burst
-		}
-		if err := t.takeChunk(chunk); err != nil {
+		taken, err := t.takeChunk(remaining)
+		if err != nil {
 			return err
 		}
-		remaining -= chunk
+		remaining -= taken
 	}
 	return nil
 }
 
-func (t *Throttle) takeChunk(n float64) error {
+// takeChunk admits up to want bytes (clamped to the current burst) and
+// returns how many it consumed. The clamp happens under the lock on every
+// wake-up: if SetRate shrinks the burst while we sleep, the next iteration
+// asks for a chunk the new bucket can actually satisfy, so a resize can
+// never strand a waiter behind an unfillable request.
+func (t *Throttle) takeChunk(want float64) (float64, error) {
 	for {
 		t.mu.Lock()
 		if t.closed {
 			t.mu.Unlock()
-			return ErrThrottleClosed
+			return 0, ErrThrottleClosed
+		}
+		n := want
+		if n > t.burst {
+			n = t.burst
 		}
 		now := t.now()
 		elapsed := now.Sub(t.last).Seconds()
@@ -121,13 +129,13 @@ func (t *Throttle) takeChunk(n float64) error {
 		if t.tokens >= n {
 			t.tokens -= n
 			t.mu.Unlock()
-			return nil
+			return n, nil
 		}
 		deficit := n - t.tokens
 		wait := time.Duration(deficit / t.rate * float64(time.Second))
 		t.mu.Unlock()
-		// Clamp the sleep so long waits poll the closed flag and Close can
-		// unblock waiters promptly.
+		// Clamp the sleep so long waits poll the closed flag and the live
+		// rate: Close and SetRate both take effect within one poll interval.
 		if wait < time.Millisecond {
 			wait = time.Millisecond
 		}
@@ -136,6 +144,44 @@ func (t *Throttle) takeChunk(n float64) error {
 		}
 		t.sleep(wait)
 	}
+}
+
+// SetRate changes the throttle's rate at runtime. Blocked waiters observe
+// the new rate on their next wake-up: refill speed, burst ceiling, and
+// installment size all derive from the live fields, not from values captured
+// when Take was called. Banked tokens are clamped to the new burst so a
+// shrink cannot be dodged by budget saved under the old rate.
+func (t *Throttle) SetRate(bytesPerSec int64) error {
+	if t == nil {
+		return errors.New("container: SetRate on nil throttle")
+	}
+	if bytesPerSec <= 0 {
+		return fmt.Errorf("container: rate %d must be positive", bytesPerSec)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrThrottleClosed
+	}
+	// Settle the bucket at the old rate up to now so the rate change is not
+	// applied retroactively to time already slept.
+	now := t.now()
+	if elapsed := now.Sub(t.last).Seconds(); elapsed > 0 {
+		t.tokens += elapsed * t.rate
+		if t.tokens > t.burst {
+			t.tokens = t.burst
+		}
+		t.last = now
+	}
+	t.rate = float64(bytesPerSec)
+	t.burst = float64(bytesPerSec)
+	if t.burst < 64<<10 {
+		t.burst = 64 << 10
+	}
+	if t.tokens > t.burst {
+		t.tokens = t.burst
+	}
+	return nil
 }
 
 // Close unblocks all waiters with ErrThrottleClosed and makes further Take

@@ -157,6 +157,93 @@ func TestThrottleRate(t *testing.T) {
 	}
 }
 
+func TestThrottleSetRateValidation(t *testing.T) {
+	var nilTh *Throttle
+	if err := nilTh.SetRate(1 << 20); err == nil {
+		t.Fatal("SetRate on nil throttle accepted")
+	}
+	th, err := NewThrottle(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int64{0, -5} {
+		if err := th.SetRate(r); err == nil {
+			t.Fatalf("SetRate(%d) accepted", r)
+		}
+	}
+	if err := th.SetRate(2 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if th.Rate() != 2<<20 {
+		t.Fatalf("Rate after SetRate = %d, want %d", th.Rate(), 2<<20)
+	}
+	th.Close()
+	if err := th.SetRate(1 << 20); err != ErrThrottleClosed {
+		t.Fatalf("SetRate after Close: %v, want ErrThrottleClosed", err)
+	}
+}
+
+// TestThrottleResizeWhileBlocked is the regression test for runtime
+// NetworkBytesPerSec resize: a waiter that went to sleep under the old rate
+// must observe the new rate on wake-up, not the snapshot it slept on.
+func TestThrottleResizeWhileBlocked(t *testing.T) {
+	// Raise: a Take that would need ~16s at the old rate must finish in
+	// about 1s once the rate is multiplied by 16 mid-wait.
+	th, err := NewThrottle(64 << 10) // 64 KiB/s, burst 64 KiB
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Close()
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() { done <- th.Take(1 << 20) }() // 1 MiB: ~16s at 64 KiB/s
+	time.Sleep(20 * time.Millisecond)        // let the waiter block
+	if err := th.SetRate(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still paced at the pre-resize rate")
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("1 MiB after raise to 1 MiB/s took %v, want ~1s", d)
+	}
+
+	// Shrink below the blocked request's original chunk size: the waiter's
+	// installment must be re-clamped to the new burst or it waits forever
+	// for a token count the bucket can no longer hold.
+	th2, clk := newFakeThrottle(t, 8<<20) // burst 8 MiB
+	defer th2.Close()
+	th2.tokens = 0 // force the first chunk (8 MiB) to block
+	blocked := make(chan error, 1)
+	go func() { blocked <- th2.Take(8 << 20) }()
+	time.Sleep(20 * time.Millisecond)
+	if err := th2.SetRate(1 << 20); err != nil { // burst now 1 MiB < pending 8 MiB chunk
+		t.Fatal(err)
+	}
+	// Advance the fake clock far enough to refill 8 MiB at 1 MiB/s many
+	// times over; only a re-clamped waiter can drain it in 1 MiB chunks.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case err := <-blocked:
+			if err != nil {
+				t.Fatal(err)
+			}
+			return
+		case <-deadline:
+			t.Fatal("waiter stuck asking for a chunk larger than the post-shrink burst")
+		default:
+			clk.Sleep(time.Second)
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
 func TestThrottleConcurrentTakers(t *testing.T) {
 	th, err := NewThrottle(100 << 20) // fast enough to finish quickly for real
 	if err != nil {

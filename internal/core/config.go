@@ -141,6 +141,10 @@ type Config struct {
 	// histograms, the Prometheus-exposable registry, and slow-op tracing.
 	// Zero value = enabled with a private registry and defaults.
 	Obs ObsPolicy
+	// QoS wires multi-tenant attribution, quotas, weighted-fair bandwidth
+	// shares, and priority-ordered reclamation into the data path (see
+	// internal/qos). Zero value = QoS off, no per-operation cost.
+	QoS QoSPolicy
 }
 
 // ObsPolicy configures telemetry. The layer is on by default because its

@@ -40,6 +40,9 @@ type File struct {
 	writable bool
 	dirty    bool
 	closed   bool
+	// tenant is the handle's QoS attribution, resolved once from the path
+	// at open time ("" when unattributed or QoS is off).
+	tenant string
 }
 
 // Path returns the file's cleaned path.
@@ -98,6 +101,16 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	// QoS admission: reserve the file growth against the tenant's quota and
+	// pace the payload through its weighted-fair bandwidth share.
+	oldSize := f.size
+	var growth int64
+	if end := off + int64(len(p)); end > oldSize {
+		growth = end - oldSize
+	}
+	if err := f.fs.qosAdmitWrite(f.tenant, growth, int64(len(p))); err != nil {
+		return 0, err
+	}
 	tr := f.fs.newTrace("write", f.path, off, len(p))
 	starts := spanStarts(spans)
 	var okSpans int
@@ -122,6 +135,15 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 				f.size = end
 			}
 			f.dirty = true
+		}
+		// Quota was reserved for the full growth; return the part the
+		// short write never materialized.
+		if growth > 0 {
+			var actual int64
+			if end := off + int64(written); end > oldSize {
+				actual = end - oldSize
+			}
+			f.fs.qosCreditTenant(f.tenant, growth-actual)
 		}
 		return written, err
 	}
@@ -245,6 +267,10 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	}
 	spans, err := f.layout.Spans(off, want)
 	if err != nil {
+		return 0, err
+	}
+	// QoS admission: pace the payload through the tenant's share.
+	if err := f.fs.qosAdmitRead(f.tenant, want); err != nil {
 		return 0, err
 	}
 	tr := f.fs.newTrace("read", f.path, off, len(p))
@@ -419,6 +445,7 @@ func (f *File) writeSpan(tr *opTrace, span stripe.Span, data []byte) error {
 	if degraded {
 		f.fs.enqueueRepair(f.path, sk, span.Index)
 	}
+	f.fs.noteNoSpaceOutcomes(nodes, errs)
 	if err != nil && isNoSpace(err) {
 		f.fs.stats.noSpaceWrites.Add(1)
 	}
@@ -641,6 +668,7 @@ func (f *File) writeSpanErasure(tr *opTrace, sk string, span stripe.Span, data [
 	if degraded || (err != nil && anyLanded(errs[:attempted])) {
 		f.fs.enqueueRepair(f.path, sk, span.Index)
 	}
+	f.fs.noteNoSpaceOutcomes(nodes[:attempted], errs[:attempted])
 	if err != nil && isNoSpace(err) {
 		f.fs.stats.noSpaceWrites.Add(1)
 	}

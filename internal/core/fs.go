@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"memfss/internal/erasure"
 	"memfss/internal/fsmeta"
@@ -54,6 +55,11 @@ type FileSystem struct {
 	drainMu   sync.RWMutex
 	draining  map[string]bool
 	drainBusy map[string]bool
+
+	// qosMu/lastReclaim debounce the no-space-triggered background drains
+	// (see noteNoSpace in qos.go).
+	qosMu       sync.Mutex
+	lastReclaim map[string]time.Time
 }
 
 // New connects to the stores described by cfg and returns a FileSystem.
@@ -155,6 +161,7 @@ func New(cfg Config) (*FileSystem, error) {
 		obsReg:      reg,
 		draining:    make(map[string]bool),
 		drainBusy:   make(map[string]bool),
+		lastReclaim: make(map[string]time.Time),
 	}
 	if reg != nil {
 		fs.obs = newFSObs(reg, cfg.Obs)
@@ -430,6 +437,7 @@ func (fs *FileSystem) Remove(path string) error {
 		return err
 	}
 	if rec.File != nil {
+		fs.qosCreditPath(p, rec.File.Size)
 		return fs.deleteFileData(rec.File)
 	}
 	return nil
@@ -475,6 +483,7 @@ func (fs *FileSystem) removeAll(p string) error {
 		return err
 	}
 	if rec.File != nil {
+		fs.qosCreditPath(p, rec.File.Size)
 		return fs.deleteFileData(rec.File)
 	}
 	return nil
@@ -590,6 +599,7 @@ func (fs *FileSystem) newFile(path string, rec *fsmeta.FileRecord, writable bool
 		coder:    coder,
 		size:     rec.Size,
 		writable: writable,
+		tenant:   fs.tenants().ResolveTenant(path),
 	}, nil
 }
 

@@ -1,0 +1,478 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"memfss/internal/obs"
+	"memfss/internal/qos"
+)
+
+func withQoS(reg *qos.Registry) deployOpt {
+	return func(c *Config) { c.QoS.Tenants = reg }
+}
+
+func withObsRegistry(reg *obs.Registry) deployOpt {
+	return func(c *Config) { c.Obs.Registry = reg }
+}
+
+// TestTenantQuotaEnforced: writes growing a tenant past its quota fail
+// with ErrQuotaExceeded, and removal credits the bytes back.
+func TestTenantQuotaEnforced(t *testing.T) {
+	tenants := qos.NewRegistry(qos.Options{})
+	defer tenants.Close()
+	d := newTestFS(t, 2, 2, withQoS(tenants))
+	if err := d.fs.SaveTenant(qos.TenantSpec{Name: "hpc", QuotaBytes: 100 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	big := randomBytes(1, 80<<10)
+	if err := d.fs.WriteFile("/tenants/hpc/a", big); err != nil {
+		t.Fatal(err)
+	}
+	if got := tenants.Used("hpc"); got != 80<<10 {
+		t.Fatalf("used after 80 KiB write = %d", got)
+	}
+	err := d.fs.WriteFile("/tenants/hpc/b", randomBytes(2, 40<<10))
+	if !errors.Is(err, qos.ErrQuotaExceeded) {
+		t.Fatalf("over-quota write: %v, want ErrQuotaExceeded", err)
+	}
+	// The rejected write reserved nothing.
+	if got := tenants.Used("hpc"); got != 80<<10 {
+		t.Fatalf("used after rejected write = %d", got)
+	}
+	// Freeing space makes room again.
+	if err := d.fs.Remove("/tenants/hpc/a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := tenants.Used("hpc"); got != 0 {
+		t.Fatalf("used after remove = %d", got)
+	}
+	if err := d.fs.WriteFile("/tenants/hpc/b", randomBytes(2, 40<<10)); err != nil {
+		t.Fatal(err)
+	}
+	// Overwriting in place (Create truncates) credits the old size first.
+	if err := d.fs.WriteFile("/tenants/hpc/b", randomBytes(3, 90<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := tenants.Used("hpc"); got != 90<<10 {
+		t.Fatalf("used after overwrite = %d", got)
+	}
+	// Unattributed paths are never quota-checked.
+	if err := d.fs.WriteFile("/scratch", randomBytes(4, 64<<10)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTenantPersistence: SaveTenant survives a client restart via
+// LoadTenants; DeleteTenant removes the record.
+func TestTenantPersistence(t *testing.T) {
+	tenants := qos.NewRegistry(qos.Options{})
+	defer tenants.Close()
+	d := newTestFS(t, 2, 0, withQoS(tenants))
+	specs := []qos.TenantSpec{
+		{Name: "batch", QuotaBytes: 1 << 20, Weight: 1, Priority: qos.PriorityLow},
+		{Name: "prod", QuotaBytes: 0, Weight: 4, Priority: qos.PriorityHigh},
+	}
+	for _, s := range specs {
+		if err := d.fs.SaveTenant(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The tenant namespace roots exist, so attribution works immediately.
+	for _, s := range specs {
+		if st, err := d.fs.Stat(qos.TenantRoot(s.Name)); err != nil || !st.IsDir {
+			t.Fatalf("tenant root %s: %+v, %v", s.Name, st, err)
+		}
+	}
+	// A second client against the same stores, fresh registry: LoadTenants
+	// restores the directory.
+	tenants2 := qos.NewRegistry(qos.Options{})
+	defer tenants2.Close()
+	cfg := d.fs.cfg
+	cfg.QoS.Tenants = tenants2
+	fs2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	loaded, err := fs2.LoadTenants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 2 || loaded[0] != specs[0] || loaded[1] != specs[1] {
+		t.Fatalf("loaded %+v, want %+v", loaded, specs)
+	}
+	if got := fs2.Tenants(); len(got) != 2 {
+		t.Fatalf("registry after load: %+v", got)
+	}
+	if err := fs2.DeleteTenant("batch"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err = fs2.LoadTenants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 || loaded[0].Name != "prod" {
+		t.Fatalf("after delete: %+v", loaded)
+	}
+	// Without QoS configured the tenant verbs refuse cleanly.
+	d2 := newTestFS(t, 1, 0)
+	if err := d2.fs.SaveTenant(specs[0]); err == nil {
+		t.Fatal("SaveTenant without QoS succeeded")
+	}
+}
+
+// TestTenantIsolationWeightedShares is the acceptance demonstration: two
+// tenants share one deployment; the low-priority tenant saturating its
+// share leaves the high-priority tenant's throughput within 25% of what
+// it gets running alone, because shares are strict reservations.
+func TestTenantIsolationWeightedShares(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paced-bandwidth timing test")
+	}
+	tenants := qos.NewRegistry(qos.Options{TotalBandwidth: 4 << 20})
+	defer tenants.Close()
+	d := newTestFS(t, 2, 2, withQoS(tenants))
+	if err := d.fs.SaveTenant(qos.TenantSpec{Name: "prod", Weight: 3, Priority: qos.PriorityHigh}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.fs.SaveTenant(qos.TenantSpec{Name: "batch", Weight: 1, Priority: qos.PriorityLow}); err != nil {
+		t.Fatal(err)
+	}
+	// prod's share: 4 MiB/s * 3/4 = 3 MiB/s, token burst 3 MiB.
+	const payload = 6 << 20 // ~1s paced past the burst
+	data := randomBytes(7, payload)
+	refill := func() { time.Sleep(1100 * time.Millisecond) } // full burst refill at 3 MiB/s
+
+	measure := func(path string) time.Duration {
+		start := time.Now()
+		if err := d.fs.WriteFile(path, data); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	solo := measure("/tenants/prod/solo")
+	refill()
+
+	// batch saturates its share for the whole contended run.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		junk := randomBytes(8, 256<<10)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = d.fs.WriteFile(fmt.Sprintf("/tenants/batch/junk%d", i%4), junk)
+		}
+	}()
+	contended := measure("/tenants/prod/contended")
+	close(stop)
+	wg.Wait()
+
+	ratio := float64(contended-solo) / float64(solo)
+	if ratio < 0 {
+		ratio = -ratio
+	}
+	t.Logf("solo=%v contended=%v delta=%.1f%%", solo, contended, ratio*100)
+	if ratio > 0.25 {
+		t.Fatalf("high-priority write degraded %.1f%% under low-priority saturation (solo %v, contended %v)",
+			ratio*100, solo, contended)
+	}
+}
+
+// victimDataPriorities lists the data keys on a node bucketed by their
+// owner's reclamation priority.
+func victimDataPriorities(t *testing.T, fs *FileSystem, nodeID string) map[qos.Priority][]string {
+	t.Helper()
+	cli, err := fs.conns.client(nodeID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := cli.Keys("data:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[qos.Priority][]string)
+	cache := make(map[string]qos.Priority)
+	for _, k := range keys {
+		p := fs.keyPriority(k, cache)
+		out[p] = append(out[p], k)
+	}
+	return out
+}
+
+// TestPriorityReclaimOrder: a partial drain under pressure evicts the
+// low-priority tenant's keys first; the high-priority tenant's data stays
+// on the node because the low tier alone satisfies the target.
+func TestPriorityReclaimOrder(t *testing.T) {
+	obsReg := obs.NewRegistry()
+	tenants := qos.NewRegistry(qos.Options{Obs: obsReg})
+	defer tenants.Close()
+	d := newTestFS(t, 2, 1, withQoS(tenants), withObsRegistry(obsReg))
+	if err := d.fs.SaveTenant(qos.TenantSpec{Name: "batch", Priority: qos.PriorityLow}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.fs.SaveTenant(qos.TenantSpec{Name: "prod", Priority: qos.PriorityHigh}); err != nil {
+		t.Fatal(err)
+	}
+	// Spread both tenants' data across the deployment; the single victim
+	// node ends up holding a mix of both priorities.
+	for i := 0; i < 24; i++ {
+		if err := d.fs.WriteFile(fmt.Sprintf("/tenants/batch/f%d", i), randomBytes(int64(i), 16<<10)); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.fs.WriteFile(fmt.Sprintf("/tenants/prod/f%d", i), randomBytes(int64(100+i), 16<<10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	node := d.victims.Nodes[0].ID
+	before := victimDataPriorities(t, d.fs, node)
+	if len(before[qos.PriorityLow]) == 0 || len(before[qos.PriorityHigh]) == 0 {
+		t.Fatalf("victim holds low=%d high=%d keys; need both for the ordering test",
+			len(before[qos.PriorityLow]), len(before[qos.PriorityHigh]))
+	}
+	cli, err := d.fs.conns.client(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cli.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target a reduction the low tier alone can satisfy (one 4 KiB stripe
+	// per low key, keep half of them as margin).
+	reduce := int64(len(before[qos.PriorityLow])/2) * (4 << 10)
+	rep, err := d.fs.DrainNode(context.Background(), node, st.BytesUsed-reduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Moved == 0 {
+		t.Fatal("drain moved nothing")
+	}
+	after := victimDataPriorities(t, d.fs, node)
+	if got, want := len(after[qos.PriorityHigh]), len(before[qos.PriorityHigh]); got != want {
+		t.Fatalf("high-priority keys drained while low-priority remain: %d -> %d (low %d -> %d)",
+			want, got, len(before[qos.PriorityLow]), len(after[qos.PriorityLow]))
+	}
+	if len(after[qos.PriorityLow]) >= len(before[qos.PriorityLow]) {
+		t.Fatalf("no low-priority keys drained: %d -> %d",
+			len(before[qos.PriorityLow]), len(after[qos.PriorityLow]))
+	}
+	// The reclaim counters tell the same story.
+	var lowReclaimed, highReclaimed int64
+	for _, f := range obsReg.Snapshot() {
+		if f.Name != "memfss_qos_reclaimed_keys_total" {
+			continue
+		}
+		for _, s := range f.Series {
+			switch s.Labels.Get("priority") {
+			case "low":
+				lowReclaimed = s.Value
+			case "high":
+				highReclaimed = s.Value
+			}
+		}
+	}
+	if lowReclaimed == 0 || highReclaimed != 0 {
+		t.Fatalf("reclaim counters low=%d high=%d, want low>0 high=0", lowReclaimed, highReclaimed)
+	}
+	// Everything is still readable from wherever it landed.
+	for i := 0; i < 24; i++ {
+		for _, tn := range []string{"batch", "prod"} {
+			if err := d.fs.VerifyFile(fmt.Sprintf("/tenants/%s/f%d", tn, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestAdvertiseCapacity: victim headroom becomes broker supply.
+func TestAdvertiseCapacity(t *testing.T) {
+	tenants := qos.NewRegistry(qos.Options{})
+	defer tenants.Close()
+	d := newTestFS(t, 1, 2, withQoS(tenants))
+	if err := d.fs.ApplyVictimCaps(); err != nil {
+		t.Fatal(err)
+	}
+	b := qos.NewBroker(qos.BrokerOptions{Evac: d.fs})
+	if err := d.fs.AdvertiseCapacity(b, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	sup := b.Supply()
+	if len(sup) != 2 {
+		t.Fatalf("supply = %+v, want both victims", sup)
+	}
+	var names []string
+	for _, o := range sup {
+		names = append(names, o.Node)
+		if o.Bytes <= 0 || o.NoticeSLO != 100*time.Millisecond {
+			t.Fatalf("offer %+v", o)
+		}
+	}
+	sort.Strings(names)
+	if names[0] != d.victims.Nodes[0].ID && names[1] != d.victims.Nodes[0].ID {
+		t.Fatalf("offers name %v", names)
+	}
+}
+
+// percentile returns the p-th percentile of sorted durations.
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(float64(len(sorted)-1) * p)
+	return sorted[idx]
+}
+
+// TestQoSChaosSoak runs two tenants at different priorities through a
+// mid-workload lease revocation: the victim a lease sits on is revoked
+// through the broker (notice window, then graduated evacuation) while
+// both tenants keep writing and reading. The high-priority tenant's p99
+// stays bounded, nothing it wrote is lost, and the eviction-notice SLO is
+// recorded as met.
+func TestQoSChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second soak")
+	}
+	obsReg := obs.NewRegistry()
+	tenants := qos.NewRegistry(qos.Options{Obs: obsReg})
+	defer tenants.Close()
+	d := newTestFS(t, 2, 3,
+		withQoS(tenants),
+		withObsRegistry(obsReg),
+		withRedundancy(Redundancy{Mode: RedundancyReplicate, Replicas: 2}))
+	if err := d.fs.SaveTenant(qos.TenantSpec{Name: "prod", Weight: 3, Priority: qos.PriorityHigh}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.fs.SaveTenant(qos.TenantSpec{Name: "batch", Weight: 1, Priority: qos.PriorityLow}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.fs.ApplyVictimCaps(); err != nil {
+		t.Fatal(err)
+	}
+	broker := qos.NewBroker(qos.BrokerOptions{Evac: d.fs, Obs: obsReg})
+	const noticeSLO = 200 * time.Millisecond
+	if err := d.fs.AdvertiseCapacity(broker, noticeSLO); err != nil {
+		t.Fatal(err)
+	}
+	victim := d.victims.Nodes[0].ID
+	lease, err := broker.Request("batch", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the revocation to a node we know holds a lease.
+	victim = lease.Node
+
+	const soak = 2 * time.Second
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var prodOps []time.Duration
+	prodFiles := make(map[string]int64) // path -> seed, for post-soak verification
+	worker := func(tenant string, high bool) {
+		defer wg.Done()
+		payload := 32 << 10
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			path := fmt.Sprintf("/tenants/%s/f%d", tenant, i)
+			seed := int64(i)
+			if high {
+				seed += 1_000_000
+			}
+			start := time.Now()
+			err := d.fs.WriteFile(path, randomBytes(seed, payload))
+			writeDur := time.Since(start)
+			if err != nil {
+				// Transient unavailability mid-revocation is the storm the
+				// soak exists to ride out; record and continue.
+				continue
+			}
+			start = time.Now()
+			_, rerr := d.fs.ReadFile(path)
+			readDur := time.Since(start)
+			if high {
+				mu.Lock()
+				prodOps = append(prodOps, writeDur)
+				if rerr == nil {
+					prodOps = append(prodOps, readDur)
+				}
+				prodFiles[path] = seed
+				mu.Unlock()
+			}
+		}
+	}
+	wg.Add(2)
+	go worker("prod", true)
+	go worker("batch", false)
+
+	// Mid-soak: the victim wants its memory back. The broker gives notice,
+	// waits out the SLO, then rides the graduated evacuation.
+	time.Sleep(500 * time.Millisecond)
+	rep, err := broker.Revoke(context.Background(), victim, qos.RevokeOptions{EvacDeadline: 10 * time.Second})
+	if err != nil {
+		t.Errorf("revoke: %v", err)
+	}
+	if !rep.SLOMet || rep.Notice < noticeSLO {
+		t.Errorf("notice %v < SLO %v (report %+v)", rep.Notice, noticeSLO, rep)
+	}
+	if !rep.Evacuated {
+		t.Errorf("revocation did not evacuate: %+v", rep)
+	}
+
+	time.Sleep(soak - 500*time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Zero loss: every file the high-priority tenant wrote verifies.
+	mu.Lock()
+	files := prodFiles
+	ops := prodOps
+	mu.Unlock()
+	if len(files) == 0 {
+		t.Fatal("high-priority tenant completed no writes during the soak")
+	}
+	for path := range files {
+		if err := d.fs.VerifyFile(path); err != nil {
+			t.Errorf("verify %s: %v", path, err)
+		}
+	}
+	// p99 latency SLO: generous, but catches a revocation that wedges the
+	// data path behind the drain.
+	if p99 := percentile(ops, 0.99); p99 > 3*time.Second {
+		t.Errorf("high-priority p99 = %v across %d ops", p99, len(ops))
+	}
+	// The SLO accounting is visible in the qos metric families.
+	var met int64
+	for _, f := range obsReg.Snapshot() {
+		if f.Name != "memfss_qos_lease_revocations_total" {
+			continue
+		}
+		for _, s := range f.Series {
+			if s.Labels.Get("outcome") == "met" {
+				met = s.Value
+			}
+		}
+	}
+	if met < 1 {
+		t.Errorf("no met revocation recorded in memfss_qos_lease_revocations_total")
+	}
+	t.Logf("soak: prod ops=%d p99=%v revocation notice=%v evac=%v",
+		len(ops), percentile(ops, 0.99), rep.Notice, rep.Elapsed)
+}

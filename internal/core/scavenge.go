@@ -13,6 +13,7 @@ import (
 
 	"memfss/internal/hrw"
 	"memfss/internal/kvstore"
+	"memfss/internal/qos"
 )
 
 // AddVictimClass extends the storage space at runtime with a new scavenged
@@ -463,6 +464,10 @@ func (fs *FileSystem) DrainNode(ctx context.Context, nodeID string, targetBytes 
 	fs.setDraining(nodeID, true)
 	defer fs.setDraining(nodeID, false)
 	skipped := make(map[string]bool)
+	// prio caches per-file reclamation priorities across passes; onMoved
+	// feeds the per-priority reclaim counters (both inert without QoS).
+	prio := make(map[string]qos.Priority)
+	onMoved := func(key string) { fs.noteReclaimed(key, prio) }
 	for {
 		st, err := cli.Info()
 		if err != nil {
@@ -494,8 +499,11 @@ func (fs *FileSystem) DrainNode(ctx context.Context, nodeID string, targetBytes 
 		if len(todo) == 0 {
 			break // everything left is unmovable right now
 		}
+		// Priority-ordered reclamation: low-priority tenants' keys leave
+		// the pressured store before anything dearer moves.
+		todo = fs.qosDrainOrder(todo, prio)
 		rep.Passes++
-		rep.Moved += fs.drainPass(ctx, cli, nodeID, todo, skipped)
+		rep.Moved += fs.drainPass(ctx, cli, nodeID, todo, skipped, onMoved, target)
 	}
 	rep.Skipped = len(skipped)
 	rep.Elapsed = time.Since(start)
@@ -506,7 +514,12 @@ func (fs *FileSystem) DrainNode(ctx context.Context, nodeID string, targetBytes 
 // drainPass evicts one batch of keys: copy each to its re-home target,
 // then compare-and-delete at the source. Keys that cannot move (no live
 // destination, value changed under us, store errors) land in skipped.
-func (fs *FileSystem) drainPass(ctx context.Context, cli *kvstore.Client, nodeID string, keys []string, skipped map[string]bool) (moved int) {
+// onMoved, when non-nil, is called for each key confirmed moved. When
+// target > 0 the pass stops as soon as the store's fill drops to it —
+// a partial drain evicts only what pressure demands, which is what makes
+// the priority ordering meaningful (high-priority keys at the tail of the
+// list survive a drain the low-priority head already satisfied).
+func (fs *FileSystem) drainPass(ctx context.Context, cli *kvstore.Client, nodeID string, keys []string, skipped map[string]bool, onMoved func(string), target int64) (moved int) {
 	batch := fs.pipeDepth
 	if batch < 1 {
 		batch = 1
@@ -519,12 +532,17 @@ func (fs *FileSystem) drainPass(ctx context.Context, cli *kvstore.Client, nodeID
 		if e > len(keys) {
 			e = len(keys)
 		}
-		moved += fs.drainBatch(cli, nodeID, keys[s:e], skipped)
+		moved += fs.drainBatch(cli, nodeID, keys[s:e], skipped, onMoved)
+		if target > 0 && e < len(keys) {
+			if st, err := cli.Info(); err == nil && st.BytesUsed <= target {
+				return moved
+			}
+		}
 	}
 	return moved
 }
 
-func (fs *FileSystem) drainBatch(cli *kvstore.Client, nodeID string, keys []string, skipped map[string]bool) (moved int) {
+func (fs *FileSystem) drainBatch(cli *kvstore.Client, nodeID string, keys []string, skipped map[string]bool, onMoved func(string)) (moved int) {
 	vals, err := cli.MGet(keys...)
 	if err != nil {
 		for _, k := range keys {
@@ -574,6 +592,9 @@ func (fs *FileSystem) drainBatch(cli *kvstore.Client, nodeID string, keys []stri
 	for j, r := range replies {
 		if r.Err() == nil && r.Int == 1 {
 			moved++
+			if onMoved != nil {
+				onMoved(evict[j].key)
+			}
 		} else {
 			// Mismatch: a write updated the key after we copied it. The
 			// update is preserved; the key waits for the next sweep.

@@ -147,6 +147,44 @@ func BenchmarkWirePipelineGetRange4K(b *testing.B) {
 	}
 }
 
+// BenchmarkWireMixedRW4K interleaves SETs and allocation-free reads
+// (GetRangeInto with a caller-owned buffer) 50/50 over a small key set —
+// the steady-state shape of a multi-tenant data plane where writers and
+// readers share every connection. Because the server runs in-process,
+// allocs/op gates the *server-side* per-command path (store mutation,
+// reply encode) as well as the client encode/decode path: a change that
+// makes the store copy on read or allocate per SET shows up here even if
+// the client stays clean.
+func BenchmarkWireMixedRW4K(b *testing.B) {
+	c := newBenchClient(b, DialOptions{})
+	payload := benchPayload()
+	dst := make([]byte, benchPayloadSize)
+	const keySpace = 8
+	keys := make([]string, keySpace)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench:mix:%d", i)
+		if err := c.Set(keys[i], payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.SetBytes(benchPayloadSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%keySpace]
+		if i%2 == 0 {
+			if err := c.Set(k, payload); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			n, ok, err := c.GetRangeInto(k, 0, benchPayloadSize, dst)
+			if err != nil || !ok || n != benchPayloadSize {
+				b.Fatalf("getrangeinto: ok=%v err=%v n=%d", ok, err, n)
+			}
+		}
+	}
+}
+
 // BenchmarkWireConcurrentPipelines drives many goroutines of pipelined
 // bursts through ONE client — the saturation shape where the old
 // single-mutex connection pool serialized checkouts.

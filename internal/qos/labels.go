@@ -1,0 +1,45 @@
+package qos
+
+import "sync"
+
+// defaultMaxTenantSeries bounds per-tenant metric label cardinality. It is
+// deliberately far below the obs registry's per-family backstop (512): the
+// obs cap protects the registry by silently dropping series, which for
+// tenants would mean invisible traffic. The qos-level cap instead
+// aggregates every tenant past the bound into one "other" series, so the
+// totals stay honest no matter how many tenants exist.
+const defaultMaxTenantSeries = 32
+
+// overflowLabel is the shared label value for tenants past the cap.
+const overflowLabel = "other"
+
+// labelMap assigns each tenant a stable metric label value: its own name
+// for the first cap distinct tenants, "other" afterwards. Assignments are
+// never reclaimed — a tenant that appeared once keeps its slot even after
+// removal, so a churn of short-lived tenants cannot pump the cardinality
+// and a re-added tenant keeps its history.
+type labelMap struct {
+	mu       sync.Mutex
+	cap      int
+	assigned map[string]string
+}
+
+func newLabelMap(cap int) *labelMap {
+	return &labelMap{cap: cap, assigned: make(map[string]string)}
+}
+
+// labelFor returns the metric label value for a tenant name. Overflow
+// names are not stored, keeping the map bounded at cap entries no matter
+// how many tenants churn through.
+func (m *labelMap) labelFor(name string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v, ok := m.assigned[name]; ok {
+		return v
+	}
+	if len(m.assigned) >= m.cap {
+		return overflowLabel
+	}
+	m.assigned[name] = name
+	return name
+}

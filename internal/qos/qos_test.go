@@ -1,0 +1,327 @@
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"memfss/internal/obs"
+)
+
+func TestTenantSpecValidate(t *testing.T) {
+	good := []TenantSpec{
+		{Name: "a"},
+		{Name: "batch", QuotaBytes: 1 << 30, Weight: 2.5, Priority: PriorityHigh},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", s, err)
+		}
+	}
+	bad := []TenantSpec{
+		{},
+		{Name: "a/b"},
+		{Name: "a b"},
+		{Name: "a", QuotaBytes: -1},
+		{Name: "a", Weight: -1},
+		{Name: "a", Priority: Priority(9)},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%+v accepted", s)
+		}
+	}
+}
+
+func TestParsePriorityRoundTrip(t *testing.T) {
+	for _, p := range []Priority{PriorityLow, PriorityNormal, PriorityHigh} {
+		got, err := ParsePriority(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePriority(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePriority("urgent"); err == nil {
+		t.Error("ParsePriority accepted unknown value")
+	}
+}
+
+func TestNilRegistryNoOps(t *testing.T) {
+	var r *Registry
+	if err := r.Take("a", "write", 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Charge("a", 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	r.Credit("a", 1)
+	if got := r.ResolveTenant(TenantRoot("a") + "/f"); got != "" {
+		t.Fatalf("nil registry resolved %q", got)
+	}
+	if p := r.PriorityFor("/tenants/a/f"); p != PriorityNormal {
+		t.Fatalf("nil registry priority %v", p)
+	}
+	r.Close()
+	if r.Add(TenantSpec{Name: "a"}) == nil {
+		t.Fatal("nil registry Add succeeded")
+	}
+}
+
+func TestResolveTenant(t *testing.T) {
+	r := NewRegistry(Options{})
+	if err := r.Add(TenantSpec{Name: "hpc"}); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"/tenants/hpc/run1/out.dat": "hpc",
+		"/tenants/hpc":              "hpc",
+		"/tenants/other/x":          "", // unregistered
+		"/data/hpc/x":               "",
+		"/":                         "",
+	}
+	for path, want := range cases {
+		if got := r.ResolveTenant(path); got != want {
+			t.Errorf("ResolveTenant(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestQuotaChargeCredit(t *testing.T) {
+	r := NewRegistry(Options{})
+	if err := r.Add(TenantSpec{Name: "a", QuotaBytes: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Charge("a", 80); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Charge("a", 30); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("overcharge: %v", err)
+	}
+	if got := r.Used("a"); got != 80 {
+		t.Fatalf("rejected charge leaked: used=%d", got)
+	}
+	if err := r.Charge("a", 20); err != nil {
+		t.Fatal(err) // exactly at quota is allowed
+	}
+	r.Credit("a", 50)
+	if err := r.Charge("a", 50); err != nil {
+		t.Fatal(err)
+	}
+	r.Credit("a", 1000) // over-credit clamps at zero
+	if got := r.Used("a"); got != 0 {
+		t.Fatalf("used after over-credit = %d", got)
+	}
+	if err := r.Charge("missing", 1); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("unknown tenant charge: %v", err)
+	}
+	// Unattributed and zero-quota tenants are never rejected.
+	if err := r.Charge("", 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(TenantSpec{Name: "free"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Charge("free", 1<<40); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedShares(t *testing.T) {
+	r := NewRegistry(Options{TotalBandwidth: 100 << 20})
+	defer r.Close()
+	if err := r.Add(TenantSpec{Name: "hi", Weight: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Rate("hi"); got != 100<<20 {
+		t.Fatalf("solo tenant rate = %d, want full budget %d", got, 100<<20)
+	}
+	if err := r.Add(TenantSpec{Name: "lo", Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Rate("hi"); got != 75<<20 {
+		t.Fatalf("hi rate = %d, want %d", got, 75<<20)
+	}
+	if got := r.Rate("lo"); got != 25<<20 {
+		t.Fatalf("lo rate = %d, want %d", got, 25<<20)
+	}
+	// Removal rebalances the survivors back up.
+	if !r.Remove("lo") {
+		t.Fatal("Remove lo")
+	}
+	if got := r.Rate("hi"); got != 100<<20 {
+		t.Fatalf("hi rate after removal = %d, want %d", got, 100<<20)
+	}
+	// Updating a spec via Add rebalances too.
+	if err := r.Add(TenantSpec{Name: "lo", Weight: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Rate("hi"); got != 50<<20 {
+		t.Fatalf("hi rate after lo reweight = %d, want %d", got, 50<<20)
+	}
+}
+
+// TestRebalanceReachesBlockedWaiter: a tenant blocked on its share picks
+// up the larger share another tenant's removal frees, via the throttle's
+// runtime resize — the scheduler-level version of the container
+// regression test.
+func TestRebalanceReachesBlockedWaiter(t *testing.T) {
+	r := NewRegistry(Options{TotalBandwidth: 2 << 20})
+	defer r.Close()
+	if err := r.Add(TenantSpec{Name: "hog", Weight: 127}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(TenantSpec{Name: "starved", Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// starved's share is 2 MiB/s / 128 = 16 KiB/s: 2 MiB would take ~2min.
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() { done <- r.Take("starved", "write", 2<<20) }()
+	time.Sleep(20 * time.Millisecond)
+	if !r.Remove("hog") { // starved now owns the whole 2 MiB/s budget
+		t.Fatal("Remove hog")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter still paced at pre-rebalance share")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("2 MiB after rebalance to 2 MiB/s took %v", d)
+	}
+}
+
+func TestTakeConcurrentWithChurn(t *testing.T) {
+	r := NewRegistry(Options{TotalBandwidth: 1 << 30})
+	defer r.Close()
+	for i := 0; i < 4; i++ {
+		if err := r.Add(TenantSpec{Name: fmt.Sprintf("t%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("t%d", g%4)
+			for i := 0; i < 50; i++ {
+				if err := r.Take(name, "write", 4<<10); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			r.Add(TenantSpec{Name: "churn", Weight: float64(i%3) + 1})
+			r.Remove("churn")
+		}
+	}()
+	wg.Wait()
+}
+
+// seriesCount returns how many series of family name carry each label
+// value of key, plus the total.
+func seriesByLabel(reg *obs.Registry, family, key string) (map[string]int, int) {
+	out := make(map[string]int)
+	total := 0
+	for _, f := range reg.Snapshot() {
+		if f.Name != family {
+			continue
+		}
+		for _, s := range f.Series {
+			total++
+			out[s.Labels.Get(key)]++
+		}
+	}
+	return out, total
+}
+
+// TestTenantLabelCardinalityBounded is the per-tenant label contract:
+// with more tenants than the per-family series cap, the cap holds and
+// overflow tenants aggregate into the "other" label instead of dropping
+// silently.
+func TestTenantLabelCardinalityBounded(t *testing.T) {
+	reg := obs.NewRegistry()
+	const cap = 8
+	r := NewRegistry(Options{Obs: reg, MaxTenantSeries: cap})
+	const tenants = 3 * cap
+	for i := 0; i < tenants; i++ {
+		name := fmt.Sprintf("tenant-%02d", i)
+		if err := r.Add(TenantSpec{Name: name}); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Take(name, "write", 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	byTenant, total := seriesByLabel(reg, "memfss_qos_bytes_total", "tenant")
+	if total > cap+1 {
+		t.Fatalf("memfss_qos_bytes_total{op=write} has %d series, cap is %d tenants + other", total, cap)
+	}
+	if byTenant[overflowLabel] == 0 {
+		t.Fatal("no \"other\" series: overflow tenants were dropped, not aggregated")
+	}
+	// Nothing dropped silently: every byte is accounted — cap tenants
+	// under their own label, the rest under "other".
+	var sum int64
+	for _, f := range reg.Snapshot() {
+		if f.Name != "memfss_qos_bytes_total" {
+			continue
+		}
+		for _, s := range f.Series {
+			sum += s.Value
+		}
+	}
+	if want := int64(tenants * 100); sum != want {
+		t.Fatalf("bytes accounted = %d, want %d (overflow traffic lost)", sum, want)
+	}
+	if reg.DroppedSeries() != 0 {
+		t.Fatalf("obs registry dropped %d series; qos must cap below the registry backstop", reg.DroppedSeries())
+	}
+	// The wait histograms obey the same bound.
+	for i := 0; i < tenants; i++ {
+		r.labels.labelFor(fmt.Sprintf("tenant-%02d", i))
+	}
+	if _, total := seriesByLabel(reg, "memfss_qos_sched_wait_seconds", "tenant"); total > cap+1 {
+		t.Fatalf("wait histogram has %d series, want <= %d", total, cap+1)
+	}
+	// A capped tenant's label is stable across calls.
+	if a, b := r.labels.labelFor("tenant-30"), r.labels.labelFor("tenant-30"); a != b || a != overflowLabel {
+		t.Fatalf("overflow label unstable: %q then %q", a, b)
+	}
+}
+
+func TestPriorityFor(t *testing.T) {
+	r := NewRegistry(Options{})
+	r.Add(TenantSpec{Name: "batch", Priority: PriorityLow})
+	r.Add(TenantSpec{Name: "prod", Priority: PriorityHigh})
+	cases := map[string]Priority{
+		TenantRoot("batch") + "/f": PriorityLow,
+		TenantRoot("prod") + "/f":  PriorityHigh,
+		"/scratch/f":               PriorityNormal,
+		TenantRoot("ghost") + "/f": PriorityNormal,
+	}
+	for path, want := range cases {
+		if got := r.PriorityFor(path); got != want {
+			t.Errorf("PriorityFor(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestQuotaRejectionCountedWithoutObs(t *testing.T) {
+	r := NewRegistry(Options{})
+	r.Add(TenantSpec{Name: "a", QuotaBytes: 10})
+	r.Charge("a", 20)
+	if got := r.quotaReject("a").Value(); got != 1 {
+		t.Fatalf("quota rejections = %d, want 1", got)
+	}
+}
