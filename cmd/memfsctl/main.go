@@ -42,6 +42,12 @@
 //	                                 compact telemetry summary (this verb
 //	                                 needs no -own; it talks HTTP to a
 //	                                 memfsd -health-addr endpoint)
+//	trace <health-addr> [slow|errors|degraded|recent]
+//	                                 list retained operation traces
+//	trace <health-addr> get <id>     print one trace's full span tree
+//	trace <health-addr> events [type]
+//	                                 print the cluster flight recorder
+//	                                 (health, evac, lease, repair, quota)
 //	tenant add <name>                register a tenant (namespace
 //	                                 /tenants/<name>/) with -quota,
 //	                                 -priority and -weight
@@ -103,6 +109,17 @@ func main() {
 			log.Fatal("memfsctl: stats needs a daemon health address (host:port or URL)")
 		}
 		if err := runStats(flag.Arg(1)); err != nil {
+			log.Fatalf("memfsctl: %v", err)
+		}
+		return
+	}
+
+	// trace talks HTTP to the forensics endpoints — no mount needed.
+	if flag.NArg() > 0 && flag.Arg(0) == "trace" {
+		if flag.NArg() < 2 {
+			log.Fatal("memfsctl: trace needs a daemon health/debug address (host:port or URL)")
+		}
+		if err := runTrace(flag.Arg(1), flag.Args()[2:]); err != nil {
 			log.Fatalf("memfsctl: %v", err)
 		}
 		return

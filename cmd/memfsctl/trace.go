@@ -1,0 +1,152 @@
+package main
+
+// The trace verb is the CLI face of the gateway's forensics endpoints:
+// it fetches /debug/traces and /debug/events from a memfsd health (or
+// debug) listener and renders retained span trees and flight-recorder
+// events for an operator who wants "why was that op slow" answered from
+// a terminal.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"memfss/internal/obs/trace"
+)
+
+// runTrace dispatches the trace subcommands:
+//
+//	trace <addr>                     slow traces (same as "trace <addr> slow")
+//	trace <addr> slow|errors|degraded|recent
+//	trace <addr> get <id>            one trace's full span tree
+//	trace <addr> events [type]       flight-recorder events, newest first
+//	trace <addr> stats               retention counters
+func runTrace(endpoint string, args []string) error {
+	base := endpoint
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	verb := "slow"
+	if len(args) > 0 {
+		verb = args[0]
+	}
+	switch verb {
+	case "slow", "errors", "degraded", "recent":
+		var traces []*trace.TraceData
+		if err := fetchJSON(base+"/debug/traces?kind="+verb, &traces); err != nil {
+			return err
+		}
+		if len(traces) == 0 {
+			fmt.Printf("no %s traces retained\n", verb)
+			return nil
+		}
+		for _, d := range traces {
+			printTraceLine(d)
+		}
+		fmt.Printf("\n%d trace(s); \"trace %s get <id>\" shows a span tree\n", len(traces), endpoint)
+		return nil
+	case "get":
+		if len(args) != 2 {
+			return fmt.Errorf("trace get needs a trace ID")
+		}
+		var d trace.TraceData
+		if err := fetchJSON(base+"/debug/traces?id="+args[1], &d); err != nil {
+			return err
+		}
+		printTraceLine(&d)
+		printSpanTree(d.Root)
+		return nil
+	case "events":
+		url := base + "/debug/events"
+		if len(args) > 1 {
+			url += "?type=" + args[1]
+		}
+		var events []trace.Event
+		if err := fetchJSON(url, &events); err != nil {
+			return err
+		}
+		if len(events) == 0 {
+			fmt.Println("no events recorded")
+			return nil
+		}
+		for _, e := range events {
+			printEvent(e)
+		}
+		return nil
+	case "stats":
+		var st trace.StoreStats
+		if err := fetchJSON(base+"/debug/traces?kind=stats", &st); err != nil {
+			return err
+		}
+		fmt.Printf("retained=%d interesting=%d evicted=%d\n", st.Kept, st.KeptHot, st.Evicted)
+		return nil
+	default:
+		return fmt.Errorf("unknown trace subcommand %q (want slow, errors, degraded, recent, get, events, stats)", verb)
+	}
+}
+
+func fetchJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func printTraceLine(d *trace.TraceData) {
+	extra := ""
+	if d.Err != "" {
+		extra = " err=" + d.Err
+	}
+	fmt.Printf("%s %-8s %-5s %-24s off=%-10d bytes=%-9d %10s%s\n",
+		d.ID, d.Status, d.Op, d.Path, d.Off, d.Bytes,
+		(time.Duration(d.DurUS) * time.Microsecond).String(), extra)
+}
+
+func printSpanTree(root *trace.SpanData) {
+	root.Walk(func(depth int, sp *trace.SpanData) {
+		target := ""
+		if sp.Node != "" {
+			target = " @" + sp.Node
+			if sp.Class != "" {
+				target += "(" + sp.Class + ")"
+			}
+		}
+		stripe := ""
+		if sp.Stripe >= 0 {
+			stripe = fmt.Sprintf(" s%d", sp.Stripe)
+		}
+		att := ""
+		if sp.Attempts > 0 {
+			att = fmt.Sprintf(" att=%d", sp.Attempts)
+		}
+		fmt.Printf("  %s%s%s%s%s %s +%s %s\n",
+			strings.Repeat("  ", depth), sp.Name, stripe, target, att,
+			sp.Outcome,
+			(time.Duration(sp.StartUS) * time.Microsecond).String(),
+			(time.Duration(sp.DurUS) * time.Microsecond).String())
+	})
+}
+
+func printEvent(e trace.Event) {
+	who := e.Node
+	if e.Tenant != "" {
+		if who != "" {
+			who += " "
+		}
+		who += "tenant=" + e.Tenant
+	}
+	link := ""
+	if e.Trace != "" {
+		link = " trace=" + e.Trace
+	}
+	fmt.Printf("%6d %s %-7s %-14s %s%s\n",
+		e.Seq, e.At.Format("15:04:05.000"), e.Type, who, e.Detail, link)
+}

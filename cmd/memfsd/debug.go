@@ -1,0 +1,107 @@
+package main
+
+// Opt-in debug surface: -debug-addr serves net/http/pprof plus the
+// /debug/traces and /debug/events forensics endpoints on a separate
+// listener (profiling and trace dumps are operator tools, not something
+// to expose wherever /metrics is scraped), and its presence also turns
+// on the Go runtime gauges in the shared registry.
+
+import (
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"memfss/internal/core"
+	"memfss/internal/obs"
+	"memfss/internal/obs/trace"
+)
+
+// debugMux assembles the -debug-addr handler: pprof plus trace/event
+// forensics (503 when not in gateway mode — the handlers accept nil).
+func debugMux(fs *core.FileSystem) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	var store *trace.Store
+	var journal *trace.Journal
+	if fs != nil {
+		store, journal = fs.Traces(), fs.Events()
+	}
+	mux.Handle("/debug/traces", trace.Handler(store))
+	mux.Handle("/debug/events", trace.EventsHandler(journal))
+	return mux
+}
+
+// serveDebug starts the pprof/forensics listener; returned server is
+// closed by the caller on shutdown.
+func serveDebug(addr string, fs *core.FileSystem) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: debugMux(fs)}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Printf("memfsd: debug endpoint: %v", err)
+		}
+	}()
+	return srv
+}
+
+// registerRuntimeGauges exports Go runtime health — goroutine count,
+// heap footprint, GC activity — read live at scrape time, plus a GC
+// pause histogram fed by a background sampler.
+func registerRuntimeGauges(reg *obs.Registry, stop <-chan struct{}) {
+	reg.Gauge("memfss_go_goroutines", "Live goroutines.", nil, func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	reg.Gauge("memfss_go_heap_alloc_bytes", "Heap bytes in use (runtime.MemStats.HeapAlloc).", nil, func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+	reg.Gauge("memfss_go_heap_sys_bytes", "Heap bytes obtained from the OS (runtime.MemStats.HeapSys).", nil, func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapSys)
+	})
+	reg.Gauge("memfss_go_gc_runs", "Completed GC cycles.", nil, func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.NumGC)
+	})
+	pauses := reg.Histogram("memfss_go_gc_pause_seconds",
+		"Stop-the-world GC pause durations.", nil, nil)
+	go sampleGCPauses(pauses, stop)
+}
+
+// sampleGCPauses folds new GC pauses into the histogram every few
+// seconds. MemStats keeps the last 256 pauses in a circular buffer
+// keyed by cycle number, so the sampler only observes cycles it has not
+// seen yet.
+func sampleGCPauses(h *obs.Histogram, stop <-chan struct{}) {
+	var last uint32
+	tick := time.NewTicker(5 * time.Second)
+	defer tick.Stop()
+	for {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		if m.NumGC > last {
+			newest := m.NumGC - last
+			if newest > 256 {
+				newest = 256 // older pauses fell out of the ring
+			}
+			for i := uint32(0); i < newest; i++ {
+				cycle := m.NumGC - i
+				h.Observe(time.Duration(m.PauseNs[(cycle+255)%256]))
+			}
+			last = m.NumGC
+		}
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+	}
+}

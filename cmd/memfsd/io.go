@@ -1,0 +1,73 @@
+package main
+
+// Gateway HTTP I/O: a minimal PUT/GET file surface over the mounted
+// FileSystem, served next to /healthz. Workloads that speak HTTP (or a
+// curl in a smoke test) can push ops through the gateway's own traced
+// data path — which is what makes the gateway's /debug/traces and
+// histogram exemplars reflect real traffic instead of an idle mount.
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+
+	"memfss/internal/core"
+)
+
+// maxIOBody bounds one HTTP write so a stray upload cannot balloon the
+// scavenged-memory pool (64 MiB, far above any smoke workload).
+const maxIOBody = 64 << 20
+
+// ioHandler serves PUT (write), GET (read), and DELETE under /io/<path>,
+// mapping the URL suffix onto the FileSystem namespace.
+func ioHandler(fs *core.FileSystem) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path := strings.TrimPrefix(r.URL.Path, "/io")
+		if path == "" || path == "/" {
+			http.Error(w, "memfsd: /io/<path> needs a file path", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodPut, http.MethodPost:
+			data, err := io.ReadAll(io.LimitReader(r.Body, maxIOBody+1))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if len(data) > maxIOBody {
+				http.Error(w, "memfsd: body exceeds /io size limit", http.StatusRequestEntityTooLarge)
+				return
+			}
+			if err := fs.WriteFile(path, data); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		case http.MethodGet:
+			data, err := fs.ReadFile(path)
+			if err != nil {
+				status := http.StatusInternalServerError
+				if errors.Is(err, core.ErrNotExist) {
+					status = http.StatusNotFound
+				}
+				http.Error(w, err.Error(), status)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_, _ = w.Write(data)
+		case http.MethodDelete:
+			if err := fs.Remove(path); err != nil {
+				status := http.StatusInternalServerError
+				if errors.Is(err, core.ErrNotExist) {
+					status = http.StatusNotFound
+				}
+				http.Error(w, err.Error(), status)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "memfsd: /io supports GET, PUT, DELETE", http.StatusMethodNotAllowed)
+		}
+	})
+}

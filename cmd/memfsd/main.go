@@ -11,7 +11,18 @@
 //
 // so orchestrators and operators can watch a node without speaking the
 // store wire protocol (clients additionally probe the wire port directly
-// via PING, which is what the failure detector consumes).
+// via PING, which is what the failure detector consumes). In gateway
+// mode the same listener also serves the forensics endpoints:
+//
+//	GET /debug/traces  retained operation traces (tail-sampled span trees)
+//	GET /debug/events  the cluster flight recorder (health, evac, lease,
+//	                   repair, quota events)
+//	PUT/GET /io/<path> read and write files through the gateway's own
+//	                   (traced) data path
+//
+// With -debug-addr the daemon additionally serves net/http/pprof and the
+// same forensics endpoints on a separate listener, and exports Go
+// runtime gauges (goroutines, heap, GC pauses) into /metrics.
 //
 // With -own (and optionally -victims) the daemon additionally mounts a
 // MemFSS client over the listed stores — gateway mode. The mounted
@@ -46,6 +57,7 @@ import (
 	"memfss/internal/hrw"
 	"memfss/internal/kvstore"
 	"memfss/internal/obs"
+	"memfss/internal/obs/trace"
 	"memfss/internal/qos"
 )
 
@@ -60,6 +72,7 @@ func main() {
 	replicas := flag.Int("replicas", 0, "gateway mode: replication factor (0/1 = none)")
 	victimCap := flag.Int64("victim-mem", 10<<30, "gateway mode: per-victim scavenged memory cap in bytes")
 	slowOp := flag.Duration("slow-op", 0, "gateway mode: log ops slower than this with a trace (0 = 1s default, negative disables)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /debug/{traces,events} on this address, and export Go runtime gauges; empty disables")
 	qosBW := flag.Int64("qos-bw", 0, "gateway mode: aggregate tenant bandwidth budget in bytes/sec split by weight (0 = tenants metered but unpaced)")
 	flag.Parse()
 
@@ -99,6 +112,17 @@ func main() {
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(healthzPayload(store, bound, started, fs))
 		})
+		if fs != nil {
+			// Trace/event forensics ride the health listener too, so a
+			// gateway scrape target answers "why was that op slow" without
+			// opening the debug port.
+			mux.Handle("/debug/traces", trace.Handler(fs.Traces()))
+			mux.Handle("/debug/events", trace.EventsHandler(fs.Events()))
+			// /io routes HTTP reads and writes through the gateway's own
+			// data path, so the traces and exemplars above reflect real
+			// traffic.
+			mux.Handle("/io/", ioHandler(fs))
+		}
 		hsrv := &http.Server{Addr: *healthAddr, Handler: mux}
 		go func() {
 			if err := hsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -107,6 +131,15 @@ func main() {
 		}()
 		defer hsrv.Close()
 		fmt.Printf("memfsd: health endpoint on http://%s/healthz (metrics on /metrics)\n", *healthAddr)
+	}
+
+	if *debugAddr != "" {
+		stop := make(chan struct{})
+		defer close(stop)
+		registerRuntimeGauges(reg, stop)
+		dsrv := serveDebug(*debugAddr, fs)
+		defer dsrv.Close()
+		fmt.Printf("memfsd: debug endpoint on http://%s/debug/pprof/ (traces on /debug/traces)\n", *debugAddr)
 	}
 
 	sig := make(chan os.Signal, 1)

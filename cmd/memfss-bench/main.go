@@ -476,6 +476,10 @@ type latencyRow struct {
 	P50ms  float64 `json:"p50_ms"`
 	P95ms  float64 `json:"p95_ms"`
 	P99ms  float64 `json:"p99_ms"`
+	// WorstTrace is the exemplar trace ID from the series' highest
+	// occupied latency bucket — the join key from this row's p99 to the
+	// retained trace explaining it (fetch with memfsctl trace get).
+	WorstTrace string `json:"worst_trace,omitempty"`
 }
 
 func latencyRows(fams []obs.FamilySnapshot) []latencyRow {
@@ -489,13 +493,17 @@ func latencyRows(fams []obs.FamilySnapshot) []latencyRow {
 			if s == nil || s.Count == 0 {
 				return
 			}
-			rows = append(rows, latencyRow{
+			row := latencyRow{
 				Series: famName + labels.String(),
 				Count:  s.Count,
 				P50ms:  quantileMs(s, fams[i].Bounds, 0.50),
 				P95ms:  quantileMs(s, fams[i].Bounds, 0.95),
 				P99ms:  quantileMs(s, fams[i].Bounds, 0.99),
-			})
+			}
+			if ex, ok := s.WorstExemplar(); ok {
+				row.WorstTrace = fmt.Sprintf("%016x", ex.TraceID)
+			}
+			rows = append(rows, row)
 			return
 		}
 	}
@@ -613,7 +621,7 @@ func runTenants(classes []core.ClassSpec, password string, red core.Redundancy, 
 	var rev qos.RevokeReport
 	revoked := false
 	if len(classes) > 1 {
-		broker := qos.NewBroker(qos.BrokerOptions{Evac: fs, Obs: reg})
+		broker := qos.NewBroker(qos.BrokerOptions{Evac: fs, Obs: reg, Journal: fs.Events()})
 		const noticeSLO = 100 * time.Millisecond
 		if err := fs.AdvertiseCapacity(broker, noticeSLO); err != nil {
 			log.Fatal(err)

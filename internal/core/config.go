@@ -167,6 +167,24 @@ type ObsPolicy struct {
 	SlowOpThreshold time.Duration
 	// Logf receives slow-op lines (default log.Printf).
 	Logf func(format string, args ...any)
+	// TraceCapacity bounds each in-process trace retention ring (one for
+	// interesting traces — errored/degraded/slow — and one for sampled
+	// healthy traces); 0 means the 256-per-ring default.
+	TraceCapacity int
+	// TraceSampleEvery keeps one in every N healthy fast traces (0 means
+	// the 1-in-16 default; negative retains only interesting traces).
+	TraceSampleEvery int
+	// EventCapacity bounds the flight-recorder journal of cluster events
+	// (health transitions, evacuations, leases, repairs, quota
+	// rejections); 0 means the 1024 default.
+	EventCapacity int
+	// DisableTracing turns off span construction and trace retention
+	// while keeping every metric family and the flight recorder. It
+	// exists for the tracer-overhead ablation (BenchmarkWriteTraceOn/Off
+	// and the bench-gate budget); production deployments should leave
+	// tracing on — tail-based sampling keeps its cost to span appends on
+	// the operations that already paid for I/O.
+	DisableTracing bool
 }
 
 // RetryPolicy bounds how the data path handles transport failures against

@@ -108,10 +108,11 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	if end := off + int64(len(p)); end > oldSize {
 		growth = end - oldSize
 	}
-	if err := f.fs.qosAdmitWrite(f.tenant, growth, int64(len(p))); err != nil {
+	tr := f.fs.newTrace("write", f.path, off, len(p))
+	if err := f.fs.qosAdmitWriteTraced(tr, f.tenant, growth, int64(len(p))); err != nil {
+		tr.abort(err)
 		return 0, err
 	}
-	tr := f.fs.newTrace("write", f.path, off, len(p))
 	starts := spanStarts(spans)
 	var okSpans int
 	if f.coder == nil && f.fs.pipeDepth > 1 && len(spans) > 1 {
@@ -270,10 +271,11 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		return 0, err
 	}
 	// QoS admission: pace the payload through the tenant's share.
-	if err := f.fs.qosAdmitRead(f.tenant, want); err != nil {
+	tr := f.fs.newTrace("read", f.path, off, len(p))
+	if err := f.fs.qosAdmitReadTraced(tr, f.tenant, want); err != nil {
+		tr.abort(err)
 		return 0, err
 	}
-	tr := f.fs.newTrace("read", f.path, off, len(p))
 	starts := spanStarts(spans)
 	var okSpans int
 	if f.coder == nil && f.fs.pipeDepth > 1 && len(spans) > 1 {
@@ -418,7 +420,7 @@ func (f *File) writeSpan(tr *opTrace, span stripe.Span, data []byte) error {
 		}
 		errs[i] = write(nodes[i], &stats[i])
 		o.stripeHist("write", cls).Observe(stats[i].Dur)
-		tr.phase(span.Index, nodes[i], cls, stats[i].Attempts, stats[i].Dur,
+		tr.phaseOp(span.Index, nodes[i], cls, stats[i],
 			phaseOutcome(errs[i], stats[i].Attempts))
 	}
 	if f.fs.pipeDepth <= 1 {
@@ -443,7 +445,10 @@ func (f *File) writeSpan(tr *opTrace, span stripe.Span, data []byte) error {
 	}
 	degraded, err := f.settleReplicaWrite(errs)
 	if degraded {
-		f.fs.enqueueRepair(f.path, sk, span.Index)
+		tr.markDegraded()
+		leg := tr.leg("repair-enqueue")
+		f.fs.enqueueRepair(f.path, sk, span.Index, tr.traceID())
+		leg.End(nil)
 	}
 	f.fs.noteNoSpaceOutcomes(nodes, errs)
 	if err != nil && isNoSpace(err) {
@@ -594,7 +599,7 @@ func (f *File) writeSpanErasure(tr *opTrace, sk string, span stripe.Span, data [
 		g := f.gatherStripe(tr, sk, span.Index, curLen, true)
 		gen = g.maxGen
 		if g.found >= k {
-			existing, err := f.reconstructGather(g, curLen)
+			existing, err := f.reconstructGather(tr, g, curLen)
 			if err != nil {
 				o.outcome("write", "error").Inc()
 				return err
@@ -639,7 +644,7 @@ func (f *File) writeSpanErasure(tr *opTrace, sk string, span stripe.Span, data [
 		}
 		errs[i] = err
 		o.stripeHist("write", cls).Observe(stats[i].Dur)
-		tr.phase(span.Index, nodes[i], cls, stats[i].Attempts, stats[i].Dur,
+		tr.phaseOp(span.Index, nodes[i], cls, stats[i],
 			phaseOutcome(err, stats[i].Attempts))
 	}
 	attempted := len(nodes)
@@ -666,7 +671,10 @@ func (f *File) writeSpanErasure(tr *opTrace, sk string, span stripe.Span, data [
 	}
 	degraded, err := f.settleErasureWrite(errs[:attempted], k)
 	if degraded || (err != nil && anyLanded(errs[:attempted])) {
-		f.fs.enqueueRepair(f.path, sk, span.Index)
+		tr.markDegraded()
+		leg := tr.leg("repair-enqueue")
+		f.fs.enqueueRepair(f.path, sk, span.Index, tr.traceID())
+		leg.End(nil)
 	}
 	f.fs.noteNoSpaceOutcomes(nodes[:attempted], errs[:attempted])
 	if err != nil && isNoSpace(err) {
@@ -798,27 +806,30 @@ func (f *File) readSpanInto(tr *opTrace, span stripe.Span, dst []byte) error {
 			retried = true
 		}
 		if err != nil {
-			tr.phase(span.Index, node, cls, st.Attempts, st.Dur, "error")
+			tr.phaseOp(span.Index, node, cls, st, "error")
 			continue // unreachable or failed node: probe the next one
 		}
 		sawReachable = true
 		if !ok {
-			tr.phase(span.Index, node, cls, st.Attempts, st.Dur, "miss")
+			tr.phaseOp(span.Index, node, cls, st, "miss")
 			continue
 		}
 		if !containsString(primaries, node) {
-			tr.phase(span.Index, node, cls, st.Attempts, st.Dur, "deep")
+			tr.phaseOp(span.Index, node, cls, st, "deep")
+			tr.markDegraded()
 			f.fs.stats.deepProbes.Add(1)
+			leg := tr.leg("lazy-repair")
 			f.repairStripe(key, node, primaries)
+			leg.End(nil)
 			// A deep-probe miss is also repair-queue evidence: the stripe
 			// sits off its placement until the lazy move (above) or the
 			// background repairer restores it.
-			f.fs.enqueueRepair(f.path, sk, span.Index)
+			f.fs.enqueueRepair(f.path, sk, span.Index, tr.traceID())
 			// A read served off its placement is a degraded read: correct
 			// bytes, wrong node, pending repair.
 			o.outcome("read", "degraded").Inc()
 		} else {
-			tr.phase(span.Index, node, cls, st.Attempts, st.Dur, phaseOutcome(nil, st.Attempts))
+			tr.phaseOp(span.Index, node, cls, st, phaseOutcome(nil, st.Attempts))
 			if retried {
 				o.outcome("read", "retry").Inc()
 			} else {
@@ -924,7 +935,7 @@ func (f *File) gatherStripe(tr *opTrace, sk string, idx, stripeLen int64, probeA
 			if err != nil || ok {
 				out = phaseOutcome(err, st.Attempts)
 			}
-			tr.phase(idx, nodes[i], cls, st.Attempts, st.Dur, out)
+			tr.phaseOp(idx, nodes[i], cls, st, out)
 			ch <- fetch{slot: i, data: data, ok: ok, err: err}
 		}()
 	}
@@ -1013,7 +1024,7 @@ func (g *ecGather) winnerShards() [][]byte {
 
 // reconstructGather turns a winning gather into stripe bytes, rebuilding
 // any missing data shards from the survivors.
-func (f *File) reconstructGather(g *ecGather, stripeLen int64) ([]byte, error) {
+func (f *File) reconstructGather(tr *opTrace, g *ecGather, stripeLen int64) ([]byte, error) {
 	k := f.coder.K()
 	shards := g.winnerShards()
 	data := shards[:k]
@@ -1023,11 +1034,13 @@ func (f *File) reconstructGather(g *ecGather, stripeLen int64) ([]byte, error) {
 		}
 		start := time.Now()
 		rec, err := f.coder.Reconstruct(shards)
+		elapsed := time.Since(start)
+		tr.recLeg("ec-reconstruct", elapsed, phaseOutcome(err, 0))
 		if err != nil {
 			return nil, err
 		}
 		f.fs.stats.ecReconstructs.Add(1)
-		f.fs.obs.ecReconstructHist().Observe(time.Since(start))
+		f.fs.obs.ecReconstructHist().Observe(elapsed)
 		data = rec
 		break
 	}
@@ -1041,7 +1054,7 @@ func (f *File) reconstructGather(g *ecGather, stripeLen int64) ([]byte, error) {
 // repair pass fixes; without this, a read that found its k shards would
 // let redundancy silently decay until a full scrub noticed. Returns
 // whether anything was off (the read was degraded).
-func (f *File) noteStripeState(sk string, idx int64, g *ecGather) bool {
+func (f *File) noteStripeState(tr *opTrace, sk string, idx int64, g *ecGather) bool {
 	if g.mixed {
 		f.fs.stats.ecGenConflicts.Add(1)
 	}
@@ -1059,7 +1072,10 @@ func (f *File) noteStripeState(sk string, idx int64, g *ecGather) bool {
 		}
 	}
 	if needs {
-		f.fs.enqueueRepair(f.path, sk, idx)
+		tr.markDegraded()
+		leg := tr.leg("repair-enqueue")
+		f.fs.enqueueRepair(f.path, sk, idx, tr.traceID())
+		leg.End(nil)
 	}
 	return needs
 }
@@ -1082,14 +1098,14 @@ func (f *File) readStripeErasure(tr *opTrace, sk string, idx, stripeLen int64) (
 			// which reads as zeros. (No repair: absence is its state.)
 			return make([]byte, stripeLen), false, nil
 		}
-		f.noteStripeState(sk, idx, g)
+		f.noteStripeState(tr, sk, idx, g)
 		if g.present == 0 && g.absent == 0 {
 			return nil, false, fmt.Errorf("%w: %s (no reachable shard)", ErrDataLoss, sk)
 		}
 		return nil, false, fmt.Errorf("%w: %s (%d of %d shards of one write)", ErrDataLoss, sk, g.found, k)
 	}
-	degraded := f.noteStripeState(sk, idx, g)
-	buf, err := f.reconstructGather(g, stripeLen)
+	degraded := f.noteStripeState(tr, sk, idx, g)
+	buf, err := f.reconstructGather(tr, g, stripeLen)
 	if err != nil {
 		return nil, false, err
 	}

@@ -13,6 +13,7 @@ import (
 	"memfss/internal/health"
 	"memfss/internal/hrw"
 	"memfss/internal/obs"
+	"memfss/internal/obs/trace"
 	"memfss/internal/stripe"
 )
 
@@ -45,6 +46,13 @@ type FileSystem struct {
 	detector *health.Detector
 	prober   *health.Prober
 	repairs  *repairQueue
+
+	// healthEvStop/healthEvCancel tear down the flight-recorder pump that
+	// journals detector state transitions (both nil when detector or
+	// telemetry is disabled). Subscribe's cancel only unsubscribes — it
+	// never closes the channel — so the pump selects on the stop channel.
+	healthEvStop   chan struct{}
+	healthEvCancel func()
 
 	// draining is the revocation write fence, kept FS-side (not only in
 	// the detector) so fencing works with the detector disabled.
@@ -190,11 +198,45 @@ func New(cfg Config) (*FileSystem, error) {
 		})
 		fs.prober.Start()
 	}
+	if detector != nil && fs.obs != nil {
+		ch, cancel := detector.Subscribe(64)
+		fs.healthEvStop = make(chan struct{})
+		fs.healthEvCancel = cancel
+		go fs.pumpHealthEvents(ch)
+	}
 	if !cfg.Repair.Disable {
 		fs.repairs = newRepairQueue(fs, cfg.Repair)
 		fs.repairs.start()
 	}
 	return fs, nil
+}
+
+// pumpHealthEvents copies detector state transitions into the flight
+// recorder, linking each to the trace that last saw the node fail (the
+// operation whose failed store op fed the detector the evidence).
+func (fs *FileSystem) pumpHealthEvents(ch <-chan health.Event) {
+	for {
+		select {
+		case ev := <-ch:
+			fs.obs.note("health", ev.Node,
+				fmt.Sprintf("%s -> %s", ev.From, ev.To),
+				fs.obs.lastNodeTrace(ev.Node))
+		case <-fs.healthEvStop:
+			return
+		}
+	}
+}
+
+// Traces returns the retained-trace store behind /debug/traces, or nil
+// when telemetry is disabled.
+func (fs *FileSystem) Traces() *trace.Store {
+	return fs.obs.traces()
+}
+
+// Events returns the cluster flight recorder behind /debug/events, or
+// nil when telemetry is disabled.
+func (fs *FileSystem) Events() *trace.Journal {
+	return fs.obs.events()
 }
 
 // probeNode is the active-probe primitive: one PING attempt, no retries,
@@ -299,6 +341,10 @@ func (fs *FileSystem) Close() error {
 	fs.mu.Unlock()
 	if fs.prober != nil {
 		fs.prober.Stop()
+	}
+	if fs.healthEvCancel != nil {
+		fs.healthEvCancel()
+		close(fs.healthEvStop)
 	}
 	if fs.repairs != nil {
 		fs.repairs.stop()

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"memfss/internal/obs"
+	"memfss/internal/obs/trace"
 )
 
 func withObs(pol ObsPolicy) deployOpt {
@@ -149,6 +150,52 @@ func TestSlowOpLog(t *testing.T) {
 	if findFamily(fams, "memfss_fs_slow_ops_total") == nil || familyTotal(fams, "memfss_fs_slow_ops_total") == 0 {
 		t.Error("memfss_fs_slow_ops_total did not count the slow ops")
 	}
+	// Slow ops are always retained: each logged trace ID resolves in the
+	// store to a full span tree carrying at least one store span.
+	store := d.fs.Traces()
+	if store == nil {
+		t.Fatal("Traces() = nil with telemetry enabled")
+	}
+	if slow := store.Slow(16); len(slow) == 0 {
+		t.Fatal("no slow traces retained despite slow-op lines")
+	}
+	for _, ln := range lines {
+		id := ln[strings.Index(ln, "trace=")+len("trace=") : strings.Index(ln, " op=")]
+		td := store.Get(id)
+		if td == nil {
+			t.Fatalf("logged trace %s not retained in the store", id)
+		}
+		if !td.Slow {
+			t.Fatalf("retained trace %s not marked slow", id)
+		}
+		stores := 0
+		td.Root.Walk(func(_ int, sp *trace.SpanData) {
+			if sp.Name == "store" || sp.Name == "burst" {
+				stores++
+			}
+		})
+		if stores == 0 {
+			t.Fatalf("trace %s has no store spans: %+v", id, td.Root)
+		}
+	}
+	// The p99 buckets carry exemplars: the op histograms must expose the
+	// trace ID of a recent slow op.
+	opsF := findFamily(fams, "memfss_fs_op_seconds")
+	if opsF == nil {
+		t.Fatal("memfss_fs_op_seconds family missing")
+	}
+	sawExemplar := false
+	for i := range opsF.Series {
+		if ex, ok := opsF.Series[i].WorstExemplar(); ok {
+			sawExemplar = true
+			if store.Get(fmt.Sprintf("%016x", ex.TraceID)) == nil {
+				t.Errorf("exemplar trace %016x not retained", ex.TraceID)
+			}
+		}
+	}
+	if !sawExemplar {
+		t.Error("no op_seconds series carries an exemplar")
+	}
 }
 
 // TestObsDisabled checks the kill switch: no registry, no snapshot, and
@@ -256,6 +303,13 @@ func benchWriteObs(b *testing.B, pol ObsPolicy) {
 
 func BenchmarkWriteTelemetryOn(b *testing.B)  { benchWriteObs(b, ObsPolicy{}) }
 func BenchmarkWriteTelemetryOff(b *testing.B) { benchWriteObs(b, ObsPolicy{Disable: true}) }
+
+// BenchmarkWriteTraceOn/Off isolate the span tracer: both keep the
+// metric families, Off skips span construction and trace retention.
+// scripts/bench_gate.sh compares the pair against the <= 5% overhead
+// budget.
+func BenchmarkWriteTraceOn(b *testing.B)  { benchWriteObs(b, ObsPolicy{}) }
+func BenchmarkWriteTraceOff(b *testing.B) { benchWriteObs(b, ObsPolicy{DisableTracing: true}) }
 
 // TestSharedRegistry checks that an embedder-provided registry receives
 // the FileSystem's families (the memfsd gateway wiring).

@@ -110,7 +110,7 @@ func (f *File) runBurst(tr *opTrace, nb nodeBurst, done func(c spanCmd, r *kvsto
 	}
 	var st kvstore.OpStat
 	replies, err := pl.RunStat(&st)
-	tr.phase(-1, nb.node, f.fs.conns.class(nb.node), st.Attempts, st.Dur,
+	tr.phaseOp(-1, nb.node, f.fs.conns.class(nb.node), st,
 		phaseOutcome(err, st.Attempts))
 	if err != nil {
 		for _, c := range nb.cmds {
@@ -224,7 +224,10 @@ func (f *File) writeSpansPipelined(tr *opTrace, spans []stripe.Span, starts []in
 			err = o.storeErr
 		case replicas[i] > 1 && replicas[i]-failed >= f.fs.writeQuorum:
 			f.fs.stats.degradedWrites.Add(1)
-			f.fs.enqueueRepair(f.path, sks[i], spans[i].Index)
+			tr.markDegraded()
+			leg := tr.leg("repair-enqueue")
+			f.fs.enqueueRepair(f.path, sks[i], spans[i].Index, tr.traceID())
+			leg.End(nil)
 			fsObs.outcome("write", "degraded").Inc()
 		default:
 			err = o.transErr

@@ -56,6 +56,37 @@ func (fs *FileSystem) qosAdmitRead(tenant string, n int64) error {
 	return fs.tenants().Take(tenant, "read", n)
 }
 
+// qosAdmitWriteTraced is qosAdmitWrite with the admission wait recorded
+// as a trace leg and rejections journaled to the flight recorder — quota
+// denials are cluster events an operator replays, not just errors the
+// caller sees. No-ops (and records nothing) when QoS is off.
+func (fs *FileSystem) qosAdmitWriteTraced(tr *opTrace, tenant string, growth, n int64) error {
+	if fs.tenants() == nil {
+		return nil
+	}
+	start := time.Now()
+	err := fs.qosAdmitWrite(tenant, growth, n)
+	tr.recLeg("qos-admit", time.Since(start), phaseOutcome(err, 0))
+	if err != nil {
+		fs.obs.noteQuota(tenant, "write: "+err.Error(), tr.traceID())
+	}
+	return err
+}
+
+// qosAdmitReadTraced mirrors qosAdmitWriteTraced for the read path.
+func (fs *FileSystem) qosAdmitReadTraced(tr *opTrace, tenant string, n int64) error {
+	if fs.tenants() == nil {
+		return nil
+	}
+	start := time.Now()
+	err := fs.qosAdmitRead(tenant, n)
+	tr.recLeg("qos-admit", time.Since(start), phaseOutcome(err, 0))
+	if err != nil {
+		fs.obs.noteQuota(tenant, "read: "+err.Error(), tr.traceID())
+	}
+	return err
+}
+
 // qosCreditTenant returns unused quota reservation (short writes).
 func (fs *FileSystem) qosCreditTenant(tenant string, n int64) {
 	fs.tenants().Credit(tenant, n)

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"memfss/internal/health"
 	"memfss/internal/obs"
+	"memfss/internal/obs/trace"
 )
 
 // This file implements the targeted repair queue: instead of waiting for
@@ -26,6 +28,10 @@ type repairUnit struct {
 	// enqueuedAt is when the unit first entered the queue; the interval to
 	// its successful repair is the time-to-restored-redundancy metric.
 	enqueuedAt time.Time
+	// src links back to the trace whose degraded operation reported the
+	// stripe, so the flight recorder's enqueue->restored pair names the
+	// operation that witnessed the damage.
+	src trace.ID
 }
 
 func (u repairUnit) key() string { return u.path + "#" + u.sk }
@@ -176,8 +182,8 @@ func (q *repairQueue) kick() {
 // enqueue records that path's stripe sk needs a redundancy check.
 // Duplicates of units already queued or parked are dropped; a full queue
 // trips the overflow path (one full Scrub owed) instead of growing.
-func (q *repairQueue) enqueue(path, sk string, idx int64) {
-	u := repairUnit{path: path, sk: sk, idx: idx, enqueuedAt: time.Now()}
+func (q *repairQueue) enqueue(path, sk string, idx int64, src trace.ID) {
+	u := repairUnit{path: path, sk: sk, idx: idx, enqueuedAt: time.Now(), src: src}
 	q.mu.Lock()
 	if q.seen[u.key()] {
 		q.mu.Unlock()
@@ -188,6 +194,7 @@ func (q *repairQueue) enqueue(path, sk string, idx int64) {
 		q.scrubDue = true
 		q.overflows.Add(1)
 		q.mu.Unlock()
+		q.fs.obs.note("repair", "", "overflow: "+u.key()+" dropped, full scrub owed", src)
 		q.kick()
 		return
 	}
@@ -195,6 +202,7 @@ func (q *repairQueue) enqueue(path, sk string, idx int64) {
 	q.active = append(q.active, u)
 	q.enqueued.Add(1)
 	q.mu.Unlock()
+	q.fs.obs.note("repair", "", "enqueued "+u.key(), src)
 	q.kick()
 }
 
@@ -360,12 +368,19 @@ func (q *repairQueue) repairOne(u repairUnit) {
 	switch {
 	case out.reason != "":
 		q.unrepairable.Add(1)
+		q.fs.obs.note("repair", "", "unrepairable "+u.key()+": "+out.reason, u.src)
 	case len(out.pending) > 0:
 		q.park(u, out.pending)
+		q.fs.obs.note("repair", "", fmt.Sprintf("parked %s waiting on %v", u.key(), out.pending), u.src)
 	default:
 		q.repaired.Add(1)
 		if !u.enqueuedAt.IsZero() {
-			q.waitHist.Observe(time.Since(u.enqueuedAt))
+			wait := time.Since(u.enqueuedAt)
+			q.waitHist.Observe(wait)
+			q.fs.obs.note("repair", "", fmt.Sprintf("restored %s (+%d copies, wait %s)",
+				u.key(), out.restored, wait.Round(time.Millisecond)), u.src)
+		} else {
+			q.fs.obs.note("repair", "", fmt.Sprintf("restored %s (+%d copies)", u.key(), out.restored), u.src)
 		}
 	}
 }
@@ -427,9 +442,9 @@ func (q *repairQueue) idle() bool {
 
 // enqueueRepair hands a known-degraded stripe to the repair queue (no-op
 // when the queue is disabled).
-func (fs *FileSystem) enqueueRepair(path, sk string, idx int64) {
+func (fs *FileSystem) enqueueRepair(path, sk string, idx int64, src trace.ID) {
 	if fs.repairs != nil {
-		fs.repairs.enqueue(path, sk, idx)
+		fs.repairs.enqueue(path, sk, idx, src)
 	}
 }
 

@@ -235,6 +235,8 @@ func (fs *FileSystem) Evacuate(ctx context.Context, nodeID string, opts EvacOpti
 		if h := fs.obs.evacPhase(name); h != nil {
 			h.Observe(now.Sub(phaseStart))
 		}
+		fs.obs.note("evac", nodeID,
+			fmt.Sprintf("phase %s done in %s", name, now.Sub(phaseStart).Round(time.Millisecond)), 0)
 		phaseStart = now
 	}
 	rep := &EvacReport{Node: nodeID, Deadline: deadline}
@@ -356,7 +358,7 @@ func (fs *FileSystem) Evacuate(ctx context.Context, nodeID string, opts EvacOpti
 				}
 				rep.Deferred++
 				if tgt, err := fs.rehomeTarget(nodeID, key); err == nil && tgt != nil {
-					fs.enqueueRepair(tgt.path, tgt.sk, tgt.idx)
+					fs.enqueueRepair(tgt.path, tgt.sk, tgt.idx, 0)
 				}
 			}
 		}
@@ -385,6 +387,9 @@ func (fs *FileSystem) Evacuate(ctx context.Context, nodeID string, opts EvacOpti
 	observePhase("release")
 	rep.Elapsed = time.Since(start)
 	fs.obs.evacReport(rep)
+	fs.obs.note("evac", nodeID,
+		fmt.Sprintf("done: moved=%d deferred=%d forced=%v in %s",
+			rep.Moved, rep.Deferred, rep.Forced, rep.Elapsed.Round(time.Millisecond)), 0)
 	if flushErr != nil {
 		return rep, fmt.Errorf("core: evacuate %s: flush: %w", nodeID, flushErr)
 	}
@@ -508,6 +513,10 @@ func (fs *FileSystem) DrainNode(ctx context.Context, nodeID string, targetBytes 
 	rep.Skipped = len(skipped)
 	rep.Elapsed = time.Since(start)
 	fs.obs.drainReport(rep)
+	fs.obs.note("drain", nodeID,
+		fmt.Sprintf("partial drain done: moved=%d passes=%d %d->%d bytes in %s",
+			rep.Moved, rep.Passes, rep.BytesBefore, rep.BytesAfter,
+			rep.Elapsed.Round(time.Millisecond)), 0)
 	return rep, nil
 }
 

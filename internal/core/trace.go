@@ -3,14 +3,14 @@ package core
 import (
 	"fmt"
 	"log"
-	"math/rand"
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"memfss/internal/kvstore"
 	"memfss/internal/obs"
+	"memfss/internal/obs/trace"
 )
 
 // This file holds the FileSystem-level telemetry beyond plain counters:
@@ -27,6 +27,15 @@ import (
 // is enabled. A nil *fsObs (telemetry disabled) no-ops everywhere.
 type fsObs struct {
 	reg *obs.Registry
+
+	// tracer retains span trees under tail-based sampling; journal is the
+	// always-on flight recorder for cluster events. nodeErr remembers, per
+	// node, the last trace that witnessed a store-op failure against it so
+	// health transitions can link back to the operation that saw the node
+	// die first.
+	tracer  *trace.Tracer
+	journal *trace.Journal
+	nodeErr sync.Map // node -> trace.ID
 
 	writeSeconds *obs.Histogram // memfss_fs_op_seconds{op="write"}
 	readSeconds  *obs.Histogram // memfss_fs_op_seconds{op="read"}
@@ -101,6 +110,14 @@ func newFSObs(reg *obs.Registry, pol ObsPolicy) *fsObs {
 	if o.logf == nil {
 		o.logf = log.Printf
 	}
+	if !pol.DisableTracing {
+		o.tracer = trace.New(trace.Config{
+			Capacity:      pol.TraceCapacity,
+			SampleEvery:   pol.TraceSampleEvery,
+			SlowThreshold: o.slowThr,
+		})
+	}
+	o.journal = trace.NewJournal(pol.EventCapacity)
 	// Pre-register the outcome and slow-op families so /metrics shows
 	// them before any traffic — including the degraded outcomes, so
 	// dashboards can alert on them from zero instead of discovering the
@@ -212,16 +229,241 @@ func (o *fsObs) slowCounter(op string) *obs.Counter {
 
 // --- per-operation tracing --------------------------------------------------
 
-// traceBase ^ traceSeq yields process-unique trace IDs without a lock;
-// the random base keeps IDs from colliding across processes in a
-// multi-client deployment's merged logs.
-var (
-	traceBase = rand.Uint64()
-	traceSeq  atomic.Uint64
-)
+// note records a flight-recorder event; nil-safe.
+func (o *fsObs) note(typ, node, detail string, id trace.ID) {
+	if o == nil {
+		return
+	}
+	o.journal.Note(typ, node, detail, id)
+}
 
-// tracePhase is one recorded step of an operation: a stripe-level store
-// op (or a whole pipeline burst when stripe is -1).
+// traces returns the retained-trace store; nil-safe (nil when disabled).
+func (o *fsObs) traces() *trace.Store {
+	if o == nil {
+		return nil
+	}
+	return o.tracer.Store()
+}
+
+// events returns the flight recorder; nil-safe (nil when disabled).
+func (o *fsObs) events() *trace.Journal {
+	if o == nil {
+		return nil
+	}
+	return o.journal
+}
+
+// noteQuota journals a tenant quota/pacing rejection; nil-safe.
+func (o *fsObs) noteQuota(tenant, detail string, id trace.ID) {
+	if o == nil {
+		return
+	}
+	ev := trace.Event{Type: "quota", Tenant: tenant, Detail: detail}
+	if id != 0 {
+		ev.Trace = id.String()
+	}
+	o.journal.Record(ev)
+}
+
+// recordNodeErr remembers the trace that last saw node fail a store op.
+func (o *fsObs) recordNodeErr(node string, id trace.ID) {
+	if o == nil || node == "" || id == 0 {
+		return
+	}
+	o.nodeErr.Store(node, id)
+}
+
+// lastNodeTrace returns the trace that last witnessed node failing, so a
+// health transition event can link the operation that saw it die.
+func (o *fsObs) lastNodeTrace(node string) trace.ID {
+	if o == nil {
+		return 0
+	}
+	if v, ok := o.nodeErr.Load(node); ok {
+		return v.(trace.ID)
+	}
+	return 0
+}
+
+// opTrace wraps one WriteAt/ReadAt's span tree. The old flat-phase
+// recorder grew into a real hierarchy: root op span -> per-stripe spans
+// (created lazily on first touch) -> store-op spans -> per-connection-
+// attempt spans, plus side legs for repair enqueues and EC
+// reconstruction. All methods are nil-safe: a nil trace (telemetry
+// disabled) costs one branch per call site.
+type opTrace struct {
+	o *fsObs
+	t *trace.Trace
+
+	op    string
+	path  string
+	off   int64
+	bytes int
+	start time.Time
+
+	mu      sync.Mutex
+	stripes map[int64]trace.Span
+}
+
+// newTrace starts a trace for one operation, or nil when telemetry is off.
+func (fs *FileSystem) newTrace(op, path string, off int64, n int) *opTrace {
+	if fs.obs == nil {
+		return nil
+	}
+	return &opTrace{
+		o:     fs.obs,
+		t:     fs.obs.tracer.Start(op, path, off, n),
+		op:    op,
+		path:  path,
+		off:   off,
+		bytes: n,
+		start: time.Now(),
+	}
+}
+
+// traceID returns the operation's trace ID (0 when tracing is off).
+func (t *opTrace) traceID() trace.ID {
+	if t == nil {
+		return 0
+	}
+	return t.t.ID()
+}
+
+// markDegraded flags the trace for unconditional retention.
+func (t *opTrace) markDegraded() {
+	if t == nil {
+		return
+	}
+	t.t.MarkDegraded()
+}
+
+// stripeSpan returns the parent span for ops on one stripe: the root for
+// pipeline bursts (stripe < 0), else a per-stripe span opened on first
+// touch and closed when the trace finishes.
+func (t *opTrace) stripeSpan(stripe int64) trace.Span {
+	if stripe < 0 {
+		return t.t.Root()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp, ok := t.stripes[stripe]
+	if !ok {
+		if t.stripes == nil {
+			t.stripes = make(map[int64]trace.Span)
+		}
+		sp = t.t.Root().Stripe("stripe", stripe)
+		t.stripes[stripe] = sp
+	}
+	return sp
+}
+
+// storeSpanName distinguishes stripe-scoped store ops from whole
+// pipeline bursts in the span tree.
+func storeSpanName(stripe int64) string {
+	if stripe < 0 {
+		return "burst"
+	}
+	return "store"
+}
+
+// noteErr records node attribution for failed store ops so health events
+// can link the trace that saw the node fail.
+func (t *opTrace) noteErr(node, outcome string) {
+	if outcome == "error" || outcome == "miss" {
+		t.o.recordNodeErr(node, t.t.ID())
+	}
+}
+
+// phase records one already-measured store op (or burst) as a completed
+// span; kept for call sites without per-attempt detail.
+func (t *opTrace) phase(stripe int64, node, class string, attempts int, dur time.Duration, outcome string) {
+	if t == nil {
+		return
+	}
+	t.stripeSpan(stripe).Record(storeSpanName(stripe), node, class, stripe, attempts, dur, outcome)
+	t.noteErr(node, outcome)
+}
+
+// phaseOp records a store op from its kvstore OpStat, expanding retried
+// operations into per-attempt child spans (attempt i's duration excludes
+// backoff sleeps; every attempt but the last ended in a retry).
+func (t *opTrace) phaseOp(stripe int64, node, class string, st kvstore.OpStat, outcome string) {
+	if t == nil {
+		return
+	}
+	sp := t.stripeSpan(stripe).Record(storeSpanName(stripe), node, class, stripe, st.Attempts, st.Dur, outcome)
+	if st.Attempts > 1 {
+		n := st.Attempts
+		if n > kvstore.StatAttemptCap {
+			n = kvstore.StatAttemptCap
+		}
+		for i := 0; i < n; i++ {
+			out := "retry"
+			if i == st.Attempts-1 {
+				out = outcome
+			}
+			sp.Record("attempt", node, class, stripe, i+1, st.AttemptDur[i], out)
+		}
+	}
+	t.noteErr(node, outcome)
+}
+
+// leg opens a named side leg under the root span (repair enqueue, EC
+// reconstruction, deep probe); callers close it with End/EndOutcome.
+func (t *opTrace) leg(name string) trace.Span {
+	if t == nil {
+		return trace.Span{}
+	}
+	return t.t.Root().Child(name)
+}
+
+// recLeg records an already-measured side leg under the root span.
+func (t *opTrace) recLeg(name string, dur time.Duration, outcome string) {
+	if t == nil {
+		return
+	}
+	t.t.Root().Record(name, "", "", -1, 0, dur, outcome)
+}
+
+// abort closes a trace for an operation rejected before any store I/O
+// (QoS admission denial): the errored trace is retained for forensics but
+// the op never ran, so it stays out of the latency histograms and the
+// slow-op log.
+func (t *opTrace) abort(err error) {
+	if t == nil {
+		return
+	}
+	t.t.Finish(err)
+}
+
+// finishTrace closes the trace: observe the end-to-end histogram (with
+// the trace ID as its exemplar), run the tail-sampling retention
+// decision, and — when the operation exceeded the slow threshold — emit
+// the structured slow-op line rendered from the span tree. spans is the
+// operation's stripe-span count. A negative threshold keeps the
+// histograms but disables slow retention and the log line.
+func (fs *FileSystem) finishTrace(t *opTrace, spans int, err error) {
+	o := fs.obs
+	if o == nil || t == nil {
+		return
+	}
+	data, _ := t.t.Finish(err)
+	elapsed := time.Since(t.start)
+	hist := o.readSeconds
+	if t.op == "write" {
+		hist = o.writeSeconds
+	}
+	hist.ObserveExemplar(elapsed, uint64(t.t.ID()))
+	if o.slowThr < 0 || elapsed < o.slowThr {
+		return
+	}
+	o.slowCounter(t.op).Inc()
+	o.logf("memfss: slow-op trace=%s op=%s path=%s off=%d bytes=%d elapsed=%s spans=%d err=%v phases=%s",
+		t.t.ID(), t.op, t.path, t.off, t.bytes, elapsed.Round(time.Microsecond), spans, err, renderSpanPhases(data))
+}
+
+// tracePhase is the flat view of one store-op span, kept as the slow-op
+// log line's rendering unit.
 type tracePhase struct {
 	stripe   int64 // stripe index, -1 for a multi-stripe burst
 	node     string
@@ -231,87 +473,24 @@ type tracePhase struct {
 	outcome  string // ok | retry | deep | error | skipped | miss
 }
 
-// opTrace accumulates the phases of one WriteAt/ReadAt. All methods are
-// nil-safe: a nil trace (telemetry or slow-op logging disabled) costs
-// one branch per call site.
-type opTrace struct {
-	id    uint64
-	op    string
-	path  string
-	off   int64
-	bytes int
-
-	start  time.Time
-	mu     sync.Mutex
-	phases []tracePhase
-}
-
-// tracePhaseCap bounds the phases kept per operation: a huge write's
-// trace stays useful (and cheap) by keeping the head and letting finish
-// report the slowest phases.
-const tracePhaseCap = 256
-
-// newTrace starts a trace for one operation, or nil when telemetry is off.
-func (fs *FileSystem) newTrace(op, path string, off int64, n int) *opTrace {
-	if fs.obs == nil {
-		return nil
-	}
-	return &opTrace{
-		id:    traceBase ^ traceSeq.Add(1),
-		op:    op,
-		path:  path,
-		off:   off,
-		bytes: n,
-		start: time.Now(),
-	}
-}
-
-// phase records one step; drops silently past the cap.
-func (t *opTrace) phase(stripe int64, node, class string, attempts int, dur time.Duration, outcome string) {
-	if t == nil {
-		return
-	}
-	t.mu.Lock()
-	if len(t.phases) < tracePhaseCap {
-		t.phases = append(t.phases, tracePhase{
-			stripe: stripe, node: node, class: class,
-			attempts: attempts, dur: dur, outcome: outcome,
+// renderSpanPhases flattens a trace snapshot's store/burst spans and
+// formats them slowest-first capped at 12, as
+// s<stripe>@<node>(<class>,att=N,<outcome>,<dur>).
+func renderSpanPhases(data *trace.TraceData) string {
+	var phases []tracePhase
+	if data != nil {
+		data.Root.Walk(func(_ int, sp *trace.SpanData) {
+			if sp.Name != "store" && sp.Name != "burst" {
+				return
+			}
+			phases = append(phases, tracePhase{
+				stripe: sp.Stripe, node: sp.Node, class: sp.Class,
+				attempts: sp.Attempts,
+				dur:      time.Duration(sp.DurUS) * time.Microsecond,
+				outcome:  sp.Outcome,
+			})
 		})
 	}
-	t.mu.Unlock()
-}
-
-// finishTrace closes the trace: observe the end-to-end histogram and,
-// when the operation exceeded the slow threshold, emit the structured
-// slow-op line. spans is the operation's span count (phases may exceed
-// it with replicas, or undercount it when capped). A negative threshold
-// keeps the histograms but disables the log line.
-func (fs *FileSystem) finishTrace(t *opTrace, spans int, err error) {
-	o := fs.obs
-	if o == nil || t == nil {
-		return
-	}
-	elapsed := time.Since(t.start)
-	if t.op == "write" {
-		o.writeSeconds.Observe(elapsed)
-	} else {
-		o.readSeconds.Observe(elapsed)
-	}
-	if o.slowThr < 0 || elapsed < o.slowThr {
-		return
-	}
-	o.slowCounter(t.op).Inc()
-	o.logf("memfss: slow-op trace=%016x op=%s path=%s off=%d bytes=%d elapsed=%s spans=%d err=%v phases=%s",
-		t.id, t.op, t.path, t.off, t.bytes, elapsed.Round(time.Microsecond), spans, err, t.renderPhases())
-}
-
-// renderPhases formats the recorded phases, slowest-first capped at 12,
-// as s<stripe>@<node>(<class>,att=N,<outcome>,<dur>).
-func (t *opTrace) renderPhases() string {
-	t.mu.Lock()
-	phases := make([]tracePhase, len(t.phases))
-	copy(phases, t.phases)
-	t.mu.Unlock()
 	total := len(phases)
 	sort.SliceStable(phases, func(i, j int) bool { return phases[i].dur > phases[j].dur })
 	const keep = 12

@@ -1,0 +1,146 @@
+package core
+
+// Chaos forensics: the acceptance test for the tracing/flight-recorder
+// PR. A node dies mid-workload; afterwards the trace store must hold a
+// retained degraded trace whose span tree shows the failed store op
+// against the dead node, the healthy replica that recovered the write,
+// and the repair-enqueue leg — and the flight recorder must hold the
+// correlated health transition carrying a trace-ID link back to an
+// operation that witnessed the node fail.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"memfss/internal/obs/trace"
+)
+
+// forensicShape classifies one retained trace's span tree for the
+// chaos-forensics assertions.
+type forensicShape struct {
+	failedOnDead bool // store/burst/attempt span errored against the dead node
+	recovered    bool // store/burst span succeeded on a different node
+	repairLeg    bool // repair-enqueue side leg present
+}
+
+func classifyTrace(td *trace.TraceData, deadNode string) forensicShape {
+	var s forensicShape
+	td.Root.Walk(func(_ int, sp *trace.SpanData) {
+		switch sp.Name {
+		case "store", "burst", "attempt":
+			if sp.Node == deadNode && sp.Outcome == "error" {
+				s.failedOnDead = true
+			}
+			if sp.Node != "" && sp.Node != deadNode &&
+				(sp.Outcome == "ok" || sp.Outcome == "retry") {
+				s.recovered = true
+			}
+		case "repair-enqueue":
+			s.repairLeg = true
+		}
+	})
+	return s
+}
+
+func TestTraceChaosForensics(t *testing.T) {
+	// SuspectAfter is set far above what the workload's own failures can
+	// reach so the health transition happens deterministically after the
+	// degraded writes, driven by forceDown.
+	d := newTestFS(t, 2, 2,
+		withRedundancy(Redundancy{Mode: RedundancyReplicate, Replicas: 2}),
+		withRetry(fastRetry),
+		withHealth(HealthPolicy{ProbeInterval: -1, SuspectAfter: 1000, DownAfter: 8}))
+
+	if err := d.fs.WriteFile("/base", randomBytes(500, 30_000)); err != nil {
+		t.Fatal(err)
+	}
+	deadNode := d.victims.Nodes[0].ID
+	d.victims.Server(0).Close() // permanent node death mid-workload
+
+	for i := 0; i < 4; i++ {
+		path := fmt.Sprintf("/chaos%d", i)
+		if err := d.fs.WriteFile(path, randomBytes(int64(600+i), 30_000)); err != nil {
+			t.Fatalf("write %s with one dead replica must degrade, not fail: %v", path, err)
+		}
+	}
+
+	// 1. The trace store retains degraded traces, and at least one shows
+	// the full forensic shape: failed attempt on the dead node, recovery
+	// through a healthy replica, repair enqueued.
+	store := d.fs.Traces()
+	if store == nil {
+		t.Fatal("Traces() = nil with telemetry enabled")
+	}
+	degraded := store.Degraded(64)
+	if len(degraded) == 0 {
+		t.Fatal("no degraded traces retained after writes against a dead replica")
+	}
+	var forensic *trace.TraceData
+	for _, td := range degraded {
+		if s := classifyTrace(td, deadNode); s.failedOnDead && s.recovered && s.repairLeg {
+			forensic = td
+			break
+		}
+	}
+	if forensic == nil {
+		for _, td := range degraded {
+			t.Logf("degraded trace %s: %+v", td.ID, classifyTrace(td, deadNode))
+		}
+		t.Fatal("no retained trace shows failed-attempt + healthy-replica + repair-enqueue")
+	}
+	if forensic.Status != "degraded" {
+		t.Fatalf("forensic trace status = %q, want degraded", forensic.Status)
+	}
+
+	// 2. The flight recorder journaled the repair enqueues with trace-ID
+	// links resolving to retained traces.
+	journal := d.fs.Events()
+	if journal == nil {
+		t.Fatal("Events() = nil with telemetry enabled")
+	}
+	repairLinked := false
+	for _, ev := range journal.Events(128, "repair") {
+		if ev.Trace != "" && store.Get(ev.Trace) != nil {
+			repairLinked = true
+			break
+		}
+	}
+	if !repairLinked {
+		t.Fatalf("no repair event links a retained trace; events: %+v", journal.Events(16, "repair"))
+	}
+
+	// 3. Drive the detector over the edge; the health transition events
+	// must link back to a trace that witnessed the node failing.
+	forceDown(t, d.fs, deadNode)
+	deadline := time.Now().Add(2 * time.Second)
+	var linked *trace.Event
+	for time.Now().Before(deadline) {
+		for _, ev := range journal.Events(64, "health") {
+			if ev.Node == deadNode && ev.Trace != "" {
+				e := ev
+				linked = &e
+				break
+			}
+		}
+		if linked != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if linked == nil {
+		t.Fatalf("no health event for %s carries a trace link; events: %+v",
+			deadNode, journal.Events(16, "health"))
+	}
+	witness := store.Get(linked.Trace)
+	if witness == nil {
+		t.Fatalf("health event %q links trace %s which is not retained", linked.Detail, linked.Trace)
+	}
+	if witness.Status != "degraded" && witness.Status != "error" {
+		t.Fatalf("witness trace %s status = %q, want degraded or error", witness.ID, witness.Status)
+	}
+	if s := classifyTrace(witness, deadNode); !s.failedOnDead {
+		t.Fatalf("witness trace %s shows no failed span on %s", witness.ID, deadNode)
+	}
+	t.Logf("forensic trace %s; health event %q -> witness %s", forensic.ID, linked.Detail, witness.ID)
+}

@@ -6,7 +6,7 @@ import (
 	"strings"
 
 	"memfss/internal/cluster"
-	"memfss/internal/metrics"
+	"memfss/internal/obs"
 	"memfss/internal/workflow"
 )
 
@@ -86,8 +86,8 @@ func WriteFigure2CSV(wr io.Writer, samples []Figure2Sample) error {
 // loads — the bound the paper states ("CPU never higher than 5%, network
 // never higher than 500 MB/s").
 func SummarizeFigure2Series(samples []Figure2Sample) (peakCPU, meanCPU, peakNet, meanNet float64) {
-	cpu := metrics.NewSeries("victim-cpu")
-	net := metrics.NewSeries("victim-net")
+	cpu := obs.NewSeries("victim-cpu")
+	net := obs.NewSeries("victim-net")
 	for _, s := range samples {
 		cpu.Add(s.At, s.VictimCPUPct)
 		net.Add(s.At, s.VictimNetMBps)

@@ -5,7 +5,7 @@ import (
 	"sort"
 	"strings"
 
-	"memfss/internal/metrics"
+	"memfss/internal/obs"
 	"memfss/internal/tenant"
 )
 
@@ -47,7 +47,7 @@ func slowdownSweep(cfg Config, suite []tenant.Benchmark, workloads []Workload, a
 					AlphaPct:    alphaPct,
 					Baseline:    base,
 					Measured:    measured,
-					SlowdownPct: metrics.Slowdown(base, measured),
+					SlowdownPct: obs.Slowdown(base, measured),
 				})
 			}
 		}
@@ -76,7 +76,7 @@ func SlowdownCell(cfg Config, b tenant.Benchmark, wl Workload, alphaPct int) (Sl
 		AlphaPct:    alphaPct,
 		Baseline:    base,
 		Measured:    measured,
-		SlowdownPct: metrics.Slowdown(base, measured),
+		SlowdownPct: obs.Slowdown(base, measured),
 	}, nil
 }
 
@@ -120,7 +120,7 @@ func Figure6(rows3, rows4, rows5 []SlowdownRow) []AverageRow {
 	}
 	out := make([]AverageRow, 0, len(sums))
 	for k, v := range sums {
-		out = append(out, AverageRow{Suite: k.suite, AlphaPct: k.alpha, AvgSlowdownPct: metrics.MeanOf(v)})
+		out = append(out, AverageRow{Suite: k.suite, AlphaPct: k.alpha, AvgSlowdownPct: obs.MeanOf(v)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Suite != out[j].Suite {

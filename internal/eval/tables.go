@@ -5,7 +5,7 @@ import (
 	"strings"
 
 	"memfss/internal/cluster"
-	"memfss/internal/metrics"
+	"memfss/internal/obs"
 	"memfss/internal/sim"
 	"memfss/internal/tenant"
 	"memfss/internal/workflow"
@@ -53,7 +53,7 @@ func TableIMeasured(cfg Config) (MeasuredUtilization, error) {
 	nodes := cls.AddNodes("node", cfg.VictimNodes, cluster.DAS5)
 	win := cls.StartWindow()
 
-	memSeries := metrics.NewSeries("memory-util")
+	memSeries := obs.NewSeries("memory-util")
 	var sampleMem func()
 	sampling := true
 	sampleMem = func() {

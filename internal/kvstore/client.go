@@ -134,13 +134,24 @@ type DialOptions struct {
 	Class string
 }
 
+// StatAttemptCap bounds how many per-attempt durations an OpStat
+// records; attempts past the cap still count in Attempts but lose their
+// individual timing. Sized to the deepest retry policy in the tree (the
+// chaos soak's MaxAttempts of 8).
+const StatAttemptCap = 8
+
 // OpStat, when passed to a *Stat method, receives the operation's final
-// attempt count and wall-clock duration (including backoff sleeps). It
-// lets callers attribute retry cost to a higher-level trace without the
+// attempt count and wall-clock duration (including backoff sleeps), plus
+// the wall time of each individual connection attempt — enough for a
+// higher-level tracer to reconstruct per-attempt retry spans without the
 // client knowing anything about tracing.
 type OpStat struct {
 	Attempts int
 	Dur      time.Duration
+	// AttemptDur[i] is the i-th connection attempt's duration (dial +
+	// request round trip, excluding backoff sleeps), for i < Attempts,
+	// capped at StatAttemptCap entries.
+	AttemptDur [StatAttemptCap]time.Duration
 }
 
 // Dial creates a client for the server at addr. No connection is opened
@@ -412,6 +423,7 @@ func (c *Client) withRetry(op, label string, st *OpStat, fn func(cc *clientConn)
 	opStart := time.Now()
 	deadline := opStart.Add(c.opTimeout)
 	var lastErr error
+	var attDur [StatAttemptCap]time.Duration
 	attempts := 0
 	for attempt := 1; attempt <= c.maxAttempts; attempt++ {
 		attempts++
@@ -420,9 +432,13 @@ func (c *Client) withRetry(op, label string, st *OpStat, fn func(cc *clientConn)
 		cc, err := c.getConn()
 		if err == nil {
 			if err = fn(cc); err == nil {
+				elapsed := time.Since(attStart)
+				if attempts <= StatAttemptCap {
+					attDur[attempts-1] = elapsed
+				}
 				c.putConn(cc, false)
-				c.attemptHist.Observe(time.Since(attStart))
-				c.finishOp(op, opStart, attempts, st, true)
+				c.attemptHist.Observe(elapsed)
+				c.finishOp(op, opStart, attempts, attDur, st, true)
 				if c.observer != nil {
 					c.observer(nil)
 				}
@@ -430,11 +446,15 @@ func (c *Client) withRetry(op, label string, st *OpStat, fn func(cc *clientConn)
 			}
 			c.putConn(cc, true)
 		}
-		c.attemptHist.Observe(time.Since(attStart))
+		elapsed := time.Since(attStart)
+		if attempts <= StatAttemptCap {
+			attDur[attempts-1] = elapsed
+		}
+		c.attemptHist.Observe(elapsed)
 		if errors.Is(err, ErrClosed) {
 			// Client torn down on purpose: retrying is pointless, and
 			// teardown is neither detector evidence nor an error outcome.
-			fillStat(st, attempts, time.Since(opStart))
+			fillStat(st, attempts, time.Since(opStart), attDur)
 			return err
 		}
 		lastErr = err
@@ -454,7 +474,7 @@ func (c *Client) withRetry(op, label string, st *OpStat, fn func(cc *clientConn)
 	}
 	finalErr := fmt.Errorf("%w: %s to %s failed after %d attempts: %v",
 		ErrUnavailable, label, c.addr, attempts, lastErr)
-	c.finishOp(op, opStart, attempts, st, false)
+	c.finishOp(op, opStart, attempts, attDur, st, false)
 	if c.observer != nil {
 		c.observer(finalErr)
 	}
@@ -464,9 +484,9 @@ func (c *Client) withRetry(op, label string, st *OpStat, fn func(cc *clientConn)
 // finishOp records an operation's final telemetry: the OpStat out-param
 // for the caller's trace, the outcome counter, and the per-command
 // latency histogram.
-func (c *Client) finishOp(op string, start time.Time, attempts int, st *OpStat, ok bool) {
+func (c *Client) finishOp(op string, start time.Time, attempts int, attDur [StatAttemptCap]time.Duration, st *OpStat, ok bool) {
 	dur := time.Since(start)
-	fillStat(st, attempts, dur)
+	fillStat(st, attempts, dur, attDur)
 	if c.metrics == nil {
 		return
 	}
@@ -478,10 +498,11 @@ func (c *Client) finishOp(op string, start time.Time, attempts int, st *OpStat, 
 	c.opHist(op).Observe(dur)
 }
 
-func fillStat(st *OpStat, attempts int, dur time.Duration) {
+func fillStat(st *OpStat, attempts int, dur time.Duration, attDur [StatAttemptCap]time.Duration) {
 	if st != nil {
 		st.Attempts = attempts
 		st.Dur = dur
+		st.AttemptDur = attDur
 	}
 }
 

@@ -172,6 +172,14 @@ type Histogram struct {
 	counts   []atomic.Int64 // len(boundsNs)+1; last is +Inf
 	count    atomic.Int64
 	sumNs    atomic.Int64
+	// exemplars holds one (trace ID, value) pair per bucket — the most
+	// recent traced observation that landed there — so slow buckets carry
+	// a trace ID an operator can pull from /debug/traces. Two racing
+	// ObserveExemplar calls may interleave id and ns; both stores come
+	// from real observations of the same bucket, so the pairing stays
+	// representative even when it mixes.
+	exIDs []atomic.Uint64 // len(boundsNs)+1
+	exNs  []atomic.Int64
 }
 
 // NewHistogram allocates a standalone (unregistered) histogram over the
@@ -187,7 +195,21 @@ func NewHistogram(bounds []time.Duration) *Histogram {
 			panic(fmt.Sprintf("obs: histogram bounds not ascending at %v", b))
 		}
 	}
-	return &Histogram{boundsNs: ns, counts: make([]atomic.Int64, len(bounds)+1)}
+	return &Histogram{
+		boundsNs: ns,
+		counts:   make([]atomic.Int64, len(bounds)+1),
+		exIDs:    make([]atomic.Uint64, len(bounds)+1),
+		exNs:     make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// bucketFor returns the bucket index an observation lands in.
+func (h *Histogram) bucketFor(ns int64) int {
+	i := 0
+	for i < len(h.boundsNs) && ns > h.boundsNs[i] {
+		i++
+	}
+	return i
 }
 
 // Observe records one duration.
@@ -196,13 +218,49 @@ func (h *Histogram) Observe(d time.Duration) {
 		return
 	}
 	ns := int64(d)
-	i := 0
-	for i < len(h.boundsNs) && ns > h.boundsNs[i] {
-		i++
-	}
+	i := h.bucketFor(ns)
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sumNs.Add(ns)
+}
+
+// ObserveExemplar records one duration and attaches traceID as the
+// bucket's exemplar — the join key from a latency bucket back to the
+// retained trace explaining it. A zero traceID is a plain Observe.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID uint64) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	i := h.bucketFor(ns)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	if traceID != 0 {
+		h.exIDs[i].Store(traceID)
+		h.exNs[i].Store(ns)
+	}
+}
+
+// Exemplar is one bucket's retained (trace, value) pair.
+type Exemplar struct {
+	Bucket  int           // bucket index; len(bounds) = the +Inf bucket
+	TraceID uint64        // 0 never appears (zero IDs are not stored)
+	Value   time.Duration // the exemplar observation's value
+}
+
+// exemplars returns the non-empty exemplars, ascending by bucket.
+func (h *Histogram) exemplars() []Exemplar {
+	if h == nil || h.exIDs == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := range h.exIDs {
+		if id := h.exIDs[i].Load(); id != 0 {
+			out = append(out, Exemplar{Bucket: i, TraceID: id, Value: time.Duration(h.exNs[i].Load())})
+		}
+	}
+	return out
 }
 
 // Count returns the number of observations (0 on nil).

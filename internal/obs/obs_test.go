@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -393,4 +394,59 @@ func BenchmarkHistogramObserveParallel(b *testing.B) {
 			h.Observe(250 * time.Microsecond)
 		}
 	})
+}
+
+// TestExemplars pins the histogram exemplar path: ObserveExemplar
+// attaches a trace ID to the landing bucket, the snapshot surfaces it,
+// WorstExemplar picks the highest bucket, the text exposition renders
+// the OpenMetrics suffix, and the parser still reads the page.
+func TestExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("memfss_ex_seconds", "Exemplar test.", L("op", "write"), nil)
+	h.ObserveExemplar(120*time.Microsecond, 0xabcdef0123456789)
+	h.ObserveExemplar(2*time.Second, 0x1122334455667788)
+	h.ObserveExemplar(time.Millisecond, 0) // zero ID: plain observe
+	h.Observe(time.Millisecond)
+
+	fams := r.Snapshot()
+	var s *SeriesSnapshot
+	for i := range fams {
+		if fams[i].Name == "memfss_ex_seconds" {
+			s = fams[i].Find(L("op", "write"))
+		}
+	}
+	if s == nil {
+		t.Fatal("series missing from snapshot")
+	}
+	if len(s.Exemplars) != 2 {
+		t.Fatalf("exemplars = %+v, want 2", s.Exemplars)
+	}
+	worst, ok := s.WorstExemplar()
+	if !ok || worst.TraceID != 0x1122334455667788 || worst.Value != 2*time.Second {
+		t.Fatalf("WorstExemplar = %+v, %v", worst, ok)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	if !strings.Contains(page, `# {trace_id="1122334455667788"}`) {
+		t.Fatalf("exposition missing exemplar suffix:\n%s", page)
+	}
+	parsed, err := ParsePrometheus(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := parsed.Find("memfss_ex_seconds_count", L("op", "write"))
+	if m == nil || m.Value != 4 {
+		t.Fatalf("parse with exemplars: count sample = %+v", m)
+	}
+
+	// Nil receiver stays safe.
+	var nh *Histogram
+	nh.ObserveExemplar(time.Second, 7)
+	if ex := nh.exemplars(); ex != nil {
+		t.Fatalf("nil histogram exemplars = %v", ex)
+	}
 }

@@ -32,8 +32,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(bw, "%s%s %s\n", fs.Name, s.Labels, formatFloat(s.Gauge))
 			case KindHistogram:
 				for i, cum := range s.CumBuckets {
-					fmt.Fprintf(bw, "%s_bucket%s %d\n",
+					fmt.Fprintf(bw, "%s_bucket%s %d",
 						fs.Name, withLE(s.Labels, leString(fs.Bounds, i)), cum)
+					// OpenMetrics-style exemplar suffix: the most recent
+					// trace ID that landed in this bucket, so a p99 bucket
+					// names the trace that explains it. Parsers of the
+					// classic format ignore tokens past the value.
+					for _, ex := range s.Exemplars {
+						if ex.Bucket == i {
+							fmt.Fprintf(bw, " # {trace_id=\"%016x\"} %s",
+								ex.TraceID, formatFloat(ex.Value.Seconds()))
+							break
+						}
+					}
+					bw.WriteByte('\n')
 				}
 				fmt.Fprintf(bw, "%s_sum%s %s\n", fs.Name, s.Labels, formatFloat(s.Sum.Seconds()))
 				fmt.Fprintf(bw, "%s_count%s %d\n", fs.Name, s.Labels, s.Count)
@@ -102,6 +114,20 @@ type SeriesSnapshot struct {
 	CumBuckets []int64
 	Count      int64
 	Sum        time.Duration
+	// Exemplars carries the histogram's per-bucket (trace ID, value)
+	// pairs, ascending by bucket; empty for counters/gauges and for
+	// histograms that only ever saw Observe (no traced observations).
+	Exemplars []Exemplar
+}
+
+// WorstExemplar returns the exemplar from the highest bucket that has
+// one — the trace behind the series' worst observed latency region —
+// and false when the series has no exemplars.
+func (s *SeriesSnapshot) WorstExemplar() (Exemplar, bool) {
+	if s == nil || len(s.Exemplars) == 0 {
+		return Exemplar{}, false
+	}
+	return s.Exemplars[len(s.Exemplars)-1], true
 }
 
 // FamilySnapshot is one family's point-in-time state.
@@ -235,6 +261,7 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 				ss.Gauge = fl.s.g()
 			case KindHistogram:
 				ss.CumBuckets, ss.Count, ss.Sum = snapshotHist(fl.s.h)
+				ss.Exemplars = fl.s.h.exemplars()
 			}
 			fs.Series = append(fs.Series, ss)
 		}

@@ -1,7 +1,10 @@
-// Package metrics provides the small statistics toolkit the experiment
-// harness uses: time series with summary statistics, and ratio helpers for
-// slowdown and utilization reporting.
-package metrics
+package obs
+
+// This file is the small statistics toolkit the experiment harness
+// (internal/eval) uses: time series with summary statistics, and ratio
+// helpers for slowdown and utilization reporting. It used to be its own
+// internal/metrics package; it lives here now so obs is the one metrics
+// system in the tree.
 
 import (
 	"fmt"

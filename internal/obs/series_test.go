@@ -1,4 +1,7 @@
-package metrics
+package obs
+
+// Tests for the eval-harness statistics toolkit (migrated here with the
+// code from the old internal/metrics package).
 
 import (
 	"math"
@@ -31,7 +34,7 @@ func TestSeriesBasics(t *testing.T) {
 	}
 }
 
-func TestQuantile(t *testing.T) {
+func TestSeriesQuantile(t *testing.T) {
 	s := NewSeries("q")
 	if s.Quantile(0.5) != 0 {
 		t.Fatal("empty quantile not zero")
@@ -50,7 +53,7 @@ func TestQuantile(t *testing.T) {
 }
 
 // Property: the quantile is monotone in q and bounded by min/max.
-func TestQuantileMonotone(t *testing.T) {
+func TestSeriesQuantileMonotone(t *testing.T) {
 	f := func(vals []float64, q1, q2 uint8) bool {
 		s := NewSeries("p")
 		for _, v := range vals {

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves a Store as the /debug/traces endpoint:
+//
+//	GET /debug/traces                 slow traces, newest first (default)
+//	GET /debug/traces?kind=errors     errored traces
+//	GET /debug/traces?kind=degraded   degraded traces
+//	GET /debug/traces?kind=recent     newest retained of any status
+//	GET /debug/traces?kind=stats      retention counters
+//	GET /debug/traces?id=<16 hex>     one trace by ID
+//	&n=<limit>                        bound the list (default 50)
+//
+// A nil store answers 503 so the route can be mounted unconditionally.
+func Handler(s *Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s == nil {
+			http.Error(w, "tracing disabled", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if id := r.URL.Query().Get("id"); id != "" {
+			d := s.Get(id)
+			if d == nil {
+				http.Error(w, "trace not retained", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, d)
+			return
+		}
+		limit, _ := strconv.Atoi(r.URL.Query().Get("n"))
+		switch r.URL.Query().Get("kind") {
+		case "", "slow":
+			writeJSON(w, s.Slow(limit))
+		case "errors":
+			writeJSON(w, s.Errors(limit))
+		case "degraded":
+			writeJSON(w, s.Degraded(limit))
+		case "recent":
+			writeJSON(w, s.Recent(limit))
+		case "stats":
+			writeJSON(w, s.Stats())
+		default:
+			http.Error(w, "unknown kind (want slow, errors, degraded, recent, stats)", http.StatusBadRequest)
+		}
+	})
+}
+
+// EventsHandler serves a Journal as the /debug/events endpoint:
+//
+//	GET /debug/events                     newest events (default 100)
+//	GET /debug/events?type=health&n=500   filter by type, bound the list
+//
+// A nil journal answers 503.
+func EventsHandler(j *Journal) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if j == nil {
+			http.Error(w, "flight recorder disabled", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		limit, _ := strconv.Atoi(r.URL.Query().Get("n"))
+		writeJSON(w, j.Events(limit, r.URL.Query().Get("type")))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one flight-recorder entry: a cluster state change worth
+// replaying after an incident. Type is a small closed vocabulary so
+// consumers can filter without parsing Detail:
+//
+//	health  a failure-detector state transition (Node, Detail "Up->Down")
+//	evac    an evacuation phase change or completion (Node)
+//	drain   a partial drain completion (Node)
+//	lease   broker lifecycle: advertise / grant / release / revoke+SLO
+//	repair  a repair unit enqueued, restored, or given up
+//	quota   a tenant quota or pacing rejection (Tenant)
+//
+// Trace, when set, links the event to the retained trace that witnessed
+// it (the failed op behind a health transition, the degraded write
+// behind a repair enqueue) — the join key between /debug/events and
+// /debug/traces.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	At     time.Time `json:"at"`
+	Type   string    `json:"type"`
+	Node   string    `json:"node,omitempty"`
+	Tenant string    `json:"tenant,omitempty"`
+	Detail string    `json:"detail"`
+	Trace  string    `json:"trace,omitempty"`
+}
+
+// Journal is the bounded, always-on cluster event log. Records never
+// block and never allocate beyond the ring; when the ring wraps, the
+// oldest events are overwritten and counted dropped.
+type Journal struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	full    bool
+	seq     uint64
+	dropped uint64
+}
+
+// NewJournal builds a journal retaining up to capacity events
+// (default 1024 when capacity <= 0).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Journal{buf: make([]Event, capacity)}
+}
+
+// Record appends an event; At and Seq are stamped here. Nil-safe.
+func (j *Journal) Record(e Event) {
+	if j == nil {
+		return
+	}
+	e.At = time.Now()
+	j.mu.Lock()
+	j.seq++
+	e.Seq = j.seq
+	if j.full {
+		j.dropped++
+	}
+	j.buf[j.next] = e
+	j.next++
+	if j.next == len(j.buf) {
+		j.next = 0
+		j.full = true
+	}
+	j.mu.Unlock()
+}
+
+// Note is the convenience form: type, node, detail, optional trace link.
+func (j *Journal) Note(typ, node, detail string, traceID ID) {
+	if j == nil {
+		return
+	}
+	e := Event{Type: typ, Node: node, Detail: detail}
+	if traceID != 0 {
+		e.Trace = traceID.String()
+	}
+	j.Record(e)
+}
+
+// Events returns up to limit retained events, newest first (default 100
+// when limit <= 0). typ filters by event type when non-empty.
+func (j *Journal) Events(limit int, typ string) []Event {
+	if j == nil {
+		return nil
+	}
+	if limit <= 0 {
+		limit = 100
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := j.next
+	if j.full {
+		n = len(j.buf)
+	}
+	out := make([]Event, 0, min(limit, n))
+	for i := 0; i < n && len(out) < limit; i++ {
+		idx := (j.next - 1 - i + len(j.buf)) % len(j.buf)
+		if typ != "" && j.buf[idx].Type != typ {
+			continue
+		}
+		out = append(out, j.buf[idx])
+	}
+	return out
+}
+
+// Dropped returns how many events the ring has overwritten.
+func (j *Journal) Dropped() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// ring is a fixed-capacity overwrite buffer of retained traces. Oldest
+// entries are evicted first; eviction returns the displaced trace so the
+// store can drop its ID index entry.
+type ring struct {
+	buf  []*TraceData
+	next int
+	full bool
+}
+
+func newRing(capacity int) ring { return ring{buf: make([]*TraceData, capacity)} }
+
+// push inserts d, returning the evicted entry (nil while filling).
+func (r *ring) push(d *TraceData) *TraceData {
+	old := r.buf[r.next]
+	r.buf[r.next] = d
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	return old
+}
+
+// newestFirst appends up to limit entries, newest first, onto dst.
+func (r *ring) newestFirst(dst []*TraceData, limit int) []*TraceData {
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	for i := 0; i < n && len(dst) < limit; i++ {
+		idx := (r.next - 1 - i + len(r.buf)) % len(r.buf)
+		if d := r.buf[idx]; d != nil {
+			dst = append(dst, d)
+		}
+	}
+	return dst
+}
+
+// Store retains finished traces in two rings: interesting traces
+// (error/degraded/slow — the tail the forensics care about) and sampled
+// healthy traces (the baseline to compare the tail against). Splitting
+// the rings keeps a burst of sampled-OK traffic from evicting the rare
+// degraded trace an incident review needs.
+type Store struct {
+	mu       sync.Mutex
+	hot      ring // error / degraded / slow
+	sampled  ring // probabilistically kept OK traces
+	byID     map[string]*TraceData
+	kept     uint64
+	keptHot  uint64
+	evicted  uint64
+	capacity int
+}
+
+func newStore(capacity int) *Store {
+	return &Store{
+		hot:      newRing(capacity),
+		sampled:  newRing(capacity),
+		byID:     make(map[string]*TraceData, 2*capacity),
+		capacity: capacity,
+	}
+}
+
+// add retains a finished trace, evicting the oldest of its ring.
+func (s *Store) add(d *TraceData, interesting bool) {
+	if s == nil || d == nil {
+		return
+	}
+	s.mu.Lock()
+	var old *TraceData
+	if interesting {
+		old = s.hot.push(d)
+		s.keptHot++
+	} else {
+		old = s.sampled.push(d)
+	}
+	s.kept++
+	if old != nil {
+		s.evicted++
+		// Only unindex if the slot still points at the evicted trace (an
+		// ID collision would have overwritten the index entry already).
+		if cur, ok := s.byID[old.ID]; ok && cur == old {
+			delete(s.byID, old.ID)
+		}
+	}
+	s.byID[d.ID] = d
+	s.mu.Unlock()
+}
+
+// Get returns the retained trace with the given rendered ID, or nil.
+func (s *Store) Get(id string) *TraceData {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byID[id]
+}
+
+// filter enumerates retained traces newest-first, keeping those keep
+// accepts, up to limit.
+func (s *Store) filter(limit int, hotOnly bool, keep func(*TraceData) bool) []*TraceData {
+	if s == nil {
+		return nil
+	}
+	if limit <= 0 {
+		limit = 50
+	}
+	s.mu.Lock()
+	all := s.hot.newestFirst(nil, s.capacity)
+	if !hotOnly {
+		all = s.sampled.newestFirst(all, 2*s.capacity)
+	}
+	s.mu.Unlock()
+	// Interleave the two rings by start time, newest first.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Start.After(all[j].Start) })
+	out := make([]*TraceData, 0, limit)
+	for _, d := range all {
+		if keep == nil || keep(d) {
+			out = append(out, d)
+			if len(out) == limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Slow returns retained slow traces, newest first.
+func (s *Store) Slow(limit int) []*TraceData {
+	return s.filter(limit, true, func(d *TraceData) bool { return d.Slow })
+}
+
+// Errors returns retained errored traces, newest first.
+func (s *Store) Errors(limit int) []*TraceData {
+	return s.filter(limit, true, func(d *TraceData) bool { return d.Status == "error" })
+}
+
+// Degraded returns retained degraded traces, newest first.
+func (s *Store) Degraded(limit int) []*TraceData {
+	return s.filter(limit, true, func(d *TraceData) bool { return d.Degraded })
+}
+
+// Recent returns the newest retained traces of any status.
+func (s *Store) Recent(limit int) []*TraceData { return s.filter(limit, false, nil) }
+
+// StoreStats summarizes retention for /debug/traces?kind=stats.
+type StoreStats struct {
+	Kept    uint64 `json:"kept"`
+	KeptHot uint64 `json:"kept_interesting"`
+	Evicted uint64 `json:"evicted"`
+}
+
+// Stats returns retention counters.
+func (s *Store) Stats() StoreStats {
+	if s == nil {
+		return StoreStats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{Kept: s.kept, KeptHot: s.keptHot, Evicted: s.evicted}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"memfss/internal/obs"
+	"memfss/internal/obs/trace"
 )
 
 // This file is the lease marketplace: victims advertise harvestable
@@ -111,6 +112,10 @@ type BrokerOptions struct {
 	Evac Evacuator
 	// Obs receives the lease metric families.
 	Obs *obs.Registry
+	// Journal, when set, receives lease lifecycle events (advertise,
+	// grant, release, revoke with SLO outcome) in the cluster flight
+	// recorder.
+	Journal *trace.Journal
 	// PollInterval is the notice-window poll cadence (default 20ms):
 	// Revoke wakes this often to notice early releases and context
 	// cancellation while it waits out the notice.
@@ -205,9 +210,13 @@ func (b *Broker) Advertise(o Offer) error {
 	defer b.mu.Unlock()
 	if cur, ok := b.offers[o.Node]; ok {
 		cur.offer = o
+		b.opts.Journal.Note("lease", o.Node,
+			fmt.Sprintf("offer refreshed: %d bytes, notice SLO %s", o.Bytes, o.NoticeSLO), 0)
 		return nil
 	}
 	b.offers[o.Node] = &offerState{offer: o}
+	b.opts.Journal.Note("lease", o.Node,
+		fmt.Sprintf("advertised %d bytes, notice SLO %s", o.Bytes, o.NoticeSLO), 0)
 	return nil
 }
 
@@ -217,6 +226,7 @@ func (b *Broker) Withdraw(node string) {
 	b.mu.Lock()
 	delete(b.offers, node)
 	b.mu.Unlock()
+	b.opts.Journal.Note("lease", node, "offer withdrawn", 0)
 }
 
 // Supply lists current offers sorted by node, with Bytes reduced to the
@@ -273,6 +283,8 @@ func (b *Broker) Request(tenant string, bytes int64) (Lease, error) {
 		}
 	}
 	if best == nil {
+		b.opts.Journal.Record(trace.Event{Type: "lease", Tenant: tenant,
+			Detail: fmt.Sprintf("request denied: no supply for %d bytes", bytes)})
 		return Lease{}, fmt.Errorf("%w: %d bytes for tenant %s", ErrNoSupply, bytes, tenant)
 	}
 	best.leased += bytes
@@ -290,6 +302,8 @@ func (b *Broker) Request(tenant string, bytes int64) (Lease, error) {
 	if b.granted != nil {
 		b.granted.Inc()
 	}
+	b.opts.Journal.Record(trace.Event{Type: "lease", Node: l.Node, Tenant: tenant,
+		Detail: fmt.Sprintf("granted %s: %d bytes", l.ID, l.Bytes)})
 	return *l, nil
 }
 
@@ -314,6 +328,8 @@ func (b *Broker) Release(id string) error {
 			o.leased = 0
 		}
 	}
+	b.opts.Journal.Record(trace.Event{Type: "lease", Node: l.Node, Tenant: l.Tenant,
+		Detail: "released " + id})
 	return nil
 }
 
@@ -403,6 +419,13 @@ func (b *Broker) Revoke(ctx context.Context, node string, opts RevokeOptions) (R
 		if b.noticeHist != nil {
 			b.noticeHist.Observe(rep.Notice)
 		}
+		outcome := "met"
+		if !met {
+			outcome = "violated"
+		}
+		b.opts.Journal.Record(trace.Event{Type: "lease", Node: node, Tenant: l.Tenant,
+			Detail: fmt.Sprintf("revoked %s: notice %s vs SLO %s (%s)",
+				l.ID, rep.Notice.Round(time.Millisecond), l.NoticeSLO, outcome)})
 	}
 	b.mu.Unlock()
 	rep.Elapsed = b.now().Sub(start)

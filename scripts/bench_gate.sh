@@ -10,6 +10,13 @@
 # allocs/op is the gated metric because it is deterministic at a fixed
 # -benchtime on any machine; ns/op and MB/s are printed for context but
 # never gated (CI runners are too noisy for wall-clock thresholds).
+#
+# The one exception is the tracer-overhead section at the bottom: it
+# compares BenchmarkWriteTraceOn/Off as a *ratio* on the same machine in
+# the same run (so runner speed cancels out), takes the min of several
+# runs to shed scheduler noise, and fails if span tracing costs more
+# than TRACE_OVERHEAD_PCT (default 5%) over the tracing-off baseline.
+# Set SKIP_TRACE_GATE=1 to skip it on machines too noisy even for that.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,3 +70,36 @@ END {
     print ""
     print "bench gate OK: all hot-path benchmarks within allocation budget."
 }' "$OUT"
+
+# --- tracer overhead gate ---------------------------------------------
+# BenchmarkWriteTraceOn/Off (internal/core/obs_test.go) push the same
+# replicated write workload with span tracing enabled and disabled; the
+# metric families stay on in both, so the On/Off delta isolates the
+# tracer itself.
+if [ "${SKIP_TRACE_GATE:-0}" != "1" ]; then
+    TRACE_BENCHTIME=${TRACE_BENCHTIME:-30x}
+    TRACE_COUNT=${TRACE_COUNT:-4}
+    TRACE_OVERHEAD_PCT=${TRACE_OVERHEAD_PCT:-5}
+    echo
+    echo "== trace overhead gate: go test -bench 'WriteTrace(On|Off)' -benchtime $TRACE_BENCHTIME -count $TRACE_COUNT ./internal/core/"
+    go test -run '^$' -bench 'WriteTrace(On|Off)$' -benchtime "$TRACE_BENCHTIME" \
+        -count "$TRACE_COUNT" ./internal/core/ | tee "$OUT"
+    echo
+    awk -v pct="$TRACE_OVERHEAD_PCT" '
+    $1 ~ /^BenchmarkWriteTraceOn(-[0-9]+)?$/  { if (on  == 0 || $3 + 0 < on)  on  = $3 + 0 }
+    $1 ~ /^BenchmarkWriteTraceOff(-[0-9]+)?$/ { if (off == 0 || $3 + 0 < off) off = $3 + 0 }
+    END {
+        if (on == 0 || off == 0) {
+            print "trace gate FAILED: WriteTraceOn/Off benchmarks did not both run."
+            exit 1
+        }
+        over = 100 * (on - off) / off
+        printf "tracer on %d ns/op, off %d ns/op: overhead %+.1f%% (budget %d%%)\n", on, off, over, pct
+        if (over > pct) {
+            print "trace gate FAILED: span tracing overhead exceeds budget."
+            print "If the regression is intentional, raise TRACE_OVERHEAD_PCT with rationale."
+            exit 1
+        }
+        print "trace gate OK: span tracing overhead within budget."
+    }' "$OUT"
+fi

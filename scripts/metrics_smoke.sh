@@ -16,9 +16,12 @@ VICTIM=127.0.0.1:7901
 OWN=127.0.0.1:7900
 HEALTH=127.0.0.1:7980
 
+# -slow-op 1ns seeds the trace store: every operation counts as slow, so
+# the tail sampler must retain the workload's traces for the /debug
+# assertions below.
 "$workdir/memfsd" -addr "$VICTIM" >"$workdir/victim.log" 2>&1 &
 sleep 0.5
-"$workdir/memfsd" -addr "$OWN" -health-addr "$HEALTH" \
+"$workdir/memfsd" -addr "$OWN" -health-addr "$HEALTH" -slow-op 1ns \
     -own "$OWN" -victims "$VICTIM" >"$workdir/gateway.log" 2>&1 &
 sleep 1
 
@@ -26,6 +29,13 @@ head -c 1048576 /dev/urandom >"$workdir/blob"
 "$workdir/memfsctl" -own "$OWN" -victims "$VICTIM" put /smoke "$workdir/blob"
 "$workdir/memfsctl" -own "$OWN" -victims "$VICTIM" get /smoke "$workdir/out"
 cmp "$workdir/blob" "$workdir/out"
+
+# Push the same blob through the gateway's own data path via /io so its
+# tracer and exemplars see real traffic (memfsctl above mounts its own
+# client-side FileSystem; the gateway never sees those ops).
+curl -sf -X PUT --data-binary "@$workdir/blob" "http://$HEALTH/io/gw-smoke"
+curl -sf "http://$HEALTH/io/gw-smoke" >"$workdir/gwout"
+cmp "$workdir/blob" "$workdir/gwout"
 
 curl -sf "http://$HEALTH/metrics" >"$workdir/metrics.txt"
 
@@ -58,4 +68,35 @@ echo "$healthz" | grep -q '"repair"' || { echo "FAIL: /healthz missing repair st
 grep -q '^health:' "$workdir/stats.txt" || { echo "FAIL: stats verb missing health section"; exit 1; }
 grep -q '^repair queue:' "$workdir/stats.txt" || { echo "FAIL: stats verb missing repair section"; exit 1; }
 
-echo "metrics smoke: OK ($families families)"
+# The seeded slow ops (1ns threshold) must be retained in the trace
+# store with full span trees, and the histogram buckets must carry
+# their trace IDs as exemplars.
+curl -sf "http://$HEALTH/debug/traces?kind=slow" >"$workdir/traces.json"
+grep -q '"op": "write"' "$workdir/traces.json" \
+    || { echo "FAIL: no retained slow write trace in /debug/traces"; exit 1; }
+grep -q '"name": "store"' "$workdir/traces.json" \
+    || { echo "FAIL: retained traces carry no store spans"; exit 1; }
+grep -q '"outcome": "ok"' "$workdir/traces.json" \
+    || { echo "FAIL: retained spans carry no outcomes"; exit 1; }
+grep -Eq '# \{trace_id="[0-9a-f]{16}"\}' "$workdir/metrics.txt" ||
+    curl -sf "http://$HEALTH/metrics" | grep -Eq '# \{trace_id="[0-9a-f]{16}"\}' \
+    || { echo "FAIL: no histogram bucket carries a trace exemplar"; exit 1; }
+
+# One retained trace must resolve by ID to a span tree via the CLI.
+trace_id=$(grep -Eo '"id": "[0-9a-f]{16}"' "$workdir/traces.json" | head -1 | grep -Eo '[0-9a-f]{16}')
+[ -n "$trace_id" ] || { echo "FAIL: no trace ID in /debug/traces"; exit 1; }
+"$workdir/memfsctl" trace "$HEALTH" get "$trace_id" >"$workdir/trace.txt"
+grep -q 'store' "$workdir/trace.txt" || { echo "FAIL: trace get renders no store span"; exit 1; }
+"$workdir/memfsctl" trace "$HEALTH" slow >"$workdir/slow.txt"
+grep -q "$trace_id" "$workdir/slow.txt" || grep -q 'slow' "$workdir/slow.txt" \
+    || { echo "FAIL: memfsctl trace slow lists nothing"; exit 1; }
+
+# The flight recorder endpoint must answer (events may legitimately be
+# empty on a healthy two-node run, but the surface must serve JSON).
+curl -sf "http://$HEALTH/debug/events" >"$workdir/events.json"
+head -c1 "$workdir/events.json" | grep -q '\[' \
+    || { echo "FAIL: /debug/events is not a JSON array"; exit 1; }
+"$workdir/memfsctl" trace "$HEALTH" events >/dev/null \
+    || { echo "FAIL: memfsctl trace events against /debug/events"; exit 1; }
+
+echo "metrics smoke: OK ($families families, slow trace $trace_id retained)"
