@@ -47,7 +47,8 @@
 //	trace <health-addr> get <id>     print one trace's full span tree
 //	trace <health-addr> events [type]
 //	                                 print the cluster flight recorder
-//	                                 (health, evac, lease, repair, quota)
+//	                                 (health, evac, lease, repair, quota,
+//	                                 chaos)
 //	tenant add <name>                register a tenant (namespace
 //	                                 /tenants/<name>/) with -quota,
 //	                                 -priority and -weight
@@ -350,11 +351,15 @@ func run(fs *core.FileSystem, args []string) error {
 		}
 		sort.Strings(ids)
 		now := time.Now()
-		fmt.Printf("%-12s %-8s %10s %6s %4s\n", "node", "state", "since", "fails", "oks")
+		fmt.Printf("%-12s %-8s %10s %10s %6s %4s\n", "node", "state", "since", "seen", "fails", "oks")
 		for _, id := range ids {
 			h := snap[id]
-			fmt.Printf("%-12s %-8s %10s %6d %4d\n",
-				id, h.State, now.Sub(h.Since).Round(time.Second), h.ConsecFails, h.ConsecOKs)
+			seen := "never"
+			if age, ok := h.SeenAge(now); ok {
+				seen = age.Round(time.Second).String()
+			}
+			fmt.Printf("%-12s %-8s %10s %10s %6d %4d\n",
+				id, h.State, h.Age(now).Round(time.Second), seen, h.ConsecFails, h.ConsecOKs)
 		}
 		return nil
 	case "repair":

@@ -38,9 +38,11 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
+	chaospkg "memfss/internal/chaos"
 	"memfss/internal/container"
 	"memfss/internal/core"
 	"memfss/internal/faultwrap"
@@ -72,7 +74,17 @@ func main() {
 	poolSize := flag.Int("pool", 0, "connections per store node (0 = default)")
 	tenantsLeg := flag.Bool("tenants", false, "run the multi-tenant QoS leg: a high-priority tenant's throughput solo vs under low-priority saturation, then a mid-workload lease revocation; reports the isolation delta and notice SLO")
 	qosBW := flag.Int64("qos-bw", 8<<20, "tenants leg: aggregate tenant bandwidth budget in bytes/sec, split 3:1 high:low")
+	scenario := flag.String("scenario", "", "run named chaos scenarios from the declarative library and exit nonzero on any SLO violation: 'all' or a comma-separated subset of "+strings.Join(chaospkg.Names(), ", "))
+	scenarioOut := flag.String("scenario-out", "BENCH_scenarios.json", "append each -scenario result as a trajectory point to this JSON file ('' disables)")
 	flag.Parse()
+
+	// The -scenario leg builds its own clusters per scenario (topology,
+	// redundancy, and fault plans are part of each scenario's declaration),
+	// so it dispatches before any store setup and ignores the flags above.
+	if *scenario != "" {
+		runScenarios(*scenario, *scenarioOut)
+		return
+	}
 
 	// Resolve the redundancy scheme the workload runs under. The default
 	// preserves the historical shapes — no redundancy for throughput runs,
@@ -760,7 +772,11 @@ func runChaos(classes []core.ClassSpec, password string, red core.Redundancy, st
 		fmt.Printf("chaos: detector marked %s Down %v after the kill (time to detection)\n",
 			deadID, time.Since(killedAt).Round(time.Millisecond))
 	} else {
-		fmt.Printf("chaos: detector never marked %s Down within 10s\n", deadID)
+		// A permanently dead node the detector never condemns is a failed
+		// run, not a footnote: every later number (skips, repair, reads)
+		// would be measuring a cluster that still trusts a corpse.
+		log.Fatalf("chaos: detector never marked %s Down within 10s: %+v",
+			deadID, fs.Health()[deadID])
 	}
 
 	start = time.Now()

@@ -1,0 +1,422 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"memfss/internal/core"
+	"memfss/internal/faultwrap"
+	"memfss/internal/health"
+	"memfss/internal/qos"
+	"memfss/internal/workflow"
+)
+
+// chaosRetry is the soak retry posture: room to ride out injected faults
+// without letting a dead node stall an op for long.
+var chaosRetry = core.RetryPolicy{
+	MaxAttempts: 8,
+	BaseDelay:   time.Millisecond,
+	MaxDelay:    8 * time.Millisecond,
+	OpTimeout:   10 * time.Second,
+}
+
+// fastProbes is the detector posture scenarios with detection SLOs use:
+// default hysteresis (1 failure to Suspect, 3 more to Down, 2 successes
+// back to Up) over a tight probe cadence.
+func fastProbes(interval time.Duration) core.HealthPolicy {
+	return core.HealthPolicy{ProbeInterval: interval}
+}
+
+// Scenarios returns the named scenario library, the matrix CI runs.
+func Scenarios() []Scenario {
+	return []Scenario{
+		SplitBrainFence(),
+		AsymPartitionDuringEvac(),
+		GrayNodeECRead(),
+		RackFailureRS42(),
+		FlashCrowdQuota(),
+		PartitionHealRejoin(),
+	}
+}
+
+// Names lists the scenario names, sorted.
+func Names() []string {
+	var out []string
+	for _, sc := range Scenarios() {
+		out = append(out, sc.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup finds a scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// SplitBrainFence is the split-brain fencing proof: victim-0's failure
+// detector probes are partitioned away (every PING dropped) while its
+// data connections keep serving, so the detector condemns a node that is
+// still alive — the classic asymmetric-partition split brain. A
+// concurrent evacuation must fence and drain the node without losing a
+// single acknowledged byte, and the fence must be visible in the
+// FencedWrites accounting.
+func SplitBrainFence() Scenario {
+	return Scenario{
+		Name:     "split-brain-fence",
+		Describe: "probes partitioned, data serving: detector says Down, evacuation fences and drains with zero loss",
+		Topology: Topology{
+			OwnNodes: 2, VictimNodes: 3,
+			Redundancy:    core.Redundancy{Mode: core.RedundancyReplicate, Replicas: 2},
+			PipelineDepth: 8,
+			Retry:         chaosRetry,
+			Health:        fastProbes(5 * time.Millisecond),
+			Repair:        core.RepairPolicy{QueueCap: 4096},
+		},
+		Workload: Workload{
+			// A fat preload stretches the drain so the fence window overlaps
+			// live writes.
+			Preload: &Stream{Name: "base", Workers: 1, Files: 16, Ops: 16, FileSize: 96 << 10, Seed: 11},
+			Streams: []Stream{{
+				// Sparse while the detector latches Down (passive data
+				// successes reset the probe-failure streak), then a burst
+				// timed over the evacuation so writes hit the fence.
+				Name: "writers", Workers: 1, Ops: 300, Files: 8, FileSize: 12 << 10,
+				Profile: workflow.FlashCrowd{
+					Base: 30, Burst: 300,
+					At: 600 * time.Millisecond, Rise: 100 * time.Millisecond, Hold: 1500 * time.Millisecond,
+				},
+				VerifyEachWrite: true, Seed: 12,
+			}},
+		},
+		Timeline: []Step{
+			{Name: "probe-partition", At: 200 * time.Millisecond,
+				Action: SetPlanFault(faultwrap.Plan{DropVerbs: []string{"PING"}}, 0)},
+			{Name: "witness-down", At: 210 * time.Millisecond,
+				Action: WaitState(0, "down", 3*time.Second)},
+			// The controller is sequential, so this waits for the Down
+			// witness and then holds the drain until the burst is at rate.
+			{Name: "evacuate", At: 700 * time.Millisecond,
+				Action: Evacuate(0, 8)},
+		},
+		SLO: SLO{
+			ZeroLoss:     true,
+			MaxDetection: 3 * time.Second,
+			MaxRecovery:  15 * time.Second,
+			CleanScrub:   true,
+			Streams: []StreamSLO{{
+				Stream: "writers", MaxErrorRate: 0, MinOps: 150,
+			}},
+		},
+		Check: func(c *Cluster, r *Result) []string {
+			var v []string
+			if r.Counters.FencedWrites == 0 {
+				v = append(v, "fencing never bit: FencedWrites == 0 during the drain")
+			}
+			if r.Faults.VerbDrops == 0 {
+				v = append(v, "probe partition injected nothing: VerbDrops == 0")
+			}
+			if len(r.Evacs) == 0 {
+				v = append(v, "evacuation never completed")
+			} else if st := c.Victims.Server(0).Store().Stats(); st.BytesUsed != 0 {
+				v = append(v, fmt.Sprintf("evacuated store still holds %d bytes", st.BytesUsed))
+			}
+			return v
+		},
+	}
+}
+
+// AsymPartitionDuringEvac drains victim-0 while victim-1 — a rehome
+// destination — sits behind a one-way partial partition: a quarter of
+// the requests it is sent vanish (reset) and a fifth of its replies are
+// cut mid-frame. The drain's per-pass retries must ride it out and the
+// heal must leave full redundancy with zero loss.
+func AsymPartitionDuringEvac() Scenario {
+	asym := faultwrap.Plan{
+		Request: faultwrap.DirPlan{Drop: 0.25},
+		Reply:   faultwrap.DirPlan{Cut: 0.2},
+	}
+	return Scenario{
+		Name:     "asym-partition-during-evac",
+		Describe: "evacuation races a one-way partial partition on a rehome destination",
+		Topology: Topology{
+			OwnNodes: 2, VictimNodes: 3,
+			Plan:          faultwrap.Plan{Seed: 23},
+			Redundancy:    core.Redundancy{Mode: core.RedundancyReplicate, Replicas: 2},
+			PipelineDepth: 8,
+			Retry:         chaosRetry,
+			Health:        fastProbes(50 * time.Millisecond),
+			Repair:        core.RepairPolicy{QueueCap: 4096},
+		},
+		Workload: Workload{
+			Preload: &Stream{Name: "base", Workers: 1, Files: 10, Ops: 10, FileSize: 30 << 10, Seed: 21},
+			Streams: []Stream{{
+				Name: "writers", Workers: 2, Ops: 60, Files: 6, FileSize: 16 << 10,
+				Profile: workflow.Steady{OpsPerSec: 100}, VerifyEachWrite: true, Seed: 22,
+			}},
+		},
+		Timeline: []Step{
+			{Name: "asym-partition", At: 50 * time.Millisecond, Action: SetPlan(asym, 1)},
+			{Name: "evacuate", At: 100 * time.Millisecond, Action: Evacuate(0, 8)},
+			{Name: "heal", At: 150 * time.Millisecond, Action: SetPlan(faultwrap.Plan{}, 1)},
+		},
+		SLO: SLO{
+			ZeroLoss:    true,
+			MaxRecovery: 20 * time.Second,
+			CleanScrub:  true,
+			NoDeferred:  true,
+			Streams: []StreamSLO{{
+				Stream: "writers", MaxErrorRate: 0, MinOps: 30,
+			}},
+		},
+		Check: func(c *Cluster, r *Result) []string {
+			var v []string
+			if len(r.Evacs) == 0 {
+				v = append(v, "evacuation never completed under the asymmetric partition")
+			} else if st := c.Victims.Server(0).Store().Stats(); st.BytesUsed != 0 {
+				v = append(v, fmt.Sprintf("evacuated store still holds %d bytes", st.BytesUsed))
+			}
+			if r.Faults.PreDrops+r.Faults.MidDrops == 0 {
+				v = append(v, "asymmetric plan injected nothing")
+			}
+			return v
+		},
+	}
+}
+
+// GrayNodeECRead is the gray-failure scenario: one shard holder of an
+// RS(4,2) deployment turns slow — every reply delayed ~40ms — while
+// staying Up (nothing fails, so the detector has nothing to condemn).
+// The racing first-wave gather (k + ReadSpare concurrent fetches,
+// reconstruct as soon as any k arrive) must keep read p99 well under the
+// injected delay: the slow node costs nothing as long as a spare
+// answers.
+func GrayNodeECRead() Scenario {
+	gray := faultwrap.Plan{
+		Reply: faultwrap.DirPlan{DelayProb: 1, Delay: 40 * time.Millisecond, Jitter: 10 * time.Millisecond},
+	}
+	return Scenario{
+		Name:     "gray-node-ec-read",
+		Describe: "slow-not-dead shard holder: EC racing reads hold p99 under the injected delay",
+		Topology: Topology{
+			OwnNodes: 6, VictimNodes: 6,
+			Plan: faultwrap.Plan{Seed: 31},
+			Redundancy: core.Redundancy{
+				Mode: core.RedundancyErasure, DataShards: 4, ParityShards: 2, ReadSpare: 1,
+			},
+			PipelineDepth: 8,
+			Retry:         chaosRetry,
+			Health:        fastProbes(50 * time.Millisecond),
+			Repair:        core.RepairPolicy{QueueCap: 4096},
+		},
+		Workload: Workload{
+			Preload: &Stream{Name: "dataset", Workers: 2, Files: 6, Ops: 12, FileSize: 24 << 10, Seed: 31},
+			Streams: []Stream{{
+				Name: "readers", Workers: 3, Ops: 300, ReadFrom: "dataset",
+				Profile: workflow.Steady{OpsPerSec: 300}, Seed: 32,
+			}},
+		},
+		Timeline: []Step{
+			{Name: "gray-onset", At: 100 * time.Millisecond, Action: SetPlan(gray, 0)},
+			// Heal after the read phase so the teardown scrub is not paced
+			// by the injected delay; every asserted read ran under it.
+			{Name: "gray-heal", At: 1400 * time.Millisecond, Action: SetPlan(faultwrap.Plan{}, 0)},
+		},
+		SLO: SLO{
+			ZeroLoss: true,
+			Streams: []StreamSLO{{
+				Stream: "readers", MaxErrorRate: 0, MaxReadP99: 30 * time.Millisecond, MinOps: 150,
+			}},
+		},
+		Check: func(c *Cluster, r *Result) []string {
+			var v []string
+			if st, ok := c.FS.Health()[c.VictimID(0)]; ok && st.State != health.Up {
+				v = append(v, fmt.Sprintf("gray node was condemned (%s) — the failure was supposed to be gray", st.State))
+			}
+			if r.Faults.Delays == 0 {
+				v = append(v, "gray plan delayed nothing")
+			}
+			return v
+		},
+	}
+}
+
+// RackFailureRS42 pauses exactly m=2 victims in the same instant — a
+// rack losing its uplink — under an RS(4,2) workload. Writes must
+// degrade (never tear), reads must reconstruct, the detector must
+// condemn both nodes fast, and after the rack returns the targeted
+// repair queue must restore full redundancy within the bound.
+func RackFailureRS42() Scenario {
+	return Scenario{
+		Name:     "rack-failure-rs42",
+		Describe: "correlated loss of m=2 shard holders, then heal: degrade, reconstruct, re-redundify",
+		Topology: Topology{
+			OwnNodes: 6, VictimNodes: 6,
+			Plan: faultwrap.Plan{Seed: 41},
+			Redundancy: core.Redundancy{
+				Mode: core.RedundancyErasure, DataShards: 4, ParityShards: 2, ReadSpare: 1,
+			},
+			PipelineDepth: 8,
+			Retry:         chaosRetry,
+			Health:        fastProbes(10 * time.Millisecond),
+			Repair:        core.RepairPolicy{QueueCap: 4096},
+		},
+		Workload: Workload{
+			Preload: &Stream{Name: "base", Workers: 2, Files: 6, Ops: 12, FileSize: 24 << 10, Seed: 41},
+			Streams: []Stream{{
+				Name: "writers", Workers: 2, Ops: 60, Files: 6, FileSize: 20 << 10,
+				Profile: workflow.Steady{OpsPerSec: 60}, VerifyEachWrite: true, RMWEvery: 5, Seed: 42,
+			}},
+		},
+		Timeline: []Step{
+			{Name: "rack-out", At: 300 * time.Millisecond, Action: Pause(1, 2)},
+			{Name: "rack-back", At: 1200 * time.Millisecond, Action: Resume(1, 2)},
+		},
+		SLO: SLO{
+			ZeroLoss:           true,
+			MaxDetection:       2 * time.Second,
+			MaxRecovery:        20 * time.Second,
+			CleanScrub:         true,
+			NoDeferred:         true,
+			TargetedRepairOnly: true,
+			Streams: []StreamSLO{{
+				Stream: "writers", MaxErrorRate: 0, MinOps: 40,
+			}},
+		},
+		Check: func(c *Cluster, r *Result) []string {
+			var v []string
+			if r.Counters.DegradedWrites == 0 {
+				v = append(v, "no degraded writes despite a dead rack — the outage never bit the write path")
+			}
+			if r.Counters.ECReconstructs == 0 {
+				v = append(v, "no EC reconstructions despite two dead shard holders")
+			}
+			if r.Faults.Refused == 0 {
+				v = append(v, "paused proxies refused nothing — the partition never happened")
+			}
+			return v
+		},
+	}
+}
+
+// FlashCrowdQuota throws a flash crowd from a low-priority tenant at a
+// cluster a high-priority tenant depends on. Admission control must
+// throttle the burst tenant at its quota (rejections counted as policy,
+// not unavailability) while the production tenant's availability and
+// latency hold.
+func FlashCrowdQuota() Scenario {
+	return Scenario{
+		Name:     "flash-crowd-quota",
+		Describe: "low-priority burst hits its quota; high-priority tenant's SLOs hold",
+		Topology: Topology{
+			OwnNodes: 2, VictimNodes: 3,
+			Redundancy:    core.Redundancy{Mode: core.RedundancyReplicate, Replicas: 2},
+			PipelineDepth: 8,
+			Retry:         chaosRetry,
+			Repair:        core.RepairPolicy{QueueCap: 4096},
+			Tenants: []qos.TenantSpec{
+				{Name: "prod", Weight: 3, Priority: qos.PriorityHigh},
+				{Name: "batch", Weight: 1, Priority: qos.PriorityLow, QuotaBytes: 1 << 20},
+			},
+		},
+		Workload: Workload{
+			Duration: 2200 * time.Millisecond,
+			Streams: []Stream{
+				{
+					Name: "prod", Tenant: "prod", Workers: 2, Files: 6, FileSize: 16 << 10,
+					Profile: workflow.Steady{OpsPerSec: 80}, VerifyEachWrite: true, Seed: 51,
+				},
+				{
+					Name: "batch", Tenant: "batch", Workers: 3, Files: 64, FileSize: 32 << 10,
+					Profile: workflow.FlashCrowd{
+						Base: 20, Burst: 400,
+						At: 600 * time.Millisecond, Rise: 200 * time.Millisecond, Hold: 800 * time.Millisecond,
+					},
+					Seed: 52,
+				},
+			},
+		},
+		SLO: SLO{
+			ZeroLoss: true,
+			Streams: []StreamSLO{{
+				Stream: "prod", MaxErrorRate: 0, MaxWriteP99: time.Second, MinOps: 60,
+			}},
+		},
+		Check: func(c *Cluster, r *Result) []string {
+			var v []string
+			var prod, batch *StreamResult
+			for i := range r.Streams {
+				switch r.Streams[i].Name {
+				case "prod":
+					prod = &r.Streams[i]
+				case "batch":
+					batch = &r.Streams[i]
+				}
+			}
+			if batch == nil || batch.QuotaRejects == 0 {
+				v = append(v, "the flash crowd never hit its quota — admission control untested")
+			}
+			if prod != nil && prod.QuotaRejects != 0 {
+				v = append(v, fmt.Sprintf("quota rejected %d prod writes — throttled the wrong tenant", prod.QuotaRejects))
+			}
+			return v
+		},
+	}
+}
+
+// PartitionHealRejoin pauses one victim (a full symmetric partition),
+// demands fast detection, heals it, and demands the node rejoin with
+// every parked repair unit drained — the scrub afterwards must find
+// nothing at all to do.
+func PartitionHealRejoin() Scenario {
+	return Scenario{
+		Name:     "partition-heal-rejoin",
+		Describe: "full partition, detection, heal, rejoin: redundancy fully restored by the targeted queue",
+		Topology: Topology{
+			OwnNodes: 2, VictimNodes: 3,
+			Redundancy:    core.Redundancy{Mode: core.RedundancyReplicate, Replicas: 2},
+			PipelineDepth: 8,
+			Retry:         chaosRetry,
+			Health:        fastProbes(10 * time.Millisecond),
+			Repair:        core.RepairPolicy{QueueCap: 4096},
+		},
+		Workload: Workload{
+			Preload: &Stream{Name: "base", Workers: 1, Files: 8, Ops: 8, FileSize: 16 << 10, Seed: 61},
+			Streams: []Stream{{
+				Name: "writers", Workers: 2, Ops: 50, Files: 6, FileSize: 16 << 10,
+				Profile: workflow.Steady{OpsPerSec: 50}, VerifyEachWrite: true, Seed: 62,
+			}},
+		},
+		Timeline: []Step{
+			{Name: "partition", At: 300 * time.Millisecond, Action: Pause(0)},
+			{Name: "heal", At: 1200 * time.Millisecond, Action: Resume(0)},
+		},
+		SLO: SLO{
+			ZeroLoss:           true,
+			MaxDetection:       2 * time.Second,
+			MaxRecovery:        15 * time.Second,
+			CleanScrub:         true,
+			NoDeferred:         true,
+			TargetedRepairOnly: true,
+			Streams: []StreamSLO{{
+				Stream: "writers", MaxErrorRate: 0, MinOps: 40,
+			}},
+		},
+		Check: func(c *Cluster, r *Result) []string {
+			var v []string
+			if r.Counters.SkippedReplicaWrites == 0 {
+				v = append(v, "no replica writes skipped — the detector never influenced placement")
+			}
+			if r.Counters.DegradedWrites == 0 {
+				v = append(v, "no degraded writes despite a partitioned replica target")
+			}
+			return v
+		},
+	}
+}

@@ -14,7 +14,6 @@ import (
 	"time"
 
 	"memfss/internal/erasure"
-	"memfss/internal/faultwrap"
 	"memfss/internal/kvstore"
 	"memfss/internal/stripe"
 )
@@ -307,107 +306,5 @@ func TestErasureWriteFencesDrainingNode(t *testing.T) {
 	}
 }
 
-// TestErasureChaosSoak is the erasure acceptance soak: an RS(4,2)
-// deployment under seeded connection chaos, one victim killed permanently
-// mid-workload. Writes must keep succeeding (degraded, never torn),
-// partial-stripe RMW overwrites must stay correct, the targeted repair
-// queue must absorb the damage without a full-namespace scan, and the
-// final Fsck must verify every byte readable — zero loss.
-func TestErasureChaosSoak(t *testing.T) {
-	plan := faultwrap.Plan{
-		Seed:            7,
-		DropBeforeReply: 0.03,
-		DropMidReply:    0.02,
-		CutRequest:      0.02,
-		DelayProb:       0.05,
-		Delay:           time.Millisecond,
-	}
-	d, proxies := newChaosFS(t, 6, 6, plan,
-		withRedundancy(Redundancy{Mode: RedundancyErasure, DataShards: 4, ParityShards: 2}),
-		withPipelineDepth(8),
-		withRetry(soakRetry),
-		withRepair(RepairPolicy{QueueCap: 4096}))
-
-	const files = 24
-	want := make([][]byte, files)
-	var killedAt time.Time
-	for i := 0; i < files; i++ {
-		if i == files/2 {
-			proxies[1].Kill()
-			killedAt = time.Now()
-		}
-		path := fmt.Sprintf("/ec%d", i)
-		want[i] = randomBytes(int64(2000+i), 20_000+i*512)
-		if err := d.fs.WriteFile(path, want[i]); err != nil {
-			t.Fatalf("write %s under chaos must degrade, not fail: %v", path, err)
-		}
-		if i%3 == 0 {
-			// Partial overwrite spanning two stripes: the RMW gather and
-			// generation supersession under the same chaos.
-			patch := randomBytes(int64(9000+i), 3000)
-			f, err := d.fs.OpenFile(path, O_RDWR)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if _, err := f.WriteAt(patch, 3000); err != nil {
-				t.Fatalf("RMW overwrite %s under chaos: %v", path, err)
-			}
-			if err := f.Close(); err != nil {
-				t.Fatal(err)
-			}
-			copy(want[i][3000:], patch)
-		}
-		got, err := d.fs.ReadFile(path)
-		if err != nil || !bytes.Equal(got, want[i]) {
-			t.Fatalf("immediate verify %s: %v", path, err)
-		}
-	}
-	c := d.fs.Counters()
-	if c.DegradedWrites == 0 {
-		t.Fatal("a dead shard target degraded no writes — the kill never bit")
-	}
-	if c.ECReconstructs == 0 {
-		t.Fatal("no reads reconstructed despite a dead shard holder")
-	}
-
-	if !d.fs.WaitRepairIdle(30 * time.Second) {
-		t.Fatalf("repair queue never idled: %+v", d.fs.RepairStats())
-	}
-	st := d.fs.RepairStats()
-	if st.Enqueued == 0 {
-		t.Fatal("no degraded stripes were enqueued for targeted repair")
-	}
-	if st.FullScrubs != 0 {
-		t.Fatalf("targeted repair resorted to a full-namespace scan: %+v", st)
-	}
-	rep, err := d.fs.Scrub()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rep.Unrepairable) != 0 {
-		t.Fatalf("post-soak scrub found unrepairable stripes: %v", rep.Unrepairable)
-	}
-	if rep.Restored != 0 {
-		t.Fatalf("post-soak scrub restored %d shards the repair queue missed", rep.Restored)
-	}
-	if len(rep.Deferred) == 0 {
-		t.Error("no stripes deferred despite a permanently dead shard holder")
-	}
-
-	for i := 0; i < files; i++ {
-		path := fmt.Sprintf("/ec%d", i)
-		got, err := d.fs.ReadFile(path)
-		if err != nil || !bytes.Equal(got, want[i]) {
-			t.Fatalf("final verify %s: %v", path, err)
-		}
-	}
-	fsck, err := d.fs.Fsck()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(fsck.Damaged) != 0 {
-		t.Fatalf("fsck found damaged files after soak: %v", fsck.Damaged)
-	}
-	t.Logf("soak: repair idle %v after kill; counters %+v; repair %+v",
-		time.Since(killedAt), c, st)
-}
+// TestErasureChaosSoak moved to internal/chaos (runner-based), keeping its
+// name and assertion strength.

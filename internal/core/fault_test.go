@@ -268,3 +268,41 @@ func TestEvacuateUnderMidPipelineFaults(t *testing.T) {
 		t.Fatalf("fsck found damage after evacuation: %v", rep.Damaged)
 	}
 }
+
+// TestOverwriteSurvivesDeadNode pins the best-effort delete fan-out:
+// overwriting (and removing) a file while one replica holder is dead must
+// succeed — the old stripes on the dead node become counted orphans, not
+// a user-visible failure. Before the fix, Create's truncate path failed
+// the whole overwrite because DelPrefix could not reach the node.
+func TestOverwriteSurvivesDeadNode(t *testing.T) {
+	d, proxies := newChaosFS(t, 2, 3, faultwrap.Plan{},
+		withRedundancy(Redundancy{Mode: RedundancyReplicate, Replicas: 2}),
+		withRetry(fastRetry))
+	const path = "/overwrite/victim.dat"
+	if err := d.fs.MkdirAll("/overwrite"); err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Repeat([]byte{0xA1}, 24<<10)
+	if err := d.fs.WriteFile(path, v1); err != nil {
+		t.Fatal(err)
+	}
+	proxies[0].Kill()
+
+	v2 := bytes.Repeat([]byte{0xB2}, 24<<10)
+	if err := d.fs.WriteFile(path, v2); err != nil {
+		t.Fatalf("overwrite with a dead replica holder: %v", err)
+	}
+	got, err := d.fs.ReadFile(path)
+	if err != nil || !bytes.Equal(got, v2) {
+		t.Fatalf("read after overwrite: %v", err)
+	}
+	if c := d.fs.Counters(); c.DeferredDeletes == 0 {
+		t.Fatal("no deferred deletes counted — the dead node's DelPrefix should have been skipped")
+	}
+	if err := d.fs.Remove(path); err != nil {
+		t.Fatalf("remove with a dead replica holder: %v", err)
+	}
+	if _, err := d.fs.ReadFile(path); err == nil {
+		t.Fatal("file still readable after remove")
+	}
+}

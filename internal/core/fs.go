@@ -703,8 +703,20 @@ func (fs *FileSystem) deleteFileData(rec *fsmeta.FileRecord) error {
 			// Node already evacuated/removed: nothing to delete there.
 			return nil
 		}
-		_, err = cli.DelPrefix(prefix)
-		return err
+		if _, err := cli.DelPrefix(prefix); err != nil {
+			// The namespace entry is already gone, so an unreachable node
+			// must not fail the delete — redundancy tolerates the outage
+			// and the write path degrades past it; a hard failure here
+			// would make every overwrite during the outage fail anyway.
+			// The node keeps stale stripes under a dead file ID: orphans,
+			// counted here and in Fsck's orphan census.
+			if isUnavailable(err) {
+				fs.stats.deferredDeletes.Add(1)
+				return nil
+			}
+			return err
+		}
+		return nil
 	})
 }
 

@@ -15,7 +15,6 @@ import (
 	"testing"
 	"time"
 
-	"memfss/internal/faultwrap"
 	"memfss/internal/health"
 )
 
@@ -266,139 +265,8 @@ func TestHealthScrubLiveWritesRace(t *testing.T) {
 	}
 }
 
-// TestHealthChaosSoak is the acceptance soak: the same seeded fault
-// schedule (including a permanent mid-workload node kill) runs once with
-// the health subsystem disabled — the PR 2 baseline — and once enabled.
-// The enabled run must detect the dead node within the threshold, spend
-// strictly fewer store attempts (the whole point of skipping dead
-// replicas), and restore full redundancy through the targeted queue alone:
-// no full-namespace scan, and a post-soak Scrub with nothing left to
-// restore.
-func TestHealthChaosSoak(t *testing.T) {
-	plan := faultwrap.Plan{
-		Seed:            42,
-		DropBeforeReply: 0.03,
-		DropMidReply:    0.02,
-		CutRequest:      0.02,
-		DelayProb:       0.05,
-		Delay:           time.Millisecond,
-	}
-	const files = 24
-	payload := func(i int) []byte { return randomBytes(int64(1000+i), 20_000+i*512) }
-
-	// run drives the identical workload and returns the deploy, the
-	// counters snapshot taken right after the workload, and the kill time.
-	run := func(t *testing.T, opts ...deployOpt) (*testDeploy, []*faultwrap.Proxy, Counters, time.Time) {
-		base := []deployOpt{
-			withRedundancy(Redundancy{Mode: RedundancyReplicate, Replicas: 2}),
-			withPipelineDepth(8),
-			withRetry(soakRetry),
-		}
-		d, proxies := newChaosFS(t, 2, 4, plan, append(base, opts...)...)
-		var killedAt time.Time
-		for i := 0; i < files; i++ {
-			if i == files/2 {
-				proxies[1].Kill()
-				killedAt = time.Now()
-			}
-			path := fmt.Sprintf("/dd%d", i)
-			if err := d.fs.WriteFile(path, payload(i)); err != nil {
-				t.Fatalf("write %s under faults: %v", path, err)
-			}
-			got, err := d.fs.ReadFile(path)
-			if err != nil || !bytes.Equal(got, payload(i)) {
-				t.Fatalf("immediate verify %s: %v", path, err)
-			}
-		}
-		return d, proxies, d.fs.Counters(), killedAt
-	}
-
-	// Baseline: detector and repair queue off — every write to the dead
-	// node burns the full retry budget, exactly as in PR 2.
-	var baseline Counters
-	t.Run("baseline", func(t *testing.T) {
-		_, _, c, _ := run(t, withHealth(HealthPolicy{Disable: true}),
-			withRepair(RepairPolicy{Disable: true}))
-		baseline = c
-	})
-
-	t.Run("enabled", func(t *testing.T) {
-		// QueueCap above the worst-case degraded-stripe count, so full
-		// redundancy must come back without any full-namespace scan.
-		d, _, c, killedAt := run(t, withRepair(RepairPolicy{QueueCap: 4096}))
-		deadID := d.victims.Nodes[1].ID
-
-		// Time to detection: the dead node must be Down within threshold.
-		const ttdLimit = 5 * time.Second
-		var ttd time.Duration
-		for {
-			if d.fs.Health()[deadID].State == health.Down {
-				ttd = time.Since(killedAt)
-				break
-			}
-			if time.Since(killedAt) > ttdLimit {
-				t.Fatalf("detector never marked %s Down within %v: %+v",
-					deadID, ttdLimit, d.fs.Health()[deadID])
-			}
-			time.Sleep(10 * time.Millisecond)
-		}
-
-		if c.SkippedReplicaWrites == 0 {
-			t.Fatal("no replica writes skipped despite a detected-dead node")
-		}
-		if baseline.StoreAttempts == 0 {
-			t.Fatal("baseline subtest did not run")
-		}
-		if c.StoreAttempts >= baseline.StoreAttempts {
-			t.Fatalf("health-aware run burned %d store attempts, baseline %d — skipping dead replicas must cost strictly less",
-				c.StoreAttempts, baseline.StoreAttempts)
-		}
-
-		// Time to repair: the queue restores everything restorable without
-		// a full scrub; what remains deferred waits only on the dead node.
-		if !d.fs.WaitRepairIdle(30 * time.Second) {
-			t.Fatalf("repair queue never idled: %+v", d.fs.RepairStats())
-		}
-		mttr := time.Since(killedAt)
-		st := d.fs.RepairStats()
-		if st.Enqueued == 0 {
-			t.Fatal("no degraded stripes were enqueued for targeted repair")
-		}
-		if st.FullScrubs != 0 {
-			t.Fatalf("targeted repair resorted to a full-namespace scan: %+v", st)
-		}
-		rep, err := d.fs.Scrub()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if rep.Restored != 0 {
-			t.Fatalf("post-soak scrub restored %d copies the repair queue missed", rep.Restored)
-		}
-		if len(rep.Unrepairable) != 0 {
-			t.Fatalf("post-soak scrub found unrepairable stripes: %v", rep.Unrepairable)
-		}
-		if len(rep.Deferred) == 0 {
-			t.Error("no stripes deferred despite a permanently dead replica target")
-		}
-
-		for i := 0; i < files; i++ {
-			path := fmt.Sprintf("/dd%d", i)
-			got, err := d.fs.ReadFile(path)
-			if err != nil || !bytes.Equal(got, payload(i)) {
-				t.Fatalf("final verify %s: %v", path, err)
-			}
-		}
-		fsck, err := d.fs.Fsck()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(fsck.Damaged) != 0 {
-			t.Fatalf("fsck found damaged files after soak: %v", fsck.Damaged)
-		}
-		t.Logf("TTD %v, repair idle after %v; counters %+v; repair %+v",
-			ttd, mttr, c, st)
-	})
-}
+// TestHealthChaosSoak moved to internal/chaos (runner-based), keeping its
+// name and assertion strength.
 
 // TestHealthProbeReadPrefersHealthyPrimary pins the read path: when a
 // stripe's rank-0 replica is Down, reads go straight to the healthy

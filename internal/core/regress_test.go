@@ -18,6 +18,9 @@ package core
 //   - TestTruncateBoundaryTrimFailsClosed: the boundary trim silently
 //     skipped unreachable replicas, so shrink-then-grow resurfaced stale
 //     bytes where POSIX requires zeros.
+//   - TestRepairUnitOutrunsSizeCommit: fixStripe dropped units whose
+//     stripe index sat beyond the committed file size, orphaning repairs
+//     that raced their own writer's Close.
 
 import (
 	"bytes"
@@ -314,5 +317,59 @@ func TestTruncateBoundaryTrimFailsClosed(t *testing.T) {
 		if b != want {
 			t.Fatalf("byte %d = %#x after shrink-regrow, want %#x (stale tail resurfaced)", i, b, want)
 		}
+	}
+}
+
+// TestRepairUnitOutrunsSizeCommit pins the enqueue-before-commit race
+// the chaos heal-rejoin scenario exposed: a degraded write enqueues its
+// repair unit as each stripe lands, but Close commits the file's new
+// size last, so a fast repair worker can pop the unit while the record
+// still shows the old size and the stripe index looks out of range.
+// fixStripe used to drop the unit — orphaning the repair, since the
+// write's only enqueue had already happened — leaving the hole for the
+// catch-all scrub to find. It must instead request a commit-settle
+// rerun, and resolve normally once the commit lands.
+func TestRepairUnitOutrunsSizeCommit(t *testing.T) {
+	d := newTestFS(t, 2, 2, withRedundancy(Redundancy{Mode: RedundancyReplicate, Replicas: 2}))
+	fs := d.fs
+
+	f, err := fs.Create("/race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(bytes.Repeat([]byte{7}, 10_000)); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := fs.meta.statRecord("/race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.File.Size != 0 {
+		t.Fatalf("size committed before Close: %d", rec.File.Size)
+	}
+	u := repairUnit{path: "/race", sk: stripe.Key(rec.File.ID, 0), idx: 0}
+
+	// Mid-window: stripes are on the stores, the size commit is not.
+	out := fs.fixStripe(u)
+	if len(out.pending) != 1 || out.pending[0] != repairWaitCommit {
+		t.Fatalf("pre-commit fixStripe = %+v, want pending [%s]", out, repairWaitCommit)
+	}
+
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-commit the same unit resolves normally: nothing pending, no
+	// damage verdict.
+	out = fs.fixStripe(u)
+	if len(out.pending) != 0 || out.reason != "" {
+		t.Fatalf("post-commit fixStripe = %+v, want clean resolve", out)
+	}
+
+	// A unit genuinely beyond the file (never to be committed) must not
+	// park forever: after the bounded reruns the queue drops it.
+	ghost := repairUnit{path: "/race", sk: stripe.Key(rec.File.ID, 99), idx: 99}
+	out = fs.fixStripe(ghost)
+	if len(out.pending) != 1 || out.pending[0] != repairWaitCommit {
+		t.Fatalf("out-of-range fixStripe = %+v, want commit-settle request", out)
 	}
 }

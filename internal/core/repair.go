@@ -32,6 +32,11 @@ type repairUnit struct {
 	// stripe, so the flight recorder's enqueue->restored pair names the
 	// operation that witnessed the damage.
 	src trace.ID
+	// commitRetries counts "<commit>" reruns: a unit can outrun its own
+	// writer (stripes land and enqueue before Close commits the new file
+	// size), in which case the stripe looks out of range and must be
+	// revisited after the commit settles rather than dropped.
+	commitRetries int
 }
 
 func (u repairUnit) key() string { return u.path + "#" + u.sk }
@@ -58,6 +63,21 @@ type RepairStats struct {
 	Parked   int
 	InFlight int
 }
+
+// repairWaitMeta and repairWaitCommit are sentinel waitFor targets for
+// parked units blocked on something without a health signal: unreachable
+// metadata, or a writer's size commit the unit outran. Both retry on the
+// rescan timer rather than a node-recovery event.
+const (
+	repairWaitMeta   = "<meta>"
+	repairWaitCommit = "<commit>"
+)
+
+// maxCommitRetries bounds commit-settle reruns: by the third rescan the
+// writer's Close has either landed (the unit repairs normally) or the
+// stripe genuinely sits beyond the file's size (truncated) and absence
+// is the correct state.
+const maxCommitRetries = 3
 
 // rescanInterval bounds how long a retryable parked unit waits before
 // being retried even without a detector Up event (the event channel is
@@ -235,7 +255,7 @@ func (q *repairQueue) watch(ch <-chan health.Event) {
 // retried on the rescan timer.
 func (q *repairQueue) ready(p parkedUnit) bool {
 	for _, node := range p.waitFor {
-		if node == "<meta>" {
+		if node == repairWaitMeta || node == repairWaitCommit {
 			continue
 		}
 		if q.fs.nodeState(node) != health.Up {
@@ -370,6 +390,16 @@ func (q *repairQueue) repairOne(u repairUnit) {
 		q.unrepairable.Add(1)
 		q.fs.obs.note("repair", "", "unrepairable "+u.key()+": "+out.reason, u.src)
 	case len(out.pending) > 0:
+		if len(out.pending) == 1 && out.pending[0] == repairWaitCommit {
+			u.commitRetries++
+			if u.commitRetries > maxCommitRetries {
+				// The size never caught up: the stripe sits beyond the
+				// file for real (truncated), so absence is correct.
+				q.repaired.Add(1)
+				q.fs.obs.note("repair", "", "dropped "+u.key()+" after commit-settle reruns (stripe beyond committed size)", u.src)
+				return
+			}
+		}
 		q.park(u, out.pending)
 		q.fs.obs.note("repair", "", fmt.Sprintf("parked %s waiting on %v", u.key(), out.pending), u.src)
 	default:

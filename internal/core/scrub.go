@@ -167,15 +167,27 @@ func (fs *FileSystem) fixStripe(u repairUnit) fixOutcome {
 			return fixOutcome{}
 		}
 		// Metadata unreachable: retry the unit later.
-		return fixOutcome{pending: []string{"<meta>"}}
+		return fixOutcome{pending: []string{repairWaitMeta}}
 	}
 	fr := rec.File
 	if fr == nil || stripe.Key(fr.ID, u.idx) != u.sk {
 		return fixOutcome{}
 	}
 	layout, err := stripe.NewLayout(fr.StripeSize)
-	if err != nil || u.idx >= layout.Count(fr.Size) {
+	if err != nil {
 		return fixOutcome{}
+	}
+	if u.idx >= layout.Count(fr.Size) {
+		// The stripe key matches the *current* file, yet the index is
+		// beyond the committed size. Either the stripe was truncated away
+		// — absence is correct — or the unit outran its own writer: a
+		// degraded write enqueues as each stripe lands, but Close commits
+		// the new size last, so a fast pop sees Size still at the old
+		// value. Dropping here would orphan the repair (the write's only
+		// enqueue already happened), so ask for a commit-settle rerun;
+		// the queue bounds those and drops the unit once the size has had
+		// every chance to catch up.
+		return fixOutcome{pending: []string{repairWaitCommit}}
 	}
 	pl, err := placerFromSnapshot(fr.Classes)
 	if err != nil {

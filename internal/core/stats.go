@@ -19,6 +19,7 @@ type fsStats struct {
 	skippedReplicaWrites *obs.Counter
 	fencedWrites         *obs.Counter
 	noSpaceWrites        *obs.Counter
+	deferredDeletes      *obs.Counter
 	ecReconstructs       *obs.Counter
 	ecGenConflicts       *obs.Counter
 }
@@ -57,6 +58,8 @@ func newFSStats(reg *obs.Registry) fsStats {
 			"Replica targets skipped because the node is draining for revocation.", nil),
 		noSpaceWrites: counterOr(reg, "memfss_fs_no_space_writes_total",
 			"Span writes rejected because a store was over its memory cap.", nil),
+		deferredDeletes: counterOr(reg, "memfss_fs_deferred_deletes_total",
+			"Per-node stripe deletions skipped because the node was unreachable; the stale keys are orphans under a dead file ID.", nil),
 		ecReconstructs: counterOr(reg, "memfss_fs_ec_reconstructs_total",
 			"Erasure stripe reads served by Reed-Solomon reconstruction (some data shard missing).", nil),
 		ecGenConflicts: counterOr(reg, "memfss_fs_ec_generation_conflicts_total",
@@ -98,6 +101,13 @@ type Counters struct {
 	// store fails identically on every retry — so a nonzero value means
 	// capacity, not connectivity, is the bottleneck.
 	NoSpaceWrites int64
+	// DeferredDeletes counts per-node stripe deletions skipped because
+	// the node was unreachable when a file was removed or truncated. The
+	// namespace entry is already gone, so a delete must not fail an
+	// otherwise-survivable operation over a dead node; the stale keys are
+	// orphans under a dead file ID — unreadable, surfaced by Fsck's
+	// orphan census until the store reclaims them.
+	DeferredDeletes int64
 	// ECReconstructs counts erasure stripe reads that had to rebuild a
 	// missing data shard via Reed-Solomon reconstruction — each one is a
 	// degraded read that still returned correct bytes.
@@ -129,6 +139,7 @@ func (fs *FileSystem) Counters() Counters {
 		SkippedReplicaWrites: fs.stats.skippedReplicaWrites.Value(),
 		FencedWrites:         fs.stats.fencedWrites.Value(),
 		NoSpaceWrites:        fs.stats.noSpaceWrites.Value(),
+		DeferredDeletes:      fs.stats.deferredDeletes.Value(),
 		ECReconstructs:       fs.stats.ecReconstructs.Value(),
 		ECGenConflicts:       fs.stats.ecGenConflicts.Value(),
 		StoreOps:             ops,

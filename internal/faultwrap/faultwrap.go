@@ -10,10 +10,22 @@
 // after run — deterministic enough for CI soak tests, while goroutine
 // scheduling still varies the exact interleaving. Tests point a ClassSpec
 // node address at Proxy.Addr() instead of the real store; memfss-bench does
-// the same under its -chaos flag.
+// the same under its -chaos and -scenario flags.
+//
+// Plans are per direction (DirPlan): the client->server request stream and
+// the server->client reply stream carry independent fault schedules, which
+// is what lets a scenario express *asymmetric* partitions — requests
+// blackholed while replies would flow, or replies cut while the server
+// keeps applying writes it can never acknowledge. DropVerbs drops request
+// segments carrying specific wire commands, so a scenario can partition
+// the failure detector's PING probes away from a node that keeps serving
+// data — the split-brain case for revocation fencing. SetPlan swaps the
+// whole schedule at runtime (existing connections included), which is how
+// the scenario runner ramps a gray failure or heals a partition mid-run.
 package faultwrap
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -23,55 +35,135 @@ import (
 	"time"
 )
 
-// Plan configures which faults a Proxy injects and how often. Probabilities
-// are per forwarded segment (one Read's worth of bytes, typically one
-// command or one pipelined burst), in [0, 1]. The zero Plan injects nothing
-// and the proxy is a transparent forwarder.
-type Plan struct {
-	// Seed drives the PRNG that samples every probability below.
-	Seed int64
-	// DropBeforeReply is the chance a server->client segment is discarded
-	// and both sides of the connection closed before any reply byte
-	// reaches the client — the "store died before answering" case.
-	DropBeforeReply float64
-	// DropMidReply is the chance a server->client segment is cut in half:
-	// the leading bytes are forwarded, then the connection dies — the
-	// mid-pipeline death that leaves a burst partially answered.
-	DropMidReply float64
-	// CutRequest is the chance a client->server segment is truncated
-	// mid-write and the connection closed — a partial write: the server
-	// sees a malformed or incomplete frame and hangs up.
-	CutRequest float64
-	// DelayProb is the chance a server->client segment is held for Delay
-	// before forwarding — scavenging traffic contending with the tenant.
+// DirPlan is one direction's fault schedule. Probabilities are per
+// forwarded segment (one Read's worth of bytes, typically one command or
+// one pipelined burst), in [0, 1]. The zero DirPlan injects nothing.
+type DirPlan struct {
+	// Drop is the chance a segment is discarded and both sides of the
+	// connection closed — the "peer died" reset-style failure. Clients see
+	// it immediately as a broken connection.
+	Drop float64
+	// Discard is the chance a segment is silently swallowed while the
+	// connection stays open — a blackhole. The sender learns nothing; the
+	// receiver never sees the bytes. This is the asymmetric-partition
+	// primitive: the side waiting on a response blocks until its deadline,
+	// which is exactly how a real one-way partition presents.
+	Discard float64
+	// Cut is the chance a segment is truncated mid-write and the
+	// connection closed — the partial frame that leaves a pipelined burst
+	// half-answered or a request half-parsed.
+	Cut float64
+	// DelayProb is the chance a segment is held for Delay (plus a uniform
+	// draw from [0, Jitter)) before forwarding — a slow NIC, a contended
+	// victim, scavenging traffic behind tenant bursts. Delay without
+	// failure is the gray-failure primitive: the node stays Up, just slow.
 	DelayProb float64
-	// Delay is the added latency applied with probability DelayProb.
-	Delay time.Duration
+	Delay     time.Duration
+	Jitter    time.Duration
+}
+
+func (d DirPlan) active() bool {
+	return d.Drop > 0 || d.Discard > 0 || d.Cut > 0 || (d.DelayProb > 0 && (d.Delay > 0 || d.Jitter > 0))
+}
+
+// Plan configures which faults a Proxy injects and how often.
+//
+// The legacy top-level fields (DropBeforeReply, DropMidReply, CutRequest,
+// DelayProb/Delay) predate per-direction plans and are folded into
+// Reply/Request when the plan is installed, so existing seeded soaks keep
+// their exact fault sequences. New code should set Request/Reply directly.
+type Plan struct {
+	// Seed drives the PRNG that samples every probability below. SetPlan
+	// keeps the proxy's PRNG stream, so the fault sequence stays a pure
+	// function of the original seed and segment arrival order even across
+	// plan swaps.
+	Seed int64
+
+	// DropBeforeReply is the chance a server->client segment is discarded
+	// and the connection reset before any reply byte reaches the client.
+	// Legacy alias for Reply.Drop.
+	DropBeforeReply float64
+	// DropMidReply is the chance a server->client segment is cut in half.
+	// Legacy alias for Reply.Cut.
+	DropMidReply float64
+	// CutRequest is the chance a client->server segment is truncated.
+	// Legacy alias for Request.Cut.
+	CutRequest float64
+	// DelayProb/Delay hold a server->client segment before forwarding.
+	// Legacy aliases for Reply.DelayProb/Reply.Delay.
+	DelayProb float64
+	Delay     time.Duration
+
+	// Request is the client->server fault schedule.
+	Request DirPlan
+	// Reply is the server->client fault schedule.
+	Reply DirPlan
+	// DropVerbs lists wire commands (e.g. "PING") whose request segments
+	// are dropped and the carrying connection reset, regardless of
+	// probability. Matching is per segment against the bulk-string framing
+	// of the verb, so a single-command write (the probe path) always
+	// matches; a verb split across segments may escape — acceptable for a
+	// chaos tool. This partitions one *kind* of traffic: probes can fail
+	// 100% while data connections keep serving.
+	DropVerbs []string
+}
+
+// normalized folds the legacy aliases into the per-direction plans and
+// pre-compiles the verb matchers.
+func (p Plan) normalized() *compiledPlan {
+	c := &compiledPlan{plan: p}
+	c.plan.Reply.Drop += p.DropBeforeReply
+	c.plan.Reply.Cut += p.DropMidReply
+	c.plan.Request.Cut += p.CutRequest
+	if p.DelayProb > 0 && p.Delay > 0 {
+		c.plan.Reply.DelayProb += p.DelayProb
+		if c.plan.Reply.Delay == 0 {
+			c.plan.Reply.Delay = p.Delay
+		}
+	}
+	for _, v := range p.DropVerbs {
+		// A verb on the wire is a bulk string: $<len>\r\n<VERB>\r\n.
+		c.verbs = append(c.verbs, []byte(fmt.Sprintf("$%d\r\n%s\r\n", len(v), v)))
+	}
+	return c
+}
+
+type compiledPlan struct {
+	plan  Plan
+	verbs [][]byte
 }
 
 // Stats counts the faults a Proxy actually injected.
 type Stats struct {
 	// Conns is how many client connections the proxy accepted.
 	Conns int64
-	// PreDrops / MidDrops / Cuts / Delays count injected faults by kind.
+	// PreDrops / MidDrops / Cuts / Delays count injected reply-direction
+	// faults by kind (reset drops, mid-segment cuts, added latency).
 	PreDrops int64
 	MidDrops int64
 	Cuts     int64
 	Delays   int64
+	// Discards counts blackholed segments (either direction): swallowed
+	// silently with the connection left open.
+	Discards int64
+	// VerbDrops counts request segments dropped by a DropVerbs match.
+	VerbDrops int64
 	// Refused counts connections rejected while paused or killed.
 	Refused int64
+	// PlanSwaps counts runtime SetPlan calls.
+	PlanSwaps int64
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("conns=%d pre-drops=%d mid-drops=%d cuts=%d delays=%d refused=%d",
-		s.Conns, s.PreDrops, s.MidDrops, s.Cuts, s.Delays, s.Refused)
+	return fmt.Sprintf("conns=%d pre-drops=%d mid-drops=%d cuts=%d delays=%d discards=%d verb-drops=%d refused=%d",
+		s.Conns, s.PreDrops, s.MidDrops, s.Cuts, s.Delays, s.Discards, s.VerbDrops, s.Refused)
 }
 
 // Proxy forwards one listener's connections to a target address, injecting
 // faults per its Plan. It is safe for concurrent use.
 type Proxy struct {
 	target string
-	plan   Plan
+	plan   atomic.Pointer[compiledPlan]
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -83,13 +175,16 @@ type Proxy struct {
 	killed bool
 	closed bool
 
-	conNs    atomic.Int64
-	preDrops atomic.Int64
-	midDrops atomic.Int64
-	cuts     atomic.Int64
-	delays   atomic.Int64
-	refused  atomic.Int64
-	wg       sync.WaitGroup
+	conNs     atomic.Int64
+	preDrops  atomic.Int64
+	midDrops  atomic.Int64
+	cuts      atomic.Int64
+	delays    atomic.Int64
+	discards  atomic.Int64
+	verbDrops atomic.Int64
+	refused   atomic.Int64
+	planSwaps atomic.Int64
+	wg        sync.WaitGroup
 }
 
 // New starts a proxy on a fresh loopback port forwarding to target.
@@ -100,11 +195,11 @@ func New(target string, plan Plan) (*Proxy, error) {
 	}
 	p := &Proxy{
 		target: target,
-		plan:   plan,
 		rng:    rand.New(rand.NewSource(plan.Seed)),
 		ln:     ln,
 		conns:  make(map[net.Conn]struct{}),
 	}
+	p.plan.Store(plan.normalized())
 	p.wg.Add(1)
 	go p.acceptLoop(ln)
 	return p, nil
@@ -117,20 +212,38 @@ func (p *Proxy) Addr() string { return p.ln.Addr().String() }
 // Target returns the wrapped store's real address.
 func (p *Proxy) Target() string { return p.target }
 
+// Plan returns the currently installed plan (as given; legacy aliases are
+// not folded back).
+func (p *Proxy) Plan() Plan { return p.plan.Load().plan }
+
+// SetPlan swaps the fault schedule at runtime. In-flight connections pick
+// up the new plan on their next forwarded segment — a partition can open
+// or heal under live traffic, a latency ramp can tighten mid-burst. The
+// PRNG stream is kept, so the overall fault sequence remains a function of
+// the original seed and segment order.
+func (p *Proxy) SetPlan(plan Plan) {
+	p.planSwaps.Add(1)
+	p.plan.Store(plan.normalized())
+}
+
 // Stats snapshots the injected-fault counters.
 func (p *Proxy) Stats() Stats {
 	return Stats{
-		Conns:    p.conNs.Load(),
-		PreDrops: p.preDrops.Load(),
-		MidDrops: p.midDrops.Load(),
-		Cuts:     p.cuts.Load(),
-		Delays:   p.delays.Load(),
-		Refused:  p.refused.Load(),
+		Conns:     p.conNs.Load(),
+		PreDrops:  p.preDrops.Load(),
+		MidDrops:  p.midDrops.Load(),
+		Cuts:      p.cuts.Load(),
+		Delays:    p.delays.Load(),
+		Discards:  p.discards.Load(),
+		VerbDrops: p.verbDrops.Load(),
+		Refused:   p.refused.Load(),
+		PlanSwaps: p.planSwaps.Load(),
 	}
 }
 
 // Pause makes the node temporarily unreachable: existing connections are
-// dropped and new ones are refused until Resume.
+// dropped and new ones are refused until Resume — the full (symmetric)
+// partition primitive.
 func (p *Proxy) Pause() {
 	p.mu.Lock()
 	p.paused = true
@@ -143,6 +256,14 @@ func (p *Proxy) Resume() {
 	p.mu.Lock()
 	p.paused = false
 	p.mu.Unlock()
+}
+
+// Paused reports whether the proxy is currently refusing connections due
+// to Pause.
+func (p *Proxy) Paused() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.paused
 }
 
 // Kill makes the node permanently dead: every current and future
@@ -216,6 +337,16 @@ func (p *Proxy) roll() float64 {
 	return p.rng.Float64()
 }
 
+// jitter draws a uniform duration from [0, max).
+func (p *Proxy) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	p.rngMu.Lock()
+	defer p.rngMu.Unlock()
+	return time.Duration(p.rng.Int63n(int64(max)))
+}
+
 // errInjected marks a connection killed on purpose, distinguishing
 // injected faults from real forwarding errors inside the copy loops.
 var errInjected = errors.New("faultwrap: injected fault")
@@ -279,32 +410,45 @@ func (p *Proxy) copyLoop(dst, src net.Conn, inject func(dst net.Conn, seg []byte
 	}
 }
 
-// injectReply applies the server->client fault schedule to one segment.
-func (p *Proxy) injectReply(dst net.Conn, seg []byte) error {
-	if d := p.plan.Delay; d > 0 && p.plan.DelayProb > 0 && p.roll() < p.plan.DelayProb {
+// injectDir applies one direction's schedule to a segment. The sampling
+// order (delay, drop, discard, cut) is fixed: it decides which faults
+// consume PRNG rolls, so changing it would reshuffle every seeded soak.
+func (p *Proxy) injectDir(dst net.Conn, seg []byte, d DirPlan, drops, cuts *atomic.Int64) error {
+	if d.DelayProb > 0 && (d.Delay > 0 || d.Jitter > 0) && p.roll() < d.DelayProb {
 		p.delays.Add(1)
-		time.Sleep(d)
+		time.Sleep(d.Delay + p.jitter(d.Jitter))
 	}
-	if p.plan.DropBeforeReply > 0 && p.roll() < p.plan.DropBeforeReply {
-		p.preDrops.Add(1)
+	if d.Drop > 0 && p.roll() < d.Drop {
+		drops.Add(1)
 		return errInjected
 	}
-	if p.plan.DropMidReply > 0 && len(seg) > 1 && p.roll() < p.plan.DropMidReply {
-		p.midDrops.Add(1)
+	if d.Discard > 0 && p.roll() < d.Discard {
+		p.discards.Add(1)
+		return nil // blackhole: swallow, keep the connection
+	}
+	if d.Cut > 0 && len(seg) > 1 && p.roll() < d.Cut {
+		cuts.Add(1)
 		dst.Write(seg[:len(seg)/2]) // best effort: the point is the cut
 		return errInjected
 	}
 	return writeAll(dst, seg)
 }
 
+// injectReply applies the server->client fault schedule to one segment.
+func (p *Proxy) injectReply(dst net.Conn, seg []byte) error {
+	return p.injectDir(dst, seg, p.plan.Load().plan.Reply, &p.preDrops, &p.midDrops)
+}
+
 // injectRequest applies the client->server fault schedule to one segment.
 func (p *Proxy) injectRequest(dst net.Conn, seg []byte) error {
-	if p.plan.CutRequest > 0 && len(seg) > 1 && p.roll() < p.plan.CutRequest {
-		p.cuts.Add(1)
-		dst.Write(seg[:len(seg)/2])
-		return errInjected
+	pl := p.plan.Load()
+	for _, v := range pl.verbs {
+		if bytes.Contains(seg, v) {
+			p.verbDrops.Add(1)
+			return errInjected
+		}
 	}
-	return writeAll(dst, seg)
+	return p.injectDir(dst, seg, pl.plan.Request, &p.preDrops, &p.cuts)
 }
 
 func writeAll(dst net.Conn, b []byte) error {
@@ -334,6 +478,30 @@ func WrapAll(targets []string, plan Plan) ([]*Proxy, error) {
 	return out, nil
 }
 
+// KillGroup kills a set of proxies at once — the correlated rack-scale
+// failure primitive: every node sharing the failure domain dies in the
+// same instant, not one by one.
+func KillGroup(proxies ...*Proxy) {
+	for _, p := range proxies {
+		p.Kill()
+	}
+}
+
+// PauseGroup partitions a set of proxies at once (correlated but
+// recoverable — a rack losing its uplink). Undo with ResumeGroup.
+func PauseGroup(proxies ...*Proxy) {
+	for _, p := range proxies {
+		p.Pause()
+	}
+}
+
+// ResumeGroup heals a PauseGroup partition.
+func ResumeGroup(proxies ...*Proxy) {
+	for _, p := range proxies {
+		p.Resume()
+	}
+}
+
 // TotalStats sums the stats of several proxies.
 func TotalStats(proxies []*Proxy) Stats {
 	var t Stats
@@ -344,7 +512,10 @@ func TotalStats(proxies []*Proxy) Stats {
 		t.MidDrops += s.MidDrops
 		t.Cuts += s.Cuts
 		t.Delays += s.Delays
+		t.Discards += s.Discards
+		t.VerbDrops += s.VerbDrops
 		t.Refused += s.Refused
+		t.PlanSwaps += s.PlanSwaps
 	}
 	return t
 }

@@ -1,6 +1,8 @@
 package faultwrap
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -167,4 +169,234 @@ func TestWrapAll(t *testing.T) {
 	if TotalStats(proxies).Conns != 3 {
 		t.Fatalf("total conns = %d, want 3", TotalStats(proxies).Conns)
 	}
+}
+
+func TestOneWayReplyDrop(t *testing.T) {
+	// Reply direction drops everything; request direction is clean. The
+	// server must still APPLY the write (requests flow) even though the
+	// client never sees the ack (replies dropped) — the asymmetric case a
+	// single whole-node fault mode cannot express.
+	p, err := New(startStore(t), Plan{Reply: DirPlan{Drop: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	cli := kvstore.Dial(p.Addr(), kvstore.DialOptions{Timeout: time.Second, MaxAttempts: 1})
+	defer cli.Close()
+	if err := cli.Set("k", []byte("v")); err == nil {
+		t.Fatal("set acked despite total reply drop")
+	}
+	if p.Stats().PreDrops == 0 {
+		t.Fatal("no reply drops counted")
+	}
+	p.SetPlan(Plan{}) // heal the partition
+	got, ok, err := cli.Get("k")
+	if err != nil || !ok || string(got) != "v" {
+		t.Fatalf("write did not reach server through one-way partition: %q %v %v", got, ok, err)
+	}
+}
+
+func TestOneWayRequestBlackhole(t *testing.T) {
+	// Request direction blackholed: the client's write vanishes silently
+	// (no reset — it blocks until its deadline) and the server never sees
+	// it. The connection stays open, as in a real one-way partition.
+	p, err := New(startStore(t), Plan{Request: DirPlan{Discard: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	cli := kvstore.Dial(p.Addr(), kvstore.DialOptions{Timeout: 300 * time.Millisecond, MaxAttempts: 1})
+	defer cli.Close()
+	if err := cli.Set("k", []byte("v")); err == nil {
+		t.Fatal("set acked despite request blackhole")
+	}
+	if p.Stats().Discards == 0 {
+		t.Fatal("no discards counted")
+	}
+	p.SetPlan(Plan{})
+	_, ok, err := cli.Get("k")
+	if err != nil {
+		t.Fatalf("get after heal: %v", err)
+	}
+	if ok {
+		t.Fatal("blackholed write reached the server")
+	}
+}
+
+func TestSetPlanMidConnection(t *testing.T) {
+	// A plan swap must take effect on connections that are already
+	// established: the scenario runner opens a partition, then heals it,
+	// under a live client pool.
+	p, err := New(startStore(t), Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	cli := kvstore.Dial(p.Addr(), kvstore.DialOptions{Timeout: time.Second, MaxAttempts: 1})
+	defer cli.Close()
+	if err := cli.Set("a", []byte("1")); err != nil {
+		t.Fatalf("set before swap: %v", err)
+	}
+	p.SetPlan(Plan{Reply: DirPlan{Drop: 1}})
+	if err := cli.Set("b", []byte("2")); err == nil {
+		t.Fatal("set succeeded through dropped replies after swap")
+	}
+	p.SetPlan(Plan{})
+	if err := cli.Set("c", []byte("3")); err != nil {
+		t.Fatalf("set after heal swap: %v", err)
+	}
+	if swaps := p.Stats().PlanSwaps; swaps != 2 {
+		t.Fatalf("PlanSwaps = %d, want 2", swaps)
+	}
+}
+
+func TestDropVerbsPartitionsProbes(t *testing.T) {
+	// The split-brain primitive: PING probes are dropped 100% while data
+	// commands on the same proxy keep serving. The failure detector will
+	// declare the node Down while clients still read and write it.
+	p, err := New(startStore(t), Plan{DropVerbs: []string{"PING"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	cli := kvstore.Dial(p.Addr(), kvstore.DialOptions{Timeout: time.Second, MaxAttempts: 2, BaseDelay: time.Millisecond})
+	defer cli.Close()
+	if err := cli.PingOnce(); err == nil {
+		t.Fatal("probe got through a PING verb drop")
+	}
+	if err := cli.Set("k", []byte("v")); err != nil {
+		t.Fatalf("data write failed under probe-only partition: %v", err)
+	}
+	got, ok, err := cli.Get("k")
+	if err != nil || !ok || string(got) != "v" {
+		t.Fatalf("data read failed under probe-only partition: %q %v %v", got, ok, err)
+	}
+	if p.Stats().VerbDrops == 0 {
+		t.Fatal("no verb drops counted")
+	}
+	p.SetPlan(Plan{})
+	if err := cli.PingOnce(); err != nil {
+		t.Fatalf("probe after heal: %v", err)
+	}
+}
+
+func TestKillGroupCorrelatedFailure(t *testing.T) {
+	// Rack-scale death: every proxy in the group dies in the same
+	// instant; nodes outside the failure domain keep serving.
+	targets := []string{startStore(t), startStore(t), startStore(t)}
+	proxies, err := WrapAll(targets, Plan{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, p := range proxies {
+			p.Close()
+		}
+	})
+	opts := kvstore.DialOptions{Timeout: time.Second, MaxAttempts: 1}
+	KillGroup(proxies[0], proxies[1])
+	for i := 0; i < 2; i++ {
+		cli := kvstore.Dial(proxies[i].Addr(), opts)
+		if err := cli.Ping(); err == nil {
+			t.Fatalf("proxy %d alive after group kill", i)
+		}
+		cli.Close()
+		if !proxies[i].Killed() {
+			t.Fatalf("proxy %d Killed() false", i)
+		}
+	}
+	cli := kvstore.Dial(proxies[2].Addr(), opts)
+	defer cli.Close()
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("survivor unreachable after group kill: %v", err)
+	}
+}
+
+func TestPauseGroupResumeGroup(t *testing.T) {
+	targets := []string{startStore(t), startStore(t)}
+	proxies, err := WrapAll(targets, Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, p := range proxies {
+			p.Close()
+		}
+	})
+	opts := kvstore.DialOptions{Timeout: time.Second, MaxAttempts: 1}
+	PauseGroup(proxies...)
+	for i, p := range proxies {
+		cli := kvstore.Dial(p.Addr(), opts)
+		if err := cli.Ping(); err == nil {
+			t.Fatalf("proxy %d reachable while group-paused", i)
+		}
+		cli.Close()
+	}
+	ResumeGroup(proxies...)
+	for i, p := range proxies {
+		cli := kvstore.Dial(p.Addr(), opts)
+		if err := cli.Ping(); err != nil {
+			t.Fatalf("proxy %d unreachable after group resume: %v", i, err)
+		}
+		cli.Close()
+	}
+}
+
+func TestSetPlanRaceHammer(t *testing.T) {
+	// Race-detector exercise: concurrent clients push traffic while other
+	// goroutines hammer SetPlan / Pause / Resume / Stats. No assertion
+	// beyond "does not race or deadlock"; ops are allowed to fail.
+	p, err := New(startStore(t), Plan{Seed: 99, DropBeforeReply: 0.2, CutRequest: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cli := kvstore.Dial(p.Addr(), kvstore.DialOptions{
+				Timeout: 200 * time.Millisecond, MaxAttempts: 2, BaseDelay: time.Millisecond,
+			})
+			defer cli.Close()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cli.Set(fmt.Sprintf("w%d-%d", w, i), []byte("v")) // errors expected
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		plans := []Plan{
+			{Reply: DirPlan{Drop: 0.5}},
+			{Request: DirPlan{Discard: 0.3}},
+			{DropVerbs: []string{"PING"}},
+			{Reply: DirPlan{DelayProb: 1, Delay: time.Millisecond, Jitter: time.Millisecond}},
+			{},
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.SetPlan(plans[i%len(plans)])
+			if i%7 == 0 {
+				p.Pause()
+				p.Resume()
+			}
+			p.Stats()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
 }

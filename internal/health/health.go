@@ -86,6 +86,27 @@ type NodeHealth struct {
 	LastSeen time.Time
 }
 
+// Age is how long the node has been in its current state as of now —
+// the "Down for 40s" half of a health line, which matters operationally
+// as much as the state itself (a node Suspect for 50ms is routine; one
+// Suspect for a minute means the hysteresis is starved of traffic).
+func (h NodeHealth) Age(now time.Time) time.Duration {
+	if h.Since.IsZero() {
+		return 0
+	}
+	return now.Sub(h.Since)
+}
+
+// SeenAge is how long ago the node last answered anything, and whether
+// it ever has. A large seen-age on an Up node means the detector's
+// opinion is stale, not that the node is healthy right now.
+func (h NodeHealth) SeenAge(now time.Time) (time.Duration, bool) {
+	if h.LastSeen.IsZero() {
+		return 0, false
+	}
+	return now.Sub(h.LastSeen), true
+}
+
 // Options configures a Detector. Zero fields take defaults.
 type Options struct {
 	// SuspectAfter is how many consecutive failures move Up -> Suspect

@@ -355,3 +355,28 @@ func TestStateString(t *testing.T) {
 		}
 	}
 }
+
+func TestNodeHealthAges(t *testing.T) {
+	now := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	h := NodeHealth{
+		State:    Down,
+		Since:    now.Add(-40 * time.Second),
+		LastSeen: now.Add(-90 * time.Second),
+	}
+	if got := h.Age(now); got != 40*time.Second {
+		t.Fatalf("Age = %v, want 40s", got)
+	}
+	age, ok := h.SeenAge(now)
+	if !ok || age != 90*time.Second {
+		t.Fatalf("SeenAge = %v, %v; want 90s, true", age, ok)
+	}
+
+	// Zero times must not produce a garbage multi-century age.
+	var fresh NodeHealth
+	if got := fresh.Age(now); got != 0 {
+		t.Fatalf("zero-Since Age = %v, want 0", got)
+	}
+	if _, ok := fresh.SeenAge(now); ok {
+		t.Fatalf("zero-LastSeen SeenAge reported ok")
+	}
+}

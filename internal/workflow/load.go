@@ -1,0 +1,121 @@
+package workflow
+
+import (
+	"math"
+	"time"
+)
+
+// LoadProfile shapes the arrival rate of a live workload stream over
+// time. Where the DAG generators in this package model *what* a
+// scientific workflow does (task sizes and dependencies), a LoadProfile
+// models *when* clients show up: the cluster-level intensity the paper's
+// scavenging premise must survive. Rate reports the target operation rate
+// at a given offset from stream start, in ops/second; 0 means unpaced
+// (issue as fast as the workers can).
+//
+// Implementations must be pure functions of elapsed time so a scenario
+// replays the same arrival curve run after run.
+type LoadProfile interface {
+	// Rate returns the target ops/sec at time elapsed since stream start.
+	Rate(elapsed time.Duration) float64
+	// Name identifies the profile in scenario results.
+	Name() string
+}
+
+// Steady issues at a flat rate for the whole run — the baseline profile.
+// OpsPerSec 0 means unpaced.
+type Steady struct {
+	OpsPerSec float64
+}
+
+func (s Steady) Rate(time.Duration) float64 { return s.OpsPerSec }
+func (s Steady) Name() string               { return "steady" }
+
+// Diurnal models the day/night swing of a shared cluster: a sinusoid
+// between Base (trough) and Peak (crest) with the given Period. Scavenged
+// capacity is most valuable exactly when tenants are busiest, so chaos
+// scenarios exercise faults at both phases by picking Period << run
+// length. The curve starts at the trough.
+type Diurnal struct {
+	Base, Peak float64
+	Period     time.Duration
+}
+
+func (d Diurnal) Rate(elapsed time.Duration) float64 {
+	if d.Period <= 0 {
+		return d.Base
+	}
+	phase := 2 * math.Pi * float64(elapsed) / float64(d.Period)
+	// (1-cos)/2 sweeps 0→1→0 over one period, starting at the trough.
+	return d.Base + (d.Peak-d.Base)*(1-math.Cos(phase))/2
+}
+func (d Diurnal) Name() string { return "diurnal" }
+
+// FlashCrowd models a sudden burst: Base rate until At, a linear ramp to
+// Burst over Rise, the Burst plateau held for Hold, then a linear fall
+// back to Base over Rise. This is the checkpoint-storm / result-fanout
+// shape that stresses quota admission and weighted-fair bandwidth: the
+// question a flash-crowd scenario asks is whether the burst tenant gets
+// throttled instead of the well-behaved one getting starved.
+type FlashCrowd struct {
+	Base, Burst float64
+	At          time.Duration // burst onset
+	Rise        time.Duration // ramp-up (and ramp-down) duration
+	Hold        time.Duration // plateau duration at Burst
+}
+
+func (f FlashCrowd) Rate(elapsed time.Duration) float64 {
+	switch {
+	case elapsed < f.At:
+		return f.Base
+	case elapsed < f.At+f.Rise:
+		if f.Rise <= 0 {
+			return f.Burst
+		}
+		frac := float64(elapsed-f.At) / float64(f.Rise)
+		return f.Base + (f.Burst-f.Base)*frac
+	case elapsed < f.At+f.Rise+f.Hold:
+		return f.Burst
+	case elapsed < f.At+2*f.Rise+f.Hold:
+		if f.Rise <= 0 {
+			return f.Base
+		}
+		frac := float64(elapsed-f.At-f.Rise-f.Hold) / float64(f.Rise)
+		return f.Burst + (f.Base-f.Burst)*frac
+	default:
+		return f.Base
+	}
+}
+func (f FlashCrowd) Name() string { return "flash-crowd" }
+
+// Pacer converts a LoadProfile into per-op sleep decisions for one
+// worker. Each of n workers carries rate/n; Wait returns how long the
+// worker should sleep before issuing its next op so the stream tracks the
+// profile without a central clock-tick goroutine.
+type Pacer struct {
+	Profile LoadProfile
+	Workers int
+	Start   time.Time
+}
+
+// Wait returns the pause before the next op for a worker observing the
+// given current time. Zero-rate intervals are sampled at 10ms so a
+// profile that later rises is picked up promptly.
+func (p Pacer) Wait(now time.Time) time.Duration {
+	if p.Profile == nil {
+		return 0
+	}
+	rate := p.Profile.Rate(now.Sub(p.Start))
+	if rate <= 0 {
+		return 0
+	}
+	w := p.Workers
+	if w < 1 {
+		w = 1
+	}
+	per := rate / float64(w)
+	if per <= 0 {
+		return 10 * time.Millisecond
+	}
+	return time.Duration(float64(time.Second) / per)
+}

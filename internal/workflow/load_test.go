@@ -1,0 +1,91 @@
+package workflow
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSteadyRate(t *testing.T) {
+	s := Steady{OpsPerSec: 40}
+	for _, at := range []time.Duration{0, time.Second, time.Hour} {
+		if got := s.Rate(at); got != 40 {
+			t.Fatalf("steady rate at %v = %v, want 40", at, got)
+		}
+	}
+	if got := (Steady{}).Rate(time.Second); got != 0 {
+		t.Fatalf("zero steady = %v, want 0 (unpaced)", got)
+	}
+}
+
+func TestDiurnalSweep(t *testing.T) {
+	d := Diurnal{Base: 10, Peak: 110, Period: time.Minute}
+	if got := d.Rate(0); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("diurnal start = %v, want trough 10", got)
+	}
+	if got := d.Rate(30 * time.Second); math.Abs(got-110) > 1e-9 {
+		t.Fatalf("diurnal mid = %v, want crest 110", got)
+	}
+	if got := d.Rate(time.Minute); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("diurnal full period = %v, want trough 10", got)
+	}
+	// Every sample must stay inside [Base, Peak].
+	for ms := 0; ms <= 60_000; ms += 250 {
+		r := d.Rate(time.Duration(ms) * time.Millisecond)
+		if r < 10-1e-9 || r > 110+1e-9 {
+			t.Fatalf("diurnal rate %v at %dms escapes [10,110]", r, ms)
+		}
+	}
+	if got := (Diurnal{Base: 5}).Rate(time.Second); got != 5 {
+		t.Fatalf("zero-period diurnal = %v, want Base", got)
+	}
+}
+
+func TestFlashCrowdShape(t *testing.T) {
+	f := FlashCrowd{
+		Base: 20, Burst: 200,
+		At: 2 * time.Second, Rise: time.Second, Hold: 3 * time.Second,
+	}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 20},                        // before onset
+		{2 * time.Second, 20},          // onset edge
+		{2500 * time.Millisecond, 110}, // mid-ramp
+		{3 * time.Second, 200},         // plateau start
+		{5 * time.Second, 200},         // plateau
+		{6500 * time.Millisecond, 110}, // mid-fall
+		{8 * time.Second, 20},          // back to base
+		{time.Hour, 20},                // long after
+	}
+	for _, c := range cases {
+		if got := f.Rate(c.at); math.Abs(got-c.want) > 1e-6 {
+			t.Fatalf("flash-crowd rate at %v = %v, want %v", c.at, got, c.want)
+		}
+	}
+	// Zero rise must step instantly.
+	step := FlashCrowd{Base: 1, Burst: 9, At: time.Second, Hold: time.Second}
+	if got := step.Rate(time.Second); got != 9 {
+		t.Fatalf("zero-rise burst = %v, want 9", got)
+	}
+	if got := step.Rate(2500 * time.Millisecond); got != 1 {
+		t.Fatalf("zero-rise after hold = %v, want 1", got)
+	}
+}
+
+func TestPacerWait(t *testing.T) {
+	start := time.Unix(0, 0)
+	p := Pacer{Profile: Steady{OpsPerSec: 100}, Workers: 4, Start: start}
+	// 100 ops/s over 4 workers → 25 ops/s each → 40ms between ops.
+	if got := p.Wait(start.Add(time.Second)); got != 40*time.Millisecond {
+		t.Fatalf("pacer wait = %v, want 40ms", got)
+	}
+	unpaced := Pacer{Profile: Steady{}, Workers: 4, Start: start}
+	if got := unpaced.Wait(start); got != 0 {
+		t.Fatalf("unpaced wait = %v, want 0", got)
+	}
+	if got := (Pacer{}).Wait(start); got != 0 {
+		t.Fatalf("nil-profile wait = %v, want 0", got)
+	}
+}

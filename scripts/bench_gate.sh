@@ -103,3 +103,61 @@ if [ "${SKIP_TRACE_GATE:-0}" != "1" ]; then
         print "trace gate OK: span tracing overhead within budget."
     }' "$OUT"
 fi
+
+# --- chaos scenario SLO floors ----------------------------------------
+# The committed BENCH_scenarios.json is the SLO trajectory: one point per
+# `memfss-bench -scenario` run. The runner already asserts each
+# scenario's own (tight, per-scenario) SLOs at run time and exits
+# nonzero; this section is the coarser repo-wide floor over the *latest*
+# point per scenario, so a regressed trajectory file can never merge
+# even if nobody re-ran the matrix: zero loss, bounded recovery, and an
+# availability ceiling on every stream.
+SCEN_FILE=${SCEN_FILE:-BENCH_scenarios.json}
+SCEN_MAX_RECOVERY_MS=${SCEN_MAX_RECOVERY_MS:-30000}
+SCEN_MAX_ERROR_RATE=${SCEN_MAX_ERROR_RATE:-0.05}
+if [ "${SKIP_SCENARIO_GATE:-0}" != "1" ] && [ -f "$SCEN_FILE" ]; then
+    echo
+    echo "== scenario SLO floors: $SCEN_FILE (recovery <= ${SCEN_MAX_RECOVERY_MS}ms, error rate <= ${SCEN_MAX_ERROR_RATE})"
+    python3 - "$SCEN_FILE" "$SCEN_MAX_RECOVERY_MS" "$SCEN_MAX_ERROR_RATE" <<'PY'
+import json, sys
+
+path, max_recovery_ms, max_rate = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
+points = json.load(open(path))
+latest = {}  # scenario -> last appended point (the file is append-only)
+for p in points:
+    latest[p["scenario"]] = p
+
+fail = False
+for name in sorted(latest):
+    p = latest[name]
+    probs = []
+    if not p.get("passed"):
+        probs.append("runner verdict FAIL: " + "; ".join(p.get("violations") or ["?"]))
+    if p.get("fsck_damaged", 0) or p.get("loss_mismatches", 0):
+        probs.append("data loss: fsck_damaged=%d mismatches=%d"
+                     % (p.get("fsck_damaged", 0), p.get("loss_mismatches", 0)))
+    if p.get("recovery_timed_out"):
+        probs.append("recovery timed out")
+    if p.get("recovery_ms", 0) > max_recovery_ms:
+        probs.append("recovery %.0fms > floor %.0fms" % (p["recovery_ms"], max_recovery_ms))
+    for s in p.get("streams") or []:
+        if s.get("worst_window_rate", 0) > max_rate:
+            probs.append("stream %s error rate %.4f > floor %.4f"
+                         % (s.get("name"), s["worst_window_rate"], max_rate))
+    status = "FAIL: " + "; ".join(probs) if probs else "ok"
+    print("%-28s recovery=%6.0fms streams=%d   %s"
+          % (name, p.get("recovery_ms", 0), len(p.get("streams") or []), status))
+    fail = fail or bool(probs)
+
+if len(latest) < 6:
+    print("scenario gate FAILED: only %d scenario(s) in %s, want the full 6-point matrix" % (len(latest), path))
+    fail = True
+if fail:
+    print()
+    print("scenario gate FAILED: the latest trajectory point violates a repo-wide SLO floor.")
+    print("Re-run `go run ./cmd/memfss-bench -scenario all` and fix the regression (do not just refresh the file).")
+    sys.exit(1)
+print()
+print("scenario gate OK: latest point per scenario within the repo-wide SLO floors.")
+PY
+fi
